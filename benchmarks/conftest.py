@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate every paper figure at the ``tiny`` scale by default
+so ``pytest benchmarks/ --benchmark-only`` completes in a few minutes; set
+``REPRO_BENCH_SCALE=quick`` (or ``paper``) to run larger.  Each figure
+bench asserts the same qualitative shape the test suite checks, so a
+timing run is also a correctness run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import PAPER, QUICK, TINY
+from repro.packages.sft import build_sft_repository
+from repro.util.units import GB
+
+_SCALES = {"tiny": TINY, "quick": QUICK, "paper": PAPER}
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def bench_repo(scale):
+    return build_sft_repository(
+        seed=2020,
+        n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )

@@ -1,0 +1,16 @@
+"""Benchmark: the adaptive-alpha study."""
+
+from repro.experiments import adaptive_study
+
+
+def test_adaptive_study(benchmark, scale):
+    results = benchmark.pedantic(
+        adaptive_study.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    adaptive = results["configs"][-1]
+    fixed_high = results["configs"][1]
+    assert (
+        adaptive["phases"][1]["write_amplification"]
+        < fixed_high["phases"][1]["write_amplification"]
+    )

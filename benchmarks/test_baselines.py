@@ -1,0 +1,18 @@
+"""Benchmark: the §III baseline-strategy comparison."""
+
+from repro.experiments import baselines
+
+
+def test_baseline_strategies(benchmark, scale):
+    results = benchmark.pedantic(
+        baselines.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    strategies = results["strategies"]
+    # The §III story in one assertion chain:
+    assert strategies["no-cache"]["bytes_written"] == results["requested_bytes"]
+    assert (
+        strategies["landlord (a=0.8)"]["cache_efficiency"]
+        >= strategies["exact-lru (a=0)"]["cache_efficiency"]
+    )
+    assert strategies["full-repo image"]["hit_rate"] == 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: the cross-site federation study."""
+
+from repro.experiments import federation_study
+
+
+def test_federation_study(benchmark, scale):
+    results = benchmark.pedantic(
+        federation_study.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    assert (
+        results["federated"]["bytes_built"]
+        < results["isolated"]["bytes_built"]
+    )

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 1 (layering vs composition)."""
+
+from repro.experiments import fig1_layering
+
+
+def test_fig1_layering(benchmark, scale):
+    results = benchmark.pedantic(
+        fig1_layering.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    schematic = results["schematic"]
+    assert schematic["composition"]["equivalence_detected"]
+    assert not schematic["layering"]["equivalence_detected"]
+    gen = results["generalised"]
+    assert gen["layering_stored_bytes"] >= gen["composition_unique_bytes"]

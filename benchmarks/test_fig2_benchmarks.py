@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 2 (LHC benchmark application table)."""
+
+from repro.experiments import fig2_benchmarks
+
+
+def test_fig2_lhc_benchmarks(benchmark, scale):
+    results = benchmark.pedantic(
+        fig2_benchmarks.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    rows = results["apps"]
+    assert len(rows) == 7
+    for row in rows:
+        # Model-minimal images within 50% of the paper's column.
+        assert abs(row["model_image"] - row["paper_image"]) \
+            < 0.5 * row["paper_image"]
+        assert row["model_repo"] == row["full_repo"]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 3 (image size vs selection size)."""
+
+import numpy as np
+
+from repro.experiments import fig3_image_size
+
+
+def test_fig3_image_size(benchmark, scale):
+    results = benchmark.pedantic(
+        fig3_image_size.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    amp = results["amplification"]
+    assert amp[0] > 1.5          # strong amplification for small selections
+    assert amp[-1] < amp[0]      # fading with size (shared core)
+    assert np.all(results["image_bytes"] >= results["spec_bytes"])
+    assert results["image_bytes"][-1] <= results["repo_bytes"]

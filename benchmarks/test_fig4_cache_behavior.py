@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 4 (cache behaviour across the α sweep).
+
+Covers all three panels: operation counts (4a), cache duplication (4b)
+and cumulative I/O overhead (4c).
+"""
+
+from repro.experiments import fig4_cache_behavior
+
+
+def test_fig4_alpha_sweep(benchmark, scale):
+    results = benchmark.pedantic(
+        fig4_cache_behavior.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    sweep = results["sweep"]
+    merges = sweep.metric("merges")
+    hits = sweep.metric("hits")
+    unique = sweep.metric("unique_bytes")
+    total = sweep.metric("cached_bytes")
+    wamp = sweep.metric("write_amplification")
+    # 4a: no merges at the LRU end; merges rise then collapse at α=1.
+    assert merges[0] == 0
+    assert merges.max() > 0
+    assert merges[-1] < merges.max()
+    assert hits[-1] > hits[0]
+    # 4b: unique rises, total falls, equal at α=1.
+    assert unique[-1] > unique[0]
+    assert total[-1] < total[0]
+    assert abs(unique[-1] - total[-1]) < 0.01 * total[-1] + 1
+    # 4c: merge rewrites push actual writes past requested at high α.
+    assert wamp.max() > 1.05

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 5 (single-simulation timeline)."""
+
+import numpy as np
+
+from repro.experiments import fig5_single_run
+
+
+def test_fig5_single_simulation(benchmark, scale):
+    results = benchmark.pedantic(
+        fig5_single_run.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    final = results["final"]
+    timeline = results["timeline"]
+    # merges dominate operations at α = 0.75
+    assert final["merges"] > 0
+    # cached data saturates under the capacity (plus pinned-image slack)
+    assert timeline["cached_bytes"].max() <= scale.capacity * 1.5
+    # hits keep rising; writes are cumulative
+    assert timeline["hits"][-1] >= timeline["hits"][0]
+    assert np.all(np.diff(timeline["bytes_written"]) >= 0)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6 (efficiency vs cache size / job count)."""
+
+from repro.experiments import fig6_sensitivity
+
+
+def test_fig6_parameter_sensitivity(benchmark, scale):
+    # 7 sweeps; keep repetitions modest in the timing harness.
+    bench_scale = scale.with_(repetitions=min(scale.repetitions, 3))
+    results = benchmark.pedantic(
+        fig6_sensitivity.run, args=(bench_scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    by_cache = results["by_cache"]
+    assert len(by_cache) == 4
+    mid = len(by_cache[0].alphas) - 2
+    # bigger caches: container efficiency does not improve
+    assert (
+        by_cache[-1].metric("container_efficiency")[mid]
+        <= by_cache[0].metric("container_efficiency")[mid] + 0.05
+    )
+    assert len(results["by_jobs"]) == 3

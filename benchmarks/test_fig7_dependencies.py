@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 7 (dependency vs random workloads)."""
+
+from repro.experiments import fig7_dependencies
+
+
+def test_fig7_dependency_impact(benchmark, scale):
+    results = benchmark.pedantic(
+        fig7_dependencies.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    deps_merges = results["deps"].metric("merges")[:-1].sum()
+    random_merges = results["random"].metric("merges")[:-1].sum()
+    # random images almost never merge below α = 1
+    assert random_merges < 0.2 * max(deps_merges, 1)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 8 (operational zone detection)."""
+
+from repro.experiments import fig8_limits
+
+
+def test_fig8_operational_zone(benchmark, scale):
+    results = benchmark.pedantic(
+        fig8_limits.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    zone = results["zone"]
+    assert zone["valid"]
+    # a wide moderate-α zone, as the paper reports (0.65–0.95 at its scale)
+    assert 0.4 <= zone["lower"] <= zone["upper"] <= 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: multi-tenant isolation overhead study."""
+
+from repro.experiments import tenancy_overhead
+
+
+def test_tenancy_overhead(benchmark, scale):
+    results = benchmark.pedantic(
+        tenancy_overhead.run, args=(scale,), kwargs={"seed": 2020},
+        rounds=1, iterations=1,
+    )
+    modes = results["modes"]
+    assert (
+        modes["isolated"]["unique_bytes"] > modes["shared"]["unique_bytes"]
+    )

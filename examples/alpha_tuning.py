@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Tuning α for a site: find the operational zone for *your* workload.
+
+An administrator deciding on LANDLORD's merge threshold can replay a sample
+of their site's job stream over an α grid and pick any value inside the
+operational zone (cache efficiency above the thrashing floor, merge I/O
+under the overhead ceiling, containers not absurdly bloated).  The paper's
+advice: anywhere in the zone is fine; start at α = 0.8.
+
+Run:  python examples/alpha_tuning.py
+"""
+
+from repro.analysis.efficiency import find_operational_zone
+from repro.analysis.report import sweep_plot, sweep_table
+from repro.analysis.sweep import alpha_sweep
+from repro.htc.simulator import SimulationConfig
+from repro.util.units import GB
+
+
+def main() -> None:
+    # Stand-in for "a sample of your site's jobs": the dependency-scheme
+    # workload over a 1,500-package repository, 100 unique specs x 5.
+    config = SimulationConfig(
+        capacity=240 * GB,
+        n_unique=100,
+        repeats=5,
+        max_selection=30,
+        n_packages=1500,
+        repo_total_size=120 * GB,
+        seed=99,
+    )
+    sweep = alpha_sweep(
+        config,
+        alphas=[0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0],
+        repetitions=5,
+        label="site sample",
+    )
+    print(sweep_table(
+        sweep,
+        ["cache_efficiency", "container_efficiency", "write_amplification",
+         "merges", "hits"],
+    ))
+    print()
+    print(sweep_plot([sweep], "cache_efficiency", scale=100.0,
+                     title="cache efficiency vs alpha", ylabel="percent"))
+
+    zone = find_operational_zone(
+        sweep,
+        cache_efficiency_floor=0.3,
+        write_amplification_ceiling=2.0,
+        container_efficiency_floor=0.2,
+    )
+    print()
+    if zone.valid:
+        recommended = 0.8 if zone.contains(0.8) else (zone.lower + zone.upper) / 2
+        print(f"operational zone: [{zone.lower:.2f}, {zone.upper:.2f}] "
+              f"-> recommend alpha = {recommended:.2f}")
+    else:
+        print("no alpha satisfies the configured limits; relax a constraint "
+              "or provision more cache")
+
+    # Or skip the offline sweep entirely: let the controller walk alpha
+    # into the zone online, steering by the live cache's own gauges.
+    online_demo(config)
+
+
+def online_demo(config) -> None:
+    from repro.core.adaptive import AlphaController
+    from repro.core.cache import LandlordCache
+    from repro.htc.simulator import make_workload
+    from repro.packages.sft import build_experiment_repository
+    from repro.util.rng import spawn
+
+    repo = build_experiment_repository(
+        "sft", seed=config.seed, n_packages=config.n_packages,
+        target_total_size=config.repo_total_size,
+    )
+    cache = LandlordCache(config.capacity, 0.4, repo.size_of)  # start cold
+    controller = AlphaController(cache, interval=50)
+    workload = make_workload(config, repo)
+    rng = spawn(config.seed, "online")
+    for _ in range(600):
+        controller.request(workload.sample(rng))
+    print("\nonline tuning from alpha=0.40:")
+    for index, alpha in controller.alpha_trace()[:12]:
+        print(f"  request {index:4d}: alpha -> {alpha:.2f}")
+    print(f"settled at alpha = {controller.alpha:.2f} "
+          f"(cache efficiency {100 * cache.cache_efficiency:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Federated sites: share images through a registry instead of rebuilding.
+
+Four sites serve overlapping workloads.  Isolated, each site Shrinkwraps
+its own copies of every image; federated, sites publish builds to a shared
+contents-indexed registry and pull suitable images instead of rebuilding —
+replication (paper §I) becomes reuse.
+
+Run:  python examples/federated_sites.py
+"""
+
+from repro.containers.registry import ImageRegistry
+from repro.core.federation import FederatedLandlord
+from repro.htc.workload import DependencyWorkload
+from repro.packages.sft import build_sft_repository
+from repro.util.rng import spawn
+from repro.util.units import GB, format_bytes
+
+N_SITES = 4
+
+
+def site_streams(repo, jobs_per_site=60):
+    workload = DependencyWorkload(repo, max_selection=10)
+    pool = workload.sample_specs(spawn(21, "pool"), 25)
+    streams = []
+    for site in range(N_SITES):
+        rng = spawn(21, "site", site)
+        streams.append(
+            [pool[int(i)] for i in rng.integers(0, len(pool), jobs_per_site)]
+        )
+    return streams
+
+
+def run(repo, streams, registry):
+    sites = [
+        FederatedLandlord(repo, capacity=60 * GB, alpha=0.8,
+                          registry=registry, expand_closure=False)
+        for _ in range(N_SITES)
+    ]
+    for i in range(len(streams[0])):
+        for site, stream in zip(sites, streams):
+            site.prepare(stream[i])
+    return sites
+
+
+def main() -> None:
+    repo = build_sft_repository(seed=21, n_packages=1500,
+                                target_total_size=120 * GB)
+    streams = site_streams(repo)
+    total_jobs = sum(len(s) for s in streams)
+    print(f"{N_SITES} sites x {len(streams[0])} jobs "
+          f"({total_jobs} total) over {format_bytes(repo.total_size)}\n")
+
+    for label, registry in (("isolated", None), ("federated", ImageRegistry())):
+        sites = run(repo, streams, registry)
+        built = sum(s.cache.stats.bytes_written for s in sites)
+        pulled = sum(s.federation.pull_bytes for s in sites)
+        hits = sum(s.cache.stats.hits for s in sites)
+        print(f"{label:10s} built={format_bytes(built):>8s} "
+              f"pulled={format_bytes(pulled):>8s} hits={hits}")
+        if registry is not None:
+            print(f"{'':10s} registry: {len(registry)} images, "
+                  f"{format_bytes(registry.stored_bytes)}, "
+                  f"{registry.stats.deduplicated_pushes} pushes deduplicated")
+
+    print("\nwith the registry, only the first site to need an image builds "
+          "it; everyone else transfers — build I/O becomes O(distinct "
+          "images), not O(sites x images).")
+
+
+if __name__ == "__main__":
+    main()

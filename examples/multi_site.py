@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Distributed HTC: a multi-site cluster with per-site LANDLORDs.
+
+Three computing sites, each with its own head-node image cache (LANDLORD)
+and four workers with local scratch.  Jobs from several users are
+dispatched by a scheduler; each job's image is prepared at the site
+(hit/merge/insert), transferred to a worker if needed, then executed.
+
+Shows why spec-aware placement matters: the "sticky user" policy routes a
+user's (similar) jobs to one site, concentrating mergeable specs, while
+round-robin scatters them — compare cache behaviour and overhead.
+
+Run:  python examples/multi_site.py
+"""
+
+from repro.cvmfs.shrinkwrap import Shrinkwrap
+from repro.htc.cluster import Cluster, Site
+from repro.htc.scheduler import Scheduler
+from repro.htc.workload import DependencyWorkload, jobs_from_specs
+from repro.packages.sft import build_sft_repository
+from repro.util.rng import spawn
+from repro.util.units import GB, format_bytes
+
+
+def make_cluster(repo) -> Cluster:
+    sites = [
+        Site(
+            name=f"site{i}",
+            repository=repo,
+            cache_bytes=80 * GB,
+            alpha=0.8,
+            n_workers=4,
+            worker_scratch_bytes=40 * GB,
+            shrinkwrap=Shrinkwrap(repo),
+            expand_closure=False,
+        )
+        for i in range(3)
+    ]
+    return Cluster(sites)
+
+
+def make_jobs(repo, n_users: int = 6, jobs_per_user: int = 30):
+    workload = DependencyWorkload(repo, max_selection=20)
+    jobs = []
+    for user in range(n_users):
+        rng = spawn(1234, "user", user)
+        # Each user works from a handful of evolving specs.
+        uniques = workload.sample_specs(rng, 5)
+        for j in range(jobs_per_user):
+            spec = uniques[int(rng.integers(0, len(uniques)))]
+            jobs.extend(
+                jobs_from_specs([spec], rng, mean_runtime=300.0,
+                                user=f"user{user}")
+            )
+    order = spawn(1234, "shuffle").permutation(len(jobs))
+    return [jobs[int(i)] for i in order]
+
+
+def main() -> None:
+    repo = build_sft_repository(seed=11, n_packages=1500,
+                                target_total_size=120 * GB)
+    jobs = make_jobs(repo)
+    print(f"{len(jobs)} jobs from 6 users over a "
+          f"{format_bytes(repo.total_size)} repository\n")
+
+    for policy in ("round_robin", "sticky_user"):
+        cluster = make_cluster(repo)
+        summary = Scheduler(cluster, site_policy=policy).run(jobs)
+        actions = summary.by_action()
+        cached = sum(s.landlord.cache.cached_bytes for s in cluster.sites)
+        print(f"policy={policy}")
+        print(f"  makespan {summary.makespan / 3600:.1f}h, "
+              f"throughput {summary.throughput_jobs_per_hour:.0f} jobs/h, "
+              f"overhead {100 * summary.overhead_fraction:.1f}%")
+        print(f"  actions: " + " ".join(f"{k}={v}" for k, v in sorted(actions.items())))
+        print(f"  cached across sites: {format_bytes(cached)}")
+        for site in cluster.sites:
+            st = site.stats
+            print(f"    {site.name}: hits={st.hits} merges={st.merges} "
+                  f"inserts={st.inserts} "
+                  f"cache_eff={100 * site.landlord.cache.cache_efficiency:.0f}%")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: manage container images for a stream of jobs with LANDLORD.
+
+Builds a small synthetic software repository, stands up a LANDLORD with a
+bounded image cache, submits a handful of jobs with overlapping
+requirements, and shows how requests are satisfied (hit / merge / insert)
+and what that costs in storage and I/O.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Landlord, build_sft_repository
+from repro.util.rng import spawn
+from repro.util.units import GB, format_bytes
+
+
+def main() -> None:
+    # A 2,000-package repository shaped like CERN's SFT tree (hierarchical
+    # dependencies, ~150 GB total).  Deterministic in its seed.
+    repo = build_sft_repository(
+        seed=42, n_packages=2000, target_total_size=150 * GB
+    )
+    print(f"repository: {len(repo)} packages, {format_bytes(repo.total_size)}")
+
+    # LANDLORD with a 60 GB image cache; α=0.7 merges a user's evolving
+    # jobs together without globbing unrelated users into one image.
+    landlord = Landlord(repo, capacity=60 * GB, alpha=0.7)
+
+    # Six jobs: three users, each submitting two related jobs.  A job's
+    # spec is just the packages it needs; LANDLORD adds dependencies.
+    rng = spawn(42, "quickstart")
+    ids = repo.ids
+    jobs = []
+    for user in range(3):
+        base = [ids[int(i)] for i in rng.choice(len(ids), size=4, replace=False)]
+        extra = [ids[int(i)] for i in rng.choice(len(ids), size=1, replace=False)]
+        jobs.append((f"user{user}-a", base))
+        jobs.append((f"user{user}-b", base + extra))  # evolved requirements
+
+    print(f"\n{'job':12s} {'action':7s} {'requested':>10s} {'image':>10s} "
+          f"{'written':>10s}")
+    for name, spec in jobs:
+        prepared = landlord.prepare(spec)
+        print(
+            f"{name:12s} {prepared.action.value:7s} "
+            f"{format_bytes(prepared.requested_bytes):>10s} "
+            f"{format_bytes(prepared.image.size):>10s} "
+            f"{format_bytes(prepared.bytes_written):>10s}"
+        )
+
+    # Resubmitting any earlier job is now a free cache hit.
+    again = landlord.prepare(jobs[0][1])
+    print(f"\nresubmit {jobs[0][0]}: {again.action.value} "
+          f"(0 bytes written, image {format_bytes(again.image.size)})")
+
+    stats = landlord.stats
+    print(
+        f"\ncache: {len(landlord.cache)} images, "
+        f"{format_bytes(landlord.cache.cached_bytes)} stored "
+        f"({format_bytes(landlord.cache.unique_bytes)} unique, "
+        f"cache efficiency {100 * landlord.cache.cache_efficiency:.0f}%)"
+    )
+    print(
+        f"ops: {stats.hits} hits, {stats.merges} merges, "
+        f"{stats.inserts} inserts, {stats.deletes} evictions; "
+        f"{format_bytes(stats.bytes_written)} written for "
+        f"{format_bytes(stats.requested_bytes)} requested"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Specification inference: from job artifacts to container specs.
+
+The paper's deployment expects a specification per job but provides
+scanners so researchers do not have to write them by hand (§V): Python
+import analysis, `module load` directives, and access logs from previous
+runs.  This example runs all three against synthetic job artifacts over a
+repository that actually contains the named software, then prepares a
+container from the merged evidence.
+
+Run:  python examples/spec_inference.py
+"""
+
+from repro.core.landlord import Landlord
+from repro.packages.package import Package, make_package_id
+from repro.packages.repository import Repository
+from repro.specs import (
+    PackageResolver,
+    spec_from_log,
+    spec_from_module_script,
+    spec_from_python_source,
+)
+from repro.util.units import GB, MB, format_bytes
+
+JOB_SCRIPT = '''
+import os, sys, json          # stdlib: ignored by the scanner
+import numpy as np
+import scipy.optimize
+from ROOT import TFile        # PyROOT
+from geant4 import run_simulation
+'''
+
+SUBMIT_SCRIPT = """
+#!/bin/bash
+#SBATCH -N 1
+module purge
+module load gcc/8.3.0
+module load root/6.20.04 geant4/10.6   # physics stack
+module load cmake   # build helper, unloaded below
+module unload cmake
+python job.py
+"""
+
+ACCESS_LOG = """
+open("/cvmfs/sft.cern.ch/root/6.20.04/x86_64-el9/lib/libCore.so") = 3
+open("/cvmfs/sft.cern.ch/calib-data/2.1/geometry.db") = 4
+open("/cvmfs/sft.cern.ch/python/3.9.6/bin/python") = 5
+stat("/cvmfs/other-repo.cern.ch/should/2.0/be-filtered") = -1
+"""
+
+
+def demo_repository() -> Repository:
+    """A small repository carrying the software the artifacts reference."""
+
+    def pkg(name, version, size_mb, deps=(), variant=""):
+        return Package(
+            id=make_package_id(name, version, variant),
+            size=int(size_mb * MB),
+            deps=tuple(deps),
+        )
+
+    gcc = pkg("gcc", "8.3.0", 900)
+    python = pkg("python", "3.9.6", 120, [gcc.id])
+    numpy = pkg("numpy", "1.24.0", 60, [python.id])
+    scipy = pkg("scipy", "1.10.0", 110, [numpy.id])
+    root_new = pkg("root", "6.20.04", 2600, [gcc.id, python.id], "x86_64-el9")
+    root_old = pkg("root", "6.18.00", 2500, [gcc.id])
+    geant4 = pkg("geant4", "10.6", 1800, [gcc.id])
+    calib = pkg("calib-data", "2.1", 3200)
+    return Repository(
+        [gcc, python, numpy, scipy, root_new, root_old, geant4, calib]
+    )
+
+
+def main() -> None:
+    repo = demo_repository()
+    resolver = PackageResolver(repo, aliases={"ROOT": "root"})
+
+    py = spec_from_python_source(JOB_SCRIPT, resolver)
+    print("python imports ->", sorted(py.spec.packages))
+    if py.unresolved:
+        print("  unresolved:", py.unresolved)
+
+    mod = spec_from_module_script(SUBMIT_SCRIPT, resolver)
+    print("module loads   ->", sorted(mod.spec.packages))
+
+    log = spec_from_log(ACCESS_LOG, resolver, repo_filter="sft.cern.ch")
+    print("access log     ->", sorted(log.spec.packages))
+
+    merged = py.spec.merge(mod.spec).merge(log.spec)
+    print(f"\nmerged spec: {len(merged)} packages")
+
+    landlord = Landlord(repo, capacity=20 * GB, alpha=0.8)
+    prepared = landlord.prepare(merged)
+    print(
+        f"prepared container: {prepared.action.value}, "
+        f"{prepared.image.package_count} packages, "
+        f"{format_bytes(prepared.image.size)} "
+        f"(requested {format_bytes(prepared.requested_bytes)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

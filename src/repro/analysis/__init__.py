@@ -1,0 +1,44 @@
+"""Experiment machinery: parameter sweeps, efficiency metrics, reports.
+
+- :mod:`repro.analysis.sweep` — repeated simulations over α grids and
+  configuration variants, aggregated by median (the paper's methodology:
+  *"we repeated the simulation 20 times and reported the median behavior"*).
+- :mod:`repro.analysis.efficiency` — the cache/container efficiency metrics
+  and operational-zone detection of §VI.
+- :mod:`repro.analysis.report` — text tables, ASCII figures, and JSON
+  persistence for sweep results.
+"""
+
+from repro.analysis.calibration import (
+    CalibrationReport,
+    calibration_report,
+    closure_amplification,
+    core_concentration,
+    spec_distance_profile,
+)
+from repro.analysis.compare import MetricDelta, SweepComparison, compare_sweeps
+from repro.analysis.efficiency import (
+    OperationalZone,
+    cache_efficiency,
+    container_efficiency,
+    find_operational_zone,
+)
+from repro.analysis.sweep import SweepResult, alpha_sweep, run_repetitions
+
+__all__ = [
+    "CalibrationReport",
+    "calibration_report",
+    "closure_amplification",
+    "core_concentration",
+    "spec_distance_profile",
+    "MetricDelta",
+    "SweepComparison",
+    "compare_sweeps",
+    "cache_efficiency",
+    "container_efficiency",
+    "OperationalZone",
+    "find_operational_zone",
+    "SweepResult",
+    "alpha_sweep",
+    "run_repetitions",
+]

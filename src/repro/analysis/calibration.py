@@ -1,0 +1,156 @@
+"""Calibration measurements: does a synthetic repository match the paper?
+
+The reproduction substitutes a generated dependency DAG for the real SFT
+metadata (DESIGN.md §2).  That substitution is only sound if the generated
+tree matches the statistics the paper's results depend on.  This module
+measures them:
+
+- **closure amplification** — Figure 3's ratio of image package count to
+  selection size (paper: ≈5× for selections under 100 packages, fading
+  with size);
+- **core concentration** — the share of dependency edges landing on the
+  most-depended-upon packages ("a number of core components that are
+  transitive dependencies of a large number of packages");
+- **inter-spec distance profile** — the distribution of Jaccard distances
+  between independent workload specs, which determines where on the α axis
+  merging turns on.
+
+``calibration_report`` bundles them; the test suite asserts the shipped
+SFT repository stays within the calibrated bands, so a regression in the
+generator is caught as a test failure rather than as silently wrong
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.similarity import jaccard_distance
+from repro.htc.workload import DependencyWorkload
+from repro.packages.repository import Repository
+from repro.util.rng import spawn
+
+__all__ = [
+    "closure_amplification",
+    "core_concentration",
+    "spec_distance_profile",
+    "CalibrationReport",
+    "calibration_report",
+]
+
+
+def closure_amplification(
+    repository: Repository,
+    selection_size: int,
+    trials: int = 30,
+    seed: Optional[int] = 0,
+) -> float:
+    """Median ratio |closure(S)| / |S| over random selections of one size."""
+    if selection_size < 1 or selection_size > len(repository):
+        raise ValueError("selection_size out of range")
+    rng = spawn(seed, "calib-amp", selection_size)
+    ids = repository.ids
+    ratios = []
+    for _ in range(trials):
+        picks = rng.choice(len(ids), size=selection_size, replace=False)
+        selection = [ids[int(i)] for i in picks]
+        ratios.append(len(repository.closure(selection)) / selection_size)
+    return float(np.median(ratios))
+
+
+def core_concentration(
+    repository: Repository, top_fraction: float = 0.02
+) -> float:
+    """Share of direct dependency edges pointing at the top packages.
+
+    With ``top_fraction=0.02``, a value of 0.5 means 2% of packages receive
+    half of all dependency edges — the hierarchical concentration the
+    merging strategy exploits.  A flat random DAG scores near
+    ``top_fraction``.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    index = repository.dependents_index()
+    counts = np.sort(
+        np.array([len(v) for v in index.values()], dtype=np.int64)
+    )[::-1]
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    top_n = max(1, int(round(len(counts) * top_fraction)))
+    return float(counts[:top_n].sum() / total)
+
+
+def spec_distance_profile(
+    repository: Repository,
+    max_selection: int = 100,
+    n_specs: int = 40,
+    seed: Optional[int] = 0,
+) -> Dict[str, float]:
+    """Percentiles of pairwise Jaccard distance between workload specs.
+
+    The merge threshold α only matters relative to this profile: merging
+    at α begins once a meaningful fraction of spec pairs sits below it.
+    """
+    workload = DependencyWorkload(repository, max_selection)
+    rng = spawn(seed, "calib-dist")
+    specs = workload.sample_specs(rng, n_specs)
+    distances = [
+        jaccard_distance(specs[i], specs[j])
+        for i in range(len(specs))
+        for j in range(i + 1, len(specs))
+    ]
+    arr = np.asarray(distances)
+    return {
+        "p05": float(np.percentile(arr, 5)),
+        "p25": float(np.percentile(arr, 25)),
+        "p50": float(np.percentile(arr, 50)),
+        "p75": float(np.percentile(arr, 75)),
+        "p95": float(np.percentile(arr, 95)),
+    }
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Bundle of calibration measurements for one repository."""
+
+    packages: int
+    total_bytes: int
+    amplification_small: float   # at ~1% of the repo
+    amplification_large: float   # at ~10% of the repo
+    core_concentration: float
+    distance_profile: Dict[str, float]
+
+    def lines(self) -> List[str]:
+        """Human-readable report lines."""
+        return [
+            f"packages: {self.packages}",
+            f"total bytes: {self.total_bytes}",
+            f"closure amplification (small/large selections): "
+            f"{self.amplification_small:.2f}x / {self.amplification_large:.2f}x",
+            f"core concentration (top 2% of packages): "
+            f"{100 * self.core_concentration:.1f}% of dependency edges",
+            "inter-spec Jaccard distance percentiles: "
+            + ", ".join(f"{k}={v:.3f}" for k, v in self.distance_profile.items()),
+        ]
+
+
+def calibration_report(
+    repository: Repository, seed: Optional[int] = 0
+) -> CalibrationReport:
+    """Measure everything; selection sizes scale with the repository."""
+    small = max(2, len(repository) // 100)
+    large = max(small + 1, len(repository) // 10)
+    return CalibrationReport(
+        packages=len(repository),
+        total_bytes=repository.total_size,
+        amplification_small=closure_amplification(repository, small, seed=seed),
+        amplification_large=closure_amplification(repository, large, seed=seed),
+        core_concentration=core_concentration(repository),
+        distance_profile=spec_distance_profile(
+            repository, max_selection=small * 2, seed=seed
+        ),
+    )

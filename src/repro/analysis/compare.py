@@ -1,0 +1,119 @@
+"""Sweep comparison: quantify how two configurations differ across α.
+
+Sweeps are the unit of evidence in this reproduction; comparing them is
+how every "X vs Y" question gets answered (dependency vs random workloads,
+cache sizes, policy ablations, or two versions of the code).  This module
+computes per-metric deltas on a shared α grid and renders them as tables,
+with a tolerance-based verdict usable as a regression gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.sweep import SweepResult
+from repro.util.tables import render_table
+
+__all__ = ["MetricDelta", "SweepComparison", "compare_sweeps"]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's difference between two sweeps (b − a), per α."""
+
+    metric: str
+    alphas: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+
+    @property
+    def absolute(self) -> np.ndarray:
+        return self.b - self.a
+
+    @property
+    def relative(self) -> np.ndarray:
+        """(b − a) / max(|a|, eps); 0 where both sides are 0."""
+        denom = np.maximum(np.abs(self.a), 1e-12)
+        out = (self.b - self.a) / denom
+        out[(self.a == 0) & (self.b == 0)] = 0.0
+        return out
+
+    @property
+    def max_relative(self) -> float:
+        return float(np.max(np.abs(self.relative)))
+
+
+@dataclass
+class SweepComparison:
+    """All shared metrics of two sweeps, aligned on the common α grid."""
+
+    label_a: str
+    label_b: str
+    deltas: Dict[str, MetricDelta]
+
+    def delta(self, metric: str) -> MetricDelta:
+        """The delta record for one shared metric."""
+        try:
+            return self.deltas[metric]
+        except KeyError:
+            raise KeyError(
+                f"metric {metric!r} not shared; have {sorted(self.deltas)}"
+            ) from None
+
+    def within(self, tolerance: float, metrics: Optional[Sequence[str]] = None) -> bool:
+        """True if every (selected) metric stays within relative tolerance.
+
+        The regression-gate predicate: rerun a reference sweep, compare
+        against stored results, assert ``comparison.within(0.05)``.
+        """
+        names = metrics if metrics is not None else sorted(self.deltas)
+        return all(self.delta(name).max_relative <= tolerance for name in names)
+
+    def table(self, metrics: Sequence[str]) -> str:
+        """Side-by-side values with relative deltas, one row per α."""
+        header = ["alpha"]
+        for name in metrics:
+            header += [f"{name} ({self.label_a})", f"({self.label_b})", "Δ%"]
+        first = self.delta(metrics[0])
+        rows = []
+        for i, alpha in enumerate(first.alphas):
+            row: List[object] = [f"{alpha:.2f}"]
+            for name in metrics:
+                d = self.delta(name)
+                row += [
+                    f"{d.a[i]:.4g}",
+                    f"{d.b[i]:.4g}",
+                    f"{100 * d.relative[i]:+.1f}%",
+                ]
+            rows.append(row)
+        return render_table(rows, header=header)
+
+
+def compare_sweeps(
+    a: SweepResult,
+    b: SweepResult,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> SweepComparison:
+    """Align two sweeps on their common α grid and diff every shared metric.
+
+    Raises :class:`ValueError` when the grids share no points — comparing
+    disjoint sweeps silently would be meaningless.
+    """
+    common = np.intersect1d(np.round(a.alphas, 6), np.round(b.alphas, 6))
+    if common.size == 0:
+        raise ValueError("sweeps share no alpha grid points")
+    idx_a = [int(np.argmin(np.abs(a.alphas - alpha))) for alpha in common]
+    idx_b = [int(np.argmin(np.abs(b.alphas - alpha))) for alpha in common]
+    deltas: Dict[str, MetricDelta] = {}
+    for name in sorted(set(a.series) & set(b.series)):
+        deltas[name] = MetricDelta(
+            metric=name,
+            alphas=common,
+            a=np.asarray(a.series[name])[idx_a],
+            b=np.asarray(b.series[name])[idx_b],
+        )
+    return SweepComparison(label_a=label_a, label_b=label_b, deltas=deltas)

@@ -1,0 +1,136 @@
+"""Efficiency metrics and operational-zone detection (§VI).
+
+The paper's two utilization metrics:
+
+- **cache efficiency** — unique data / total data in the cache.  Low when
+  many images duplicate the same packages; 100% for a single merged image.
+- **container efficiency** — requested image size / size of the image the
+  job actually used.  100% without merging; poor when jobs run inside
+  bloated, heavily merged images.
+
+And its two practical limits on α (Figure 8): a floor on cache efficiency
+(below it the cache thrashes on duplicated content) and a ceiling on the
+merge-driven I/O overhead (the paper suggests *"allowing at most a twofold
+increase in the compute and I/O time compared to directly creating the
+requested images"*).  The α range between the limits is the **operational
+zone**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.sweep import SweepResult
+
+__all__ = [
+    "cache_efficiency",
+    "container_efficiency",
+    "OperationalZone",
+    "find_operational_zone",
+]
+
+
+def cache_efficiency(unique_bytes: float, total_bytes: float) -> float:
+    """Unique data over total data in cache; 1.0 for an empty cache."""
+    if total_bytes < 0 or unique_bytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    if unique_bytes > total_bytes:
+        raise ValueError("unique data cannot exceed total data")
+    if total_bytes == 0:
+        return 1.0
+    return unique_bytes / total_bytes
+
+
+def container_efficiency(requested_bytes: float, used_bytes: float) -> float:
+    """Requested size over used size; 1.0 when nothing was used."""
+    if requested_bytes < 0 or used_bytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    if requested_bytes > used_bytes:
+        raise ValueError("a job cannot request more than the image it used")
+    if used_bytes == 0:
+        return 1.0
+    return requested_bytes / used_bytes
+
+
+@dataclass(frozen=True)
+class OperationalZone:
+    """The viable α range between the thrashing and overhead limits.
+
+    ``lower``/``upper`` are α grid values (inclusive); ``None`` on a side
+    means no grid point satisfied that constraint.
+    """
+
+    lower: Optional[float]
+    upper: Optional[float]
+    cache_efficiency_floor: float
+    write_amplification_ceiling: float
+    container_efficiency_floor: float = 0.0
+
+    @property
+    def valid(self) -> bool:
+        return (
+            self.lower is not None
+            and self.upper is not None
+            and self.lower <= self.upper
+        )
+
+    @property
+    def width(self) -> float:
+        if not self.valid:
+            return 0.0
+        return float(self.upper - self.lower)  # type: ignore[operator]
+
+    def contains(self, alpha: float) -> bool:
+        """True if ``alpha`` lies inside the zone."""
+        return self.valid and self.lower <= alpha <= self.upper  # type: ignore[operator]
+
+
+def find_operational_zone(
+    sweep: SweepResult,
+    cache_efficiency_floor: float = 0.3,
+    write_amplification_ceiling: float = 2.0,
+    container_efficiency_floor: float = 0.2,
+) -> OperationalZone:
+    """Locate the α range satisfying the paper's limits.
+
+    A grid point qualifies when its median cache efficiency is at least the
+    floor (left limit: below it the cache thrashes on duplicates), its
+    median write amplification (actual/requested writes, Fig. 4c) is at
+    most the ceiling, and its median container efficiency is at least
+    ``container_efficiency_floor`` (right limit: Figure 8's "Excessive
+    Image Size" region, where merged images dwarf what jobs asked for).
+    The zone is the longest contiguous qualifying run.
+    """
+    eff = sweep.metric("cache_efficiency")
+    amp = sweep.metric("write_amplification")
+    cont = sweep.metric("container_efficiency")
+    ok = (
+        (eff >= cache_efficiency_floor)
+        & (amp <= write_amplification_ceiling)
+        & (cont >= container_efficiency_floor)
+    )
+    best: Tuple[int, int] = (0, -1)  # [start, end] inclusive; empty
+    start = None
+    for i, good in enumerate(list(ok) + [False]):  # sentinel flush
+        if good and start is None:
+            start = i
+        elif not good and start is not None:
+            if i - 1 - start > best[1] - best[0]:
+                best = (start, i - 1)
+            start = None
+    if best[1] < best[0]:
+        return OperationalZone(
+            None,
+            None,
+            cache_efficiency_floor,
+            write_amplification_ceiling,
+            container_efficiency_floor,
+        )
+    return OperationalZone(
+        lower=float(sweep.alphas[best[0]]),
+        upper=float(sweep.alphas[best[1]]),
+        cache_efficiency_floor=cache_efficiency_floor,
+        write_amplification_ceiling=write_amplification_ceiling,
+        container_efficiency_floor=container_efficiency_floor,
+    )

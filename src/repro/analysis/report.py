@@ -1,0 +1,125 @@
+"""Rendering sweep results as paper-style tables, ASCII figures, and JSON."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.sweep import SweepResult
+from repro.util.asciiplot import Series, line_plot
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+
+__all__ = [
+    "sweep_table",
+    "sweep_plot",
+    "timeline_plot",
+    "save_results_json",
+    "percent",
+]
+
+_BYTE_METRICS = {
+    "cached_bytes",
+    "unique_bytes",
+    "bytes_written",
+    "requested_bytes",
+}
+_PERCENT_METRICS = {"cache_efficiency", "container_efficiency", "hit_rate"}
+
+
+def percent(value: float) -> str:
+    """Format a [0, 1] ratio as a percentage string."""
+    return f"{100.0 * value:.1f}%"
+
+
+def _format_metric(name: str, value: float) -> str:
+    if name in _BYTE_METRICS:
+        return format_bytes(value)
+    if name in _PERCENT_METRICS:
+        return percent(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def sweep_table(sweep: SweepResult, metrics: Sequence[str]) -> str:
+    """One row per α, one column per requested metric."""
+    header = ["alpha"] + list(metrics)
+    rows = []
+    for i, alpha in enumerate(sweep.alphas):
+        row = [f"{alpha:.2f}"]
+        for name in metrics:
+            row.append(_format_metric(name, float(sweep.metric(name)[i])))
+        rows.append(row)
+    return render_table(rows, header=header)
+
+
+def sweep_plot(
+    sweeps: "Union[SweepResult, Sequence[SweepResult]]",
+    metric: str,
+    title: Optional[str] = None,
+    scale: float = 1.0,
+    ylabel: Optional[str] = None,
+) -> str:
+    """ASCII plot of one metric vs α for one or several sweeps."""
+    if isinstance(sweeps, SweepResult):
+        sweeps = [sweeps]
+    series = [
+        Series(
+            name=s.label or metric,
+            xs=s.alphas,
+            ys=np.asarray(s.metric(metric)) * scale,
+        )
+        for s in sweeps
+    ]
+    return line_plot(
+        series,
+        title=title or f"{metric} vs alpha",
+        xlabel="alpha",
+        ylabel=ylabel or metric,
+    )
+
+
+def timeline_plot(
+    timeline: Dict[str, np.ndarray],
+    fields: Sequence[str],
+    title: str,
+    scale: float = 1.0,
+) -> str:
+    """ASCII plot of cumulative per-request series (Figure 5 style)."""
+    n = len(next(iter(timeline.values()))) if timeline else 0
+    xs = np.arange(1, n + 1)
+    series = [
+        Series(name=name, xs=xs, ys=np.asarray(timeline[name]) * scale)
+        for name in fields
+        if name in timeline
+    ]
+    return line_plot(series, title=title, xlabel="requests")
+
+
+def save_results_json(
+    path: "Union[str, Path]",
+    payload: dict,
+) -> Path:
+    """Persist an experiment's structured results (numpy-safe)."""
+
+    def default(obj):
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, SweepResult):
+            return obj.to_jsonable()
+        if isinstance(obj, frozenset):
+            return sorted(obj)
+        raise TypeError(f"not JSON-serialisable: {type(obj)!r}")
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=default))
+    return path

@@ -1,0 +1,158 @@
+"""Parameter sweeps with repetition and median aggregation.
+
+The paper's protocol (§VI): *"for a given choice of cache size, job count,
+etc. we repeated the simulation 20 times and reported the median behavior
+over the runs.  At each choice of α (in steps of 0.05) we performed a set
+of 20 simulated runs."*  The repository is fixed across repetitions (it
+models the one real SFT tree); only the request stream varies by seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.htc.simulator import SimulationConfig, SimulationResult, simulate
+from repro.packages.repository import Repository
+from repro.packages.sft import build_experiment_repository
+
+__all__ = ["SweepResult", "run_repetitions", "alpha_sweep", "default_alphas"]
+
+
+def default_alphas(step: float = 0.05, lo: float = 0.4, hi: float = 1.0) -> np.ndarray:
+    """The paper's α grid: ``lo`` to ``hi`` inclusive in ``step`` steps."""
+    count = int(round((hi - lo) / step)) + 1
+    return np.round(np.linspace(lo, hi, count), 6)
+
+
+def run_repetitions(
+    config: SimulationConfig,
+    repetitions: int = 20,
+    repository: Optional[Repository] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List[SimulationResult]:
+    """Run ``repetitions`` simulations differing only in workload seed."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    if repository is None:
+        repository = build_experiment_repository(
+            config.repo_kind,
+            seed=config.seed,
+            n_packages=config.n_packages,
+            target_total_size=config.repo_total_size,
+        )
+    results = []
+    for rep in range(repetitions):
+        rep_config = config.with_(
+            seed=(config.seed or 0) * 10_000 + rep,
+            record_timeline=False,
+        )
+        results.append(simulate(rep_config, repository=repository))
+        if progress is not None:
+            progress(rep + 1, repetitions)
+    return results
+
+
+@dataclass
+class SweepResult:
+    """Median-aggregated metrics across an α grid.
+
+    ``series[metric]`` is an array aligned with ``alphas``; ``raw`` holds
+    the full per-repetition values for dispersion analysis
+    (``raw[metric][i_alpha, i_rep]``).
+    """
+
+    alphas: np.ndarray
+    series: Dict[str, np.ndarray]
+    raw: Dict[str, np.ndarray] = field(default_factory=dict)
+    label: str = ""
+
+    def metric(self, name: str) -> np.ndarray:
+        """Median series for one metric, aligned with :attr:`alphas`."""
+        try:
+            return self.series[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; have {sorted(self.series)}"
+            ) from None
+
+    def percentile(self, name: str, q: float) -> np.ndarray:
+        """Per-α percentile of a metric across repetitions (q in [0, 100]).
+
+        Useful for dispersion bands around the median series; requires the
+        raw per-repetition values (always kept by :func:`alpha_sweep`).
+        """
+        if name not in self.raw:
+            raise KeyError(
+                f"no raw repetition data for metric {name!r}"
+            )
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        return np.percentile(self.raw[name], q, axis=1)
+
+    def iqr(self, name: str) -> np.ndarray:
+        """Inter-quartile range per α (spread of the 20 repetitions)."""
+        return self.percentile(name, 75) - self.percentile(name, 25)
+
+    def at_alpha(self, alpha: float) -> Dict[str, float]:
+        """All median metrics at the grid point nearest ``alpha``."""
+        idx = int(np.argmin(np.abs(self.alphas - alpha)))
+        return {name: float(vals[idx]) for name, vals in self.series.items()}
+
+    def to_jsonable(self) -> dict:
+        """JSON-serialisable view (label, grid, median series)."""
+        return {
+            "label": self.label,
+            "alphas": self.alphas.tolist(),
+            "series": {k: v.tolist() for k, v in self.series.items()},
+        }
+
+
+def alpha_sweep(
+    base_config: SimulationConfig,
+    alphas: Optional[Sequence[float]] = None,
+    repetitions: int = 20,
+    repository: Optional[Repository] = None,
+    label: str = "",
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Sweep α over a grid, ``repetitions`` runs per point, median per metric.
+
+    The repository is built once from the base config and reused for every
+    point — matching the paper, where the software tree is an input, not a
+    random variable.
+    """
+    grid = np.asarray(alphas if alphas is not None else default_alphas(), dtype=float)
+    if grid.size == 0:
+        raise ValueError("alpha grid must be non-empty")
+    if np.any((grid < 0) | (grid > 1)):
+        raise ValueError("alphas must lie in [0, 1]")
+    if repository is None:
+        repository = build_experiment_repository(
+            base_config.repo_kind,
+            seed=base_config.seed,
+            n_packages=base_config.n_packages,
+            target_total_size=base_config.repo_total_size,
+        )
+    metric_names: List[str] = []
+    raw: Dict[str, List[List[float]]] = {}
+    for i, alpha in enumerate(grid):
+        results = run_repetitions(
+            base_config.with_(alpha=float(alpha)),
+            repetitions=repetitions,
+            repository=repository,
+        )
+        summaries = [r.summary() for r in results]
+        if not metric_names:
+            metric_names = sorted(summaries[0])
+            for name in metric_names:
+                raw[name] = []
+        for name in metric_names:
+            raw[name].append([s[name] for s in summaries])
+        if progress is not None:
+            progress(f"alpha={alpha:.2f} ({i + 1}/{grid.size})")
+    raw_arrays = {name: np.asarray(vals, dtype=float) for name, vals in raw.items()}
+    series = {name: np.median(arr, axis=1) for name, arr in raw_arrays.items()}
+    return SweepResult(alphas=grid, series=series, raw=raw_arrays, label=label)

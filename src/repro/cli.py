@@ -1,0 +1,359 @@
+"""Command-line interface: ``repro-landlord <command>`` / ``python -m repro``.
+
+Commands:
+
+- ``fig1`` … ``fig8`` — regenerate each paper figure/table;
+- ``ablations`` — the design-choice ablation studies;
+- ``all`` — run every figure at the chosen scale;
+- ``trace`` — generate a workload trace file for external replay;
+- ``replay`` — run a saved trace through a configured cache;
+- ``submit`` — the paper's job-wrapper deployment: prepare one job's
+  container against a persistent on-disk cache state;
+- ``cache-status`` — inspect a persistent cache state;
+- ``calibrate`` — measure a repository's structural statistics.
+
+Every figure command accepts ``--scale quick|paper``, ``--seed`` and
+``--json PATH``; see ``repro-landlord <command> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import (
+    ablations,
+    adaptive_study,
+    baselines,
+    federation_study,
+    tenancy_overhead,
+    fig1_layering,
+    fig2_benchmarks,
+    fig3_image_size,
+    fig4_cache_behavior,
+    fig5_single_run,
+    fig6_sensitivity,
+    fig7_dependencies,
+    fig8_limits,
+)
+
+__all__ = ["main"]
+
+_FIGURES = {
+    "fig1": fig1_layering,
+    "fig2": fig2_benchmarks,
+    "fig3": fig3_image_size,
+    "fig4": fig4_cache_behavior,
+    "fig5": fig5_single_run,
+    "fig6": fig6_sensitivity,
+    "fig7": fig7_dependencies,
+    "fig8": fig8_limits,
+    "ablations": ablations,
+    "baselines": baselines,
+    "tenancy": tenancy_overhead,
+    "federation": federation_study,
+    "adaptive": adaptive_study,
+}
+
+
+def _cmd_trace(argv: Sequence[str]) -> int:
+    from repro.experiments.common import get_scale
+    from repro.htc.simulator import SimulationConfig, make_workload
+    from repro.htc.trace import save_trace
+    from repro.htc.workload import build_stream, jobs_from_specs
+    from repro.packages.sft import build_experiment_repository
+    from repro.util.rng import spawn
+
+    parser = argparse.ArgumentParser(prog="repro-landlord trace")
+    parser.add_argument("output", help="trace file to write (JSON lines)")
+    parser.add_argument("--scale", choices=["tiny", "quick", "paper"], default=None)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--scheme", choices=["deps", "random", "drift"], default="deps")
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    config = SimulationConfig(
+        n_unique=scale.n_unique,
+        repeats=scale.repeats,
+        scheme=args.scheme,
+        max_selection=scale.max_selection,
+        n_packages=scale.n_packages,
+        repo_total_size=scale.repo_total_size,
+        seed=args.seed,
+    )
+    repo = build_experiment_repository(
+        "sft", seed=args.seed, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+    workload = make_workload(config, repo)
+    rng = spawn(args.seed, "workload", args.scheme, config.n_unique)
+    stream = build_stream(workload, rng, config.n_unique, config.repeats)
+    count = save_trace(args.output, jobs_from_specs(stream))
+    print(f"wrote {count} requests to {args.output}")
+    return 0
+
+
+def _cmd_replay(argv: Sequence[str]) -> int:
+    from repro.core.cache import LandlordCache
+    from repro.experiments.common import get_scale
+    from repro.htc.simulator import simulate_stream
+    from repro.htc.trace import iter_trace
+    from repro.packages.sft import build_experiment_repository
+    from repro.util.units import format_bytes, parse_bytes
+
+    parser = argparse.ArgumentParser(prog="repro-landlord replay")
+    parser.add_argument("trace", help="trace file to replay")
+    parser.add_argument("--alpha", type=float, default=0.75)
+    parser.add_argument("--capacity", default=None,
+                        help="cache capacity, e.g. 1.4TB (default: scale's)")
+    parser.add_argument("--scale", choices=["tiny", "quick", "paper"], default=None)
+    parser.add_argument("--seed", type=int, default=2020)
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    capacity = parse_bytes(args.capacity) if args.capacity else scale.capacity
+    repo = build_experiment_repository(
+        "sft", seed=args.seed, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+    cache = LandlordCache(capacity, args.alpha, repo.size_of)
+    stream = [job.packages for job in iter_trace(args.trace)]
+    result = simulate_stream(cache, stream, record_timeline=False)
+    stats = result.stats
+    print(f"requests={stats.requests} hits={stats.hits} merges={stats.merges} "
+          f"inserts={stats.inserts} deletes={stats.deletes}")
+    print(f"cache efficiency {100 * result.cache_efficiency:.1f}%  "
+          f"container efficiency {100 * result.container_efficiency:.1f}%")
+    print(f"requested {format_bytes(stats.requested_bytes)}  "
+          f"written {format_bytes(stats.bytes_written)}  "
+          f"cached {format_bytes(result.cached_bytes)}")
+    return 0
+
+
+def _load_specfile(path: str, repo) -> "frozenset[str]":
+    """Read a job specification from a file.
+
+    Formats by extension: ``.py`` (scan imports), ``.sh`` (module loads),
+    ``.json`` ({"packages": [...]} or a bare list), anything else (one
+    requirement per line, ``#`` comments).  Names are resolved against the
+    repository; unresolvable requirements abort the submission.
+    """
+    from pathlib import Path
+
+    from repro.specs import (
+        PackageResolver,
+        spec_from_module_script,
+        spec_from_python_source,
+    )
+
+    text = Path(path).read_text(encoding="utf-8")
+    resolver = PackageResolver(repo)
+    if path.endswith(".py"):
+        report = spec_from_python_source(text, resolver, filename=path)
+    elif path.endswith(".sh"):
+        report = spec_from_module_script(text, resolver)
+    elif path.endswith(".json"):
+        import json as _json
+
+        data = _json.loads(text)
+        names = data["packages"] if isinstance(data, dict) else data
+        report = resolver.resolve(names)
+    else:
+        names = [
+            line.split("#", 1)[0].strip()
+            for line in text.splitlines()
+        ]
+        report = resolver.resolve([n for n in names if n])
+    if report.unresolved:
+        raise SystemExit(
+            "unresolvable requirements: " + ", ".join(report.unresolved)
+        )
+    return report.spec.packages
+
+
+def _site_repository(
+    scale_name: Optional[str], seed: int, repo_file: Optional[str] = None
+):
+    from repro.experiments.common import get_scale
+    from repro.packages.sft import build_experiment_repository
+
+    scale = get_scale(scale_name)
+    if repo_file:
+        from repro.packages.io import load_repository
+
+        return scale, load_repository(repo_file)
+    repo = build_experiment_repository(
+        "sft", seed=seed, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+    return scale, repo
+
+
+def _cmd_submit(argv: Sequence[str]) -> int:
+    from repro.core.persistence import StateError, load_state, save_state
+    from repro.core.cache import LandlordCache
+    from repro.util.units import format_bytes, parse_bytes
+
+    parser = argparse.ArgumentParser(
+        prog="repro-landlord submit",
+        description="Prepare a container image for one job (the paper's "
+        "job-wrapper deployment); cache state persists across invocations.",
+    )
+    parser.add_argument("specfile", help=".py/.sh/.json/.txt job spec")
+    parser.add_argument("--state", default=".landlord-state.json",
+                        help="cache state file (default: %(default)s)")
+    parser.add_argument("--alpha", type=float, default=0.8,
+                        help="merge threshold on first initialisation")
+    parser.add_argument("--capacity", default=None,
+                        help="cache capacity on first initialisation, "
+                        "e.g. 300GB (default: the scale's)")
+    parser.add_argument("--scale", choices=["tiny", "quick", "paper"],
+                        default=None)
+    parser.add_argument("--seed", type=int, default=2020,
+                        help="site repository seed")
+    parser.add_argument("--repo", default=None, metavar="FILE",
+                        help="load the site's real repository from a "
+                        "JSON-lines file instead of the synthetic one")
+    parser.add_argument("--no-closure", action="store_true",
+                        help="treat the spec as already closed")
+    args = parser.parse_args(argv)
+
+    scale, repo = _site_repository(args.scale, args.seed, args.repo)
+    repo_meta = (
+        {"file": args.repo, "n_packages": len(repo)}
+        if args.repo
+        else {"scale": scale.name, "seed": args.seed,
+              "n_packages": scale.n_packages}
+    )
+    try:
+        cache, metadata = load_state(args.state, repo.size_of)
+        if metadata.get("repository") != repo_meta:
+            print(
+                f"state {args.state} was built for repository "
+                f"{metadata.get('repository')}, not {repo_meta}",
+                file=sys.stderr,
+            )
+            return 2
+    except StateError:
+        capacity = (
+            parse_bytes(args.capacity) if args.capacity else scale.capacity
+        )
+        cache = LandlordCache(capacity, args.alpha, repo.size_of)
+        print(f"initialised new cache: capacity "
+              f"{format_bytes(capacity)}, alpha {args.alpha}")
+
+    packages = _load_specfile(args.specfile, repo)
+    closed = packages if args.no_closure else repo.closure(packages)
+    decision = cache.request(closed)
+    save_state(args.state, cache, metadata={"repository": repo_meta})
+    print(
+        f"{decision.action.value}: image {decision.image.id} "
+        f"({decision.image.package_count} pkgs, "
+        f"{format_bytes(decision.image.size)}; requested "
+        f"{format_bytes(decision.requested_bytes)})"
+    )
+    if decision.evicted:
+        print(f"evicted: {', '.join(decision.evicted)}")
+    return 0
+
+
+def _cmd_cache_status(argv: Sequence[str]) -> int:
+    from repro.core.persistence import StateError, load_state
+    from repro.util.tables import render_table
+    from repro.util.units import format_bytes
+
+    parser = argparse.ArgumentParser(prog="repro-landlord cache-status")
+    parser.add_argument("--state", default=".landlord-state.json")
+    parser.add_argument("--scale", choices=["tiny", "quick", "paper"],
+                        default=None)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--repo", default=None, metavar="FILE")
+    args = parser.parse_args(argv)
+    _scale, repo = _site_repository(args.scale, args.seed, args.repo)
+    try:
+        cache, _metadata = load_state(args.state, repo.size_of)
+    except StateError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    stats = cache.stats
+    print(
+        f"cache: {len(cache)} images, {format_bytes(cache.cached_bytes)} / "
+        f"{format_bytes(cache.capacity)} "
+        f"(unique {format_bytes(cache.unique_bytes)}, "
+        f"efficiency {100 * cache.cache_efficiency:.0f}%), alpha {cache.alpha}"
+    )
+    print(
+        f"lifetime: {stats.requests} requests — {stats.hits} hits, "
+        f"{stats.merges} merges, {stats.inserts} inserts, "
+        f"{stats.deletes} evictions; {format_bytes(stats.bytes_written)} "
+        f"written"
+    )
+    rows = [
+        [img.id, img.package_count, format_bytes(img.size),
+         img.merge_count, img.last_used]
+        for img in sorted(cache.images, key=lambda i: -i.last_used)
+    ]
+    print(render_table(rows, header=["image", "pkgs", "size", "merges",
+                                     "last used"]))
+    return 0
+
+
+def _cmd_calibrate(argv: Sequence[str]) -> int:
+    from repro.analysis.calibration import calibration_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro-landlord calibrate",
+        description="Measure a repository's structural statistics "
+        "(closure amplification, core concentration, inter-spec "
+        "distances) — the quantities the merge threshold lives against.",
+    )
+    parser.add_argument("--scale", choices=["tiny", "quick", "paper"],
+                        default=None)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--repo", default=None, metavar="FILE",
+                        help="JSON-lines repository file to calibrate")
+    args = parser.parse_args(argv)
+    _scale, repo = _site_repository(args.scale, args.seed, args.repo)
+    report = calibration_report(repo, seed=args.seed)
+    for line in report.lines():
+        print(line)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch a repro-landlord command; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    commands = sorted(
+        list(_FIGURES)
+        + ["all", "trace", "replay", "submit", "cache-status", "calibrate"]
+    )
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("commands:", ", ".join(commands))
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command in _FIGURES:
+        return _FIGURES[command].main(rest)
+    if command == "all":
+        for name, module in _FIGURES.items():
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            status = module.main(rest)
+            if status:
+                return status
+        return 0
+    if command == "trace":
+        return _cmd_trace(rest)
+    if command == "replay":
+        return _cmd_replay(rest)
+    if command == "submit":
+        return _cmd_submit(rest)
+    if command == "cache-status":
+        return _cmd_cache_status(rest)
+    if command == "calibrate":
+        return _cmd_calibrate(rest)
+    print(f"unknown command: {command!r}; available: {', '.join(commands)}",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""The built container image.
+
+A :class:`ContainerImage` is the immutable artifact produced by a build:
+its *contents* are exactly an :class:`~repro.core.spec.ImageSpec` (the set
+of packages materialised inside), plus size and provenance.  Contrast with
+:class:`~repro.core.cache.CachedImage`, which is the cache's mutable
+bookkeeping record; the simulator converts between the two at the edges.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.spec import ImageSpec
+
+__all__ = ["ContainerImage"]
+
+_id_counter = itertools.count()
+
+
+def _next_id() -> str:
+    return f"sif-{next(_id_counter):06d}"
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """An immutable built image.
+
+    Attributes:
+        spec: the packages materialised inside the image.
+        size: image file size in bytes.
+        image_id: unique identity of this build (not of the contents — two
+            builds of the same spec are distinct files).
+        parents: image ids merged to produce this one (empty for fresh
+            builds); the lineage lets reports reconstruct merge chains.
+        format: artifact flavour, cosmetic ("sif" for Singularity).
+    """
+
+    spec: ImageSpec
+    size: int
+    image_id: str = field(default_factory=_next_id)
+    parents: Tuple[str, ...] = ()
+    format: str = "sif"
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("image size must be non-negative")
+
+    def satisfies(self, request: ImageSpec) -> bool:
+        """True if this image can serve a job requesting ``request``."""
+        return self.spec.satisfies(request)
+
+    @property
+    def package_count(self) -> int:
+        return len(self.spec)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContainerImage({self.image_id}, {self.package_count} pkgs, "
+            f"{self.size} B)"
+        )

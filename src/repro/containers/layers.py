@@ -1,0 +1,186 @@
+"""Docker-style layered images — the Figure 1 comparison.
+
+A layered image is an ordered sequence of layers, each *adding* packages
+and possibly *masking* (whiting-out) earlier ones.  Two properties drive the
+paper's argument (§III, "Imperfect Solution: Layering"):
+
+1. **Masked content is still stored and transferred.**  "Although item C is
+   hidden in the lower layer, it still exists in a previous layer and must
+   be transferred and stored.  Since changes to layered images are strictly
+   additive, old content can be masked but not removed."
+2. **Equivalent contents are not recognised.**  Two images whose visible
+   contents coincide but whose layer histories differ are distinct artifacts
+   to a layer store, so identical requirements reached along different
+   recipe orders cannot share an image (Figure 1's first and third jobs).
+
+:class:`LayerStore` models a registry with layer-level dedup (layers shared
+between images stored once, Docker's one genuine saving) so the comparison
+against composition is fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.core.spec import ImageSpec
+
+__all__ = ["Layer", "LayeredImage", "LayerStore"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One image layer: packages added, packages masked, stored bytes.
+
+    ``layer_id`` is derived from the *history* (parent chain + contents):
+    the same addition on top of different parents yields different layers,
+    exactly the Docker behaviour that defeats content-level sharing.
+    """
+
+    layer_id: str
+    adds: FrozenSet[str]
+    masks: FrozenSet[str]
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("layer size must be non-negative")
+        if self.adds & self.masks:
+            raise ValueError("a layer cannot add and mask the same package")
+
+
+def _layer_id(parent_id: str, adds: FrozenSet[str], masks: FrozenSet[str]) -> str:
+    import hashlib
+
+    h = hashlib.blake2b(digest_size=8)
+    h.update(parent_id.encode())
+    for pid in sorted(adds):
+        h.update(b"+" + pid.encode())
+    for pid in sorted(masks):
+        h.update(b"-" + pid.encode())
+    return h.hexdigest()
+
+
+class LayeredImage:
+    """An ordered stack of layers."""
+
+    def __init__(self, layers: Sequence[Layer] = ()):
+        self.layers: Tuple[Layer, ...] = tuple(layers)
+
+    @property
+    def visible_packages(self) -> FrozenSet[str]:
+        """Apply adds/masks in order: what a container actually sees."""
+        visible: set = set()
+        for layer in self.layers:
+            visible -= layer.masks
+            visible |= layer.adds
+        return frozenset(visible)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes of all layers — masked history included."""
+        return sum(layer.size for layer in self.layers)
+
+    @property
+    def visible_spec(self) -> ImageSpec:
+        return ImageSpec(self.visible_packages)
+
+    def head_id(self) -> str:
+        """Identity of the top layer ('scratch' for an empty image)."""
+        return self.layers[-1].layer_id if self.layers else "scratch"
+
+    def extend(
+        self,
+        adds: Iterable[str],
+        package_size: Callable[[str], int],
+        masks: Iterable[str] = (),
+    ) -> "LayeredImage":
+        """Append a refinement layer; returns a new image (history shared).
+
+        Masked packages remain stored in the earlier layers; the new layer
+        itself only stores the added packages' bytes (a whiteout is
+        metadata).
+        """
+        adds = frozenset(adds)
+        masks = frozenset(masks)
+        size = sum(package_size(p) for p in adds)
+        layer = Layer(
+            layer_id=_layer_id(self.head_id(), adds, masks),
+            adds=adds,
+            masks=masks,
+            size=size,
+        )
+        return LayeredImage(self.layers + (layer,))
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:
+        return (
+            f"LayeredImage({len(self.layers)} layers, "
+            f"{len(self.visible_packages)} visible pkgs, "
+            f"{self.stored_bytes} B stored)"
+        )
+
+
+class LayerStore:
+    """A registry holding layered images with layer-level dedup.
+
+    Storage charged = total bytes of *distinct* layers.  This is the best
+    case for layering: identical layer ids (same parent chain, same
+    contents) are stored once across all images.
+    """
+
+    def __init__(self):
+        self._layers: Dict[str, Layer] = {}
+        self._images: Dict[str, LayeredImage] = {}
+
+    def push(self, name: str, image: LayeredImage) -> None:
+        """Store an image under a name (replacing any previous holder)."""
+        self._images[name] = image
+        for layer in image.layers:
+            self._layers.setdefault(layer.layer_id, layer)
+
+    def get(self, name: str) -> LayeredImage:
+        """Fetch an image by name (KeyError if absent)."""
+        try:
+            return self._images[name]
+        except KeyError:
+            raise KeyError(f"unknown image: {name!r}") from None
+
+    @property
+    def image_count(self) -> int:
+        return len(self._images)
+
+    @property
+    def distinct_layers(self) -> int:
+        return len(self._layers)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Registry storage: each distinct layer once."""
+        self._gc()
+        return sum(layer.size for layer in self._layers.values())
+
+    def find_satisfying(self, request: ImageSpec) -> Optional[str]:
+        """Name of an image whose *visible* contents satisfy the request.
+
+        Docker itself cannot do this (it matches on image ids, not
+        contents); provided so experiments can quantify the satisfaction a
+        content-aware layer store could at best achieve.
+        """
+        for name, image in self._images.items():
+            if request.packages <= image.visible_packages:
+                return name
+        return None
+
+    def _gc(self) -> None:
+        """Drop layers no longer referenced by any stored image."""
+        live = {
+            layer.layer_id
+            for image in self._images.values()
+            for layer in image.layers
+        }
+        self._layers = {
+            lid: layer for lid, layer in self._layers.items() if lid in live
+        }

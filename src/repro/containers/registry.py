@@ -1,0 +1,130 @@
+"""A shared image registry — cross-site image distribution.
+
+The paper observes that *"often, containers are replicated across sites
+and to many individual nodes"* (§I).  A registry models the distribution
+side of that: sites push built images to a central store and pull instead
+of rebuilding when another site already produced a suitable image.
+
+Contents-aware by construction: because every artifact carries its
+specification, the registry can serve *any* request satisfied by a stored
+image (superset lookup), not just exact tag matches — the same
+specification-level advantage the cache exploits locally (§IV).  Transfer
+and storage accounting let experiments weigh rebuild-at-site against
+pull-from-registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.containers.image import ContainerImage
+from repro.core.spec import ImageSpec
+
+__all__ = ["RegistryStats", "ImageRegistry"]
+
+
+@dataclass
+class RegistryStats:
+    """Cumulative registry traffic."""
+
+    pushes: int = 0
+    pulls: int = 0
+    misses: int = 0
+    bytes_ingested: int = 0
+    bytes_served: int = 0
+    deduplicated_pushes: int = 0
+
+
+class ImageRegistry:
+    """A central, contents-indexed image store.
+
+    Unlike a worker scratch store the registry is effectively unbounded
+    (object storage); ``capacity`` may still be set to model a quota.
+    Pushes of an image whose exact contents are already present are
+    deduplicated — the second site's copy costs nothing (the registry, not
+    the image file, establishes identity via the specification).
+    """
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "registry"):
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.name = name
+        self._by_id: Dict[str, ContainerImage] = {}
+        self._by_contents: Dict[frozenset, str] = {}
+        self._bytes = 0
+        self.stats = RegistryStats()
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._by_id
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._bytes
+
+    def push(self, image: ContainerImage) -> str:
+        """Ingest an image; returns the canonical id for its contents.
+
+        A push with contents already stored is free and returns the
+        existing id.  A quota overflow raises — registries reject, they
+        don't silently evict user images.
+        """
+        existing = self._by_contents.get(image.spec.packages)
+        if existing is not None:
+            self.stats.deduplicated_pushes += 1
+            return existing
+        if self.capacity is not None and self._bytes + image.size > self.capacity:
+            raise ValueError(
+                f"registry quota exceeded: {self._bytes + image.size} "
+                f"> {self.capacity}"
+            )
+        self._by_id[image.image_id] = image
+        self._by_contents[image.spec.packages] = image.image_id
+        self._bytes += image.size
+        self.stats.pushes += 1
+        self.stats.bytes_ingested += image.size
+        return image.image_id
+
+    def pull(self, image_id: str) -> ContainerImage:
+        """Fetch by id; charges the transfer."""
+        image = self._by_id.get(image_id)
+        if image is None:
+            self.stats.misses += 1
+            raise KeyError(f"unknown image: {image_id!r}")
+        self.stats.pulls += 1
+        self.stats.bytes_served += image.size
+        return image
+
+    def find_satisfying(self, request: ImageSpec) -> Optional[str]:
+        """Id of the *smallest* stored image serving ``request`` (or None).
+
+        This is a metadata query — no transfer is charged until
+        :meth:`pull`.
+        """
+        best: Optional[ContainerImage] = None
+        for image in self._by_id.values():
+            if image.satisfies(request) and (
+                best is None or image.size < best.size
+            ):
+                best = image
+        if best is None:
+            self.stats.misses += 1
+            return None
+        return best.image_id
+
+    def delete(self, image_id: str) -> bool:
+        """Remove an image (administrative); True if it existed."""
+        image = self._by_id.pop(image_id, None)
+        if image is None:
+            return False
+        del self._by_contents[image.spec.packages]
+        self._bytes -= image.size
+        return True
+
+    def images(self) -> List[ContainerImage]:
+        """Snapshot of stored images."""
+        return list(self._by_id.values())

@@ -1,0 +1,134 @@
+"""A byte-capacity container-image store (worker scratch space).
+
+Worker nodes keep container images on local scratch; the paper assumes
+*"each compute node has scratch space available for storing container
+images locally, but the total repository contents or the collection of all
+container images may be too large to store on every worker node"* (§V).
+
+:class:`ImageStore` is deliberately simpler than the Landlord cache: it
+holds immutable :class:`~repro.containers.image.ContainerImage` artifacts,
+evicts LRU to stay within capacity, and ledgers bytes written (transfers
+into scratch) so the distributed simulation can account per-node I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.containers.image import ContainerImage
+from repro.core.spec import ImageSpec
+
+__all__ = ["ImageStore", "StoreStats"]
+
+
+@dataclass
+class StoreStats:
+    """Cumulative transfer/eviction accounting for one store."""
+
+    puts: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_written: int = 0
+    bytes_evicted: int = 0
+
+
+class ImageStore:
+    """LRU image store bounded by bytes.
+
+    Unlike the Landlord cache this never merges or rewrites: it is plain
+    storage.  ``put`` of an image larger than the whole capacity raises —
+    a worker simply cannot run such a job, and the scheduler must react.
+    """
+
+    def __init__(self, capacity: int, name: str = "store"):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.name = name
+        self._images: Dict[str, ContainerImage] = {}
+        self._last_used: Dict[str, int] = {}
+        self._clock = 0
+        self._bytes = 0
+        self.stats = StoreStats()
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._images
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return max(0, self.capacity - self._bytes)
+
+    @property
+    def images(self) -> List[ContainerImage]:
+        return list(self._images.values())
+
+    def _touch(self, image_id: str) -> None:
+        self._clock += 1
+        self._last_used[image_id] = self._clock
+
+    def get(self, image_id: str) -> Optional[ContainerImage]:
+        """Fetch by id; None on miss.  Hits refresh LRU order."""
+        image = self._images.get(image_id)
+        if image is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._touch(image_id)
+        return image
+
+    def find_satisfying(self, request: ImageSpec) -> Optional[ContainerImage]:
+        """Smallest stored image whose contents satisfy ``request``."""
+        best: Optional[ContainerImage] = None
+        for image in self._images.values():
+            if image.satisfies(request) and (best is None or image.size < best.size):
+                best = image
+        if best is not None:
+            self.stats.hits += 1
+            self._touch(best.image_id)
+        else:
+            self.stats.misses += 1
+        return best
+
+    def put(self, image: ContainerImage) -> List[str]:
+        """Store an image (charging a transfer); returns evicted ids."""
+        if image.size > self.capacity:
+            raise ValueError(
+                f"image {image.image_id} ({image.size} B) exceeds "
+                f"{self.name} capacity ({self.capacity} B)"
+            )
+        if image.image_id in self._images:
+            self._touch(image.image_id)
+            return []
+        evicted = []
+        while self._bytes + image.size > self.capacity:
+            victim_id = min(self._last_used, key=self._last_used.get)
+            victim = self._images.pop(victim_id)
+            del self._last_used[victim_id]
+            self._bytes -= victim.size
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += victim.size
+            evicted.append(victim_id)
+        self._images[image.image_id] = image
+        self._bytes += image.size
+        self._touch(image.image_id)
+        self.stats.puts += 1
+        self.stats.bytes_written += image.size
+        return evicted
+
+    def remove(self, image_id: str) -> bool:
+        """Explicitly drop an image; True if it was present."""
+        image = self._images.pop(image_id, None)
+        if image is None:
+            return False
+        del self._last_used[image_id]
+        self._bytes -= image.size
+        return True

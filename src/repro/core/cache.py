@@ -1,0 +1,778 @@
+"""LandlordCache — Algorithm 1 of the paper with full byte accounting.
+
+Given a cached image collection ``I`` and a request specification ``s``:
+
+1. if some ``i ∈ I`` has ``s ⊆ i``: **hit**, return ``i``;
+2. else for ``j ∈ I`` with ``d_j(s, j) < α`` (sorted by distance): if ``s``
+   and ``j`` do not conflict, **merge** — replace ``j`` with ``merge(s, j)``
+   and return it (the merged image is rewritten in full, the dominant I/O
+   cost in the paper's measurements);
+3. else **insert** a new image built exactly from ``s``.
+
+An LRU **eviction** loop keeps total cached bytes within ``capacity``; the
+image serving the current request is pinned and never evicted while being
+returned (a worker holds it), so a single oversized image may transiently
+exceed capacity until the next request.
+
+Performance note (this is the hot loop of every experiment): package sets
+are interned into bit indices, and each cached image carries its set as a
+Python big-int bitmask.  Subset tests (``s & i == s``) and Jaccard
+intersections (``(s & j).bit_count()``) then run at C speed over ~1.2 KB
+ints instead of hashing thousands of strings per candidate, which makes the
+full 13-α × 20-repetition sweep of Figure 4 a seconds-scale computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.events import CacheEvent, EventKind
+from repro.core.minhash import MinHashLSH, MinHashSignature
+from repro.core.spec import ImageSpec
+from repro.packages.conflicts import ConflictPolicy, NoConflicts
+
+__all__ = ["CachedImage", "CacheStats", "CacheDecision", "LandlordCache"]
+
+HIT_SELECTION = ("smallest", "mru", "first")
+CANDIDATE_ORDER = ("distance", "insertion", "random")
+EVICTION = ("lru", "fifo", "size")
+
+
+class _Universe:
+    """Interns package ids to bit indices and tracks per-index sizes."""
+
+    def __init__(self, package_size: Callable[[str], int]):
+        self._package_size = package_size
+        self._index: Dict[str, int] = {}
+        self._ids: List[str] = []
+        self._sizes = np.zeros(1024, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def index_of(self, package_id: str) -> int:
+        idx = self._index.get(package_id)
+        if idx is None:
+            idx = len(self._ids)
+            self._index[package_id] = idx
+            self._ids.append(package_id)
+            if idx >= self._sizes.size:
+                grown = np.zeros(self._sizes.size * 2, dtype=np.int64)
+                grown[: self._sizes.size] = self._sizes
+                self._sizes = grown
+            size = int(self._package_size(package_id))
+            if size < 0:
+                raise ValueError(f"negative size for package {package_id!r}")
+            self._sizes[idx] = size
+        return idx
+
+    def mask_of(self, packages: Iterable[str]) -> Tuple[int, np.ndarray]:
+        """Return (bitmask, sorted index array) for a package set."""
+        indices = sorted(self.index_of(p) for p in packages)
+        arr = np.asarray(indices, dtype=np.int64)
+        if not indices:
+            return 0, arr
+        buf = bytearray(indices[-1] // 8 + 1)
+        for i in indices:
+            buf[i >> 3] |= 1 << (i & 7)
+        return int.from_bytes(bytes(buf), "little"), arr
+
+    def indices_of_mask(self, mask: int) -> np.ndarray:
+        """Expand a bitmask back into its sorted index array."""
+        if mask == 0:
+            return np.zeros(0, dtype=np.int64)
+        raw = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+        bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+        return np.flatnonzero(bits).astype(np.int64)
+
+    def bytes_of_indices(self, indices: np.ndarray) -> int:
+        return int(self._sizes[indices].sum())
+
+    def ids_of_indices(self, indices: np.ndarray) -> FrozenSet[str]:
+        return frozenset(self._ids[int(i)] for i in indices)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._sizes
+
+
+class CachedImage:
+    """One container image resident in the cache."""
+
+    __slots__ = (
+        "id",
+        "mask",
+        "indices",
+        "size",
+        "created_at",
+        "last_used",
+        "merge_count",
+        "signature",
+        "_universe",
+    )
+
+    def __init__(
+        self,
+        image_id: str,
+        mask: int,
+        indices: np.ndarray,
+        size: int,
+        created_at: int,
+        universe: _Universe,
+        signature: Optional[MinHashSignature] = None,
+    ):
+        self.id = image_id
+        self.mask = mask
+        self.indices = indices
+        self.size = size
+        self.created_at = created_at
+        self.last_used = created_at
+        self.merge_count = 0
+        self.signature = signature
+        self._universe = universe
+
+    @property
+    def package_count(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def packages(self) -> FrozenSet[str]:
+        """The image's package set as ids (materialised on demand)."""
+        return self._universe.ids_of_indices(self.indices)
+
+    def spec(self) -> ImageSpec:
+        """The image contents as an :class:`ImageSpec`."""
+        return ImageSpec(self.packages, label=self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CachedImage({self.id}, {self.package_count} pkgs, "
+            f"{self.size} B, merges={self.merge_count})"
+        )
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters over a cache's lifetime.
+
+    ``requested_bytes`` is the paper's "Requested Writes" (what jobs asked
+    for); ``bytes_written`` is "Actual Writes" (inserts + merge rewrites);
+    ``used_bytes`` accumulates the size of the image each request actually
+    ran with, giving bytes-weighted container efficiency.
+    """
+
+    requests: int = 0
+    hits: int = 0
+    merges: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    splits: int = 0
+    adoptions: int = 0  # images imported from elsewhere (federation pulls)
+    requested_bytes: int = 0
+    bytes_written: int = 0
+    used_bytes: int = 0
+    conflicts_skipped: int = 0
+    candidates_examined: int = 0
+
+    def copy(self) -> "CacheStats":
+        """One-shot value copy of the counters."""
+        return CacheStats(**self.__dict__)
+
+    @property
+    def container_efficiency(self) -> float:
+        """Requested bytes / used bytes (1.0 when no request was served)."""
+        if self.used_bytes == 0:
+            return 1.0
+        return self.requested_bytes / self.used_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def write_amplification(self) -> float:
+        """Actual writes / requested writes (the Fig. 4c overhead ratio)."""
+        if self.requested_bytes == 0:
+            return 0.0
+        return self.bytes_written / self.requested_bytes
+
+
+@dataclass
+class CacheDecision:
+    """Outcome of one request."""
+
+    action: EventKind
+    image: CachedImage
+    requested_bytes: int
+    distance: Optional[float] = None  # Jaccard distance to merge target
+    bytes_added: int = 0  # new content materialised (0 on a hit)
+    evicted: List[str] = field(default_factory=list)
+
+
+class LandlordCache:
+    """The online container-image cache of Algorithm 1.
+
+    Args:
+        capacity: cache capacity in bytes.
+        alpha: maximal Jaccard distance for merge candidates, in [0, 1].
+        package_size: size oracle mapping a package id to its byte size
+            (typically ``repository.size_of``).
+        conflict_policy: when merging is legal; defaults to
+            :class:`~repro.packages.conflicts.NoConflicts` (the CVMFS case).
+        hit_selection: which superset image serves a hit — ``"smallest"``
+            (best container efficiency, default), ``"mru"``, or ``"first"``.
+        candidate_order: merge-candidate ordering — ``"distance"`` (the
+            paper's "selection can be sorted by d_j", default),
+            ``"insertion"``, or ``"random"`` (ablations).
+        eviction: ``"lru"`` (default), ``"fifo"``, or ``"size"`` (largest
+            first).
+        use_minhash: prefilter merge candidates with a MinHash/LSH index
+            and verify exactly, instead of exact Jaccard against every
+            cached image.
+        minhash_perm / minhash_bands: signature width and LSH banding.
+        record_events: keep a :class:`CacheEvent` log (needed for Fig. 5).
+        rng: source of randomness for ``candidate_order="random"``.
+        merge_write_mode: ``"full"`` (the paper's mechanism — a merged
+            image is rewritten in its entirety) or ``"delta"`` (a
+            hypothetical copy-on-write image format where a merge only
+            writes the added content).  The ablation in DESIGN.md §5 uses
+            this to separate Figure 4c's policy cost from its mechanism
+            cost.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        alpha: float,
+        package_size: Callable[[str], int],
+        conflict_policy: Optional[ConflictPolicy] = None,
+        hit_selection: str = "smallest",
+        candidate_order: str = "distance",
+        eviction: str = "lru",
+        use_minhash: bool = False,
+        minhash_perm: int = 128,
+        minhash_bands: int = 32,
+        minhash_seed: int = 1,
+        record_events: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        merge_write_mode: str = "full",
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        if hit_selection not in HIT_SELECTION:
+            raise ValueError(f"hit_selection must be one of {HIT_SELECTION}")
+        if candidate_order not in CANDIDATE_ORDER:
+            raise ValueError(f"candidate_order must be one of {CANDIDATE_ORDER}")
+        if eviction not in EVICTION:
+            raise ValueError(f"eviction must be one of {EVICTION}")
+        if merge_write_mode not in ("full", "delta"):
+            raise ValueError(
+                f"merge_write_mode must be 'full' or 'delta', "
+                f"got {merge_write_mode!r}"
+            )
+        self.merge_write_mode = merge_write_mode
+        self.capacity = capacity
+        self.alpha = alpha
+        self.conflict_policy = conflict_policy or NoConflicts()
+        self.hit_selection = hit_selection
+        self.candidate_order = candidate_order
+        self.eviction = eviction
+        self.use_minhash = use_minhash
+        self._minhash_perm = minhash_perm
+        self._minhash_seed = minhash_seed
+        self._lsh = (
+            MinHashLSH(minhash_perm, minhash_bands) if use_minhash else None
+        )
+        self.record_events = record_events
+        self._rng = rng or np.random.default_rng(0)
+
+        self._universe = _Universe(package_size)
+        self._images: Dict[str, CachedImage] = {}
+        self._clock = 0
+        self._next_image = 0
+        self._cached_bytes = 0
+        self._refcounts = np.zeros(1024, dtype=np.int32)
+        self._unique_bytes = 0
+        self._spec_memo: Dict[FrozenSet[str], Tuple[int, np.ndarray, int]] = {}
+        self.stats = CacheStats()
+        self.events: List[CacheEvent] = []
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    @property
+    def images(self) -> List[CachedImage]:
+        """Snapshot of cached images (unspecified order)."""
+        return list(self._images.values())
+
+    @property
+    def cached_bytes(self) -> int:
+        """Total bytes of all cached images (with cross-image duplication)."""
+        return self._cached_bytes
+
+    @property
+    def unique_bytes(self) -> int:
+        """Bytes of distinct packages present in at least one cached image."""
+        return self._unique_bytes
+
+    @property
+    def cache_efficiency(self) -> float:
+        """Unique bytes / total bytes (the paper's cache-efficiency metric)."""
+        if self._cached_bytes == 0:
+            return 1.0
+        return self._unique_bytes / self._cached_bytes
+
+    def clear(self) -> None:
+        """Drop every cached image without touching the statistics.
+
+        Used by baseline policies (build-per-job) and tests; regular
+        operation relies on eviction instead.
+        """
+        for image in list(self._images.values()):
+            self._drop_image(image)
+
+    def evict_idle(self, max_idle_requests: int) -> List[str]:
+        """Administrative maintenance: drop images unused for a while.
+
+        The paper's bloat argument relies on eventual eviction ("without
+        regular use, the bloated image will eventually be evicted from the
+        cache"); under capacity pressure LRU provides that, but an
+        under-full cache can hold stale images forever.  This sweeps out
+        every image whose last use is more than ``max_idle_requests``
+        requests ago.  Returns the evicted ids (counted as deletes).
+        """
+        if max_idle_requests < 0:
+            raise ValueError("max_idle_requests must be non-negative")
+        horizon = self._clock - max_idle_requests
+        evicted = []
+        for image in list(self._images.values()):
+            if image.last_used < horizon:
+                self._drop_image(image)
+                self.stats.deletes += 1
+                evicted.append(image.id)
+                self._emit(
+                    CacheEvent(
+                        EventKind.DELETE, self.stats.requests,
+                        image.id, image.size,
+                    )
+                )
+        return evicted
+
+    def peek(self, spec: "ImageSpec | AbstractSet[str]") -> Optional[CachedImage]:
+        """Non-mutating hit check: the image that *would* serve ``spec``.
+
+        Touches nothing — no statistics, no LRU update, no insertion.
+        Federation layers use this to decide whether to consult a remote
+        registry before letting :meth:`request` build locally.
+        """
+        packages = spec.packages if isinstance(spec, ImageSpec) else frozenset(spec)
+        mask, _indices, _size = self._intern(packages)
+        return self._find_hit(mask)
+
+    def adopt(self, packages: "AbstractSet[str]") -> CachedImage:
+        """Import an externally built image into the cache.
+
+        The image's contents were produced elsewhere (pulled from a
+        registry, staged by an administrator), so no build I/O is charged
+        here — the transport layer accounts its own transfer.  The adopted
+        image participates in hits, merges, and eviction exactly like a
+        locally built one.
+        """
+        key = frozenset(packages)
+        if not key:
+            raise ValueError("cannot adopt an empty image")
+        mask, indices, size = self._intern(key)
+        signature = self._signature_of(key)
+        self._clock += 1
+        image = self._new_image(mask, indices.copy(), size, signature)
+        image.last_used = self._clock
+        self.stats.adoptions += 1
+        self._evict_to_capacity(image.id, self.stats.requests)
+        return image
+
+    # -- persistence support -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialisable view of the full cache state.
+
+        Package sets are materialised to sorted id lists; pair with
+        :meth:`restore` (see :mod:`repro.core.persistence` for the
+        file-level API the job-wrapper CLI uses).
+        """
+        return {
+            "capacity": self.capacity,
+            "alpha": self.alpha,
+            "clock": self._clock,
+            "next_image": self._next_image,
+            "stats": dict(self.stats.__dict__),
+            "images": [
+                {
+                    "id": img.id,
+                    "packages": sorted(img.packages),
+                    "created_at": img.created_at,
+                    "last_used": img.last_used,
+                    "merge_count": img.merge_count,
+                }
+                for img in self._images.values()
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` into this (empty) cache.
+
+        The cache must be freshly constructed — restoring over live images
+        would corrupt the byte gauges.  Configuration (capacity, alpha)
+        must match the snapshot; mismatches raise :class:`ValueError`
+        rather than silently running with different semantics than the
+        state was built under.
+        """
+        if self._images or self.stats.requests:
+            raise ValueError("restore requires a fresh cache")
+        if state["capacity"] != self.capacity or state["alpha"] != self.alpha:
+            raise ValueError(
+                "snapshot was taken with capacity="
+                f"{state['capacity']} alpha={state['alpha']}, cache has "
+                f"capacity={self.capacity} alpha={self.alpha}"
+            )
+        for field_name, value in state["stats"].items():
+            if not hasattr(self.stats, field_name):
+                raise ValueError(f"unknown stats field {field_name!r}")
+            setattr(self.stats, field_name, value)
+        self._clock = int(state["clock"])
+        self._next_image = int(state["next_image"])
+        for record in state["images"]:
+            packages = frozenset(record["packages"])
+            mask, indices, size = self._intern(packages)
+            image = CachedImage(
+                record["id"], mask, indices.copy(), size,
+                int(record["created_at"]), self._universe,
+                self._signature_of(packages),
+            )
+            image.last_used = int(record["last_used"])
+            image.merge_count = int(record["merge_count"])
+            if image.id in self._images:
+                raise ValueError(f"duplicate image id in snapshot: {image.id}")
+            self._images[image.id] = image
+            self._cached_bytes += size
+            self._account_add(indices)
+            if self._lsh is not None and image.signature is not None:
+                self._lsh.insert(image.id, image.signature)
+
+    def split(
+        self,
+        image_id: str,
+        parts: "List[AbstractSet[str]]",
+    ) -> List[CachedImage]:
+        """Split a cached image into smaller images (the abstract's fourth
+        operation, for de-bloating without waiting on eviction).
+
+        Each part must be a non-empty subset of the image's contents;
+        packages not covered by any part are dropped from the cache.  The
+        original image is removed and each part is written out as a fresh
+        image (writes are charged — splitting is I/O, like merging).
+        Returns the new images, most-recently-used last.
+
+        Raises :class:`KeyError` for unknown images and
+        :class:`ValueError` for empty/out-of-image parts.
+        """
+        image = self._images.get(image_id)
+        if image is None:
+            raise KeyError(f"unknown image: {image_id!r}")
+        if not parts:
+            raise ValueError("split needs at least one part")
+        interned = []
+        for part in parts:
+            packages = frozenset(part)
+            if not packages:
+                raise ValueError("split parts must be non-empty")
+            mask, indices, size = self._intern(packages)
+            if mask & image.mask != mask:
+                raise ValueError(
+                    "split part is not a subset of the image contents"
+                )
+            interned.append((mask, indices, size))
+        self._drop_image(image)
+        new_images = []
+        for mask, indices, size in interned:
+            self._clock += 1
+            part_image = self._new_image(
+                mask, indices.copy(), size,
+                self._signature_of(self._universe.ids_of_indices(indices)),
+            )
+            part_image.last_used = self._clock
+            self.stats.bytes_written += size
+            new_images.append(part_image)
+        self.stats.splits += 1
+        return new_images
+
+    # -- internals ---------------------------------------------------------------
+
+    def _emit(self, event: CacheEvent) -> None:
+        if self.record_events:
+            self.events.append(event)
+
+    def _intern(self, packages: AbstractSet[str]) -> Tuple[int, np.ndarray, int]:
+        key = packages if isinstance(packages, frozenset) else frozenset(packages)
+        memo = self._spec_memo.get(key)
+        if memo is not None:
+            return memo
+        mask, indices = self._universe.mask_of(key)
+        size = self._universe.bytes_of_indices(indices)
+        if len(self._spec_memo) >= 65536:  # bound incidental memory
+            self._spec_memo.clear()
+        self._spec_memo[key] = (mask, indices, size)
+        return mask, indices, size
+
+    def _grow_refcounts(self, needed: int) -> None:
+        if needed <= self._refcounts.size:
+            return
+        capacity = self._refcounts.size
+        while capacity < needed:
+            capacity *= 2
+        grown = np.zeros(capacity, dtype=np.int32)
+        grown[: self._refcounts.size] = self._refcounts
+        self._refcounts = grown
+
+    def _account_add(self, indices: np.ndarray) -> None:
+        if indices.size == 0:
+            return
+        self._grow_refcounts(int(indices[-1]) + 1)
+        prev = self._refcounts[indices]
+        self._refcounts[indices] = prev + 1
+        fresh = indices[prev == 0]
+        self._unique_bytes += self._universe.bytes_of_indices(fresh)
+
+    def _account_remove(self, indices: np.ndarray) -> None:
+        if indices.size == 0:
+            return
+        prev = self._refcounts[indices]
+        self._refcounts[indices] = prev - 1
+        gone = indices[prev == 1]
+        self._unique_bytes -= self._universe.bytes_of_indices(gone)
+
+    def _new_image(
+        self,
+        mask: int,
+        indices: np.ndarray,
+        size: int,
+        signature: Optional[MinHashSignature],
+    ) -> CachedImage:
+        image_id = f"img-{self._next_image:06d}"
+        self._next_image += 1
+        image = CachedImage(
+            image_id, mask, indices, size, self._clock, self._universe, signature
+        )
+        self._images[image_id] = image
+        self._cached_bytes += size
+        self._account_add(indices)
+        if self._lsh is not None and signature is not None:
+            self._lsh.insert(image_id, signature)
+        return image
+
+    def _drop_image(self, image: CachedImage) -> None:
+        del self._images[image.id]
+        self._cached_bytes -= image.size
+        self._account_remove(image.indices)
+        if self._lsh is not None:
+            self._lsh.remove(image.id)
+
+    def _eviction_victim(self, pinned_id: str) -> Optional[CachedImage]:
+        candidates = (img for img in self._images.values() if img.id != pinned_id)
+        if self.eviction == "lru":
+            return min(candidates, key=lambda im: im.last_used, default=None)
+        if self.eviction == "fifo":
+            return min(candidates, key=lambda im: im.created_at, default=None)
+        return max(candidates, key=lambda im: im.size, default=None)  # "size"
+
+    def _evict_to_capacity(self, pinned_id: str, request_index: int) -> List[str]:
+        evicted: List[str] = []
+        while self._cached_bytes > self.capacity:
+            victim = self._eviction_victim(pinned_id)
+            if victim is None:
+                break  # only the pinned image remains; allow transient overflow
+            self._drop_image(victim)
+            self.stats.deletes += 1
+            evicted.append(victim.id)
+            self._emit(
+                CacheEvent(
+                    EventKind.DELETE,
+                    request_index,
+                    victim.id,
+                    victim.size,
+                )
+            )
+        return evicted
+
+    def _signature_of(self, packages: AbstractSet[str]) -> Optional[MinHashSignature]:
+        if not self.use_minhash:
+            return None
+        return MinHashSignature.of(
+            packages, num_perm=self._minhash_perm, seed=self._minhash_seed
+        )
+
+    def _merge_candidates(
+        self,
+        mask: int,
+        n_request: int,
+        signature: Optional[MinHashSignature],
+    ) -> List[Tuple[float, CachedImage]]:
+        """All cached images with exact d_j < alpha, with their distances."""
+        if self._lsh is not None and signature is not None:
+            pool: Iterable[CachedImage] = (
+                self._images[key]
+                for key in self._lsh.query(signature)
+                if key in self._images
+            )
+        else:
+            pool = self._images.values()
+        out: List[Tuple[float, CachedImage]] = []
+        alpha = self.alpha
+        for img in pool:
+            inter = (mask & img.mask).bit_count()
+            union = n_request + img.package_count - inter
+            distance = 1.0 - (inter / union) if union else 0.0
+            self.stats.candidates_examined += 1
+            if distance < alpha:
+                out.append((distance, img))
+        return out
+
+    # -- the algorithm -----------------------------------------------------------
+
+    def request(self, spec: "ImageSpec | AbstractSet[str]") -> CacheDecision:
+        """Serve one job request; returns the decision with the image used."""
+        packages = spec.packages if isinstance(spec, ImageSpec) else frozenset(spec)
+        mask, indices, requested = self._intern(packages)
+        n_request = int(indices.size)
+        request_index = self.stats.requests
+        self.stats.requests += 1
+        self.stats.requested_bytes += requested
+        self._clock += 1
+
+        # Step 1: reuse an existing superset image.
+        hit = self._find_hit(mask)
+        if hit is not None:
+            hit.last_used = self._clock
+            self.stats.hits += 1
+            self.stats.used_bytes += hit.size
+            self._emit(
+                CacheEvent(
+                    EventKind.HIT, request_index, hit.id, hit.size,
+                    requested_bytes=requested,
+                )
+            )
+            return CacheDecision(EventKind.HIT, hit, requested)
+
+        signature = self._signature_of(packages)
+
+        # Step 2: merge into a near image.
+        candidates = self._merge_candidates(mask, n_request, signature)
+        if candidates:
+            if self.candidate_order == "distance":
+                candidates.sort(key=lambda pair: (pair[0], pair[1].id))
+            elif self.candidate_order == "random":
+                self._rng.shuffle(candidates)
+            for distance, target in candidates:
+                if self.conflict_policy.conflicts(packages, target.packages):
+                    self.stats.conflicts_skipped += 1
+                    continue
+                return self._do_merge(
+                    target, mask, indices, requested, distance,
+                    signature, request_index,
+                )
+
+        # Step 3: insert a fresh image.
+        image = self._new_image(mask, indices, requested, signature)
+        image.last_used = self._clock
+        self.stats.inserts += 1
+        self.stats.bytes_written += requested
+        self.stats.used_bytes += requested
+        self._emit(
+            CacheEvent(
+                EventKind.INSERT, request_index, image.id, image.size,
+                bytes_written=requested, requested_bytes=requested,
+            )
+        )
+        evicted = self._evict_to_capacity(image.id, request_index)
+        return CacheDecision(
+            EventKind.INSERT, image, requested,
+            bytes_added=requested, evicted=evicted,
+        )
+
+    def _find_hit(self, mask: int) -> Optional[CachedImage]:
+        best: Optional[CachedImage] = None
+        for img in self._images.values():
+            if mask & img.mask == mask:
+                if self.hit_selection == "first":
+                    return img
+                if best is None:
+                    best = img
+                elif self.hit_selection == "smallest" and img.size < best.size:
+                    best = img
+                elif self.hit_selection == "mru" and img.last_used > best.last_used:
+                    best = img
+        return best
+
+    def _do_merge(
+        self,
+        target: CachedImage,
+        mask: int,
+        indices: np.ndarray,
+        requested: int,
+        distance: float,
+        signature: Optional[MinHashSignature],
+        request_index: int,
+    ) -> CacheDecision:
+        new_mask = target.mask | mask
+        added_mask = new_mask ^ target.mask
+        added = self._universe.indices_of_mask(added_mask)
+        added_bytes = self._universe.bytes_of_indices(added)
+        new_size = target.size + added_bytes
+
+        self._cached_bytes += new_size - target.size
+        self._account_add(added)
+        merged_indices = np.union1d(target.indices, indices)
+        target.mask = new_mask
+        target.indices = merged_indices
+        target.size = new_size
+        target.last_used = self._clock
+        target.merge_count += 1
+        if signature is not None and target.signature is not None:
+            target.signature = target.signature.merge(signature)
+            if self._lsh is not None:
+                self._lsh.insert(target.id, target.signature)
+
+        self.stats.merges += 1
+        # Paper mechanism ("full"): the merged image is rewritten in its
+        # entirety (§VI: "Each time a merge occurs, the resulting image
+        # must be written out in its entirety").  The "delta" mode models
+        # a copy-on-write image format that only writes the added content.
+        written = new_size if self.merge_write_mode == "full" else added_bytes
+        self.stats.bytes_written += written
+        self.stats.used_bytes += new_size
+        self._emit(
+            CacheEvent(
+                EventKind.MERGE, request_index, target.id, new_size,
+                bytes_written=written, requested_bytes=requested,
+            )
+        )
+        evicted = self._evict_to_capacity(target.id, request_index)
+        return CacheDecision(
+            EventKind.MERGE, target, requested, distance=distance,
+            bytes_added=added_bytes, evicted=evicted,
+        )

@@ -1,0 +1,51 @@
+"""Typed cache-event log.
+
+Every cache decision emits a :class:`CacheEvent`; the simulator keeps them
+to reconstruct the per-request time series of Figure 5 (cumulative hits,
+inserts, deletes, merges, cached data, bytes written) and to drive trace
+replay in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["EventKind", "CacheEvent"]
+
+
+class EventKind(enum.Enum):
+    """The four operations of Algorithm 1 plus eviction."""
+
+    HIT = "hit"          # an existing image satisfied the request
+    MERGE = "merge"      # request merged into a near image (rewrite I/O)
+    INSERT = "insert"    # a fresh image was built for the request
+    DELETE = "delete"    # an image was evicted to respect capacity
+
+
+@dataclass(frozen=True)
+class CacheEvent:
+    """One cache operation.
+
+    Attributes:
+        kind: which operation occurred.
+        request_index: 0-based index of the request that triggered it
+            (eviction events carry the index of the request being served
+            when capacity forced them).
+        image_id: id of the image hit/created/merged/evicted.
+        image_bytes: byte size of that image after the operation.
+        bytes_written: bytes of I/O charged by this event — the full image
+            size for inserts and merges (merged images are rewritten in
+            their entirety, the paper's dominant I/O cost), zero for hits
+            and deletes.
+        requested_bytes: size of the image the job actually asked for
+            (None for delete events).
+    """
+
+    kind: EventKind
+    request_index: int
+    image_id: str
+    image_bytes: int
+    bytes_written: int = 0
+    requested_bytes: Optional[int] = None

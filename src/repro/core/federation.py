@@ -1,0 +1,136 @@
+"""Cross-site federation: pull from a registry before building locally.
+
+§I observes that *"often, containers are replicated across sites and to
+many individual nodes"* — today each site rebuilds the same images.  With
+specification-level identity, replication can become *reuse*: a shared
+:class:`~repro.containers.registry.ImageRegistry` indexes every site's
+images by contents, and a site facing a local miss asks the registry for a
+satisfying image before paying a Shrinkwrap build.
+
+:class:`FederatedLandlord` wraps the standard facade:
+
+1. local superset hit → serve locally (no registry traffic);
+2. registry holds a satisfying image → *pull*: the artifact is adopted
+   into the local cache (transfer bytes charged, not build bytes) and the
+   request is served as a hit against it;
+3. otherwise → normal Algorithm 1 locally (merge or insert), and the
+   resulting image is *pushed* so sibling sites can reuse it.
+
+Pulls are declined when the registry's best image is grossly oversized for
+the request (``max_pull_overhead``) — shipping a bloated image across the
+WAN can cost more than building a tailored one.
+
+Two subtleties, property-tested in
+``tests/core/test_federation_properties.py``: federation does not dominate
+isolation on *arbitrary* streams (an adopted, larger image can become the
+target of a later merge and enlarge that merge's full rewrite), and the
+decline guard can push a follower back to local building.  The clean
+guarantee — followers of an identical workload never build at all — holds
+exactly when declines are disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Optional, Union
+
+from repro.containers.image import ContainerImage
+from repro.containers.registry import ImageRegistry
+from repro.core.events import EventKind
+from repro.core.landlord import Landlord, PreparedContainer
+from repro.core.spec import ImageSpec
+from repro.packages.repository import Repository
+
+__all__ = ["FederationStats", "FederatedLandlord"]
+
+
+@dataclass
+class FederationStats:
+    """Registry traffic attributable to one federated site."""
+
+    pulls: int = 0
+    pull_bytes: int = 0
+    pushes: int = 0
+    declined_pulls: int = 0  # registry hit, but too oversized to ship
+
+
+class FederatedLandlord(Landlord):
+    """A site LANDLORD backed by a shared image registry.
+
+    Args:
+        repository / capacity / alpha / kwargs: as for
+            :class:`~repro.core.landlord.Landlord`.
+        registry: the shared registry (None degrades to plain Landlord).
+        max_pull_overhead: decline a pull when the registry image is more
+            than this factor larger than the requested image.
+        push_builds: publish locally built/merged images to the registry.
+    """
+
+    def __init__(
+        self,
+        repository: Repository,
+        capacity: int,
+        alpha: float = 0.8,
+        registry: Optional[ImageRegistry] = None,
+        max_pull_overhead: float = 3.0,
+        push_builds: bool = True,
+        **kwargs: object,
+    ):
+        super().__init__(repository, capacity, alpha, **kwargs)
+        if max_pull_overhead < 1.0:
+            raise ValueError("max_pull_overhead must be >= 1")
+        self.registry = registry
+        self.max_pull_overhead = max_pull_overhead
+        self.push_builds = push_builds
+        self.federation = FederationStats()
+
+    def _try_pull(self, closed: ImageSpec, requested_bytes: int) -> bool:
+        """Adopt a satisfying registry image if one is worth shipping."""
+        if self.registry is None:
+            return False
+        found = self.registry.find_satisfying(closed)
+        if found is None:
+            return False
+        artifact = self.registry.pull(found)
+        if requested_bytes and artifact.size > self.max_pull_overhead * requested_bytes:
+            self.federation.declined_pulls += 1
+            # the metadata consult was free; the pull we just charged is
+            # rolled back at the registry level by not adopting -- model
+            # the decline as a metadata-only interaction
+            self.registry.stats.pulls -= 1
+            self.registry.stats.bytes_served -= artifact.size
+            return False
+        self.cache.adopt(artifact.spec.packages)
+        self.federation.pulls += 1
+        self.federation.pull_bytes += artifact.size
+        return True
+
+    def prepare(
+        self, spec: Union[ImageSpec, AbstractSet[str], Iterable[str]]
+    ) -> PreparedContainer:
+        """Prepare a job's container, consulting the registry on misses."""
+        closed = (
+            self.resolve(spec)
+            if self.expand_closure
+            else (spec if isinstance(spec, ImageSpec) else ImageSpec(spec))
+        )
+        if self.cache.peek(closed) is None:
+            requested = self.repository.bytes_of(closed.packages)
+            self._try_pull(closed, requested)
+        was_requests = self.cache.stats.requests
+        prepared = super().prepare(closed.packages if self.expand_closure else closed)
+        assert self.cache.stats.requests == was_requests + 1
+        if (
+            self.push_builds
+            and self.registry is not None
+            and prepared.action in (EventKind.INSERT, EventKind.MERGE)
+        ):
+            artifact = ContainerImage(
+                spec=ImageSpec(prepared.image.packages),
+                size=prepared.image.size,
+                image_id=f"{id(self):x}-{prepared.image.id}"
+                f"@{prepared.image.merge_count}",
+            )
+            self.registry.push(artifact)
+            self.federation.pushes += 1
+        return prepared

@@ -1,0 +1,195 @@
+"""MinHash: constant-time Jaccard approximation (Broder 1997).
+
+The paper (§V) notes that a constant-time approximation of the Jaccard
+metric is *"important in practice due to the sizes of the data involved"* —
+metadata listings for full-repository CVMFS images run to gigabytes, so an
+exact set intersection per cached image can dominate request latency.
+
+Implementation notes:
+
+- Element hashing uses BLAKE2b (8-byte digest), stable across processes —
+  signatures computed in one run compare correctly against signatures from
+  another (Python's builtin ``hash`` is salted per-process and unusable).
+- The "permutations" are multiply-shift universal hashes over 64-bit
+  arithmetic: ``h_i(x) = a_i * x + b_i (mod 2^64)`` with odd ``a_i``.
+  The estimator is the fraction of matching signature slots.
+- Signatures of merged images come for free: the signature of A ∪ B is the
+  element-wise minimum of the signatures, so the cache never rehashes a
+  merged spec (property-tested).
+
+:class:`MinHashLSH` adds a banding index so the cache can fetch *candidate*
+near neighbours in ~O(1) and verify only those exactly — the ablation in
+``benchmarks/test_ablations.py`` measures the accuracy/speed trade-off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+__all__ = ["element_hash", "MinHashSignature", "MinHashLSH"]
+
+_U64 = np.uint64
+_FULL = np.iinfo(np.uint64).max
+
+
+def element_hash(element: str) -> int:
+    """Stable 64-bit hash of a package id (BLAKE2b, process-independent)."""
+    digest = hashlib.blake2b(element.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _perm_params(num_perm: int, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(np.random.SeedSequence([seed & 0xFFFFFFFF, 0x5F3C]))
+    a = rng.integers(1, _FULL, size=num_perm, dtype=np.uint64) | _U64(1)  # odd
+    b = rng.integers(0, _FULL, size=num_perm, dtype=np.uint64)
+    return a, b
+
+
+class MinHashSignature:
+    """A fixed-width MinHash signature of a package set."""
+
+    __slots__ = ("values", "num_perm", "seed")
+
+    def __init__(self, values: np.ndarray, num_perm: int, seed: int):
+        self.values = values
+        self.num_perm = num_perm
+        self.seed = seed
+
+    @classmethod
+    def of(
+        cls,
+        elements: Iterable[str],
+        num_perm: int = 128,
+        seed: int = 1,
+    ) -> "MinHashSignature":
+        """Compute the signature of a set of package ids.
+
+        The empty set gets the all-max signature, which estimates similarity
+        1.0 against another empty set and ~0 against anything populated —
+        consistent with the exact-Jaccard conventions in
+        :mod:`repro.core.similarity`.
+        """
+        if num_perm <= 0:
+            raise ValueError("num_perm must be positive")
+        hashes = np.fromiter(
+            (element_hash(e) for e in elements), dtype=np.uint64
+        )
+        if hashes.size == 0:
+            values = np.full(num_perm, _FULL, dtype=np.uint64)
+            return cls(values, num_perm, seed)
+        a, b = _perm_params(num_perm, seed)
+        with np.errstate(over="ignore"):
+            # (num_perm, n) table of permuted hashes; min over elements.
+            table = a[:, None] * hashes[None, :] + b[:, None]
+        values = table.min(axis=1)
+        return cls(values, num_perm, seed)
+
+    def _check_compatible(self, other: "MinHashSignature") -> None:
+        if self.num_perm != other.num_perm or self.seed != other.seed:
+            raise ValueError(
+                "incompatible MinHash signatures: "
+                f"({self.num_perm},{self.seed}) vs ({other.num_perm},{other.seed})"
+            )
+
+    def estimate_jaccard(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard similarity: fraction of agreeing slots."""
+        self._check_compatible(other)
+        return float(np.count_nonzero(self.values == other.values) / self.num_perm)
+
+    def estimate_distance(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard distance (1 − estimated similarity)."""
+        return 1.0 - self.estimate_jaccard(other)
+
+    def merge(self, other: "MinHashSignature") -> "MinHashSignature":
+        """Signature of the union: element-wise minimum."""
+        self._check_compatible(other)
+        return MinHashSignature(
+            np.minimum(self.values, other.values), self.num_perm, self.seed
+        )
+
+    def copy(self) -> "MinHashSignature":
+        """Independent copy (values array not shared)."""
+        return MinHashSignature(self.values.copy(), self.num_perm, self.seed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MinHashSignature):
+            return NotImplemented
+        return (
+            self.num_perm == other.num_perm
+            and self.seed == other.seed
+            and bool(np.array_equal(self.values, other.values))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MinHashSignature(num_perm={self.num_perm})"
+
+
+class MinHashLSH:
+    """Banded locality-sensitive index over MinHash signatures.
+
+    Signatures are cut into ``bands`` bands of ``rows_per_band`` slots; two
+    sets collide in the index if any band matches exactly.  With similarity
+    ``s``, collision probability is ``1 − (1 − s^r)^b`` — choose the band
+    shape so the S-curve's threshold ``(1/b)^(1/r)`` sits near the Jaccard
+    *similarity* corresponding to the cache's α (i.e. 1 − α).
+    """
+
+    def __init__(self, num_perm: int = 128, bands: int = 32):
+        if num_perm % bands != 0:
+            raise ValueError(f"bands ({bands}) must divide num_perm ({num_perm})")
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows_per_band = num_perm // bands
+        self._tables: List[Dict[bytes, Set[str]]] = [dict() for _ in range(bands)]
+        self._keys: Dict[str, List[bytes]] = {}
+
+    @property
+    def threshold(self) -> float:
+        """Approximate similarity where collision probability crosses 1/2."""
+        return (1.0 / self.bands) ** (1.0 / self.rows_per_band)
+
+    def _band_keys(self, signature: MinHashSignature) -> List[bytes]:
+        if signature.num_perm != self.num_perm:
+            raise ValueError("signature width does not match index")
+        values = signature.values
+        r = self.rows_per_band
+        return [values[i * r : (i + 1) * r].tobytes() for i in range(self.bands)]
+
+    def insert(self, key: str, signature: MinHashSignature) -> None:
+        """Index ``signature`` under ``key``; re-inserting a key replaces it."""
+        if key in self._keys:
+            self.remove(key)
+        band_keys = self._band_keys(signature)
+        for table, bkey in zip(self._tables, band_keys):
+            table.setdefault(bkey, set()).add(key)
+        self._keys[key] = band_keys
+
+    def remove(self, key: str) -> None:
+        """Drop a key from the index (no-op if absent)."""
+        band_keys = self._keys.pop(key, None)
+        if band_keys is None:
+            return
+        for table, bkey in zip(self._tables, band_keys):
+            bucket = table.get(bkey)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del table[bkey]
+
+    def query(self, signature: MinHashSignature) -> Set[str]:
+        """Keys colliding with ``signature`` in at least one band."""
+        out: Set[str] = set()
+        for table, bkey in zip(self._tables, self._band_keys(signature)):
+            bucket = table.get(bkey)
+            if bucket:
+                out |= bucket
+        return out
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys

@@ -1,0 +1,91 @@
+"""Durable cache state — LANDLORD as a real job wrapper.
+
+The paper's prototype runs *"as an automated step during job submission"*
+(§V): every submission invokes the wrapper, which consults and updates a
+persistent image-cache directory.  Between invocations the state therefore
+lives on disk.  This module provides that layer: a versioned JSON snapshot
+of a :class:`~repro.core.cache.LandlordCache` (images, LRU clocks, full
+statistics) plus arbitrary caller metadata (e.g. which repository seed the
+site is configured for).
+
+The actual container *files* are not stored — in a real deployment they sit
+next to the state file in the cache directory; in this reproduction only
+the accounting exists.
+
+Used by ``repro-landlord submit`` / ``cache-status`` (see
+:mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+from repro.core.cache import LandlordCache
+
+__all__ = ["STATE_VERSION", "save_state", "load_state", "StateError"]
+
+STATE_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class StateError(ValueError):
+    """Raised for missing, corrupt, or incompatible state files."""
+
+
+def save_state(
+    path: PathLike,
+    cache: LandlordCache,
+    metadata: Optional[dict] = None,
+) -> Path:
+    """Write the cache snapshot (atomically: write-temp-then-rename)."""
+    path = Path(path)
+    payload = {
+        "version": STATE_VERSION,
+        "metadata": metadata or {},
+        "cache": cache.snapshot(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1))
+    tmp.replace(path)
+    return path
+
+
+def load_state(
+    path: PathLike,
+    package_size: Callable[[str], int],
+    **cache_kwargs: object,
+) -> Tuple[LandlordCache, dict]:
+    """Load a snapshot back into a fresh cache.
+
+    Capacity and α come from the snapshot itself (the state defines the
+    site configuration); ``cache_kwargs`` may set the remaining policy
+    knobs.  Returns ``(cache, metadata)``.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise StateError(f"no state file at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise StateError(f"corrupt state file {path}: {exc}") from exc
+    version = payload.get("version")
+    if version != STATE_VERSION:
+        raise StateError(
+            f"state version {version!r} unsupported (expected {STATE_VERSION})"
+        )
+    try:
+        snapshot = payload["cache"]
+        cache = LandlordCache(
+            capacity=int(snapshot["capacity"]),
+            alpha=float(snapshot["alpha"]),
+            package_size=package_size,
+            **cache_kwargs,  # type: ignore[arg-type]
+        )
+        cache.restore(snapshot)
+    except (KeyError, TypeError) as exc:
+        raise StateError(f"malformed state file {path}: {exc}") from exc
+    return cache, payload.get("metadata", {})

@@ -1,0 +1,75 @@
+"""Set-similarity metrics over specifications.
+
+The paper (§V) chooses the Jaccard distance as a *"simple, adequate, and
+non-controversial"* metric for how close two specifications are:
+
+    d_j(A, B) = 1 - |A ∩ B| / |A ∪ B|
+
+These functions accept either :class:`~repro.core.spec.ImageSpec` instances
+or plain sets/frozensets of package ids, because the cache inner loop works
+on raw frozensets for speed.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Union
+
+from repro.core.spec import ImageSpec
+
+__all__ = [
+    "as_packages",
+    "jaccard_similarity",
+    "jaccard_distance",
+    "containment",
+    "overlap_coefficient",
+]
+
+SetLike = Union[ImageSpec, AbstractSet[str]]
+
+
+def as_packages(value: SetLike) -> AbstractSet[str]:
+    """Normalise an ImageSpec or plain set to its package set."""
+    if isinstance(value, ImageSpec):
+        return value.packages
+    return value
+
+
+def jaccard_similarity(a: SetLike, b: SetLike) -> float:
+    """|A ∩ B| / |A ∪ B|; defined as 1.0 for two empty sets.
+
+    The empty/empty convention makes ``jaccard_distance`` satisfy the
+    identity axiom (d(x, x) = 0) on the whole domain including ∅.
+    """
+    sa, sb = as_packages(a), as_packages(b)
+    if not sa and not sb:
+        return 1.0
+    # |A ∪ B| = |A| + |B| - |A ∩ B| avoids materialising the union.
+    inter = len(sa & sb)
+    union = len(sa) + len(sb) - inter
+    return inter / union
+
+
+def jaccard_distance(a: SetLike, b: SetLike) -> float:
+    """The paper's d_j: 1 − Jaccard similarity.  Range [0, 1]; a metric."""
+    return 1.0 - jaccard_similarity(a, b)
+
+
+def containment(a: SetLike, b: SetLike) -> float:
+    """|A ∩ B| / |A|: how much of ``a`` is already inside ``b``.
+
+    1.0 means an image with contents ``b`` fully satisfies request ``a``.
+    Defined as 1.0 when ``a`` is empty (an empty request is always
+    satisfied).
+    """
+    sa, sb = as_packages(a), as_packages(b)
+    if not sa:
+        return 1.0
+    return len(sa & sb) / len(sa)
+
+
+def overlap_coefficient(a: SetLike, b: SetLike) -> float:
+    """|A ∩ B| / min(|A|, |B|); 1.0 if either set is empty."""
+    sa, sb = as_packages(a), as_packages(b)
+    if not sa or not sb:
+        return 1.0
+    return len(sa & sb) / min(len(sa), len(sb))

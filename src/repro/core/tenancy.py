@@ -1,0 +1,239 @@
+"""Multi-tenant container management — the paper's stated future work.
+
+§V: *"For the LHC experiments, CVMFS data is normally public and shareable,
+making a LANDLORD plugin particularly simple to implement.  A more
+general-purpose plugin would need to take into account data security and
+privacy, which we leave as future research."*
+
+This module implements that plugin surface.  A site serving several
+tenants (users, experiments, projects) must decide whether one tenant's
+jobs may run inside (or merge into) images containing another tenant's
+requested software.  Three isolation modes:
+
+- ``"shared"`` — CVMFS-style public data: one cache, full cross-tenant
+  reuse and merging (the paper's LHC deployment).
+- ``"isolated"`` — hard separation: one cache per tenant, each with its
+  own capacity quota; no image is ever visible across tenants.
+- ``"public-core"`` — split custody: packages matching a site-defined
+  *public* predicate (e.g. the base/toolchain layers everyone may see) are
+  managed in one shared cache, while each tenant's private remainder lives
+  in a per-tenant cache.  A job runs with the pair of images; accounting
+  charges both.
+
+The storage price of isolation — every tenant duplicating the common core —
+is exactly what ``examples/``/``repro.experiments`` quantify through
+:meth:`MultiTenantLandlord.storage_by_tenant`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.cache import CacheDecision, CacheStats, LandlordCache
+from repro.core.events import EventKind
+from repro.core.spec import ImageSpec
+from repro.packages.repository import Repository
+
+__all__ = ["ISOLATION_MODES", "TenantDecision", "MultiTenantLandlord"]
+
+ISOLATION_MODES = ("shared", "isolated", "public-core")
+
+SpecLike = Union[ImageSpec, AbstractSet[str]]
+
+
+@dataclass(frozen=True)
+class TenantDecision:
+    """Outcome of one tenant-scoped request.
+
+    ``public`` is None except in public-core mode, where a job runs with a
+    shared public image plus (possibly) a private remainder image.
+    """
+
+    tenant: str
+    private: Optional[CacheDecision]
+    public: Optional[CacheDecision] = None
+
+    @property
+    def actions(self) -> Tuple[EventKind, ...]:
+        return tuple(
+            d.action for d in (self.public, self.private) if d is not None
+        )
+
+    @property
+    def bytes_used(self) -> int:
+        return sum(
+            d.image.size for d in (self.public, self.private) if d is not None
+        )
+
+
+class MultiTenantLandlord:
+    """Tenant-aware LANDLORD front end.
+
+    Args:
+        repository: the shared software repository (sizes + closure).
+        capacity: total image-cache bytes across all tenants.
+        alpha: merge threshold for every underlying cache.
+        isolation: one of :data:`ISOLATION_MODES`.
+        tenants: tenant names.  Required for ``isolated``/``public-core``;
+            ignored for ``shared`` (tenants are implicit).
+        quotas: optional byte quota per tenant (isolated/public-core);
+            defaults to an even split of ``capacity`` (after reserving
+            ``public_fraction`` for the shared cache in public-core mode).
+        is_public: predicate classifying a package id as public
+            (public-core mode only).  Default: everything private.
+        expand_closure: resolve dependency closures before caching.
+        cache_kwargs: forwarded to every underlying LandlordCache.
+    """
+
+    def __init__(
+        self,
+        repository: Repository,
+        capacity: int,
+        alpha: float = 0.8,
+        isolation: str = "shared",
+        tenants: Optional[List[str]] = None,
+        quotas: Optional[Mapping[str, int]] = None,
+        is_public: Optional[Callable[[str], bool]] = None,
+        public_fraction: float = 0.5,
+        expand_closure: bool = True,
+        **cache_kwargs: object,
+    ):
+        if isolation not in ISOLATION_MODES:
+            raise ValueError(
+                f"isolation must be one of {ISOLATION_MODES}, got {isolation!r}"
+            )
+        if isolation != "shared" and not tenants:
+            raise ValueError(f"{isolation!r} isolation needs explicit tenants")
+        if not 0.0 < public_fraction < 1.0 and isolation == "public-core":
+            raise ValueError("public_fraction must be in (0, 1)")
+        self.repository = repository
+        self.isolation = isolation
+        self.alpha = alpha
+        self.expand_closure = expand_closure
+        self._is_public = is_public or (lambda pid: False)
+        self._caches: Dict[str, LandlordCache] = {}
+        self._public_cache: Optional[LandlordCache] = None
+        self.tenants = list(tenants or [])
+
+        def make_cache(cap: int) -> LandlordCache:
+            return LandlordCache(
+                cap, alpha, repository.size_of, **cache_kwargs  # type: ignore[arg-type]
+            )
+
+        if isolation == "shared":
+            self._shared = make_cache(capacity)
+            return
+        pool = capacity
+        if isolation == "public-core":
+            public_capacity = int(capacity * public_fraction)
+            self._public_cache = make_cache(public_capacity)
+            pool = capacity - public_capacity
+        if quotas is not None:
+            missing = set(self.tenants) - set(quotas)
+            if missing:
+                raise ValueError(f"quotas missing for tenants: {sorted(missing)}")
+            if sum(quotas[t] for t in self.tenants) > pool:
+                raise ValueError("tenant quotas exceed available capacity")
+            per_tenant = {t: int(quotas[t]) for t in self.tenants}
+        else:
+            share = pool // len(self.tenants)
+            per_tenant = {t: share for t in self.tenants}
+        for tenant in self.tenants:
+            self._caches[tenant] = make_cache(per_tenant[tenant])
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _closed(self, spec: SpecLike) -> FrozenSet[str]:
+        packages = spec.packages if isinstance(spec, ImageSpec) else frozenset(spec)
+        if self.expand_closure:
+            return self.repository.closure(packages)
+        return packages
+
+    def cache_for(self, tenant: str) -> LandlordCache:
+        """The cache holding a tenant's (private) images."""
+        if self.isolation == "shared":
+            return self._shared
+        try:
+            return self._caches[tenant]
+        except KeyError:
+            raise KeyError(f"unknown tenant: {tenant!r}") from None
+
+    @property
+    def public_cache(self) -> Optional[LandlordCache]:
+        return self._public_cache
+
+    # -- the API ------------------------------------------------------------------
+
+    def prepare(self, tenant: str, spec: SpecLike) -> TenantDecision:
+        """Prepare the image(s) for one tenant's job."""
+        closed = self._closed(spec)
+        if self.isolation == "shared":
+            return TenantDecision(tenant, self._shared.request(closed))
+        cache = self.cache_for(tenant)
+        if self.isolation == "isolated":
+            return TenantDecision(tenant, cache.request(closed))
+        # public-core: split the closed spec by custody.
+        public_part = frozenset(p for p in closed if self._is_public(p))
+        private_part = closed - public_part
+        public_decision = (
+            self._public_cache.request(public_part) if public_part else None
+        )
+        private_decision = cache.request(private_part) if private_part else None
+        return TenantDecision(tenant, private_decision, public_decision)
+
+    # -- accounting ------------------------------------------------------------------
+
+    def storage_by_tenant(self) -> Dict[str, int]:
+        """Bytes currently held per tenant (plus ``"<public>"`` if any)."""
+        if self.isolation == "shared":
+            return {"<shared>": self._shared.cached_bytes}
+        out = {t: c.cached_bytes for t, c in self._caches.items()}
+        if self._public_cache is not None:
+            out["<public>"] = self._public_cache.cached_bytes
+        return out
+
+    @property
+    def total_cached_bytes(self) -> int:
+        return sum(self.storage_by_tenant().values())
+
+    @property
+    def total_unique_bytes(self) -> int:
+        """Distinct package bytes summed across custody domains.
+
+        Duplication *across* tenant caches is intentionally counted — it is
+        the storage price of isolation this class exists to expose.
+        """
+        if self.isolation == "shared":
+            return self._shared.unique_bytes
+        total = sum(c.unique_bytes for c in self._caches.values())
+        if self._public_cache is not None:
+            total += self._public_cache.unique_bytes
+        return total
+
+    def combined_stats(self) -> CacheStats:
+        """Element-wise sum of all underlying cache statistics."""
+        caches: List[LandlordCache] = (
+            [self._shared] if self.isolation == "shared"
+            else list(self._caches.values())
+        )
+        if self._public_cache is not None:
+            caches.append(self._public_cache)
+        combined = CacheStats()
+        for cache in caches:
+            for field_name, value in cache.stats.__dict__.items():
+                setattr(
+                    combined, field_name,
+                    getattr(combined, field_name) + value,
+                )
+        return combined

@@ -1,0 +1,159 @@
+"""Nested catalogs: CVMFS metadata loading as a first-class cost.
+
+CVMFS partitions its namespace into *nested catalogs* — subtree manifests
+loaded on demand as clients descend into the repository.  The paper cites
+metadata scale as a motivation for MinHash (§V: *"metadata listings alone
+for full-repository CVMFS images consumed multiple gigabytes of
+storage"*), and the Shrinkwrap preparation step must traverse exactly the
+catalogs covering a specification's closure.
+
+This module models that: packages hang off a prefix tree of catalogs; a
+lookup loads every catalog on the path from the root (once — loaded
+catalogs stay cached, as in the real client), and each catalog's metadata
+size is proportional to the entries it holds.  ``metadata_cost_of`` then
+answers: how many metadata bytes must a cold client download before it can
+even *start* fetching content for a given spec?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.packages.package import split_package_id
+from repro.packages.repository import Repository
+
+__all__ = ["CatalogNode", "NestedCatalogTree"]
+
+# Modelled metadata footprint per directory entry (dirent + hash + flags):
+# CVMFS catalogs are SQLite files; ~200 bytes/entry matches their scale.
+BYTES_PER_ENTRY = 200
+
+
+@dataclass
+class CatalogNode:
+    """One nested catalog: a subtree manifest."""
+
+    path: str                      # repository path prefix, "" for root
+    packages: List[str] = field(default_factory=list)
+    children: Dict[str, "CatalogNode"] = field(default_factory=dict)
+
+    @property
+    def entry_count(self) -> int:
+        """Entries in *this* catalog: direct packages + child mountpoints."""
+        return len(self.packages) + len(self.children)
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.entry_count * BYTES_PER_ENTRY
+
+
+class NestedCatalogTree:
+    """A prefix tree of catalogs over a repository's packages.
+
+    Layout: the root catalog holds one mountpoint per package *name
+    prefix* (the first ``prefix_len`` characters of the program name,
+    CVMFS-style sharding); each shard catalog holds one mountpoint per
+    program, and each program catalog lists its versions/variants.  Three
+    levels is what large production repositories (sft.cern.ch) use.
+    """
+
+    def __init__(self, repository: Repository, prefix_len: int = 2):
+        if prefix_len < 1:
+            raise ValueError("prefix_len must be positive")
+        self.repository = repository
+        self.prefix_len = prefix_len
+        self.root = CatalogNode(path="")
+        self._package_path: Dict[str, Tuple[str, ...]] = {}
+        for pid in repository.ids:
+            name, _version, _variant = split_package_id(pid)
+            shard = name[: prefix_len].lower()
+            shard_node = self.root.children.setdefault(
+                shard, CatalogNode(path=f"/{shard}")
+            )
+            program_node = shard_node.children.setdefault(
+                name, CatalogNode(path=f"/{shard}/{name}")
+            )
+            program_node.packages.append(pid)
+            self._package_path[pid] = (shard, name)
+        self._loaded: Set[str] = set()
+        self.metadata_bytes_loaded = 0
+        self.catalogs_loaded = 0
+
+    # -- client-side loading ------------------------------------------------
+
+    def _load(self, node: CatalogNode) -> int:
+        if node.path in self._loaded:
+            return 0
+        self._loaded.add(node.path)
+        self.catalogs_loaded += 1
+        self.metadata_bytes_loaded += node.metadata_bytes
+        return node.metadata_bytes
+
+    def lookup(self, package_id: str) -> int:
+        """Resolve one package, loading catalogs along the way.
+
+        Returns the metadata bytes downloaded by *this* lookup (0 when all
+        catalogs on the path were already cached).  Unknown packages raise
+        :class:`KeyError` — after loading the catalogs that prove the
+        absence, exactly like a real negative lookup.
+        """
+        self._load(self.root)
+        path = self._package_path.get(package_id)
+        if path is None:
+            # A negative lookup still walks as deep as the prefixes exist.
+            name = split_package_id(package_id)[0]
+            shard_node = self.root.children.get(name[: self.prefix_len].lower())
+            loaded = 0
+            if shard_node is not None:
+                loaded += self._load(shard_node)
+                program = shard_node.children.get(name)
+                if program is not None:
+                    loaded += self._load(program)
+            raise KeyError(f"unknown package: {package_id!r}")
+        shard, name = path
+        loaded = self._load(self.root.children[shard])
+        loaded += self._load(self.root.children[shard].children[name])
+        return loaded
+
+    def metadata_cost_of(self, package_ids: Iterable[str]) -> int:
+        """Cold-client metadata bytes needed to resolve a whole spec.
+
+        Stateless with respect to this tree's cache: computes the distinct
+        catalogs the spec touches and sums their sizes (root included).
+        """
+        catalogs: Set[str] = {""}
+        nodes: Dict[str, CatalogNode] = {"": self.root}
+        for pid in package_ids:
+            path = self._package_path.get(pid)
+            if path is None:
+                raise KeyError(f"unknown package: {pid!r}")
+            shard, name = path
+            shard_node = self.root.children[shard]
+            program_node = shard_node.children[name]
+            nodes[shard_node.path] = shard_node
+            nodes[program_node.path] = program_node
+            catalogs.add(shard_node.path)
+            catalogs.add(program_node.path)
+        return sum(nodes[c].metadata_bytes for c in catalogs)
+
+    def drop_cache(self) -> None:
+        """Forget loaded catalogs (a fresh client)."""
+        self._loaded.clear()
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def catalog_count(self) -> int:
+        count = 1
+        for shard in self.root.children.values():
+            count += 1 + len(shard.children)
+        return count
+
+    @property
+    def total_metadata_bytes(self) -> int:
+        total = self.root.metadata_bytes
+        for shard in self.root.children.values():
+            total += shard.metadata_bytes
+            total += sum(p.metadata_bytes for p in shard.children.values())
+        return total

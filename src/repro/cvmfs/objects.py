@@ -1,0 +1,111 @@
+"""Content-addressed object store.
+
+CVMFS stores file content as digest-addressed blobs: two packages shipping
+an identical file share one object.  The simulation never materialises
+content, so an "object" here is a digest plus a byte size; digests are
+synthesised deterministically by the catalog generator, with shared digests
+modelling shared content.
+
+The store tracks fetch statistics so Shrinkwrap builds can report cache-hot
+vs cache-cold download volumes (a head node keeps a local object cache;
+paper §V supposes "some local storage is available ... for caching exported
+repository contents").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+__all__ = ["ObjectStore", "FetchStats"]
+
+
+@dataclass
+class FetchStats:
+    """Cumulative fetch accounting for an object store."""
+
+    requests: int = 0
+    objects_fetched: int = 0
+    bytes_fetched: int = 0
+    cache_hits: int = 0
+    bytes_served_from_cache: int = 0
+
+
+class ObjectStore:
+    """Digest → size mapping with a local fetch cache.
+
+    ``register`` is idempotent for matching sizes (content-addressing means
+    a digest uniquely determines content and hence size); re-registering a
+    digest with a different size is an integrity error.
+    """
+
+    def __init__(self):
+        self._objects: Dict[str, int] = {}
+        self._local: Set[str] = set()
+        self.stats = FetchStats()
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._objects
+
+    def register(self, digest: str, size: int) -> None:
+        """Add an object to the remote repository."""
+        if size < 0:
+            raise ValueError(f"object {digest!r} has negative size")
+        known = self._objects.get(digest)
+        if known is not None and known != size:
+            raise ValueError(
+                f"digest collision for {digest!r}: {known} != {size}"
+            )
+        self._objects[digest] = size
+
+    def size_of(self, digest: str) -> int:
+        """Byte size of an object (KeyError for unknown digests)."""
+        try:
+            return self._objects[digest]
+        except KeyError:
+            raise KeyError(f"unknown object: {digest!r}") from None
+
+    @property
+    def total_bytes(self) -> int:
+        """Total deduplicated repository content."""
+        return sum(self._objects.values())
+
+    @property
+    def cached_objects(self) -> int:
+        return len(self._local)
+
+    @property
+    def cached_bytes(self) -> int:
+        return sum(self._objects[d] for d in self._local)
+
+    def fetch(self, digests: Iterable[str]) -> int:
+        """Fetch objects into the local cache; return bytes downloaded.
+
+        Objects already local are served from cache at zero download cost.
+        Duplicate digests within one call are fetched once.
+        """
+        downloaded = 0
+        self.stats.requests += 1
+        for digest in set(digests):
+            size = self.size_of(digest)
+            if digest in self._local:
+                self.stats.cache_hits += 1
+                self.stats.bytes_served_from_cache += size
+                continue
+            self._local.add(digest)
+            self.stats.objects_fetched += 1
+            self.stats.bytes_fetched += size
+            downloaded += size
+        return downloaded
+
+    def evict_local(self, digests: Iterable[str]) -> None:
+        """Drop objects from the local cache (they remain fetchable)."""
+        for digest in digests:
+            self._local.discard(digest)
+
+    def drop_local_cache(self) -> None:
+        """Empty the local cache entirely (cold-start experiments)."""
+        self._local.clear()

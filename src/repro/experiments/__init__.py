@@ -1,0 +1,32 @@
+"""One module per paper table/figure, plus ablations.
+
+Every experiment module exposes:
+
+- ``run(scale, seed=...) -> dict`` — compute the figure's data;
+- ``report(results) -> str`` — render it as paper-style tables/ASCII plots;
+- ``main(argv)`` — CLI entry (also reachable via ``python -m repro <fig>``).
+
+Scales: ``quick`` (default; laptop-seconds) and ``paper`` (the paper's
+parameters; laptop-minutes).  Set ``REPRO_FULL=1`` or pass ``--scale paper``
+to run at paper scale.  See DESIGN.md §4 for the experiment index.
+"""
+
+from repro.experiments.common import PAPER, QUICK, TINY, Scale, get_scale
+
+__all__ = ["Scale", "TINY", "QUICK", "PAPER", "get_scale"]
+
+EXPERIMENTS = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ablations",
+    "baselines",
+    "tenancy",
+    "federation",
+    "adaptive",
+)

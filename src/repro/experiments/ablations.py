@@ -1,0 +1,135 @@
+"""Ablations of LANDLORD's design choices (DESIGN.md §5).
+
+Four studies, each holding the Figure 5 configuration fixed and varying
+one mechanism:
+
+- **candidate order** — Algorithm 1 notes the merge-candidate selection
+  "can be sorted by d_j"; compare sorted-by-distance vs insertion order vs
+  random choice.
+- **eviction policy** — LRU vs FIFO vs largest-first.
+- **hit selection** — when several cached images satisfy a request, use
+  the smallest vs most-recently-used vs first-found.
+- **MinHash prefilter** — exact Jaccard against every cached image vs
+  LSH-prefiltered candidates verified exactly: quality deltas plus the
+  candidate-examination counts the prefilter saves.
+- **merge write mode** — the paper's full-image rewrite vs a hypothetical
+  copy-on-write delta format, separating Figure 4c's policy cost (how often
+  merges happen) from its mechanism cost (what one merge writes).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.analysis.sweep import run_repetitions
+from repro.experiments.common import Scale, base_config, experiment_main
+from repro.packages.sft import build_experiment_repository
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+
+__all__ = ["run", "report", "main"]
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _study(config, repository, repetitions: int) -> Dict[str, float]:
+    start = time.perf_counter()
+    results = run_repetitions(config, repetitions, repository=repository)
+    elapsed = time.perf_counter() - start
+    summaries = [r.summary() for r in results]
+    out = {
+        key: _median([s[key] for s in summaries])
+        for key in ("hits", "merges", "inserts", "deletes",
+                    "cache_efficiency", "container_efficiency",
+                    "bytes_written")
+    }
+    out["candidates_examined"] = _median(
+        [r.stats.candidates_examined for r in results]
+    )
+    out["seconds"] = elapsed / repetitions
+    return out
+
+
+def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+    """Compute this experiment's data at the given scale."""
+    repo = build_experiment_repository(
+        "sft", seed=seed, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+    config = base_config(scale, seed=seed, alpha=0.75)
+    reps = max(3, scale.repetitions // 2)
+
+    studies: Dict[str, Dict[str, Dict[str, float]]] = {}
+    studies["candidate_order"] = {
+        order: _study(config.with_(candidate_order=order), repo, reps)
+        for order in ("distance", "insertion", "random")
+    }
+    studies["eviction"] = {
+        policy: _study(config.with_(eviction=policy), repo, reps)
+        for policy in ("lru", "fifo", "size")
+    }
+    studies["hit_selection"] = {
+        rule: _study(config.with_(hit_selection=rule), repo, reps)
+        for rule in ("smallest", "mru", "first")
+    }
+    studies["minhash"] = {
+        ("lsh-prefilter" if flag else "exact"): _study(
+            config.with_(use_minhash=flag), repo, reps
+        )
+        for flag in (False, True)
+    }
+    studies["merge_write_mode"] = {
+        mode: _study(config.with_(merge_write_mode=mode), repo, reps)
+        for mode in ("full", "delta")
+    }
+    return {"alpha": config.alpha, "studies": studies}
+
+
+def _study_table(variants: Dict[str, Dict[str, float]]) -> str:
+    rows = []
+    for name, metrics in variants.items():
+        rows.append(
+            [
+                name,
+                int(metrics["hits"]),
+                int(metrics["merges"]),
+                int(metrics["inserts"]),
+                f"{100 * metrics['cache_efficiency']:.1f}%",
+                f"{100 * metrics['container_efficiency']:.1f}%",
+                format_bytes(metrics["bytes_written"]),
+                int(metrics["candidates_examined"]),
+                f"{metrics['seconds'] * 1e3:.0f}ms",
+            ]
+        )
+    return render_table(
+        rows,
+        header=["variant", "hits", "merges", "inserts", "cache eff",
+                "cont eff", "written", "jaccard evals", "time/run"],
+    )
+
+
+def report(results: Dict[str, object]) -> str:
+    """Render computed results as paper-style text output."""
+    lines = [f"Ablations at alpha={results['alpha']}", ""]
+    for study, variants in results["studies"].items():
+        lines.append(f"== {study} ==")
+        lines.append(_study_table(variants))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (argparse wrapper around run/report)."""
+    return experiment_main(__doc__.splitlines()[0], run, report, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,148 @@
+"""Adaptive-α study: online tuning vs fixed settings under workload shift.
+
+The paper recommends a fixed moderate α and notes finer tuning is possible
+(§VI); :mod:`repro.core.adaptive` automates that tuning.  This study asks
+when automation actually matters: a workload *shift* moves the operational
+zone mid-stream (phase 1: small correlated specs; phase 2: much larger
+independent specs), and three configurations ride through it:
+
+- fixed α = 0.4 (the thrashing corner for phase 1),
+- fixed α = 0.95 (merge-heavy; pathological for phase 2's huge specs),
+- the controller, starting from 0.4.
+
+Reported per configuration and phase: α at phase end, cache efficiency,
+window write amplification, bytes written.  Expected shape: each fixed
+setting is poor in one phase; the controller walks into the zone in both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.adaptive import AlphaController
+from repro.core.cache import LandlordCache
+from repro.experiments.common import Scale, base_config, experiment_main
+from repro.htc.simulator import make_workload
+from repro.packages.sft import build_experiment_repository
+from repro.util.rng import spawn
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+
+__all__ = ["run", "report", "main"]
+
+
+def _phased_stream(repository, scale: Scale, seed: int) -> List[List[frozenset]]:
+    """Two phases with different spec-size regimes."""
+    config = base_config(scale, seed=seed)
+    rng = spawn(seed, "adaptive-study")
+    small = make_workload(
+        config.with_(scheme="drift",
+                     max_selection=max(3, scale.max_selection // 4)),
+        repository,
+    )
+    big = make_workload(
+        config.with_(scheme="deps", max_selection=scale.max_selection * 2),
+        repository,
+    )
+    n = max(150, scale.n_unique)
+    return [
+        [small.sample(rng) for _ in range(n)],
+        [big.sample(rng) for _ in range(n)],
+    ]
+
+
+def _run_config(label, make_provider, phases) -> Dict[str, object]:
+    provider = make_provider()
+    out: Dict[str, object] = {"label": label, "phases": []}
+    for phase in phases:
+        written_before = provider.cache.stats.bytes_written if hasattr(
+            provider, "cache"
+        ) else provider.stats.bytes_written
+        requested_before = provider.cache.stats.requested_bytes if hasattr(
+            provider, "cache"
+        ) else provider.stats.requested_bytes
+        for spec in phase:
+            provider.request(spec)
+        cache = provider.cache if hasattr(provider, "cache") else provider
+        written = cache.stats.bytes_written - written_before
+        requested = cache.stats.requested_bytes - requested_before
+        out["phases"].append(
+            {
+                "alpha_end": cache.alpha,
+                "cache_efficiency": cache.cache_efficiency,
+                "write_amplification": written / requested if requested else 0.0,
+                "bytes_written": written,
+            }
+        )
+    return out
+
+
+def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+    """Compute this experiment's data at the given scale."""
+    repository = build_experiment_repository(
+        "sft", seed=seed, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+    phases = _phased_stream(repository, scale, seed)
+
+    def fixed(alpha):
+        return lambda: LandlordCache(scale.capacity, alpha,
+                                     repository.size_of)
+
+    def adaptive():
+        cache = LandlordCache(scale.capacity, 0.4, repository.size_of)
+        return AlphaController(cache, interval=25)
+
+    configs = [
+        _run_config("fixed a=0.40", fixed(0.4), phases),
+        _run_config("fixed a=0.95", fixed(0.95), phases),
+        _run_config("adaptive (start 0.40)", adaptive, phases),
+    ]
+    return {"jobs_per_phase": len(phases[0]), "configs": configs}
+
+
+def report(results: Dict[str, object]) -> str:
+    """Render computed results as paper-style text output."""
+    lines = [
+        "Adaptive vs fixed alpha under a workload shift "
+        f"({results['jobs_per_phase']} jobs per phase)",
+        "",
+    ]
+    rows = []
+    for config in results["configs"]:
+        for i, phase in enumerate(config["phases"]):
+            rows.append(
+                [
+                    config["label"] if i == 0 else "",
+                    f"phase {i + 1}",
+                    f"{phase['alpha_end']:.2f}",
+                    f"{100 * phase['cache_efficiency']:.0f}%",
+                    f"{phase['write_amplification']:.2f}x",
+                    format_bytes(phase["bytes_written"]),
+                ]
+            )
+    lines.append(
+        render_table(
+            rows,
+            header=["configuration", "phase", "alpha@end", "cache eff",
+                    "write amp", "written"],
+        )
+    )
+    adaptive = results["configs"][-1]
+    lines.append("")
+    lines.append(
+        "the controller ends phase 1 at alpha="
+        f"{adaptive['phases'][0]['alpha_end']:.2f} and phase 2 at "
+        f"{adaptive['phases'][1]['alpha_end']:.2f}, tracking the zone as "
+        "the workload changes; each fixed setting is wrong in one phase."
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (argparse wrapper around run/report)."""
+    return experiment_main(__doc__.splitlines()[0], run, report, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

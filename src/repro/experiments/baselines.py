@@ -1,0 +1,161 @@
+"""Baseline comparison: quantifying §III's "imperfect solutions".
+
+The paper argues three approaches to the container explosion problem fall
+short — full-repo images, layering, and block deduplication — and its own
+α extremes (no merging, single image).  This experiment runs one standard
+workload through each strategy and puts numbers on the argument:
+
+- **no-cache** — build every requested image from scratch (the I/O floor
+  for requested bytes, no storage held);
+- **exact LRU (α=0)** — cache with subset reuse only;
+- **LANDLORD (α=0.8)** — the paper's recommended configuration;
+- **single image (α=1)** — one all-purpose image absorbing everything;
+- **full-repo image** — the entire repository as one pre-built image.
+
+Plus the two §III yardsticks that are not request-serving strategies:
+the Docker-style layer store's bytes for the same stream, and the
+perfect-content-dedup lower bound (what block dedup could achieve at best,
+which images-as-opaque-files cannot reach).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.containers.layers import LayerStore, LayeredImage
+from repro.core.cache import LandlordCache
+from repro.core.policies import FullRepoPolicy, NoCachePolicy, SingleImagePolicy
+from repro.experiments.common import Scale, base_config, experiment_main
+from repro.htc.simulator import make_workload
+from repro.htc.workload import build_stream
+from repro.packages.sft import build_experiment_repository
+from repro.util.rng import spawn
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+
+__all__ = ["run", "report", "main"]
+
+
+def _drive(provider, stream) -> Dict[str, float]:
+    for spec in stream:
+        provider.request(spec)
+    stats = provider.stats
+    return {
+        "hits": stats.hits,
+        "merges": stats.merges,
+        "inserts": stats.inserts,
+        "bytes_written": stats.bytes_written,
+        "storage_held": provider.cached_bytes,
+        "hit_rate": stats.hit_rate,
+        "container_efficiency": stats.container_efficiency,
+        "cache_efficiency": provider.cache_efficiency,
+    }
+
+
+def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+    """Compute this experiment's data at the given scale."""
+    repo = build_experiment_repository(
+        "sft", seed=seed, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+    config = base_config(scale, seed=seed)
+    workload = make_workload(config, repo)
+    rng = spawn(seed, "baselines")
+    stream = build_stream(
+        workload, rng, n_unique=scale.n_unique, repeats=scale.repeats
+    )
+
+    strategies: Dict[str, Dict[str, float]] = {}
+    strategies["no-cache"] = _drive(NoCachePolicy(repo.size_of), stream)
+    strategies["exact-lru (a=0)"] = _drive(
+        LandlordCache(scale.capacity, 0.0, repo.size_of), stream
+    )
+    strategies["landlord (a=0.8)"] = _drive(
+        LandlordCache(scale.capacity, 0.8, repo.size_of), stream
+    )
+    strategies["single-image (a=1)"] = _drive(
+        SingleImagePolicy(repo.size_of), stream
+    )
+    full = FullRepoPolicy(repo.ids, repo.size_of)
+    stats = _drive(full, stream)
+    stats["bytes_written"] += full.setup_bytes_written  # the up-front build
+    strategies["full-repo image"] = stats
+
+    # Yardstick 1: a Docker-style layer store refining one image per spec
+    # family (each unique spec appended as a refinement of the previous).
+    layer_store = LayerStore()
+    image = LayeredImage()
+    seen = set()
+    for spec in stream:
+        if spec in seen:
+            continue
+        seen.add(spec)
+        visible = image.visible_packages
+        image = image.extend(spec - visible, repo.size_of,
+                             masks=visible - spec)
+        layer_store.push("stream", image)
+    layering_bytes = layer_store.stored_bytes
+
+    # Yardstick 2: perfect content dedup across all distinct requested
+    # images — what block dedup could at best retain.
+    union = frozenset().union(*stream)
+    dedup_floor = repo.bytes_of(union)
+
+    return {
+        "requests": len(stream),
+        "requested_bytes": sum(repo.bytes_of(s) for s in stream),
+        "strategies": strategies,
+        "layering_stored_bytes": layering_bytes,
+        "dedup_floor_bytes": dedup_floor,
+        "repo_bytes": repo.total_size,
+    }
+
+
+def report(results: Dict[str, object]) -> str:
+    """Render computed results as paper-style text output."""
+    lines = [
+        f"Baseline strategies over {results['requests']} requests "
+        f"(total requested {format_bytes(results['requested_bytes'])})",
+        "",
+    ]
+    rows = []
+    for name, s in results["strategies"].items():
+        rows.append(
+            [
+                name,
+                f"{100 * s['hit_rate']:.0f}%",
+                int(s["merges"]),
+                format_bytes(s["bytes_written"]),
+                format_bytes(s["storage_held"]),
+                f"{100 * s['container_efficiency']:.0f}%",
+                f"{100 * s['cache_efficiency']:.0f}%",
+            ]
+        )
+    lines.append(
+        render_table(
+            rows,
+            header=["strategy", "hit rate", "merges", "written",
+                    "storage held", "cont eff", "cache eff"],
+        )
+    )
+    lines.append("")
+    lines.append(
+        f"Docker-style layer store for the same stream: "
+        f"{format_bytes(results['layering_stored_bytes'])} stored "
+        "(masked history included)."
+    )
+    lines.append(
+        f"Perfect content-dedup floor (unreachable for opaque images): "
+        f"{format_bytes(results['dedup_floor_bytes'])}; full repository: "
+        f"{format_bytes(results['repo_bytes'])}."
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (argparse wrapper around run/report)."""
+    return experiment_main(__doc__.splitlines()[0], run, report, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

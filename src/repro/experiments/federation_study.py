@@ -1,0 +1,149 @@
+"""Federation study: what cross-site image sharing saves.
+
+§I motivates the explosion partly by replication — *"often, containers are
+replicated across sites and to many individual nodes"*.  With
+specification-level identity a shared registry turns that replication into
+reuse (:mod:`repro.core.federation`).  This study runs the same
+multi-site workload twice:
+
+- **isolated sites** — every site builds all of its own images;
+- **federated sites** — sites consult a shared registry before building
+  and publish what they build.
+
+Reported: per-configuration build I/O (Shrinkwrap writes), WAN transfer
+(registry pulls), registry traffic, and action mix.  Expected shape: with
+S sites sharing a workload mix, federation approaches a single site's
+build I/O plus (S−1) pulls per image — pulls are cheaper than builds
+whenever the registry image isn't grossly oversized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.containers.registry import ImageRegistry
+from repro.core.federation import FederatedLandlord
+from repro.experiments.common import Scale, experiment_main
+from repro.htc.workload import DependencyWorkload
+from repro.packages.sft import build_experiment_repository
+from repro.util.rng import spawn
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+
+__all__ = ["run", "report", "main", "N_SITES"]
+
+N_SITES = 4
+
+
+def _site_streams(repository, scale: Scale, seed: int) -> List[List[frozenset]]:
+    """Each site sees a draw from the same global workload population."""
+    workload = DependencyWorkload(
+        repository, max_selection=max(4, scale.max_selection // 2)
+    )
+    n_unique = max(10, scale.n_unique // 4)
+    # A common pool of specs: sites sample (with repetition) from it, so
+    # cross-site overlap exists without streams being identical.
+    pool = workload.sample_specs(spawn(seed, "fed-pool"), n_unique)
+    streams = []
+    for site in range(N_SITES):
+        rng = spawn(seed, "fed-site", site)
+        picks = rng.integers(0, len(pool), size=n_unique * 2)
+        streams.append([pool[int(i)] for i in picks])
+    return streams
+
+
+def _run_sites(repository, streams, scale: Scale, registry) -> Dict[str, float]:
+    sites = [
+        FederatedLandlord(
+            repository,
+            capacity=scale.capacity // N_SITES,
+            alpha=0.8,
+            registry=registry,
+            expand_closure=False,
+        )
+        for _ in range(N_SITES)
+    ]
+    # Interleave site activity so the registry fills realistically.
+    for i in range(len(streams[0])):
+        for site, stream in zip(sites, streams):
+            site.prepare(stream[i])
+    totals = {
+        "bytes_built": sum(s.cache.stats.bytes_written for s in sites),
+        "bytes_pulled": sum(s.federation.pull_bytes for s in sites),
+        "pulls": sum(s.federation.pulls for s in sites),
+        "pushes": sum(s.federation.pushes for s in sites),
+        "declined": sum(s.federation.declined_pulls for s in sites),
+        "hits": sum(s.cache.stats.hits for s in sites),
+        "merges": sum(s.cache.stats.merges for s in sites),
+        "inserts": sum(s.cache.stats.inserts for s in sites),
+        "adoptions": sum(s.cache.stats.adoptions for s in sites),
+    }
+    totals["registry_bytes"] = registry.stored_bytes if registry else 0
+    return totals
+
+
+def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+    """Compute this experiment's data at the given scale."""
+    repository = build_experiment_repository(
+        "sft", seed=seed, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+    streams = _site_streams(repository, scale, seed)
+    isolated = _run_sites(repository, streams, scale, registry=None)
+    federated = _run_sites(repository, streams, scale, ImageRegistry())
+    return {
+        "sites": N_SITES,
+        "jobs": sum(len(s) for s in streams),
+        "isolated": isolated,
+        "federated": federated,
+    }
+
+
+def report(results: Dict[str, object]) -> str:
+    """Render computed results as paper-style text output."""
+    iso, fed = results["isolated"], results["federated"]
+    lines = [
+        f"Federation study — {results['sites']} sites, "
+        f"{results['jobs']} jobs",
+        "",
+    ]
+    rows = []
+    for label, totals in (("isolated", iso), ("federated", fed)):
+        rows.append(
+            [
+                label,
+                format_bytes(totals["bytes_built"]),
+                format_bytes(totals["bytes_pulled"]),
+                int(totals["hits"]),
+                int(totals["adoptions"]),
+                int(totals["inserts"]),
+                int(totals["merges"]),
+                format_bytes(totals["registry_bytes"]),
+            ]
+        )
+    lines.append(
+        render_table(
+            rows,
+            header=["mode", "built", "pulled", "hits", "adoptions",
+                    "inserts", "merges", "registry"],
+        )
+    )
+    if iso["bytes_built"]:
+        saved = 1.0 - fed["bytes_built"] / iso["bytes_built"]
+        lines.append("")
+        lines.append(
+            f"federation cuts global build I/O by {100 * saved:.0f}% — "
+            f"{fed['pulls']} registry pulls "
+            f"({format_bytes(fed['bytes_pulled'])}) replace local builds; "
+            f"{fed['declined']} pulls were declined as oversized."
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (argparse wrapper around run/report)."""
+    return experiment_main(__doc__.splitlines()[0], run, report, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Figure 3: image size vs. selection size.
+
+The paper's procedure (§VI, *Characterizing Package Dependencies*): for
+each fixed specification size, select that many packages uniformly at
+random from the SFT repository; record (a) the on-disk size of the bare
+selection, (b) the package count of the dependency-closed image, and
+(c) the on-disk size of that image.  Repeat 100 times per size and take
+medians.
+
+Expected shape: bare-selection size grows proportionally; closures amplify
+small selections by ~5x in package count, with the amplification fading as
+selections grow (the shared transitive core is only counted once) — the
+curve bends toward the total repository size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.common import Scale, experiment_main
+from repro.packages.sft import build_experiment_repository
+from repro.util.asciiplot import Series, line_plot
+from repro.util.rng import spawn
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+
+__all__ = ["run", "report", "main"]
+
+
+def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+    """Compute this experiment's data at the given scale."""
+    repo = build_experiment_repository(
+        "sft", seed=seed, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+    max_sel = min(scale.fig3_max_selection, len(repo))
+    step = max(1, max_sel // 10)
+    sizes = np.arange(step, max_sel + 1, step)
+    rng = spawn(seed, "fig3")
+    ids = repo.ids
+
+    spec_bytes = np.zeros(sizes.size)
+    image_count = np.zeros(sizes.size)
+    image_bytes = np.zeros(sizes.size)
+    for i, sel_size in enumerate(sizes):
+        trial_spec, trial_count, trial_bytes = [], [], []
+        for _ in range(scale.fig3_trials):
+            picks = rng.choice(len(ids), size=int(sel_size), replace=False)
+            selection = [ids[int(p)] for p in picks]
+            closure = repo.closure(selection)
+            trial_spec.append(repo.bytes_of(selection))
+            trial_count.append(len(closure))
+            trial_bytes.append(repo.bytes_of(closure))
+        spec_bytes[i] = np.median(trial_spec)
+        image_count[i] = np.median(trial_count)
+        image_bytes[i] = np.median(trial_bytes)
+
+    return {
+        "selection_sizes": sizes,
+        "spec_bytes": spec_bytes,
+        "image_count": image_count,
+        "image_bytes": image_bytes,
+        "repo_packages": len(repo),
+        "repo_bytes": repo.total_size,
+        "amplification": image_count / sizes,
+    }
+
+
+def report(results: Dict[str, object]) -> str:
+    """Render computed results as paper-style text output."""
+    sizes = results["selection_sizes"]
+    lines = ["Figure 3 — image size vs. selection size", ""]
+    lines.append(
+        render_table(
+            [
+                [
+                    int(sizes[i]),
+                    format_bytes(results["spec_bytes"][i]),
+                    int(results["image_count"][i]),
+                    format_bytes(results["image_bytes"][i]),
+                    f"{results['amplification'][i]:.2f}x",
+                ]
+                for i in range(len(sizes))
+            ],
+            header=["selection", "spec size", "image pkgs", "image size", "amp"],
+        )
+    )
+    lines.append("")
+    lines.append(
+        line_plot(
+            [
+                Series("Spec. Size (GB)", sizes, results["spec_bytes"] / 1e9),
+                Series("Image Size (GB)", sizes, results["image_bytes"] / 1e9),
+            ],
+            title="on-disk size vs selection size",
+            xlabel="Specification Size (Packages)",
+        )
+    )
+    lines.append("")
+    lines.append(
+        line_plot(
+            [Series("Image Count", sizes, results["image_count"])],
+            title="image package count vs selection size",
+            xlabel="Specification Size (Packages)",
+        )
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (argparse wrapper around run/report)."""
+    return experiment_main(__doc__.splitlines()[0], run, report, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

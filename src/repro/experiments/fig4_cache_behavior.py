@@ -1,0 +1,102 @@
+"""Figure 4: cache behaviour over a range of α values.
+
+Three panels from one α sweep (0.4–1.0 in 0.05 steps, 20 repetitions,
+median):
+
+- **4a** total cache operations — inserts ≈ deletes dominate at low α
+  (plain LRU behaviour); merges take over as α rises and collapse at α=1
+  where a single image absorbs everything and hits jump;
+- **4b** duplication of data in cache — unique data rises with merging
+  while total data falls at high α, meeting at α=1;
+- **4c** cumulative I/O overhead — actual writes track requested writes at
+  low α and exceed them increasingly as merge rewrites dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import sweep_table
+from repro.analysis.sweep import alpha_sweep
+from repro.experiments.common import Scale, base_config, experiment_main
+
+__all__ = ["run", "report", "main"]
+
+
+def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+    """Compute this experiment's data at the given scale."""
+    sweep = alpha_sweep(
+        base_config(scale, seed=seed),
+        alphas=scale.alphas(),
+        repetitions=scale.repetitions,
+        label="fig4",
+    )
+    return {"sweep": sweep}
+
+
+def report(results: Dict[str, object]) -> str:
+    """Render computed results as paper-style text output."""
+    sweep = results["sweep"]
+    lines = ["Figure 4 — cache behaviour over a range of alpha values", ""]
+    lines.append("4a: total cache operations")
+    lines.append(
+        sweep_table(sweep, ["hits", "inserts", "merges", "deletes"])
+    )
+    from repro.util.asciiplot import Series, line_plot
+
+    lines.append("")
+    lines.append(
+        line_plot(
+            [
+                Series(name, sweep.alphas, sweep.metric(name))
+                for name in ("inserts", "deletes", "merges", "hits")
+            ],
+            title="Figure 4a: total cache operations vs alpha",
+            xlabel="alpha",
+        )
+    )
+    lines.append("")
+    lines.append("4b: duplication of data in cache")
+    lines.append(sweep_table(sweep, ["unique_bytes", "cached_bytes"]))
+    lines.append("")
+    lines.append(
+        line_plot(
+            [
+                Series("Unique Data (GB)", sweep.alphas,
+                       sweep.metric("unique_bytes") / 1e9),
+                Series("Total Data (GB)", sweep.alphas,
+                       sweep.metric("cached_bytes") / 1e9),
+            ],
+            title="Figure 4b: duplication of data in cache",
+            xlabel="alpha",
+        )
+    )
+    lines.append("")
+    lines.append("4c: cumulative I/O overhead")
+    lines.append(
+        sweep_table(sweep, ["requested_bytes", "bytes_written",
+                            "write_amplification"])
+    )
+    lines.append("")
+    lines.append(
+        line_plot(
+            [
+                Series("Actual Writes (TB)", sweep.alphas,
+                       sweep.metric("bytes_written") / 1e12),
+                Series("Requested Writes (TB)", sweep.alphas,
+                       sweep.metric("requested_bytes") / 1e12),
+            ],
+            title="Figure 4c: cumulative I/O overhead",
+            xlabel="alpha",
+        )
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (argparse wrapper around run/report)."""
+    return experiment_main(__doc__.splitlines()[0], run, report, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

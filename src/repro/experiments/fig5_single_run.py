@@ -1,0 +1,102 @@
+"""Figure 5: behaviour of a single simulation.
+
+The paper runs one simulation at α = 0.75 with a 1.4 TB cache over 500
+unique job specifications, each repeated five times, and plots the
+cumulative operation counts plus cached data and bytes written against the
+request sequence.  Expected shape: merges dominate the operations; total
+bytes written closely tracks merges; cached data climbs until the capacity
+limit, after which deletes begin and the cache hovers at its limit; hits
+keep rising throughout despite deletions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import timeline_plot
+from repro.experiments.common import Scale, base_config, experiment_main
+from repro.htc.simulator import simulate
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+
+__all__ = ["run", "report", "main"]
+
+
+def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+    """Compute this experiment's data at the given scale."""
+    config = base_config(scale, seed=seed, alpha=0.75, record_timeline=True)
+    result = simulate(config)
+    return {
+        "config": {
+            "alpha": config.alpha,
+            "capacity": config.capacity,
+            "n_unique": config.n_unique,
+            "repeats": config.repeats,
+        },
+        "timeline": result.timeline,
+        "final": result.summary(),
+    }
+
+
+def report(results: Dict[str, object]) -> str:
+    """Render computed results as paper-style text output."""
+    cfg = results["config"]
+    timeline = results["timeline"]
+    final = results["final"]
+    lines = [
+        "Figure 5 — behaviour of a single simulation "
+        f"(alpha={cfg['alpha']}, cache={format_bytes(cfg['capacity'])}, "
+        f"{cfg['n_unique']} unique x {cfg['repeats']})",
+        "",
+    ]
+    lines.append(
+        timeline_plot(
+            timeline,
+            ["hits", "inserts", "deletes", "merges"],
+            title="cumulative cache operations",
+        )
+    )
+    lines.append("")
+    # The paper plots these on a second Y axis; ASCII charts get one each.
+    lines.append(
+        timeline_plot(
+            {"Cached Data (GB)": timeline["cached_bytes"] / 1e9},
+            ["Cached Data (GB)"],
+            title=f"cache occupancy (capacity {format_bytes(cfg['capacity'])})",
+        )
+    )
+    lines.append("")
+    lines.append(
+        timeline_plot(
+            {"Bytes Written (TB)": timeline["bytes_written"] / 1e12},
+            ["Bytes Written (TB)"],
+            title="cumulative bytes written",
+        )
+    )
+    lines.append("")
+    lines.append(
+        render_table(
+            [
+                ["hits", int(final["hits"])],
+                ["inserts", int(final["inserts"])],
+                ["merges", int(final["merges"])],
+                ["deletes", int(final["deletes"])],
+                ["cached data", format_bytes(final["cached_bytes"])],
+                ["bytes written", format_bytes(final["bytes_written"])],
+                ["cache efficiency", f"{100 * final['cache_efficiency']:.1f}%"],
+                ["container efficiency",
+                 f"{100 * final['container_efficiency']:.1f}%"],
+            ],
+            header=["final state", "value"],
+        )
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (argparse wrapper around run/report)."""
+    return experiment_main(__doc__.splitlines()[0], run, report, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

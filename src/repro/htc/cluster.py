@@ -1,0 +1,154 @@
+"""Sites and worker nodes — the distributed deployment of §V.
+
+The paper's deployment picture: a head node per site holds the LANDLORD
+image cache on scratch storage; worker nodes have their own (smaller)
+scratch for the images of jobs they run; images are transferred from the
+head-node cache to workers over the site network.  This module models that
+topology so the multi-site example and scheduler tests can account
+transfer costs and per-node storage pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.containers.image import ContainerImage
+from repro.containers.store import ImageStore
+from repro.core.cache import CachedImage
+from repro.core.landlord import Landlord, PreparedContainer
+from repro.packages.repository import Repository
+from repro.util.units import GB, MB
+
+__all__ = ["WorkerNode", "Site", "Cluster"]
+
+
+@dataclass
+class WorkerNode:
+    """One execution node: local scratch plus a busy-until clock."""
+
+    name: str
+    scratch: ImageStore
+    busy_until: float = 0.0
+    jobs_run: int = 0
+
+    @classmethod
+    def create(cls, name: str, scratch_bytes: int = 100 * GB) -> "WorkerNode":
+        return cls(name=name, scratch=ImageStore(scratch_bytes, name=name))
+
+
+class Site:
+    """A computing site: one LANDLORD head-node cache plus workers.
+
+    Args:
+        name: site label.
+        repository: the software repository visible at the site.
+        cache_bytes: head-node image-cache capacity.
+        alpha: the site's merge threshold.
+        n_workers / worker_scratch_bytes: execution nodes.
+        transfer_bw: head-to-worker image transfer bandwidth (bytes/s).
+        landlord_kwargs: forwarded to :class:`~repro.core.landlord.Landlord`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        repository: Repository,
+        cache_bytes: int,
+        alpha: float = 0.8,
+        n_workers: int = 4,
+        worker_scratch_bytes: int = 100 * GB,
+        transfer_bw: float = 500 * MB,
+        **landlord_kwargs: object,
+    ):
+        if n_workers < 1:
+            raise ValueError("a site needs at least one worker")
+        if transfer_bw <= 0:
+            raise ValueError("transfer_bw must be positive")
+        self.name = name
+        self.landlord = Landlord(
+            repository, capacity=cache_bytes, alpha=alpha, **landlord_kwargs
+        )
+        self.workers = [
+            WorkerNode.create(f"{name}/w{i}", worker_scratch_bytes)
+            for i in range(n_workers)
+        ]
+        self.transfer_bw = transfer_bw
+        self._artifact_cache: Dict[Tuple[str, int], ContainerImage] = {}
+
+    def artifact_of(self, image: CachedImage) -> ContainerImage:
+        """The transferable artifact for a cache image *version*.
+
+        A cached image mutates when merged; each merge produces a new
+        artifact (the rewrite the cache charged for), keyed by
+        ``(id, merge_count)``.
+        """
+        key = (image.id, image.merge_count)
+        artifact = self._artifact_cache.get(key)
+        if artifact is None:
+            artifact = ContainerImage(
+                spec=image.spec(),
+                size=image.size,
+                image_id=f"{image.id}@{image.merge_count}",
+            )
+            if len(self._artifact_cache) > 4096:
+                self._artifact_cache.clear()
+            self._artifact_cache[key] = artifact
+        return artifact
+
+    def least_busy_worker(self) -> WorkerNode:
+        """The worker whose clock frees up first."""
+        return min(self.workers, key=lambda w: w.busy_until)
+
+    def place(
+        self, prepared: PreparedContainer, worker: Optional[WorkerNode] = None
+    ) -> Tuple[WorkerNode, float]:
+        """Ensure the prepared image is on a worker; return transfer time.
+
+        A worker already holding this artifact version pays nothing; a new
+        or re-merged image is transferred at ``transfer_bw``.  An image too
+        large for the worker's scratch altogether is *streamed* from the
+        head node — it costs a full transfer every time and is never
+        cached locally (the paper's scenario of worker disks too small for
+        the image collection).
+        """
+        if worker is None:
+            worker = self.least_busy_worker()
+        artifact = self.artifact_of(prepared.image)
+        if artifact.image_id in worker.scratch:
+            worker.scratch.get(artifact.image_id)  # refresh LRU
+            return worker, 0.0
+        if artifact.size > worker.scratch.capacity:
+            return worker, artifact.size / self.transfer_bw
+        worker.scratch.put(artifact)
+        return worker, artifact.size / self.transfer_bw
+
+    @property
+    def stats(self):
+        return self.landlord.stats
+
+
+class Cluster:
+    """A collection of sites sharing (or not) a software repository."""
+
+    def __init__(self, sites: List[Site]):
+        if not sites:
+            raise ValueError("a cluster needs at least one site")
+        names = [site.name for site in sites]
+        if len(set(names)) != len(names):
+            raise ValueError("site names must be unique")
+        self.sites = list(sites)
+
+    def site(self, name: str) -> Site:
+        """Look up a site by name (KeyError if unknown)."""
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise KeyError(f"unknown site: {name!r}")
+
+    @property
+    def total_cached_bytes(self) -> int:
+        return sum(site.landlord.cache.cached_bytes for site in self.sites)
+
+    def __len__(self) -> int:
+        return len(self.sites)

@@ -1,0 +1,72 @@
+"""Jobs and their results.
+
+A job in this reproduction is a specification plus a runtime; HTC streams
+are just sequences of jobs.  Results carry the container decision and the
+modelled costs so schedulers and reports can aggregate throughput and
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.core.events import EventKind
+from repro.core.spec import ImageSpec
+
+__all__ = ["Job", "JobResult"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of HTC work.
+
+    Attributes:
+        job_id: unique identity within a stream.
+        spec: the packages the job requires (already closed or not is the
+            submitter's concern; :class:`~repro.core.landlord.Landlord`
+            can expand closures on preparation).
+        runtime_seconds: modelled execution time once the container is up.
+        user: submitting user/experiment tag (multi-tenant accounting).
+    """
+
+    job_id: str
+    spec: ImageSpec
+    runtime_seconds: float = 0.0
+    user: str = ""
+
+    def __post_init__(self) -> None:
+        if self.runtime_seconds < 0:
+            raise ValueError("runtime_seconds must be non-negative")
+
+    @property
+    def packages(self) -> FrozenSet[str]:
+        return self.spec.packages
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of running one job through a landlord + worker."""
+
+    job: Job
+    action: EventKind
+    image_id: str
+    image_bytes: int
+    requested_bytes: int
+    prep_seconds: float
+    transfer_seconds: float = 0.0
+    worker: Optional[str] = None
+    site: Optional[str] = None
+
+    @property
+    def total_seconds(self) -> float:
+        """Prep + transfer + execution."""
+        return self.prep_seconds + self.transfer_seconds + self.job.runtime_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of wall-clock not spent executing the job itself."""
+        total = self.total_seconds
+        if total == 0:
+            return 0.0
+        return (self.prep_seconds + self.transfer_seconds) / total

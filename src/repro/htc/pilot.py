@@ -1,0 +1,192 @@
+"""Pilot-job integration — LANDLORD inside a user-level scheduler.
+
+§V: *"When using a pilot job system, for example, scientists are
+effectively operating a 'user-level scheduler'.  Scientists have the option
+of using this same plugin approach to connect LANDLORD to a pilot job
+system, allowing LANDLORD to transparently optimize container storage
+without requiring application changes."*
+
+The model: pilots are placeholder jobs occupying workers at a site.  Each
+pilot repeatedly *pulls* real jobs from a shared queue (late binding — the
+defining property of pilot systems, in contrast to the push scheduler in
+:mod:`repro.htc.scheduler`), prepares each job's container through the
+site's LANDLORD, and retires after ``max_jobs`` or ``walltime`` seconds —
+whereupon the factory may replace it.  Because pulled jobs land on whatever
+pilot is free, the worker-local scratch hit pattern differs from pushed
+placement; the site-level cache behaviour is identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, List, Optional
+
+from repro.htc.cluster import Site, WorkerNode
+from repro.htc.job import Job, JobResult
+
+__all__ = ["JobQueue", "Pilot", "PilotFactory", "PilotRunSummary"]
+
+
+class JobQueue:
+    """A FIFO of pending jobs shared by all pilots."""
+
+    def __init__(self, jobs: Iterable[Job] = ()):
+        self._queue: Deque[Job] = deque(jobs)
+
+    def submit(self, job: Job) -> None:
+        """Append a job to the queue."""
+        self._queue.append(job)
+
+    def pull(self) -> Optional[Job]:
+        """Next job, or None when drained (pilot then retires idle)."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+
+@dataclass
+class Pilot:
+    """One placeholder job bound to a worker, pulling real jobs.
+
+    Attributes:
+        pilot_id: identity within the factory.
+        site: the site whose LANDLORD prepares this pilot's containers.
+        worker: the node the pilot occupies.
+        max_jobs: retire after this many jobs (None = unlimited).
+        walltime: retire when the pilot's busy clock passes this many
+            seconds since it started (None = unlimited) — pilots in real
+            systems are batch jobs with finite allocations.
+    """
+
+    pilot_id: str
+    site: Site
+    worker: WorkerNode
+    max_jobs: Optional[int] = None
+    walltime: Optional[float] = None
+    jobs_run: int = 0
+    started_at: float = field(default=0.0)
+    retired: bool = False
+
+    def _should_retire(self) -> bool:
+        if self.max_jobs is not None and self.jobs_run >= self.max_jobs:
+            return True
+        if (
+            self.walltime is not None
+            and self.worker.busy_until - self.started_at >= self.walltime
+        ):
+            return True
+        return False
+
+    def run(self, queue: JobQueue) -> List[JobResult]:
+        """Pull and execute jobs until the queue drains or the pilot
+        retires.  Returns this pilot's job results."""
+        if self.retired:
+            raise RuntimeError(f"pilot {self.pilot_id} already retired")
+        self.started_at = self.worker.busy_until
+        results: List[JobResult] = []
+        while not self._should_retire():
+            job = queue.pull()
+            if job is None:
+                break
+            prepared = self.site.landlord.prepare(job.spec)
+            _, transfer = self.site.place(prepared, self.worker)
+            self.worker.busy_until += (
+                prepared.prep_seconds + transfer + job.runtime_seconds
+            )
+            self.worker.jobs_run += 1
+            self.jobs_run += 1
+            results.append(
+                JobResult(
+                    job=job,
+                    action=prepared.action,
+                    image_id=prepared.image.id,
+                    image_bytes=prepared.image.size,
+                    requested_bytes=prepared.requested_bytes,
+                    prep_seconds=prepared.prep_seconds,
+                    transfer_seconds=transfer,
+                    worker=self.worker.name,
+                    site=self.site.name,
+                )
+            )
+        self.retired = True
+        return results
+
+
+@dataclass
+class PilotRunSummary:
+    """Aggregate outcome of running a queue through a pilot generation."""
+
+    results: List[JobResult]
+    pilots_used: int
+    jobs_left: int
+
+    @property
+    def jobs(self) -> int:
+        return len(self.results)
+
+    @property
+    def makespan(self) -> float:
+        return max((r.total_seconds for r in self.results), default=0.0)
+
+
+class PilotFactory:
+    """Submits pilot generations to a site until the queue drains.
+
+    Mirrors glideinWMS-style factories: a generation binds one pilot per
+    worker; retired pilots are replaced by the next generation while work
+    remains, up to ``max_generations`` (a runaway stop for queues that can
+    never finish, e.g. jobs whose images exceed every scratch).
+    """
+
+    def __init__(
+        self,
+        site: Site,
+        max_jobs_per_pilot: Optional[int] = 50,
+        walltime: Optional[float] = None,
+        max_generations: int = 100,
+    ):
+        if max_generations < 1:
+            raise ValueError("max_generations must be positive")
+        self.site = site
+        self.max_jobs_per_pilot = max_jobs_per_pilot
+        self.walltime = walltime
+        self.max_generations = max_generations
+        self._next_pilot = 0
+
+    def _spawn_generation(self) -> List[Pilot]:
+        pilots = []
+        for worker in self.site.workers:
+            pilots.append(
+                Pilot(
+                    pilot_id=f"pilot-{self._next_pilot:04d}",
+                    site=self.site,
+                    worker=worker,
+                    max_jobs=self.max_jobs_per_pilot,
+                    walltime=self.walltime,
+                )
+            )
+            self._next_pilot += 1
+        return pilots
+
+    def drain(self, queue: JobQueue) -> PilotRunSummary:
+        """Run pilot generations until the queue is empty (or cap hit)."""
+        results: List[JobResult] = []
+        pilots_used = 0
+        for _generation in range(self.max_generations):
+            if not queue:
+                break
+            for pilot in self._spawn_generation():
+                pilots_used += 1
+                results.extend(pilot.run(queue))
+                if not queue:
+                    break
+        return PilotRunSummary(
+            results=results, pilots_used=pilots_used, jobs_left=len(queue)
+        )

@@ -1,0 +1,96 @@
+"""Version-constraint conflict policies.
+
+Algorithm 1 merges two specifications only *"if s and j do not conflict"*.
+What counts as a conflict depends on the package-management system:
+
+- CVMFS is append-only; every version coexists, so nothing ever conflicts
+  (the paper: *"For LHC applications this is a non-issue"*).  That is
+  :class:`NoConflicts`, the default everywhere.
+- Conventional package managers install one version per name ("slot"), so
+  two specs demanding different versions of the same slot cannot share an
+  image.  :class:`SlotConflicts` models this.
+
+Policies are deliberately tiny objects so the cache can call them millions
+of times during sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Set
+
+from repro.packages.package import split_package_id
+
+__all__ = ["ConflictPolicy", "NoConflicts", "SlotConflicts"]
+
+
+class ConflictPolicy:
+    """Interface: decide whether two package sets can share one image."""
+
+    def conflicts(self, a: Iterable[str], b: Iterable[str]) -> bool:
+        """Return True if the union of ``a`` and ``b`` is unsatisfiable."""
+        raise NotImplementedError
+
+    def conflicting_slots(
+        self, a: Iterable[str], b: Iterable[str]
+    ) -> List[str]:
+        """Return the slots responsible for a conflict (empty if none).
+
+        Used by error reporting and tests; the base implementation reports
+        nothing, matching :meth:`conflicts` returning False.
+        """
+        return []
+
+
+class NoConflicts(ConflictPolicy):
+    """Append-only repositories: all versions coexist, merging always legal."""
+
+    def conflicts(self, a: Iterable[str], b: Iterable[str]) -> bool:
+        """Always False: append-only repositories never conflict."""
+        return False
+
+
+class SlotConflicts(ConflictPolicy):
+    """One version per slot: differing versions of a slot conflict.
+
+    The slot of a package id defaults to its name component; an explicit
+    ``slot_of`` mapping can override this (e.g. to model co-installable
+    variants such as ``python3.9`` vs ``python3.10`` that a repository
+    nevertheless packages under one name).
+    """
+
+    def __init__(self, slot_of: Optional[Mapping[str, str]] = None):
+        self._slot_of = slot_of
+
+    def _slot(self, package_id: str) -> str:
+        if self._slot_of is not None:
+            slot = self._slot_of.get(package_id)
+            if slot is not None:
+                return slot
+        return split_package_id(package_id)[0]
+
+    def _slot_map(self, ids: Iterable[str]) -> Mapping[str, Set[str]]:
+        slots: dict = {}
+        for pid in ids:
+            slots.setdefault(self._slot(pid), set()).add(pid)
+        return slots
+
+    def conflicts(self, a: Iterable[str], b: Iterable[str]) -> bool:
+        """True when some slot would hold two different versions."""
+        return bool(self.conflicting_slots(a, b))
+
+    def conflicting_slots(
+        self, a: Iterable[str], b: Iterable[str]
+    ) -> List[str]:
+        """The sorted slots whose version sets clash across a and b."""
+        slots_a = self._slot_map(a)
+        slots_b = self._slot_map(b)
+        bad: List[str] = []
+        for slot, ids_a in slots_a.items():
+            ids_b = slots_b.get(slot)
+            merged = ids_a | ids_b if ids_b else ids_a
+            if len(merged) > 1:
+                bad.append(slot)
+        for slot, ids_b in slots_b.items():
+            if slot not in slots_a and len(ids_b) > 1:
+                bad.append(slot)
+        return sorted(bad)

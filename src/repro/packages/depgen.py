@@ -1,0 +1,183 @@
+"""Synthetic dependency-DAG generators.
+
+The paper's central observation is that merging only pays off when container
+contents have *hierarchical* dependency structure — a compact core of
+near-universal transitive dependencies under a long tail of leaf packages
+(§VI, Figures 3 and 7).  These generators produce exactly such structures
+(plus the unstructured controls) so the experiments can vary structure while
+holding everything else constant:
+
+- :func:`layered_dag` — packages arranged in layers; higher layers depend on
+  lower ones, with popularity-skewed (Zipf) choice so a few lower packages
+  become common transitive dependencies.  This models SFT/RPM/Conda stacks.
+- :func:`random_dag` — each package depends on a uniform random subset of
+  earlier packages; no popularity skew, no layering.
+- :func:`flat` — no dependencies at all; the degenerate control in which a
+  spec's closure is the spec itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.packages.package import Package, make_package_id
+from repro.packages.sizes import lognormal_sizes
+
+__all__ = ["layered_dag", "random_dag", "flat", "LayerSpec"]
+
+Namer = Callable[[int, int], str]  # (layer, index_within_layer) -> package id
+
+
+def _default_namer(layer: int, index: int) -> str:
+    return make_package_id(f"L{layer}-pkg{index:05d}", "1.0")
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalised Zipf probabilities over ranks 1..n with exponent ``s``."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+class LayerSpec:
+    """Parameters for one layer of :func:`layered_dag`.
+
+    Attributes:
+        count: number of packages in the layer.
+        dep_range: inclusive (min, max) number of direct dependencies drawn
+            by each package in this layer (ignored for layer 0).
+        core_fraction: fraction of dependency picks routed to layer 0
+            (the "core") rather than the immediately lower layer.  Layer 1
+            draws everything from layer 0 regardless.
+        zipf_s: popularity skew of dependency choice within the target
+            layer; 0 means uniform.
+        mean_size: expected package size in bytes for this layer.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        dep_range: Tuple[int, int] = (1, 4),
+        core_fraction: float = 0.3,
+        zipf_s: float = 1.1,
+        mean_size: float = 50e6,
+    ):
+        if count < 0:
+            raise ValueError("layer count must be non-negative")
+        lo, hi = dep_range
+        if lo < 0 or hi < lo:
+            raise ValueError(f"invalid dep_range: {dep_range!r}")
+        if not 0.0 <= core_fraction <= 1.0:
+            raise ValueError(f"invalid core_fraction: {core_fraction!r}")
+        self.count = count
+        self.dep_range = (lo, hi)
+        self.core_fraction = core_fraction
+        self.zipf_s = zipf_s
+        self.mean_size = mean_size
+
+
+def layered_dag(
+    rng: np.random.Generator,
+    layers: Sequence[LayerSpec],
+    namer: Optional[Namer] = None,
+    size_sigma: float = 1.6,
+) -> List[Package]:
+    """Generate a hierarchical dependency DAG.
+
+    Packages in layer ``L`` depend on packages in layer ``L-1`` and (with
+    probability ``core_fraction``) on layer 0.  Choices within a layer are
+    Zipf-skewed by rank so low-rank packages become widely shared transitive
+    dependencies — the structure responsible for the closure amplification
+    seen in Figure 3.
+
+    Dependencies always point from higher to lower layers, so the result is
+    acyclic by construction.
+    """
+    if namer is None:
+        namer = _default_namer
+    if not layers or layers[0].count == 0:
+        raise ValueError("layered_dag needs a non-empty base layer")
+
+    layer_ids: List[List[str]] = []
+    packages: List[Package] = []
+
+    for layer_idx, spec in enumerate(layers):
+        sizes = lognormal_sizes(rng, spec.count, spec.mean_size, size_sigma)
+        ids = [namer(layer_idx, i) for i in range(spec.count)]
+        if layer_idx == 0:
+            for pid, size in zip(ids, sizes):
+                packages.append(Package(id=pid, size=int(size)))
+            layer_ids.append(ids)
+            continue
+
+        lower = layer_ids[layer_idx - 1]
+        core = layer_ids[0]
+        lower_w = _zipf_weights(len(lower), spec.zipf_s)
+        core_w = _zipf_weights(len(core), spec.zipf_s)
+        lo, hi = spec.dep_range
+        counts = rng.integers(lo, hi + 1, size=spec.count)
+        for i, (pid, size, k) in enumerate(zip(ids, sizes, counts)):
+            deps = set()
+            for _ in range(int(k)):
+                use_core = layer_idx == 1 or rng.random() < spec.core_fraction
+                if use_core:
+                    deps.add(core[int(rng.choice(len(core), p=core_w))])
+                else:
+                    deps.add(lower[int(rng.choice(len(lower), p=lower_w))])
+            deps.discard(pid)
+            packages.append(Package(id=pid, size=int(size), deps=tuple(sorted(deps))))
+        layer_ids.append(ids)
+
+    return packages
+
+
+def random_dag(
+    rng: np.random.Generator,
+    n: int,
+    mean_deps: float = 2.0,
+    mean_size: float = 50e6,
+    size_sigma: float = 1.6,
+    namer: Optional[Callable[[int], str]] = None,
+) -> List[Package]:
+    """Generate an unstructured DAG: package ``i`` depends on a Poisson
+    number of uniformly chosen earlier packages.
+
+    Acyclic because edges only point to lower indices.  Used as the
+    "arbitrary collections of data" control in Figure 7.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if namer is None:
+        namer = lambda i: make_package_id(f"rnd-pkg{i:05d}", "1.0")  # noqa: E731
+    sizes = lognormal_sizes(rng, n, mean_size, size_sigma)
+    packages: List[Package] = []
+    for i in range(n):
+        if i == 0:
+            deps: Tuple[str, ...] = ()
+        else:
+            k = min(int(rng.poisson(mean_deps)), i)
+            if k > 0:
+                picks = rng.choice(i, size=k, replace=False)
+                deps = tuple(sorted(namer(int(j)) for j in picks))
+            else:
+                deps = ()
+        packages.append(Package(id=namer(i), size=int(sizes[i]), deps=deps))
+    return packages
+
+
+def flat(
+    rng: np.random.Generator,
+    n: int,
+    mean_size: float = 50e6,
+    size_sigma: float = 1.6,
+    namer: Optional[Callable[[int], str]] = None,
+) -> List[Package]:
+    """Generate ``n`` packages with no dependencies at all."""
+    if namer is None:
+        namer = lambda i: make_package_id(f"flat-pkg{i:05d}", "1.0")  # noqa: E731
+    sizes = lognormal_sizes(rng, n, mean_size, size_sigma)
+    return [
+        Package(id=namer(i), size=int(sizes[i])) for i in range(n)
+    ]

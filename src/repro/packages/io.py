@@ -1,0 +1,76 @@
+"""Repository serialisation: JSON-lines interchange format.
+
+A downstream site will not use our synthetic generator — it has a real
+package database (RPM metadata, Conda channels, CVMFS build info).  This
+module defines the interchange format that decouples the library from the
+generator: one JSON object per package::
+
+    {"id": "ROOT/6.20.04/x86_64-el9", "size": 2600000000,
+     "deps": ["gcc/8.3.0", "python/3.9.6"]}
+
+``load_repository`` validates through the normal
+:class:`~repro.packages.repository.Repository` constructor (missing deps
+and cycles are rejected with line context), so a hand-edited file fails
+loudly at load time rather than corrupting a simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.packages.package import Package
+from repro.packages.repository import Repository, RepositoryError
+
+__all__ = ["save_repository", "load_repository"]
+
+PathLike = Union[str, Path]
+
+
+def save_repository(path: PathLike, repository: Repository) -> int:
+    """Write a repository as JSON lines; returns the package count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for pid in repository.ids:
+            pkg = repository[pid]
+            record = {"id": pkg.id, "size": pkg.size}
+            if pkg.deps:
+                record["deps"] = list(pkg.deps)
+            if pkg.slot != pkg.name:
+                record["slot"] = pkg.slot
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def load_repository(path: PathLike) -> Repository:
+    """Load a JSON-lines repository file (validating structure)."""
+    packages = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise RepositoryError(
+                    f"{path}:{lineno}: invalid JSON: {exc}"
+                ) from exc
+            try:
+                packages.append(
+                    Package(
+                        id=record["id"],
+                        size=int(record["size"]),
+                        deps=tuple(record.get("deps", ())),
+                        slot=record.get("slot", ""),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise RepositoryError(
+                    f"{path}:{lineno}: invalid package record: {exc}"
+                ) from exc
+    return Repository(packages)

@@ -1,0 +1,96 @@
+"""The package record.
+
+Following the paper (§V, "Similarity Metric"): *"each package is usually
+assigned a name/version string that is defined to be unique within the
+repo"*.  We use that unique string as the package id everywhere; sets of ids
+are the universe over which Jaccard distances are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["Package", "make_package_id", "split_package_id"]
+
+_SEP = "/"
+
+
+def make_package_id(name: str, version: str, variant: str = "") -> str:
+    """Compose the unique repository id for a package.
+
+    ``variant`` captures the platform/configuration axis of SFT-style repos
+    (e.g. ``x86_64-centos7-gcc8-opt``); empty for single-variant packages.
+
+    >>> make_package_id("ROOT", "6.20.04", "x86_64-el9")
+    'ROOT/6.20.04/x86_64-el9'
+    """
+    if not name or _SEP in name:
+        raise ValueError(f"invalid package name: {name!r}")
+    if not version or _SEP in version:
+        raise ValueError(f"invalid package version: {version!r}")
+    if _SEP in variant:
+        raise ValueError(f"invalid package variant: {variant!r}")
+    if variant:
+        return f"{name}{_SEP}{version}{_SEP}{variant}"
+    return f"{name}{_SEP}{version}"
+
+
+def split_package_id(package_id: str) -> Tuple[str, str, str]:
+    """Split an id back into ``(name, version, variant)``.
+
+    >>> split_package_id("ROOT/6.20.04")
+    ('ROOT', '6.20.04', '')
+    """
+    parts = package_id.split(_SEP)
+    if len(parts) == 2:
+        return parts[0], parts[1], ""
+    if len(parts) == 3:
+        return parts[0], parts[1], parts[2]
+    raise ValueError(f"invalid package id: {package_id!r}")
+
+
+@dataclass(frozen=True)
+class Package:
+    """An immutable package record.
+
+    Attributes:
+        id: unique ``name/version[/variant]`` string within the repository.
+        size: installed on-disk size in bytes (> 0 for real packages;
+            0 is allowed for pure meta-packages).
+        deps: ids of *direct* dependencies.  Transitive closure is the
+            repository's job, mirroring how the paper extracts a dependency
+            tree from SFT build metadata.
+        slot: the compatibility slot used for conflict checking.  Defaults
+            to the package name: two versions of one program occupy the same
+            slot and may be declared mutually exclusive by a
+            :class:`~repro.packages.conflicts.SlotConflicts` policy.
+    """
+
+    id: str
+    size: int
+    deps: Tuple[str, ...] = ()
+    slot: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"package {self.id!r} has negative size")
+        if self.id in self.deps:
+            raise ValueError(f"package {self.id!r} depends on itself")
+        if not self.slot:
+            object.__setattr__(self, "slot", split_package_id(self.id)[0])
+
+    @property
+    def name(self) -> str:
+        """The program/library name component of the id."""
+        return split_package_id(self.id)[0]
+
+    @property
+    def version(self) -> str:
+        """The version component of the id."""
+        return split_package_id(self.id)[1]
+
+    @property
+    def variant(self) -> str:
+        """The platform/configuration component of the id ('' if none)."""
+        return split_package_id(self.id)[2]

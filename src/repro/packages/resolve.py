@@ -1,0 +1,273 @@
+"""Version-constraint requirements and a small dependency solver.
+
+The paper (§V) notes that *"public software repositories generally support
+explicit version constraints, so two specifications may include constraints
+that cannot be simultaneously satisfied"*, and that this compatibility
+checking *"can be performed after using the Jaccard distance to prioritize
+the set of candidate specifications"*.  This module supplies that machinery
+for the slot-conflict world (one version per program name):
+
+- :class:`Requirement` — ``name`` plus version constraints, parsed from
+  strings like ``"root>=6.18,<6.21"``, ``"gcc==8.3.0"`` or just ``"numpy"``;
+- :func:`parse_version` — dotted alphanumeric versions ordered naturally
+  (``6.20.04`` > ``6.2.1``, ``1.0rc`` < ``1.0``-free comparisons are kept
+  simple: numeric components compare numerically, alphanumeric ones
+  lexically);
+- :class:`DependencySolver` — chooses one concrete package per requirement
+  (newest candidate first, backtracking) such that the union of the
+  selections' dependency closures holds at most one version per slot.
+
+Unsatisfiable inputs raise :class:`UnsatisfiableError` carrying a
+human-readable explanation of the clash.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.packages.package import split_package_id
+from repro.packages.repository import Repository
+
+__all__ = [
+    "parse_version",
+    "Constraint",
+    "Requirement",
+    "UnsatisfiableError",
+    "Resolution",
+    "DependencySolver",
+]
+
+_OPS = ("==", "!=", ">=", "<=", ">", "<")
+
+_COMPONENT_RE = re.compile(r"(\d+|[a-zA-Z]+)")
+
+
+def parse_version(version: str) -> Tuple:
+    """Split a version string into comparable components.
+
+    Numeric runs become integers (tagged to sort after strings of the same
+    position), alphabetic runs stay strings; separators are ignored.
+
+    >>> parse_version("6.20.04") > parse_version("6.9.1")
+    True
+    """
+    components: List[Tuple[int, object]] = []
+    for token in _COMPONENT_RE.findall(version):
+        if token.isdigit():
+            components.append((1, int(token)))
+        else:
+            components.append((0, token))
+    return tuple(components)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One version constraint: an operator and a boundary version."""
+
+    op: str
+    version: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown constraint operator: {self.op!r}")
+        if not self.version:
+            raise ValueError(f"constraint {self.op!r} lacks a version")
+
+    def satisfied_by(self, version: str) -> bool:
+        """True if ``version`` meets this constraint."""
+        lhs, rhs = parse_version(version), parse_version(self.version)
+        if self.op == "==":
+            return version == self.version or lhs == rhs
+        if self.op == "!=":
+            return version != self.version and lhs != rhs
+        if self.op == ">=":
+            return lhs >= rhs
+        if self.op == "<=":
+            return lhs <= rhs
+        if self.op == ">":
+            return lhs > rhs
+        return lhs < rhs
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.version}"
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """A named requirement with zero or more version constraints."""
+
+    name: str
+    constraints: Tuple[Constraint, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "Requirement":
+        """Parse ``"name"`` / ``"name==1.2"`` / ``"name>=1,<2"``.
+
+        >>> Requirement.parse("root>=6.18,<6.21").name
+        'root'
+        """
+        text = text.strip()
+        match = re.match(r"^([\w.+\-]+)\s*(.*)$", text)
+        if not match or not match.group(1):
+            raise ValueError(f"unparseable requirement: {text!r}")
+        name, rest = match.group(1), match.group(2).strip()
+        constraints: List[Constraint] = []
+        if rest:
+            for clause in rest.split(","):
+                clause = clause.strip()
+                for op in _OPS:
+                    if clause.startswith(op):
+                        constraints.append(
+                            Constraint(op, clause[len(op):].strip())
+                        )
+                        break
+                else:
+                    raise ValueError(
+                        f"unparseable constraint {clause!r} in {text!r}"
+                    )
+        return cls(name=name, constraints=tuple(constraints))
+
+    def allows(self, version: str) -> bool:
+        """True if every constraint accepts ``version``."""
+        return all(c.satisfied_by(version) for c in self.constraints)
+
+    def __str__(self) -> str:
+        return self.name + ",".join(str(c) for c in self.constraints)
+
+
+class UnsatisfiableError(Exception):
+    """No assignment of concrete packages satisfies the requirements."""
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A successful solve: requirement → package id, plus the full closure."""
+
+    assignments: Dict[str, str]
+    closure: FrozenSet[str]
+
+    @property
+    def packages(self) -> FrozenSet[str]:
+        return self.closure
+
+
+class DependencySolver:
+    """Pick concrete packages for requirements without slot conflicts.
+
+    Candidates for each requirement are its name's versions (and variants)
+    filtered by the constraints, ordered newest-first.  The solver then
+    backtracks over candidate choices so that the union of dependency
+    closures contains at most one version per slot.  The search is bounded
+    by ``max_steps`` — real repositories resolve in a handful of steps, and
+    a blow-up indicates genuinely tangled constraints, which is reported as
+    unsatisfiable rather than looping forever.
+    """
+
+    def __init__(self, repository: Repository, max_steps: int = 10_000):
+        self.repository = repository
+        self.max_steps = max_steps
+        self._by_name: Dict[str, List[str]] = {}
+        for pid in repository.ids:
+            name, _version, _variant = split_package_id(pid)
+            self._by_name.setdefault(name, []).append(pid)
+        for name, ids in self._by_name.items():
+            ids.sort(
+                key=lambda pid: parse_version(split_package_id(pid)[1]),
+                reverse=True,
+            )
+
+    def candidates(self, requirement: Requirement) -> List[str]:
+        """Concrete package ids satisfying one requirement, newest first."""
+        ids = self._by_name.get(requirement.name, [])
+        return [
+            pid for pid in ids
+            if requirement.allows(split_package_id(pid)[1])
+        ]
+
+    @staticmethod
+    def _slot_clash(closure: Iterable[str]) -> Optional[Tuple[str, str, str]]:
+        """Return (slot, id_a, id_b) for the first multi-version slot."""
+        seen: Dict[str, str] = {}
+        for pid in sorted(closure):
+            name, version, _variant = split_package_id(pid)
+            held = seen.get(name)
+            if held is None:
+                seen[name] = pid
+            elif split_package_id(held)[1] != version:
+                return name, held, pid
+        return None
+
+    def solve(
+        self,
+        requirements: Sequence["Requirement | str"],
+        enforce_slots: bool = True,
+    ) -> Resolution:
+        """Resolve requirements to a conflict-free concrete closure.
+
+        With ``enforce_slots=False`` (the CVMFS append-only world) the
+        newest candidate per requirement is taken and coexisting versions
+        are fine; with the default, backtracking finds a slot-consistent
+        assignment or raises :class:`UnsatisfiableError`.
+        """
+        parsed = [
+            r if isinstance(r, Requirement) else Requirement.parse(r)
+            for r in requirements
+        ]
+        candidate_lists = []
+        for requirement in parsed:
+            candidates = self.candidates(requirement)
+            if not candidates:
+                raise UnsatisfiableError(
+                    f"no package satisfies {requirement}"
+                    + ("" if requirement.name in self._by_name
+                       else f" (unknown package {requirement.name!r})")
+                )
+            candidate_lists.append(candidates)
+
+        if not enforce_slots:
+            picks = [candidates[0] for candidates in candidate_lists]
+            return Resolution(
+                assignments={
+                    str(req): pid for req, pid in zip(parsed, picks)
+                },
+                closure=self.repository.closure(picks),
+            )
+
+        steps = 0
+
+        def backtrack(index: int, picks: List[str]) -> Optional[List[str]]:
+            nonlocal steps
+            if index == len(candidate_lists):
+                return picks
+            for candidate in candidate_lists[index]:
+                steps += 1
+                if steps > self.max_steps:
+                    raise UnsatisfiableError(
+                        "solver budget exhausted; constraints too tangled"
+                    )
+                trial = picks + [candidate]
+                closure = self.repository.closure(trial)
+                if self._slot_clash(closure) is None:
+                    result = backtrack(index + 1, trial)
+                    if result is not None:
+                        return result
+            return None
+
+        picks = backtrack(0, [])
+        if picks is None:
+            # Produce a concrete explanation from the newest-first picks.
+            greedy = [candidates[0] for candidates in candidate_lists]
+            clash = self._slot_clash(self.repository.closure(greedy))
+            detail = (
+                f"; e.g. slot {clash[0]!r} needs both {clash[1]!r} and "
+                f"{clash[2]!r}" if clash else ""
+            )
+            raise UnsatisfiableError(
+                "requirements cannot be satisfied together" + detail
+            )
+        return Resolution(
+            assignments={str(req): pid for req, pid in zip(parsed, picks)},
+            closure=self.repository.closure(picks),
+        )

@@ -1,0 +1,64 @@
+"""Infer specifications from previous-job logs.
+
+When no static spec exists, the paper falls back to runtime tracing:
+observe which repository paths a job touched and require the packages that
+own them.  Logs carry CVMFS access paths of the form::
+
+    /cvmfs/<repo>/<name>/<version>[/<variant>]/...
+
+(e.g. strace output, CVMFS client logs, or Shrinkwrap manifests).  The
+parser extracts distinct ``name/version`` prefixes.  Tracing may span
+multiple runs — the paper notes single runs can miss behaviours — so
+:func:`spec_from_logs` merges several logs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Set
+
+from repro.specs.resolver import PackageResolver, SpecReport
+
+__all__ = ["accessed_packages", "spec_from_log", "spec_from_logs"]
+
+# /cvmfs/<repo>/<name>/<version>[/...]; name and version are single path
+# segments; repo looks like "sft.cern.ch".
+_ACCESS_RE = re.compile(
+    r"/cvmfs/(?P<repo>[\w.\-]+)/(?P<name>[\w+.\-]+)/(?P<version>[\w+.\-]+)"
+)
+
+
+def accessed_packages(log: str, repo_filter: str = "") -> List[str]:
+    """Distinct ``name/version`` pairs referenced in a log, in first-seen
+    order.  ``repo_filter`` restricts to one CVMFS repository."""
+    seen: Set[str] = set()
+    out: List[str] = []
+    for match in _ACCESS_RE.finditer(log):
+        if repo_filter and match.group("repo") != repo_filter:
+            continue
+        requirement = f"{match.group('name')}/{match.group('version')}"
+        if requirement not in seen:
+            seen.add(requirement)
+            out.append(requirement)
+    return out
+
+
+def spec_from_log(
+    log: str, resolver: PackageResolver, repo_filter: str = ""
+) -> SpecReport:
+    """Resolve the packages a single job log shows being accessed."""
+    return resolver.resolve(accessed_packages(log, repo_filter))
+
+
+def spec_from_logs(
+    logs: Iterable[str], resolver: PackageResolver, repo_filter: str = ""
+) -> SpecReport:
+    """Merge access evidence from several runs into one specification."""
+    merged: List[str] = []
+    seen: Set[str] = set()
+    for log in logs:
+        for requirement in accessed_packages(log, repo_filter):
+            if requirement not in seen:
+                seen.add(requirement)
+                merged.append(requirement)
+    return resolver.resolve(merged)

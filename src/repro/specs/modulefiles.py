@@ -1,0 +1,68 @@
+"""Infer specifications from ``module load`` directives.
+
+HPC sites expose software through environment modules; job scripts carry
+lines like::
+
+    module load gcc/8.3.0
+    module load ROOT/6.20.04 geant4
+    ml python/3.9   # Lmod shorthand
+
+The scanner extracts the loaded ``name[/version]`` tokens.  ``module
+unload``/``purge`` remove prior loads (order matters within a script);
+comments and unrelated shell text are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.specs.resolver import PackageResolver, SpecReport
+
+__all__ = ["loaded_modules", "spec_from_module_script"]
+
+_LOAD_RE = re.compile(
+    r"^\s*(?:module|ml)\s+(?:(load|add|unload|rm|del|purge)\s*)?(.*)$"
+)
+_COMMENT_RE = re.compile(r"(?<!\\)#.*$")
+
+
+def loaded_modules(script: str) -> List[str]:
+    """The modules still loaded at the end of a shell script, in load order."""
+    loaded: List[str] = []
+    for raw_line in script.splitlines():
+        line = _COMMENT_RE.sub("", raw_line).strip()
+        if not line:
+            continue
+        match = _LOAD_RE.match(line)
+        if not match:
+            continue
+        verb, rest = match.group(1), match.group(2).strip()
+        tokens = rest.split()
+        if verb in ("unload", "rm", "del"):
+            for token in tokens:
+                # Unload matches by name, with or without version.
+                name = token.split("/")[0]
+                loaded = [
+                    m for m in loaded
+                    if m != token and m.split("/")[0] != name
+                ]
+            continue
+        if verb == "purge":
+            loaded.clear()
+            continue
+        # "module load x y" or the bare "ml x" shorthand.
+        if verb in ("load", "add") or (verb is None and tokens):
+            for token in tokens:
+                if token.startswith("-"):  # option flags
+                    continue
+                if token not in loaded:
+                    loaded.append(token)
+    return loaded
+
+
+def spec_from_module_script(
+    script: str, resolver: PackageResolver
+) -> SpecReport:
+    """Scan a shell script's module directives and resolve them."""
+    return resolver.resolve(loaded_modules(script))

@@ -1,0 +1,138 @@
+"""Infer specifications from declarative requirement files.
+
+The paper's key contrast (§II) is between *recipes* (ordered build steps)
+and *declarative requirement files* like those Binder consumes — "a set of
+dependencies has no order, and so one may combine or break apart sets
+without starting over".  This module parses the two ubiquitous formats and
+resolves them through the constraint solver, yielding conflict-checked
+concrete specifications:
+
+- pip-style ``requirements.txt``: one requirement per line
+  (``root>=6.18,<6.21``), ``#`` comments, blank lines, and option lines
+  (``-r``, ``--hash`` …) which are ignored with a warning list;
+- conda-style ``environment.yml`` (the common subset, parsed without a
+  YAML dependency): the ``dependencies:`` block of ``- name=version`` /
+  ``- name`` items; nested ``- pip:`` sub-blocks are parsed as pip lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.spec import ImageSpec
+from repro.packages.repository import Repository
+from repro.packages.resolve import DependencySolver, Requirement, Resolution
+
+__all__ = [
+    "RequirementsReport",
+    "parse_requirements_txt",
+    "parse_environment_yml",
+    "spec_from_requirements",
+    "spec_from_conda_env",
+]
+
+
+@dataclass(frozen=True)
+class RequirementsReport:
+    """A solved requirements file."""
+
+    spec: ImageSpec                 # the full concrete closure
+    resolution: Resolution          # requirement -> package assignments
+    ignored_lines: Tuple[str, ...]  # option lines we skipped
+
+
+def parse_requirements_txt(text: str) -> Tuple[List[Requirement], List[str]]:
+    """Parse pip-style lines into requirements; returns (reqs, ignored)."""
+    requirements: List[Requirement] = []
+    ignored: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("-"):
+            ignored.append(line)
+            continue
+        requirements.append(Requirement.parse(line))
+    return requirements, ignored
+
+
+def parse_environment_yml(text: str) -> Tuple[List[Requirement], List[str]]:
+    """Parse the common subset of conda ``environment.yml``.
+
+    Only the ``dependencies:`` block is consulted; ``name:``/``channels:``
+    and unrecognised keys are ignored.  Conda pins use a single ``=``
+    (``python=3.9``), translated to an exact-version constraint.
+    """
+    requirements: List[Requirement] = []
+    ignored: List[str] = []
+    in_deps = False
+    in_pip = False
+    for raw in text.splitlines():
+        stripped = raw.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            continue
+        if not raw.startswith((" ", "\t", "-")):
+            in_deps = stripped.strip().lower().startswith("dependencies:")
+            in_pip = False
+            continue
+        if not in_deps:
+            continue
+        item = stripped.strip()
+        if not item.startswith("-"):
+            continue
+        item = item[1:].strip()
+        if item.lower().startswith("pip:"):
+            in_pip = True
+            continue
+        if in_pip and raw.startswith((" " * 4, "\t\t", "  -")) and ":" not in item:
+            # nested pip entries use pip syntax already
+            requirements.append(Requirement.parse(item))
+            continue
+        if ":" in item:  # a mapping we don't model (e.g. "pip: [..]")
+            ignored.append(item)
+            continue
+        # conda pin: name=version[=build]; build strings are dropped
+        parts = item.split("=")
+        parts = [p for p in parts if p]
+        if len(parts) == 1:
+            requirements.append(Requirement.parse(parts[0]))
+        else:
+            requirements.append(Requirement.parse(f"{parts[0]}=={parts[1]}"))
+    return requirements, ignored
+
+
+def _solve(
+    requirements: List[Requirement],
+    ignored: List[str],
+    repository: Repository,
+    enforce_slots: bool,
+) -> RequirementsReport:
+    solver = DependencySolver(repository)
+    resolution = solver.solve(requirements, enforce_slots=enforce_slots)
+    return RequirementsReport(
+        spec=ImageSpec(resolution.closure),
+        resolution=resolution,
+        ignored_lines=tuple(ignored),
+    )
+
+
+def spec_from_requirements(
+    text: str, repository: Repository, enforce_slots: bool = True
+) -> RequirementsReport:
+    """Solve a requirements.txt against a repository.
+
+    Raises :class:`~repro.packages.resolve.UnsatisfiableError` when the
+    constraints cannot be met — a submission-time failure, exactly where
+    the paper wants conflicts surfaced.
+    """
+    requirements, ignored = parse_requirements_txt(text)
+    return _solve(requirements, ignored, repository, enforce_slots)
+
+
+def spec_from_conda_env(
+    text: str, repository: Repository, enforce_slots: bool = True
+) -> RequirementsReport:
+    """Solve an environment.yml against a repository."""
+    requirements, ignored = parse_environment_yml(text)
+    return _solve(requirements, ignored, repository, enforce_slots)

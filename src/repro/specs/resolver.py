@@ -1,0 +1,108 @@
+"""Resolve discovered requirement names against a repository.
+
+Scanners produce *short names* (``numpy``, ``ROOT``) or *name/version*
+pairs (``ROOT/6.20.04``); the resolver maps them to concrete package ids:
+
+- exact package-id matches pass through;
+- name/version pairs match any variant of that name and version;
+- bare names resolve to the lexicographically greatest version (a stable
+  stand-in for "latest") unless an alias overrides the name first.
+
+Unresolvable names are reported, not dropped silently — a job whose
+requirements cannot be satisfied should fail at submission, not at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.spec import ImageSpec
+from repro.packages.package import split_package_id
+from repro.packages.repository import Repository
+
+__all__ = ["PackageResolver", "SpecReport"]
+
+
+@dataclass(frozen=True)
+class SpecReport:
+    """Result of turning scanned names into a specification."""
+
+    spec: ImageSpec
+    resolved: Dict[str, str]   # requested name -> package id
+    unresolved: Tuple[str, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.unresolved
+
+
+class PackageResolver:
+    """Maps requirement names to package ids within one repository."""
+
+    def __init__(
+        self,
+        repository: Repository,
+        aliases: Optional[Mapping[str, str]] = None,
+        case_insensitive: bool = True,
+    ):
+        self.repository = repository
+        self.case_insensitive = case_insensitive
+        self._aliases = dict(aliases or {})
+        # name -> sorted list of (version, package_id)
+        self._by_name: Dict[str, List[Tuple[str, str]]] = {}
+        for pid in repository.ids:
+            name, version, _variant = split_package_id(pid)
+            key = name.lower() if case_insensitive else name
+            self._by_name.setdefault(key, []).append((version, pid))
+        for versions in self._by_name.values():
+            versions.sort()
+
+    def _norm(self, name: str) -> str:
+        return name.lower() if self.case_insensitive else name
+
+    def resolve_one(self, requirement: str) -> Optional[str]:
+        """Resolve one requirement string to a package id, or None."""
+        requirement = requirement.strip()
+        if not requirement:
+            return None
+        alias = self._aliases.get(requirement) or self._aliases.get(
+            self._norm(requirement)
+        )
+        if alias is not None:
+            requirement = alias
+        if requirement in self.repository:
+            return requirement
+        parts = requirement.split("/")
+        name = self._norm(parts[0])
+        candidates = self._by_name.get(name)
+        if not candidates:
+            return None
+        if len(parts) >= 2:
+            wanted = parts[1]
+            matches = [pid for version, pid in candidates if version == wanted]
+            if not matches:
+                return None
+            return sorted(matches)[0]
+        # Bare name: newest version, first variant for determinism.
+        newest = candidates[-1][0]
+        matches = sorted(
+            pid for version, pid in candidates if version == newest
+        )
+        return matches[0]
+
+    def resolve(self, requirements: Iterable[str]) -> SpecReport:
+        """Resolve many names into a :class:`SpecReport`."""
+        resolved: Dict[str, str] = {}
+        unresolved: List[str] = []
+        for requirement in requirements:
+            pid = self.resolve_one(requirement)
+            if pid is None:
+                unresolved.append(requirement)
+            else:
+                resolved[requirement] = pid
+        return SpecReport(
+            spec=ImageSpec(resolved.values()),
+            resolved=resolved,
+            unresolved=tuple(sorted(set(unresolved))),
+        )

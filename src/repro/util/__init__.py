@@ -1,0 +1,36 @@
+"""Shared utilities: seeded RNG plumbing, byte units, text tables and plots.
+
+Nothing in here is specific to LANDLORD; these are the small deterministic
+helpers every substrate relies on.  Keeping them in one place makes the
+simulation fully reproducible: all randomness flows from a single root seed
+through :func:`repro.util.rng.spawn`.
+"""
+
+from repro.util.rng import RngFactory, spawn
+from repro.util.units import (
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    TB,
+    TiB,
+    format_bytes,
+    parse_bytes,
+)
+
+__all__ = [
+    "RngFactory",
+    "spawn",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "format_bytes",
+    "parse_bytes",
+]

@@ -1,0 +1,94 @@
+"""Minimal ASCII line plots for terminal figure output.
+
+The experiment CLIs print each reproduced figure both as a table of series and
+as an ASCII chart so the *shape* (the thing we are reproducing) is visible
+without matplotlib, which is not installed in the offline environment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+__all__ = ["line_plot", "Series"]
+
+_MARKERS = "*o+x#@%&"
+
+
+class Series:
+    """A named (x, y) series for :func:`line_plot`."""
+
+    def __init__(self, name: str, xs: Sequence[float], ys: Sequence[float]):
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        self.name = name
+        self.xs = [float(v) for v in xs]
+        self.ys = [float(v) for v in ys]
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def line_plot(
+    series: Sequence[Series],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    xlabel: Optional[str] = None,
+    ylabel: Optional[str] = None,
+) -> str:
+    """Render series onto a character grid; later series overdraw earlier.
+
+    Returns the plot as a single string (no trailing newline).  Empty or
+    all-NaN input degrades to a labelled empty frame rather than raising —
+    experiment code should never crash on a degenerate sweep.
+    """
+    all_x = _finite([x for s in series for x in s.xs])
+    all_y = _finite([y for s in series for y in s.ys])
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    if not all_x or not all_y:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    for idx, s in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(s.xs, s.ys):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            grid[to_row(y)][to_col(x)] = marker
+
+    y_labels = [f"{y_hi:.4g}"] + [""] * (height - 2) + [f"{y_lo:.4g}"]
+    label_width = max(len(lbl) for lbl in y_labels)
+    for row, lbl in zip(grid, y_labels):
+        lines.append(f"{lbl:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}"
+    lines.append(" " * (label_width + 2) + x_axis)
+    if xlabel:
+        lines.append(" " * (label_width + 2) + xlabel.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(series)
+    )
+    if ylabel:
+        legend = f"y: {ylabel}   " + legend
+    lines.append(legend)
+    return "\n".join(lines)

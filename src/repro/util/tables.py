@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports.
+
+Deliberately dependency-free: rows are sequences of cells, cells are
+stringified, columns are right-padded.  Used by ``repro.analysis.report`` and
+the experiment CLIs to print paper-style tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.6g}"
+    return str(cell)
+
+
+def render_table(
+    rows: Iterable[Sequence[object]],
+    header: Optional[Sequence[object]] = None,
+    align: Optional[str] = None,
+) -> str:
+    """Render rows into an aligned text table.
+
+    ``align`` is a string of ``'l'``/``'r'`` per column; unspecified columns
+    default to left for the first column and right for the rest (the common
+    name-then-numbers layout of the paper's tables).
+
+    >>> print(render_table([["a", 1]], header=["name", "n"]))
+    name | n
+    -----+--
+    a    | 1
+    """
+    str_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    str_header = [_stringify(c) for c in header] if header is not None else None
+    all_rows = ([str_header] if str_header else []) + str_rows
+    if not all_rows:
+        return "(empty table)"
+    n_cols = max(len(r) for r in all_rows)
+    for r in all_rows:
+        r.extend([""] * (n_cols - len(r)))
+    widths = [max(len(r[c]) for r in all_rows) for c in range(n_cols)]
+    if align is None:
+        align = "l" + "r" * (n_cols - 1)
+    align = (align + "r" * n_cols)[:n_cols]
+
+    def fmt_row(row: List[str]) -> str:
+        cells = []
+        for c, cell in enumerate(row):
+            if align[c] == "l":
+                cells.append(cell.ljust(widths[c]))
+            else:
+                cells.append(cell.rjust(widths[c]))
+        return " | ".join(cells).rstrip()
+
+    lines = []
+    if str_header:
+        lines.append(fmt_row(str_header))
+        lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

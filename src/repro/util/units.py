@@ -1,0 +1,104 @@
+"""Byte-size units, parsing and human-readable formatting.
+
+All sizes in the simulation are integers of bytes.  The paper reports sizes
+in decimal units (GB/TB), so the decimal constants are the primary ones;
+binary (GiB/TiB) are provided for completeness.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "format_bytes",
+    "parse_bytes",
+]
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+PB = 10**15
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+TiB = 1 << 40
+
+_DECIMAL = [("PB", PB), ("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)]
+
+_UNIT_TABLE = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "pb": PB,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+    "k": KB,
+    "m": MB,
+    "g": GB,
+    "t": TB,
+    "p": PB,
+}
+
+_PARSE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def format_bytes(n: Union[int, float], precision: int = 1) -> str:
+    """Render a byte count with the largest decimal unit >= 1.
+
+    >>> format_bytes(1_400_000_000_000)
+    '1.4TB'
+    >>> format_bytes(512)
+    '512B'
+    """
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for name, factor in _DECIMAL:
+        if n >= factor:
+            return f"{sign}{n / factor:.{precision}f}{name}"
+    return f"{sign}{n:.0f}B"
+
+
+def parse_bytes(text: Union[str, int, float]) -> int:
+    """Parse a size like ``"1.4TB"``, ``"700 GB"`` or a bare number.
+
+    Unit suffixes are case-insensitive; decimal SI units are assumed for the
+    short forms (``K``/``M``/``G``/``T``).  Raises :class:`ValueError` on
+    anything unrecognisable or negative.
+
+    >>> parse_bytes("1.4TB")
+    1400000000000
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        if value < 0:
+            raise ValueError(f"negative size: {text!r}")
+        return int(value)
+    match = _PARSE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(match.group(1))
+    unit = match.group(2).lower()
+    if unit == "":
+        factor = 1
+    elif unit in _UNIT_TABLE:
+        factor = _UNIT_TABLE[unit]
+    else:
+        raise ValueError(f"unknown unit {match.group(2)!r} in {text!r}")
+    return int(round(value * factor))

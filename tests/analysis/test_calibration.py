@@ -1,0 +1,91 @@
+"""Tests for repro.analysis.calibration — the substitution's guard rails."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationReport,
+    calibration_report,
+    closure_amplification,
+    core_concentration,
+    spec_distance_profile,
+)
+from repro.packages.sft import build_experiment_repository
+from repro.util.units import GB
+
+
+class TestClosureAmplification:
+    def test_sft_amplifies_small_selections(self, small_sft):
+        amp = closure_amplification(small_sft, selection_size=6, trials=15)
+        assert amp > 2.0
+
+    def test_amplification_fades_with_size(self, small_sft):
+        small = closure_amplification(small_sft, 6, trials=15)
+        large = closure_amplification(small_sft, 60, trials=15)
+        assert large < small
+
+    def test_flat_repo_has_no_amplification(self):
+        flat = build_experiment_repository(
+            "flat", seed=1, n_packages=200, target_total_size=GB
+        )
+        assert closure_amplification(flat, 10, trials=10) == 1.0
+
+    def test_invalid_selection_size(self, small_sft):
+        with pytest.raises(ValueError):
+            closure_amplification(small_sft, 0)
+        with pytest.raises(ValueError):
+            closure_amplification(small_sft, len(small_sft) + 1)
+
+
+class TestCoreConcentration:
+    def test_sft_concentrated(self, small_sft):
+        assert core_concentration(small_sft) > 0.15
+
+    def test_sft_more_concentrated_than_random(self, small_sft,
+                                                small_random_repo):
+        assert core_concentration(small_sft) > core_concentration(
+            small_random_repo
+        )
+
+    def test_flat_repo_scores_zero(self):
+        flat = build_experiment_repository(
+            "flat", seed=1, n_packages=100, target_total_size=GB
+        )
+        assert core_concentration(flat) == 0.0
+
+    def test_top_fraction_validation(self, small_sft):
+        with pytest.raises(ValueError):
+            core_concentration(small_sft, top_fraction=0.0)
+
+
+class TestDistanceProfile:
+    def test_percentiles_ordered(self, small_sft):
+        profile = spec_distance_profile(small_sft, max_selection=8,
+                                        n_specs=15)
+        assert (
+            profile["p05"] <= profile["p25"] <= profile["p50"]
+            <= profile["p75"] <= profile["p95"]
+        )
+
+    def test_distances_in_unit_interval(self, small_sft):
+        profile = spec_distance_profile(small_sft, max_selection=8,
+                                        n_specs=15)
+        assert 0.0 <= profile["p05"] and profile["p95"] <= 1.0
+
+    def test_profile_explains_merge_onset(self, small_sft):
+        """Merging turns on in the α sweeps roughly where the distance
+        profile's lower percentiles sit — the calibration story."""
+        profile = spec_distance_profile(small_sft, max_selection=8,
+                                        n_specs=20)
+        assert 0.4 < profile["p05"] < 1.0
+
+
+class TestReport:
+    def test_bundles_everything(self, small_sft):
+        report = calibration_report(small_sft)
+        assert isinstance(report, CalibrationReport)
+        assert report.packages == len(small_sft)
+        assert report.amplification_small > report.amplification_large
+        assert len(report.lines()) == 5
+
+    def test_deterministic(self, small_sft):
+        assert calibration_report(small_sft) == calibration_report(small_sft)

@@ -1,0 +1,99 @@
+"""Tests for repro.analysis.efficiency."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.efficiency import (
+    OperationalZone,
+    cache_efficiency,
+    container_efficiency,
+    find_operational_zone,
+)
+from repro.analysis.sweep import SweepResult
+
+
+class TestScalarMetrics:
+    def test_cache_efficiency(self):
+        assert cache_efficiency(30, 120) == 0.25
+        assert cache_efficiency(0, 0) == 1.0
+
+    def test_cache_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            cache_efficiency(10, 5)
+        with pytest.raises(ValueError):
+            cache_efficiency(-1, 5)
+
+    def test_container_efficiency(self):
+        assert container_efficiency(80, 100) == 0.8
+        assert container_efficiency(0, 0) == 1.0
+
+    def test_container_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            container_efficiency(200, 100)
+
+
+def sweep_from(alphas, cache_eff, wamp, cont_eff=None):
+    if cont_eff is None:
+        cont_eff = [1.0] * len(alphas)
+    return SweepResult(
+        alphas=np.asarray(alphas, dtype=float),
+        series={
+            "cache_efficiency": np.asarray(cache_eff, dtype=float),
+            "write_amplification": np.asarray(wamp, dtype=float),
+            "container_efficiency": np.asarray(cont_eff, dtype=float),
+        },
+    )
+
+
+class TestOperationalZone:
+    def test_zone_found_between_limits(self):
+        sweep = sweep_from(
+            [0.4, 0.6, 0.8, 0.9, 1.0],
+            [0.1, 0.35, 0.5, 0.6, 1.0],
+            [1.0, 1.1, 1.5, 1.9, 2.5],
+        )
+        zone = find_operational_zone(sweep)
+        assert zone.valid
+        assert zone.lower == 0.6 and zone.upper == 0.9
+        assert zone.width == pytest.approx(0.3)
+        assert zone.contains(0.8)
+        assert not zone.contains(0.4)
+
+    def test_container_floor_trims_right_edge(self):
+        sweep = sweep_from(
+            [0.8, 0.9, 1.0],
+            [0.5, 0.6, 1.0],
+            [1.5, 1.8, 1.0],
+            cont_eff=[0.8, 0.5, 0.1],  # α=1 is "excessive image size"
+        )
+        zone = find_operational_zone(sweep, container_efficiency_floor=0.2)
+        assert zone.upper == 0.9
+
+    def test_no_zone(self):
+        sweep = sweep_from([0.4, 0.6], [0.1, 0.2], [3.0, 3.0])
+        zone = find_operational_zone(sweep)
+        assert not zone.valid
+        assert zone.width == 0.0
+        assert not zone.contains(0.5)
+
+    def test_longest_contiguous_run_wins(self):
+        sweep = sweep_from(
+            [0.4, 0.5, 0.6, 0.7, 0.8],
+            [0.5, 0.1, 0.5, 0.5, 0.5],  # dip at 0.5 splits runs
+            [1.0, 1.0, 1.0, 1.0, 1.0],
+        )
+        zone = find_operational_zone(sweep)
+        assert (zone.lower, zone.upper) == (0.6, 0.8)
+
+    def test_single_point_zone(self):
+        sweep = sweep_from([0.4, 0.6], [0.1, 0.5], [1.0, 1.0])
+        zone = find_operational_zone(sweep)
+        assert zone.lower == zone.upper == 0.6
+        assert zone.valid
+
+    def test_custom_limits(self):
+        sweep = sweep_from([0.4, 0.6], [0.25, 0.25], [1.0, 1.0])
+        assert not find_operational_zone(sweep).valid
+        assert find_operational_zone(
+            sweep, cache_efficiency_floor=0.2
+        ).valid

@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.report."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    percent,
+    save_results_json,
+    sweep_plot,
+    sweep_table,
+    timeline_plot,
+)
+from repro.analysis.sweep import SweepResult
+
+
+@pytest.fixture()
+def sweep():
+    return SweepResult(
+        alphas=np.array([0.4, 0.8]),
+        series={
+            "hits": np.array([10.0, 20.0]),
+            "cache_efficiency": np.array([0.25, 0.5]),
+            "cached_bytes": np.array([2e9, 1e9]),
+        },
+        label="demo",
+    )
+
+
+class TestSweepTable:
+    def test_formats_metric_types(self, sweep):
+        out = sweep_table(sweep, ["hits", "cache_efficiency", "cached_bytes"])
+        assert "0.40" in out
+        assert "25.0%" in out       # percent metric
+        assert "2.0GB" in out       # byte metric
+        assert "10" in out          # count metric
+
+    def test_row_per_alpha(self, sweep):
+        out = sweep_table(sweep, ["hits"])
+        assert len(out.splitlines()) == 2 + 2  # header, rule, 2 rows
+
+
+class TestPlots:
+    def test_sweep_plot_single(self, sweep):
+        out = sweep_plot(sweep, "hits")
+        assert "demo" in out and "alpha" in out
+
+    def test_sweep_plot_multiple_with_scale(self, sweep):
+        out = sweep_plot([sweep, sweep], "cache_efficiency", scale=100)
+        assert "50" in out
+
+    def test_timeline_plot(self):
+        timeline = {"hits": np.arange(10), "merges": np.arange(10) * 2}
+        out = timeline_plot(timeline, ["hits", "merges"], title="ops")
+        assert "ops" in out and "requests" in out
+
+    def test_timeline_plot_skips_missing_fields(self):
+        out = timeline_plot({"hits": np.arange(5)}, ["hits", "ghost"], "t")
+        assert "hits" in out
+
+
+class TestSaveJson:
+    def test_numpy_and_sweep_serialised(self, sweep, tmp_path):
+        path = save_results_json(
+            tmp_path / "out" / "results.json",
+            {"sweep": sweep, "array": np.array([1, 2]),
+             "scalar": np.float64(0.5), "set": frozenset({"b", "a"})},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["sweep"]["label"] == "demo"
+        assert payload["array"] == [1, 2]
+        assert payload["scalar"] == 0.5
+        assert payload["set"] == ["a", "b"]
+
+    def test_unserialisable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_results_json(tmp_path / "x.json", {"bad": object()})
+
+    def test_percent_helper(self):
+        assert percent(0.256) == "25.6%"

@@ -1,0 +1,40 @@
+"""Tests for SweepResult percentile/IQR dispersion reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import SweepResult
+
+
+@pytest.fixture()
+def sweep():
+    raw = {"hits": np.array([[1.0, 2.0, 3.0, 4.0], [10.0, 20.0, 30.0, 40.0]])}
+    return SweepResult(
+        alphas=np.array([0.4, 0.8]),
+        series={"hits": np.median(raw["hits"], axis=1)},
+        raw=raw,
+    )
+
+
+class TestPercentile:
+    def test_median_matches_series(self, sweep):
+        assert np.allclose(sweep.percentile("hits", 50), sweep.metric("hits"))
+
+    def test_extremes(self, sweep):
+        assert np.allclose(sweep.percentile("hits", 0), [1.0, 10.0])
+        assert np.allclose(sweep.percentile("hits", 100), [4.0, 40.0])
+
+    def test_iqr(self, sweep):
+        expected = (
+            np.percentile(sweep.raw["hits"], 75, axis=1)
+            - np.percentile(sweep.raw["hits"], 25, axis=1)
+        )
+        assert np.allclose(sweep.iqr("hits"), expected)
+
+    def test_missing_raw_rejected(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.percentile("merges", 50)
+
+    def test_out_of_range_q_rejected(self, sweep):
+        with pytest.raises(ValueError):
+            sweep.percentile("hits", 101)

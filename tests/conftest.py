@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic repositories and RNGs.
+
+Everything here is session-scoped and read-only; tests that mutate state
+build their own objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.packages.package import Package
+from repro.packages.repository import Repository
+from repro.packages.sft import build_experiment_repository, build_sft_repository
+from repro.util.units import GB
+
+
+@pytest.fixture(scope="session")
+def tiny_repo() -> Repository:
+    """A hand-built 8-package repository with a known dependency diamond.
+
+    Layout (sizes in parentheses)::
+
+        base (10)
+        libA (20) -> base          libB (30) -> base
+        appX (40) -> libA, libB    appY (50) -> libA
+        appZ (60) -> libB          lone (70)  (no deps)
+        data (80)  (no deps, no dependents)
+    """
+    return Repository(
+        [
+            Package("base/1.0", 10),
+            Package("libA/1.0", 20, deps=("base/1.0",)),
+            Package("libB/1.0", 30, deps=("base/1.0",)),
+            Package("appX/1.0", 40, deps=("libA/1.0", "libB/1.0")),
+            Package("appY/1.0", 50, deps=("libA/1.0",)),
+            Package("appZ/1.0", 60, deps=("libB/1.0",)),
+            Package("lone/1.0", 70),
+            Package("data/1.0", 80),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def small_sft() -> Repository:
+    """A small but structurally faithful SFT-style repository."""
+    return build_sft_repository(seed=123, n_packages=600,
+                                target_total_size=45 * GB)
+
+
+@pytest.fixture(scope="session")
+def small_random_repo() -> Repository:
+    return build_experiment_repository(
+        "random", seed=123, n_packages=600, target_total_size=45 * GB
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

@@ -1,0 +1,63 @@
+"""Tests for repro.containers.builder.ImageBuilder."""
+
+import pytest
+
+from repro.containers.builder import ImageBuilder
+from repro.core.spec import ImageSpec
+from repro.cvmfs.shrinkwrap import Shrinkwrap
+
+
+@pytest.fixture()
+def builder(tiny_repo):
+    return ImageBuilder(Shrinkwrap(tiny_repo))
+
+
+class TestBuild:
+    def test_build_resolves_closure(self, builder):
+        image, cost = builder.build(ImageSpec(["appX/1.0"]))
+        assert image.spec.packages == {
+            "appX/1.0", "libA/1.0", "libB/1.0", "base/1.0",
+        }
+        assert image.size == 100
+        assert cost.bytes_written == 100
+
+    def test_build_without_closure(self, builder):
+        image, _ = builder.build(ImageSpec(["appX/1.0"]), resolve_closure=False)
+        assert image.spec.packages == {"appX/1.0"}
+
+    def test_totals_accumulate(self, builder):
+        builder.build(ImageSpec(["base/1.0"]))
+        builder.build(ImageSpec(["lone/1.0"]))
+        assert builder.total_builds == 2
+        assert builder.total_bytes_written == 80
+        assert builder.total_seconds > 0
+
+
+class TestMerge:
+    def test_merge_writes_whole_image(self, builder):
+        base, _ = builder.build(ImageSpec(["appY/1.0"]))   # 80 bytes
+        merged, cost = builder.merge(base, ImageSpec(["appZ/1.0"]))
+        assert merged.spec.packages == {
+            "appY/1.0", "appZ/1.0", "libA/1.0", "libB/1.0", "base/1.0",
+        }
+        # appY(50) + appZ(60) + libA(20) + libB(30) + base(10) = 170
+        assert merged.size == 170
+        assert cost.bytes_written == 170        # full rewrite
+        assert cost.bytes_downloaded <= 90      # only the new content
+
+    def test_merge_records_lineage(self, builder):
+        base, _ = builder.build(ImageSpec(["base/1.0"]))
+        merged, _ = builder.merge(base, ImageSpec(["lone/1.0"]))
+        assert merged.parents == (base.image_id,)
+
+    def test_subset_merge_is_free_reuse(self, builder):
+        base, _ = builder.build(ImageSpec(["appX/1.0"]))
+        same, cost = builder.merge(base, ImageSpec(["libA/1.0"]))
+        assert same is base
+        assert cost.bytes_written == 0
+        assert cost.seconds == 0.0
+
+    def test_merge_counter(self, builder):
+        base, _ = builder.build(ImageSpec(["base/1.0"]))
+        builder.merge(base, ImageSpec(["lone/1.0"]))
+        assert builder.total_merges == 1

@@ -1,0 +1,42 @@
+"""Tests for repro.containers.image."""
+
+import pytest
+
+from repro.containers.image import ContainerImage
+from repro.core.spec import ImageSpec
+
+
+class TestContainerImage:
+    def test_identity_unique_per_build(self):
+        spec = ImageSpec(["a/1"])
+        a = ContainerImage(spec=spec, size=10)
+        b = ContainerImage(spec=spec, size=10)
+        assert a.image_id != b.image_id
+
+    def test_satisfies_delegates_to_spec(self):
+        image = ContainerImage(spec=ImageSpec(["a/1", "b/1"]), size=10)
+        assert image.satisfies(ImageSpec(["a/1"]))
+        assert not image.satisfies(ImageSpec(["c/1"]))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerImage(spec=ImageSpec(), size=-1)
+
+    def test_lineage(self):
+        parent = ContainerImage(spec=ImageSpec(["a/1"]), size=10)
+        child = ContainerImage(
+            spec=ImageSpec(["a/1", "b/1"]), size=20,
+            parents=(parent.image_id,),
+        )
+        assert parent.image_id in child.parents
+
+    def test_package_count(self):
+        assert ContainerImage(spec=ImageSpec(["a/1", "b/1"]), size=1).package_count == 2
+
+    def test_frozen(self):
+        image = ContainerImage(spec=ImageSpec(), size=0)
+        with pytest.raises(Exception):
+            image.size = 5
+
+    def test_default_format(self):
+        assert ContainerImage(spec=ImageSpec(), size=0).format == "sif"

@@ -1,0 +1,108 @@
+"""Tests for repro.containers.layers — the Figure 1 mechanics."""
+
+import pytest
+
+from repro.containers.layers import Layer, LayerStore, LayeredImage
+from repro.core.spec import ImageSpec
+
+SIZES = {"A": 10, "B": 20, "C": 30, "D": 40}
+size_of = SIZES.__getitem__
+
+
+class TestLayer:
+    def test_add_and_mask_disjoint(self):
+        with pytest.raises(ValueError):
+            Layer("x", frozenset({"A"}), frozenset({"A"}), 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Layer("x", frozenset(), frozenset(), -1)
+
+
+class TestLayeredImage:
+    def test_extend_adds_visible_packages(self):
+        image = LayeredImage().extend({"A", "B"}, size_of)
+        assert image.visible_packages == {"A", "B"}
+        assert image.stored_bytes == 30
+
+    def test_mask_hides_but_still_stores(self):
+        image = LayeredImage().extend({"A", "B", "C"}, size_of)
+        masked = image.extend((), size_of, masks={"C"})
+        assert masked.visible_packages == {"A", "B"}
+        assert masked.stored_bytes == 60  # C's bytes never reclaimed
+
+    def test_readd_after_mask(self):
+        image = (
+            LayeredImage()
+            .extend({"A"}, size_of)
+            .extend((), size_of, masks={"A"})
+            .extend({"A"}, size_of)
+        )
+        assert image.visible_packages == {"A"}
+        assert image.stored_bytes == 20  # stored twice!
+
+    def test_history_shared_between_extensions(self):
+        base = LayeredImage().extend({"A"}, size_of)
+        v1 = base.extend({"B"}, size_of)
+        v2 = base.extend({"C"}, size_of)
+        assert v1.layers[0] is v2.layers[0]
+
+    def test_same_content_different_history_distinct_ids(self):
+        # {A} then {B} vs {B} then {A}: equal visible contents,
+        # different layer ids — Docker cannot unify them.
+        ab = LayeredImage().extend({"A"}, size_of).extend({"B"}, size_of)
+        ba = LayeredImage().extend({"B"}, size_of).extend({"A"}, size_of)
+        assert ab.visible_packages == ba.visible_packages
+        assert ab.head_id() != ba.head_id()
+
+    def test_same_history_same_ids(self):
+        a = LayeredImage().extend({"A"}, size_of)
+        b = LayeredImage().extend({"A"}, size_of)
+        assert a.head_id() == b.head_id()
+
+    def test_visible_spec(self):
+        image = LayeredImage().extend({"A"}, size_of)
+        assert image.visible_spec == ImageSpec(["A"])
+
+    def test_empty_image(self):
+        image = LayeredImage()
+        assert image.visible_packages == frozenset()
+        assert image.head_id() == "scratch"
+        assert len(image) == 0
+
+
+class TestLayerStore:
+    def test_layer_dedup_across_images(self):
+        store = LayerStore()
+        base = LayeredImage().extend({"A"}, size_of)
+        store.push("u1", base.extend({"B"}, size_of))
+        store.push("u2", base.extend({"C"}, size_of))
+        # base layer stored once: A + B + C
+        assert store.stored_bytes == 60
+        assert store.distinct_layers == 3
+
+    def test_push_replaces_and_gc_reclaims(self):
+        store = LayerStore()
+        v1 = LayeredImage().extend({"A"}, size_of)
+        v2 = LayeredImage().extend({"D"}, size_of)
+        store.push("u", v1)
+        store.push("u", v2)  # v1's layer now unreferenced
+        assert store.stored_bytes == 40
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            LayerStore().get("ghost")
+
+    def test_find_satisfying_by_visible_contents(self):
+        store = LayerStore()
+        store.push("u", LayeredImage().extend({"A", "B"}, size_of))
+        assert store.find_satisfying(ImageSpec(["A"])) == "u"
+        assert store.find_satisfying(ImageSpec(["C"])) is None
+
+    def test_masked_content_does_not_satisfy(self):
+        store = LayerStore()
+        image = LayeredImage().extend({"A", "C"}, size_of).extend(
+            (), size_of, masks={"C"}
+        )
+        store.push("u", image)
+        assert store.find_satisfying(ImageSpec(["C"])) is None

@@ -1,0 +1,98 @@
+"""Tests for repro.containers.store.ImageStore."""
+
+import pytest
+
+from repro.containers.image import ContainerImage
+from repro.containers.store import ImageStore
+from repro.core.spec import ImageSpec
+
+
+def image(*pkgs, size=10):
+    return ContainerImage(spec=ImageSpec(pkgs), size=size)
+
+
+class TestPutGet:
+    def test_put_then_get(self):
+        store = ImageStore(100)
+        img = image("a/1")
+        store.put(img)
+        assert store.get(img.image_id) is img
+        assert store.cached_bytes == 10
+
+    def test_get_miss_returns_none(self):
+        store = ImageStore(100)
+        assert store.get("ghost") is None
+        assert store.stats.misses == 1
+
+    def test_put_same_id_is_noop_transfer(self):
+        store = ImageStore(100)
+        img = image("a/1")
+        store.put(img)
+        store.put(img)
+        assert store.stats.puts == 1
+        assert store.stats.bytes_written == 10
+
+    def test_oversized_image_rejected(self):
+        store = ImageStore(5)
+        with pytest.raises(ValueError, match="exceeds"):
+            store.put(image("a/1", size=10))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ImageStore(-1)
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        store = ImageStore(25)
+        first, second, third = image("a/1"), image("b/1"), image("c/1")
+        store.put(first)
+        store.put(second)
+        store.get(first.image_id)       # touch first
+        evicted = store.put(third)      # 30 > 25: evict LRU = second
+        assert evicted == [second.image_id]
+        assert first.image_id in store
+        assert store.stats.bytes_evicted == 10
+
+    def test_free_bytes(self):
+        store = ImageStore(25)
+        store.put(image("a/1"))
+        assert store.free_bytes == 15
+
+
+class TestFind:
+    def test_find_satisfying_smallest(self):
+        store = ImageStore(1000)
+        small = image("a/1", "b/1", size=20)
+        big = image("a/1", "b/1", "c/1", size=30)
+        store.put(big)
+        store.put(small)
+        assert store.find_satisfying(ImageSpec(["a/1"])) is small
+
+    def test_find_satisfying_none(self):
+        store = ImageStore(1000)
+        store.put(image("a/1"))
+        assert store.find_satisfying(ImageSpec(["z/1"])) is None
+
+    def test_find_refreshes_lru(self):
+        store = ImageStore(20)
+        keeper = image("a/1")
+        other = image("b/1")
+        store.put(keeper)
+        store.put(other)
+        store.find_satisfying(ImageSpec(["a/1"]))   # touch keeper
+        store.put(image("c/1"))                     # evicts other
+        assert keeper.image_id in store
+        assert other.image_id not in store
+
+
+class TestRemove:
+    def test_remove_present(self):
+        store = ImageStore(100)
+        img = image("a/1")
+        store.put(img)
+        assert store.remove(img.image_id)
+        assert store.cached_bytes == 0
+
+    def test_remove_absent(self):
+        assert not ImageStore(100).remove("ghost")

@@ -1,0 +1,51 @@
+"""Property-based invariants of the worker-scratch ImageStore."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.containers.image import ContainerImage
+from repro.containers.store import ImageStore
+from repro.core.spec import ImageSpec
+
+sizes = st.integers(min_value=1, max_value=40)
+image_lists = st.lists(sizes, min_size=1, max_size=25)
+capacities = st.integers(min_value=40, max_value=200)
+
+
+@settings(max_examples=100)
+@given(image_lists, capacities)
+def test_capacity_never_exceeded(image_sizes, capacity):
+    store = ImageStore(capacity)
+    for i, size in enumerate(image_sizes):
+        store.put(ContainerImage(spec=ImageSpec([f"p{i}/1"]), size=size))
+        assert store.cached_bytes <= capacity
+
+
+@settings(max_examples=100)
+@given(image_lists, capacities)
+def test_cached_bytes_equals_sum_of_resident_images(image_sizes, capacity):
+    store = ImageStore(capacity)
+    for i, size in enumerate(image_sizes):
+        store.put(ContainerImage(spec=ImageSpec([f"p{i}/1"]), size=size))
+    assert store.cached_bytes == sum(img.size for img in store.images)
+
+
+@settings(max_examples=100)
+@given(image_lists, capacities)
+def test_eviction_accounting_balances(image_sizes, capacity):
+    store = ImageStore(capacity)
+    for i, size in enumerate(image_sizes):
+        store.put(ContainerImage(spec=ImageSpec([f"p{i}/1"]), size=size))
+    stats = store.stats
+    assert stats.bytes_written == sum(image_sizes)
+    assert stats.bytes_written - stats.bytes_evicted == store.cached_bytes
+
+
+@settings(max_examples=100)
+@given(image_lists, capacities)
+def test_most_recent_image_always_resident(image_sizes, capacity):
+    store = ImageStore(capacity)
+    last = None
+    for i, size in enumerate(image_sizes):
+        last = ContainerImage(spec=ImageSpec([f"p{i}/1"]), size=size)
+        store.put(last)
+    assert last.image_id in store

@@ -1,0 +1,357 @@
+"""Tests for repro.core.cache.LandlordCache — Algorithm 1 behaviours."""
+
+import pytest
+
+from repro.core.cache import LandlordCache
+from repro.core.events import EventKind
+from repro.core.spec import ImageSpec
+from repro.packages.conflicts import SlotConflicts
+
+SIZES = {f"p{i}": 10 for i in range(100)}
+SIZES.update({f"q{i}": 10 for i in range(100)})
+SIZES.update({"big": 1000, "small": 1})
+
+
+def size_of(pid: str) -> int:
+    return SIZES[pid]
+
+
+def cache(capacity=10_000, alpha=0.75, **kw) -> LandlordCache:
+    return LandlordCache(capacity, alpha, size_of, **kw)
+
+
+def spec(*ids):
+    return frozenset(ids)
+
+
+class TestValidation:
+    def test_alpha_out_of_range(self):
+        with pytest.raises(ValueError):
+            cache(alpha=1.5)
+        with pytest.raises(ValueError):
+            cache(alpha=-0.1)
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            cache(capacity=-1)
+
+    @pytest.mark.parametrize("field,value", [
+        ("hit_selection", "best"),
+        ("candidate_order", "clever"),
+        ("eviction", "arc"),
+    ])
+    def test_unknown_policies_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            cache(**{field: value})
+
+
+class TestInsert:
+    def test_first_request_inserts(self):
+        c = cache()
+        decision = c.request(spec("p0", "p1"))
+        assert decision.action is EventKind.INSERT
+        assert decision.requested_bytes == 20
+        assert decision.image.size == 20
+        assert len(c) == 1
+
+    def test_insert_counts_bytes_written(self):
+        c = cache()
+        c.request(spec("p0", "p1"))
+        assert c.stats.bytes_written == 20
+        assert c.stats.requested_bytes == 20
+
+    def test_distant_specs_insert_separately(self):
+        c = cache(alpha=0.3)
+        c.request(spec("p0", "p1"))
+        decision = c.request(spec("q0", "q1"))
+        assert decision.action is EventKind.INSERT
+        assert len(c) == 2
+
+    def test_empty_spec_on_empty_cache(self):
+        c = cache()
+        decision = c.request(spec())
+        assert decision.action is EventKind.INSERT
+        assert decision.image.size == 0
+
+
+class TestHit:
+    def test_exact_repeat_hits(self):
+        c = cache()
+        first = c.request(spec("p0", "p1")).image
+        decision = c.request(spec("p0", "p1"))
+        assert decision.action is EventKind.HIT
+        assert decision.image is first
+
+    def test_subset_request_hits(self):
+        c = cache()
+        c.request(spec("p0", "p1", "p2"))
+        assert c.request(spec("p1")).action is EventKind.HIT
+
+    def test_hit_writes_nothing(self):
+        c = cache()
+        c.request(spec("p0"))
+        before = c.stats.bytes_written
+        c.request(spec("p0"))
+        assert c.stats.bytes_written == before
+
+    def test_smallest_superset_preferred(self):
+        c = cache(alpha=0.0, hit_selection="smallest")
+        c.request(spec("p0", "p1"))                  # small image
+        c.request(spec("p0", "p1", "p2", "p3"))      # bigger superset image
+        decision = c.request(spec("p0"))
+        assert decision.action is EventKind.HIT
+        assert decision.image.size == 20
+
+    def test_mru_superset_preferred(self):
+        c = cache(alpha=0.0, hit_selection="mru")
+        c.request(spec("p0", "p1"))
+        c.request(spec("p0", "p1", "p2", "p3"))      # most recently used
+        decision = c.request(spec("p0"))
+        assert decision.action is EventKind.HIT
+        assert decision.image.size == 40
+
+    def test_empty_spec_hits_any_image(self):
+        c = cache()
+        c.request(spec("p0"))
+        assert c.request(spec()).action is EventKind.HIT
+
+
+class TestMerge:
+    def test_close_specs_merge(self):
+        c = cache(alpha=0.75)
+        c.request(spec("p0", "p1", "p2"))
+        decision = c.request(spec("p0", "p1", "p3"))
+        assert decision.action is EventKind.MERGE
+        assert decision.image.packages == {"p0", "p1", "p2", "p3"}
+        assert len(c) == 1
+
+    def test_merge_distance_reported(self):
+        c = cache(alpha=0.75)
+        c.request(spec("p0", "p1", "p2"))
+        decision = c.request(spec("p0", "p1", "p3"))
+        assert decision.distance == pytest.approx(0.5)  # 1 - 2/4
+
+    def test_merge_rewrites_whole_image(self):
+        c = cache(alpha=0.75)
+        c.request(spec("p0", "p1", "p2"))  # 30 written
+        c.request(spec("p0", "p1", "p3"))  # merge: 40-byte image rewritten
+        assert c.stats.bytes_written == 30 + 40
+
+    def test_merge_bytes_added_is_only_new_content(self):
+        c = cache(alpha=0.75)
+        c.request(spec("p0", "p1", "p2"))
+        decision = c.request(spec("p0", "p1", "p3"))
+        assert decision.bytes_added == 10
+
+    def test_alpha_zero_never_merges(self):
+        c = cache(alpha=0.0)
+        c.request(spec("p0", "p1"))
+        decision = c.request(spec("p0", "p2"))
+        assert decision.action is EventKind.INSERT
+
+    def test_threshold_is_strict(self):
+        # d({p0},{p1}) = 1.0; with alpha=1.0 the pair is NOT a candidate.
+        c = cache(alpha=1.0)
+        c.request(spec("p0"))
+        assert c.request(spec("p1")).action is EventKind.INSERT
+        # ...but any shared element brings d below 1.0 and merges.
+        assert c.request(spec("p0", "q0")).action is EventKind.MERGE
+
+    def test_closest_candidate_chosen(self):
+        # near and far share a 5-package core but differ otherwise:
+        # d(near, far) = 2/3 > alpha, so both stay cached.  The request is
+        # within alpha of both (d = 1/3 and 6/13) and must merge into the
+        # closer one (near).
+        core = [f"p{i}" for i in range(5)]
+        near = spec(*core, "p10", "p11", "p12", "p13", "p14")
+        far = spec(*core, "p20", "p21", "p22", "p23", "p24")
+        req = spec(*core, "p10", "p11", "p12", "p20", "p21")
+        c = cache(alpha=0.5, candidate_order="distance")
+        c.request(near)
+        c.request(far)
+        assert len(c) == 2
+        decision = c.request(req)
+        assert decision.action is EventKind.MERGE
+        assert decision.distance == pytest.approx(1 - 8 / 12)
+        # merged into near: far's unshared tail is absent
+        assert "p24" not in decision.image.packages
+        assert "p14" in decision.image.packages
+
+    def test_merge_count_tracked_on_image(self):
+        c = cache(alpha=0.9)
+        c.request(spec("p0", "p1"))
+        c.request(spec("p0", "p2"))
+        c.request(spec("p0", "p3"))
+        assert c.images[0].merge_count == 2
+
+    def test_repeated_merges_accumulate_monotonically(self):
+        c = cache(alpha=0.95)
+        members = ["p0"]
+        c.request(spec(*members))
+        for i in range(1, 10):
+            members.append(f"p{i}")
+            c.request(spec("p0", f"p{i}"))
+        assert c.images[0].packages == set(members)
+
+
+class TestConflicts:
+    def test_conflicting_merge_skipped(self):
+        c = LandlordCache(
+            10_000, 0.9,
+            package_size=lambda p: 10,
+            conflict_policy=SlotConflicts(),
+        )
+        c.request(spec("root/6.20", "gcc/8.0"))
+        decision = c.request(spec("root/6.18", "gcc/8.0"))
+        assert decision.action is EventKind.INSERT
+        assert c.stats.conflicts_skipped >= 1
+        assert len(c) == 2
+
+    def test_non_conflicting_still_merges_under_policy(self):
+        c = LandlordCache(
+            10_000, 0.9,
+            package_size=lambda p: 10,
+            conflict_policy=SlotConflicts(),
+        )
+        c.request(spec("root/6.20", "gcc/8.0"))
+        decision = c.request(spec("root/6.20", "geant/10.0"))
+        assert decision.action is EventKind.MERGE
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self):
+        c = cache(capacity=50, alpha=0.0)
+        c.request(spec("p0", "p1"))          # 20
+        c.request(spec("p2", "p3"))          # 40
+        c.request(spec("p4", "p5"))          # 60 -> evict LRU (p0,p1)
+        assert len(c) == 2
+        assert c.stats.deletes == 1
+        assert c.request(spec("p0", "p1")).action is EventKind.INSERT
+
+    def test_touching_updates_lru_order(self):
+        c = cache(capacity=50, alpha=0.0)
+        c.request(spec("p0", "p1"))
+        c.request(spec("p2", "p3"))
+        c.request(spec("p0", "p1"))          # touch first image
+        c.request(spec("p4", "p5"))          # evicts (p2,p3), not (p0,p1)
+        assert c.request(spec("p0", "p1")).action is EventKind.HIT
+
+    def test_pinned_image_never_evicted_even_if_oversized(self):
+        c = cache(capacity=5, alpha=0.0)
+        decision = c.request(spec("p0", "p1"))  # 20 > capacity
+        assert decision.action is EventKind.INSERT
+        assert len(c) == 1  # transient overflow allowed
+        # The next request displaces it.
+        c.request(spec("p2"))
+        assert all(img.packages != {"p0", "p1"} for img in c.images)
+
+    def test_fifo_eviction(self):
+        c = cache(capacity=50, alpha=0.0, eviction="fifo")
+        c.request(spec("p0", "p1"))
+        c.request(spec("p2", "p3"))
+        c.request(spec("p0", "p1"))          # touch; FIFO ignores it
+        c.request(spec("p4", "p5"))
+        assert c.request(spec("p0", "p1")).action is EventKind.INSERT
+
+    def test_size_eviction_drops_largest(self):
+        c = cache(capacity=60, alpha=0.0, eviction="size")
+        c.request(spec("p0", "p1", "p2"))    # 30
+        c.request(spec("p3", "p4"))          # 20
+        c.request(spec("p5", "p6"))          # 20 -> evict the 30-byte image
+        assert c.request(spec("p3", "p4")).action is EventKind.HIT
+
+    def test_zero_capacity_cache_works(self):
+        c = cache(capacity=0, alpha=0.0)
+        assert c.request(spec("p0")).action is EventKind.INSERT
+        assert c.request(spec("p1")).action is EventKind.INSERT
+        assert c.stats.deletes == 1
+
+
+class TestAccounting:
+    def test_cached_bytes_is_sum_of_images(self):
+        c = cache(alpha=0.0)
+        c.request(spec("p0", "p1"))
+        c.request(spec("p0", "p2"))
+        assert c.cached_bytes == sum(img.size for img in c.images) == 40
+
+    def test_unique_bytes_deduplicates_packages(self):
+        c = cache(alpha=0.0)
+        c.request(spec("p0", "p1"))
+        c.request(spec("p0", "p2"))
+        assert c.unique_bytes == 30  # p0 counted once
+
+    def test_cache_efficiency(self):
+        c = cache(alpha=0.0)
+        c.request(spec("p0", "p1"))
+        c.request(spec("p0", "p2"))
+        assert c.cache_efficiency == pytest.approx(30 / 40)
+
+    def test_empty_cache_efficiency_is_one(self):
+        assert cache().cache_efficiency == 1.0
+
+    def test_container_efficiency_degrades_with_merging(self):
+        c = cache(alpha=0.95)
+        c.request(spec("p0", "p1"))
+        c.request(spec("p0", "p2"))  # runs in a 30-byte image, asked for 20
+        assert c.stats.container_efficiency == pytest.approx(40 / 50)
+
+    def test_used_bytes_tracks_hit_image_size(self):
+        c = cache(alpha=0.95)
+        c.request(spec("p0", "p1", "p2"))
+        c.request(spec("p0"))  # hit in a 30-byte image for a 10-byte ask
+        assert c.stats.used_bytes == 60
+        assert c.stats.container_efficiency == pytest.approx(40 / 60)
+
+    def test_eviction_updates_unique_and_cached(self):
+        c = cache(capacity=40, alpha=0.0)
+        c.request(spec("p0", "p1"))
+        c.request(spec("p0", "p2"))
+        c.request(spec("p3", "p4"))  # evicts until <= 40
+        assert c.cached_bytes <= 40
+        assert c.unique_bytes == sum(
+            10 for _ in set().union(*[i.packages for i in c.images])
+        )
+
+
+class TestEventsAndClear:
+    def test_event_log_records_all_ops(self):
+        c = cache(alpha=0.75, record_events=True, capacity=70)
+        c.request(spec("p0", "p1", "p2"))
+        c.request(spec("p0", "p1", "p3"))
+        c.request(spec("p0", "p1", "p3"))
+        kinds = [e.kind for e in c.events]
+        assert kinds == [EventKind.INSERT, EventKind.MERGE, EventKind.HIT]
+
+    def test_events_not_recorded_by_default(self):
+        c = cache()
+        c.request(spec("p0"))
+        assert c.events == []
+
+    def test_clear_drops_images_keeps_stats(self):
+        c = cache()
+        c.request(spec("p0"))
+        c.clear()
+        assert len(c) == 0
+        assert c.cached_bytes == 0
+        assert c.unique_bytes == 0
+        assert c.stats.inserts == 1
+
+
+class TestMinHashMode:
+    def test_minhash_prefilter_still_merges_close_specs(self):
+        c = cache(alpha=0.9, use_minhash=True)
+        base = spec(*[f"p{i}" for i in range(40)])
+        near = spec(*([f"p{i}" for i in range(40)] + ["q0"]))
+        c.request(base)
+        assert c.request(near).action is EventKind.MERGE
+
+    def test_minhash_examines_fewer_candidates(self):
+        exact = cache(alpha=0.75)
+        approx = cache(alpha=0.75, use_minhash=True)
+        streams = [
+            spec(*[f"p{j}" for j in range(i, i + 10)]) for i in range(0, 80, 4)
+        ]
+        for s in streams:
+            exact.request(s)
+            approx.request(s)
+        assert approx.stats.candidates_examined < exact.stats.candidates_examined

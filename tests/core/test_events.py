@@ -1,0 +1,34 @@
+"""Tests for repro.core.events."""
+
+import pytest
+
+from repro.core.events import CacheEvent, EventKind
+
+
+class TestEventKind:
+    def test_values_are_algorithm_ops(self):
+        assert {k.value for k in EventKind} == {
+            "hit", "merge", "insert", "delete",
+        }
+
+
+class TestCacheEvent:
+    def test_frozen(self):
+        event = CacheEvent(EventKind.HIT, 0, "img-0", 100)
+        with pytest.raises(Exception):
+            event.kind = EventKind.MERGE
+
+    def test_defaults(self):
+        event = CacheEvent(EventKind.DELETE, 3, "img-1", 50)
+        assert event.bytes_written == 0
+        assert event.requested_bytes is None
+
+    def test_full_record(self):
+        event = CacheEvent(
+            EventKind.MERGE, 7, "img-2", 400, bytes_written=400,
+            requested_bytes=120,
+        )
+        assert event.request_index == 7
+        assert event.image_bytes == 400
+        assert event.bytes_written == 400
+        assert event.requested_bytes == 120

@@ -1,0 +1,70 @@
+"""Tests for LandlordCache.evict_idle (stale-image maintenance)."""
+
+import pytest
+
+from repro.core.cache import LandlordCache
+
+SIZE = {f"p{i}": 10 for i in range(20)}
+
+
+def cache():
+    return LandlordCache(10**9, 0.0, SIZE.__getitem__, record_events=True)
+
+
+class TestEvictIdle:
+    def test_idle_images_swept(self):
+        c = cache()
+        c.request(frozenset({"p0"}))          # clock 1
+        for i in range(1, 6):
+            c.request(frozenset({f"p{i}"}))   # clocks 2..6
+        evicted = c.evict_idle(max_idle_requests=3)
+        assert len(evicted) >= 1
+        # the most recent images survive
+        assert c.peek(frozenset({"p5"})) is not None
+        assert c.peek(frozenset({"p0"})) is None
+
+    def test_recently_used_images_survive(self):
+        c = cache()
+        c.request(frozenset({"p0"}))
+        c.request(frozenset({"p1"}))
+        c.request(frozenset({"p0"}))  # touch p0's image
+        evicted = c.evict_idle(max_idle_requests=1)
+        assert c.peek(frozenset({"p0"})) is not None
+        assert all("p0" not in SIZE or True for _ in evicted)
+
+    def test_counts_as_deletes_and_emits_events(self):
+        c = cache()
+        c.request(frozenset({"p0"}))
+        for i in range(1, 5):
+            c.request(frozenset({f"p{i}"}))
+        before = c.stats.deletes
+        evicted = c.evict_idle(0)
+        assert c.stats.deletes == before + len(evicted)
+        assert sum(1 for e in c.events if e.kind.value == "delete") >= len(evicted)
+
+    def test_zero_horizon_keeps_only_latest(self):
+        c = cache()
+        for i in range(4):
+            c.request(frozenset({f"p{i}"}))
+        c.evict_idle(0)
+        assert len(c) == 1
+
+    def test_huge_horizon_is_noop(self):
+        c = cache()
+        for i in range(4):
+            c.request(frozenset({f"p{i}"}))
+        assert c.evict_idle(10**6) == []
+        assert len(c) == 4
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            cache().evict_idle(-1)
+
+    def test_gauges_consistent_after_sweep(self):
+        c = cache()
+        for i in range(6):
+            c.request(frozenset({f"p{i}", "p9"}))
+        c.evict_idle(2)
+        assert c.cached_bytes == sum(img.size for img in c.images)
+        union = set().union(*[i.packages for i in c.images]) if c.images else set()
+        assert c.unique_bytes == sum(SIZE[p] for p in union)

@@ -1,0 +1,78 @@
+"""Failure injection: the cache must stay consistent when collaborators
+misbehave (size oracles raising or returning garbage, hostile specs)."""
+
+import pytest
+
+from repro.core.cache import LandlordCache
+from repro.core.spec import ImageSpec
+
+
+class FlakyOracle:
+    """Size oracle that fails for configured package ids."""
+
+    def __init__(self, bad=frozenset()):
+        self.bad = set(bad)
+        self.calls = 0
+
+    def __call__(self, pid: str) -> int:
+        self.calls += 1
+        if pid in self.bad:
+            raise RuntimeError(f"metadata service down for {pid}")
+        return 10
+
+
+class TestOracleFailures:
+    def test_failure_surfaces_to_caller(self):
+        cache = LandlordCache(1000, 0.8, FlakyOracle(bad={"pX"}))
+        with pytest.raises(RuntimeError, match="metadata service"):
+            cache.request(frozenset({"p0", "pX"}))
+
+    def test_cache_unchanged_after_failed_request(self):
+        oracle = FlakyOracle(bad={"pX"})
+        cache = LandlordCache(1000, 0.8, oracle)
+        cache.request(frozenset({"p0", "p1"}))
+        snapshot = (len(cache), cache.cached_bytes, cache.unique_bytes)
+        with pytest.raises(RuntimeError):
+            cache.request(frozenset({"p2", "pX"}))
+        assert (len(cache), cache.cached_bytes, cache.unique_bytes) == snapshot
+        # And the cache still serves good requests afterwards.
+        assert cache.request(frozenset({"p0"})).action.value == "hit"
+
+    def test_negative_size_oracle_rejected(self):
+        cache = LandlordCache(1000, 0.8, lambda pid: -5)
+        with pytest.raises(ValueError, match="negative size"):
+            cache.request(frozenset({"p0"}))
+
+    def test_oracle_called_once_per_package(self):
+        oracle = FlakyOracle()
+        cache = LandlordCache(1000, 0.8, oracle)
+        cache.request(frozenset({"p0", "p1"}))
+        cache.request(frozenset({"p0", "p1"}))  # memoised: no re-query
+        cache.request(frozenset({"p0", "p2"}))
+        assert oracle.calls == 3  # p0, p1, p2 exactly once each
+
+
+class TestHostileSpecs:
+    def test_non_string_package_ids_rejected_by_imagespec(self):
+        with pytest.raises(TypeError):
+            ImageSpec([b"bytes-id"])
+
+    def test_unicode_package_ids_supported(self):
+        cache = LandlordCache(1000, 0.8, lambda pid: 10)
+        spec = frozenset({"pkg-日本語/1.0", "pkg-ümlaut/2.0"})
+        decision = cache.request(spec)
+        assert decision.image.packages == spec
+
+    def test_very_large_spec(self):
+        cache = LandlordCache(1 << 40, 0.8, lambda pid: 1)
+        spec = frozenset(f"p{i:06d}" for i in range(20_000))
+        decision = cache.request(spec)
+        assert decision.image.size == 20_000
+        assert cache.request(spec).action.value == "hit"
+
+    def test_landlord_propagates_unknown_package(self, tiny_repo):
+        from repro.core.landlord import Landlord
+
+        landlord = Landlord(tiny_repo, capacity=1000)
+        with pytest.raises(KeyError):
+            landlord.prepare(["not-a-package/0.0"])

@@ -1,0 +1,107 @@
+"""Tests for repro.core.federation.FederatedLandlord."""
+
+import pytest
+
+from repro.containers.registry import ImageRegistry
+from repro.core.events import EventKind
+from repro.core.federation import FederatedLandlord
+from repro.util.units import GB
+
+
+@pytest.fixture()
+def registry():
+    return ImageRegistry()
+
+
+def make_site(repo, registry, **kw):
+    return FederatedLandlord(
+        repo, capacity=50 * GB, alpha=0.8, registry=registry, **kw
+    )
+
+
+def a_spec(repo, offset=0, k=4):
+    ids = repo.ids
+    return [ids[(offset * 13 + i * 3) % len(ids)] for i in range(k)]
+
+
+class TestFederation:
+    def test_build_is_pushed(self, small_sft, registry):
+        site = make_site(small_sft, registry)
+        prepared = site.prepare(a_spec(small_sft))
+        assert prepared.action is EventKind.INSERT
+        assert site.federation.pushes == 1
+        assert len(registry) == 1
+
+    def test_second_site_pulls_instead_of_building(self, small_sft, registry):
+        site_a = make_site(small_sft, registry)
+        site_b = make_site(small_sft, registry)
+        spec = a_spec(small_sft)
+        site_a.prepare(spec)
+        prepared_b = site_b.prepare(spec)
+        # site B never built: the adopted registry image served a hit
+        assert prepared_b.action is EventKind.HIT
+        assert prepared_b.bytes_written == 0
+        assert site_b.federation.pulls == 1
+        assert site_b.federation.pull_bytes == prepared_b.image.size
+        assert site_b.cache.stats.adoptions == 1
+
+    def test_local_hit_skips_registry(self, small_sft, registry):
+        site = make_site(small_sft, registry)
+        spec = a_spec(small_sft)
+        site.prepare(spec)
+        pulls_before = registry.stats.pulls
+        prepared = site.prepare(spec)
+        assert prepared.action is EventKind.HIT
+        assert registry.stats.pulls == pulls_before
+
+    def test_oversized_pull_declined(self, small_sft, registry):
+        site_a = make_site(small_sft, registry)
+        # A built a huge image covering lots of the repo.
+        site_a.prepare(small_sft.ids[: len(small_sft) // 2])
+        site_b = make_site(small_sft, registry, max_pull_overhead=2.0)
+        tiny = [small_sft.ids[0]]
+        prepared = site_b.prepare(tiny)
+        assert site_b.federation.declined_pulls == 1
+        assert site_b.federation.pulls == 0
+        assert prepared.action in (EventKind.INSERT, EventKind.MERGE)
+
+    def test_no_registry_degrades_to_plain_landlord(self, small_sft):
+        site = FederatedLandlord(small_sft, capacity=50 * GB, registry=None)
+        prepared = site.prepare(a_spec(small_sft))
+        assert prepared.action is EventKind.INSERT
+        assert site.federation.pushes == 0
+
+    def test_push_dedup_across_sites(self, small_sft, registry):
+        spec = a_spec(small_sft)
+        site_a = make_site(small_sft, registry)
+        site_b = make_site(small_sft, registry, max_pull_overhead=1.0)
+        site_a.prepare(spec)
+        # force B to build (decline its own pull) then push identical contents
+        site_b.max_pull_overhead = 1.0
+        site_b.prepare(spec)
+        assert registry.stats.deduplicated_pushes + len(registry) >= 1
+        assert len(registry) == 1  # identical contents stored once
+
+    def test_global_build_io_reduced(self, small_sft, registry):
+        """Federation headline: N sites, one build."""
+        specs = [a_spec(small_sft, offset=i) for i in range(3)]
+        federated_written = 0
+        sites = [make_site(small_sft, registry) for _ in range(4)]
+        for site in sites:
+            for spec in specs:
+                site.prepare(spec)
+            federated_written += site.cache.stats.bytes_written
+
+        isolated_written = 0
+        for _ in range(4):
+            solo = FederatedLandlord(small_sft, capacity=50 * GB,
+                                     registry=None)
+            for spec in specs:
+                solo.prepare(spec)
+            isolated_written += solo.cache.stats.bytes_written
+
+        assert federated_written < isolated_written
+
+    def test_invalid_overhead(self, small_sft, registry):
+        with pytest.raises(ValueError):
+            make_site(small_sft, registry, max_pull_overhead=0.5)

@@ -1,0 +1,107 @@
+"""Tests for repro.core.landlord (the job-wrapper facade)."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.core.landlord import Landlord
+from repro.core.spec import ImageSpec
+from repro.cvmfs.shrinkwrap import Shrinkwrap
+from repro.packages.conflicts import SlotConflicts
+
+
+class TestPrepare:
+    def test_closure_expansion_by_default(self, tiny_repo):
+        landlord = Landlord(tiny_repo, capacity=10_000, alpha=0.8)
+        prepared = landlord.prepare(["appX/1.0"])
+        assert prepared.image.packages == {
+            "appX/1.0", "libA/1.0", "libB/1.0", "base/1.0",
+        }
+
+    def test_closure_expansion_disabled(self, tiny_repo):
+        landlord = Landlord(
+            tiny_repo, capacity=10_000, alpha=0.8, expand_closure=False
+        )
+        prepared = landlord.prepare(["appX/1.0"])
+        assert prepared.image.packages == {"appX/1.0"}
+
+    def test_accepts_image_spec(self, tiny_repo):
+        landlord = Landlord(tiny_repo, capacity=10_000)
+        prepared = landlord.prepare(ImageSpec(["appY/1.0"]))
+        assert "libA/1.0" in prepared.image.packages
+
+    def test_dependency_sharing_produces_merge(self, tiny_repo):
+        landlord = Landlord(tiny_repo, capacity=10_000, alpha=0.8)
+        landlord.prepare(["appY/1.0"])  # {appY, libA, base}
+        prepared = landlord.prepare(["appX/1.0"])  # shares libA+base
+        assert prepared.action is EventKind.MERGE
+
+    def test_repeat_submission_hits(self, tiny_repo):
+        landlord = Landlord(tiny_repo, capacity=10_000)
+        landlord.prepare(["appZ/1.0"])
+        again = landlord.prepare(["appZ/1.0"])
+        assert again.action is EventKind.HIT
+        assert again.bytes_written == 0
+        assert again.prep_seconds == 0.0
+
+    def test_unknown_package_raises(self, tiny_repo):
+        landlord = Landlord(tiny_repo, capacity=10_000)
+        with pytest.raises(KeyError):
+            landlord.prepare(["ghost/1.0"])
+
+    def test_container_efficiency_property(self, tiny_repo):
+        landlord = Landlord(tiny_repo, capacity=10_000, alpha=0.9)
+        landlord.prepare(["appY/1.0"])
+        prepared = landlord.prepare(["appZ/1.0"])
+        assert 0.0 < prepared.container_efficiency <= 1.0
+
+
+class TestCostModel:
+    def test_prep_seconds_zero_without_shrinkwrap(self, tiny_repo):
+        landlord = Landlord(tiny_repo, capacity=10_000)
+        assert landlord.prepare(["appX/1.0"]).prep_seconds == 0.0
+
+    def test_prep_seconds_with_shrinkwrap(self, tiny_repo):
+        sw = Shrinkwrap(tiny_repo, download_bw=10.0, write_bw=10.0,
+                        setup_seconds=2.0)
+        landlord = Landlord(tiny_repo, capacity=10_000, shrinkwrap=sw)
+        prepared = landlord.prepare(["appX/1.0"])  # 100 bytes
+        assert prepared.prep_seconds == pytest.approx(2.0 + 10.0 + 10.0)
+
+    def test_merge_only_downloads_added_content(self, tiny_repo):
+        sw = Shrinkwrap(tiny_repo, download_bw=1.0, write_bw=1e12,
+                        setup_seconds=0.0)
+        landlord = Landlord(tiny_repo, capacity=10_000, alpha=0.9,
+                            shrinkwrap=sw)
+        landlord.prepare(["appY/1.0"])               # appY+libA+base = 80
+        prepared = landlord.prepare(["appX/1.0"])    # adds appX+libB = 70
+        assert prepared.action is EventKind.MERGE
+        assert prepared.prep_seconds == pytest.approx(70.0)
+
+
+class TestConfiguration:
+    def test_alpha_exposed(self, tiny_repo):
+        assert Landlord(tiny_repo, 1000, alpha=0.65).alpha == 0.65
+
+    def test_cache_kwargs_forwarded(self, tiny_repo):
+        landlord = Landlord(tiny_repo, 1000, record_events=True)
+        landlord.prepare(["base/1.0"])
+        assert len(landlord.cache.events) == 1
+
+    def test_conflict_policy_forwarded(self):
+        from repro.packages.package import Package
+        from repro.packages.repository import Repository
+
+        repo = Repository(
+            [Package("root/6.20", 10), Package("root/6.18", 10)]
+        )
+        landlord = Landlord(
+            repo, 1000, alpha=0.99, conflict_policy=SlotConflicts()
+        )
+        landlord.prepare(["root/6.20"])
+        prepared = landlord.prepare(["root/6.18"])
+        assert prepared.action is EventKind.INSERT  # conflict blocked merge
+
+    def test_stats_property_is_cache_stats(self, tiny_repo):
+        landlord = Landlord(tiny_repo, 1000)
+        landlord.prepare(["base/1.0"])
+        assert landlord.stats.requests == 1

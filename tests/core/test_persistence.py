@@ -1,0 +1,224 @@
+"""Tests for cache snapshot/restore and the on-disk state layer."""
+
+import json
+
+import pytest
+
+from repro.core.cache import LandlordCache
+from repro.core.events import EventKind
+from repro.core.persistence import StateError, load_state, save_state
+
+SIZE = {f"p{i}": 10 for i in range(30)}
+
+
+def make_cache(**kw):
+    return LandlordCache(500, 0.8, SIZE.__getitem__, **kw)
+
+
+def warm_cache():
+    cache = make_cache()
+    cache.request(frozenset({"p0", "p1", "p2"}))
+    cache.request(frozenset({"p0", "p1", "p3"}))  # merge
+    cache.request(frozenset({"p9", "p10"}))
+    cache.request(frozenset({"p9", "p10"}))       # hit
+    return cache
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_preserves_everything(self):
+        original = warm_cache()
+        snapshot = original.snapshot()
+        restored = make_cache()
+        restored.restore(snapshot)
+        assert len(restored) == len(original)
+        assert restored.cached_bytes == original.cached_bytes
+        assert restored.unique_bytes == original.unique_bytes
+        assert restored.stats == original.stats
+        assert {i.id for i in restored.images} == {
+            i.id for i in original.images
+        }
+
+    def test_restored_cache_behaves_identically(self):
+        original = warm_cache()
+        restored = make_cache()
+        restored.restore(original.snapshot())
+        probe = frozenset({"p0", "p1"})
+        a = original.request(probe)
+        b = restored.request(probe)
+        assert a.action == b.action == EventKind.HIT
+        assert a.image.id == b.image.id
+
+    def test_lru_order_survives(self):
+        cache = LandlordCache(60, 0.0, SIZE.__getitem__)
+        cache.request(frozenset({"p0", "p1"}))
+        cache.request(frozenset({"p2", "p3"}))
+        cache.request(frozenset({"p0", "p1"}))  # touch first
+        restored = LandlordCache(60, 0.0, SIZE.__getitem__)
+        restored.restore(cache.snapshot())
+        restored.request(frozenset({"p4", "p5"}))  # evicts true LRU
+        assert restored.request(frozenset({"p0", "p1"})).action is EventKind.HIT
+
+    def test_image_id_sequence_continues(self):
+        original = warm_cache()
+        restored = make_cache()
+        restored.restore(original.snapshot())
+        decision = restored.request(frozenset({"p20"}))
+        existing = {i.id for i in original.images}
+        assert decision.image.id not in existing
+
+    def test_restore_requires_fresh_cache(self):
+        cache = warm_cache()
+        with pytest.raises(ValueError, match="fresh"):
+            cache.restore(cache.snapshot())
+
+    def test_restore_rejects_config_mismatch(self):
+        snapshot = warm_cache().snapshot()
+        other = LandlordCache(999, 0.8, SIZE.__getitem__)
+        with pytest.raises(ValueError, match="capacity"):
+            other.restore(snapshot)
+
+    def test_restore_with_minhash_rebuilds_index(self):
+        cache = make_cache(use_minhash=True)
+        base = frozenset({f"p{i}" for i in range(10)})
+        cache.request(base)
+        restored = make_cache(use_minhash=True)
+        restored.restore(cache.snapshot())
+        near = frozenset(list(base) + ["p20"])
+        assert restored.request(near).action is EventKind.MERGE
+
+
+class TestStateFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = warm_cache()
+        path = save_state(tmp_path / "state.json", cache,
+                          metadata={"site": "s0"})
+        loaded, metadata = load_state(path, SIZE.__getitem__)
+        assert metadata == {"site": "s0"}
+        assert loaded.stats == cache.stats
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StateError, match="no state file"):
+            load_state(tmp_path / "ghost.json", SIZE.__getitem__)
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(StateError, match="corrupt"):
+            load_state(path, SIZE.__getitem__)
+
+    def test_wrong_version(self, tmp_path):
+        cache = warm_cache()
+        path = save_state(tmp_path / "s.json", cache)
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StateError, match="version"):
+            load_state(path, SIZE.__getitem__)
+
+    def test_malformed_cache_section(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"version": 1, "cache": {}}))
+        with pytest.raises(StateError, match="malformed"):
+            load_state(path, SIZE.__getitem__)
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        save_state(tmp_path / "s.json", warm_cache())
+        assert list(tmp_path.iterdir()) == [tmp_path / "s.json"]
+
+
+class TestSubmitCli:
+    def test_submit_flow(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.experiments.common import get_scale
+        from repro.packages.sft import build_experiment_repository
+
+        scale = get_scale("tiny")
+        repo = build_experiment_repository(
+            "sft", seed=2020, n_packages=scale.n_packages,
+            target_total_size=scale.repo_total_size,
+        )
+        apps = [i for i in repo.ids if i.startswith("app-")]
+        spec = tmp_path / "job.txt"
+        spec.write_text("\n".join(apps[:3]))
+        state = tmp_path / "state.json"
+
+        assert main(["submit", str(spec), "--state", str(state),
+                     "--scale", "tiny"]) == 0
+        first = capsys.readouterr().out
+        assert "insert" in first
+
+        assert main(["submit", str(spec), "--state", str(state),
+                     "--scale", "tiny"]) == 0
+        second = capsys.readouterr().out
+        assert "hit" in second
+
+        assert main(["cache-status", "--state", str(state),
+                     "--scale", "tiny"]) == 0
+        status = capsys.readouterr().out
+        assert "2 requests" in status
+
+    def test_submit_rejects_repo_mismatch(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.experiments.common import get_scale
+        from repro.packages.sft import build_experiment_repository
+
+        scale = get_scale("tiny")
+        repo = build_experiment_repository(
+            "sft", seed=2020, n_packages=scale.n_packages,
+            target_total_size=scale.repo_total_size,
+        )
+        spec = tmp_path / "job.txt"
+        spec.write_text(repo.ids[0])
+        state = tmp_path / "state.json"
+        main(["submit", str(spec), "--state", str(state), "--scale", "tiny"])
+        capsys.readouterr()
+        # different seed => different site repository => refuse
+        code = main(["submit", str(spec), "--state", str(state),
+                     "--scale", "tiny", "--seed", "7"])
+        assert code == 2
+
+    def test_submit_unresolvable_spec_aborts(self, tmp_path):
+        from repro.cli import main
+
+        spec = tmp_path / "job.txt"
+        spec.write_text("definitely-not-a-package\n")
+        with pytest.raises(SystemExit, match="unresolvable"):
+            main(["submit", str(spec), "--state",
+                  str(tmp_path / "s.json"), "--scale", "tiny"])
+
+    def test_submit_json_specfile(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.experiments.common import get_scale
+        from repro.packages.sft import build_experiment_repository
+        import json
+
+        scale = get_scale("tiny")
+        repo = build_experiment_repository(
+            "sft", seed=2020, n_packages=scale.n_packages,
+            target_total_size=scale.repo_total_size,
+        )
+        spec = tmp_path / "job.json"
+        spec.write_text(json.dumps({"packages": repo.ids[:3]}))
+        code = main(["submit", str(spec), "--state",
+                     str(tmp_path / "s.json"), "--scale", "tiny"])
+        assert code == 0
+        assert "insert" in capsys.readouterr().out
+
+    def test_submit_with_user_repository_file(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.packages import Package, Repository, save_repository
+
+        repo = Repository([
+            Package("base/1.0", 100),
+            Package("tool/2.0", 200, deps=("base/1.0",)),
+        ])
+        repo_file = tmp_path / "repo.jsonl"
+        save_repository(repo_file, repo)
+        spec = tmp_path / "job.txt"
+        spec.write_text("tool/2.0\n")
+        code = main(["submit", str(spec), "--state",
+                     str(tmp_path / "s.json"), "--repo", str(repo_file),
+                     "--capacity", "10KB"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "insert" in out and "2 pkgs" in out

@@ -1,0 +1,53 @@
+"""Property test: persistence is transparent to future cache behaviour.
+
+For any request stream and any split point, running the stream straight
+through must be indistinguishable from snapshotting at the split,
+restoring into a fresh cache, and continuing — the guarantee the
+job-wrapper CLI relies on across invocations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import LandlordCache
+
+PACKAGES = [f"p{i}" for i in range(20)]
+SIZE = {p: (i % 4 + 1) * 10 for i, p in enumerate(PACKAGES)}
+
+streams = st.lists(
+    st.frozensets(st.sampled_from(PACKAGES), min_size=1, max_size=6),
+    min_size=2,
+    max_size=30,
+)
+alphas = st.sampled_from([0.0, 0.5, 0.8, 1.0])
+capacities = st.sampled_from([80, 300, 10**9])
+
+
+def fresh(alpha, capacity):
+    return LandlordCache(capacity, alpha, SIZE.__getitem__)
+
+
+@settings(max_examples=80, deadline=None)
+@given(streams, alphas, capacities, st.data())
+def test_snapshot_restore_is_transparent(stream, alpha, capacity, data):
+    split = data.draw(st.integers(0, len(stream)))
+
+    straight = fresh(alpha, capacity)
+    for spec in stream:
+        straight.request(spec)
+
+    first = fresh(alpha, capacity)
+    for spec in stream[:split]:
+        first.request(spec)
+    resumed = fresh(alpha, capacity)
+    resumed.restore(first.snapshot())
+    decisions = []
+    for spec in stream[split:]:
+        decisions.append(resumed.request(spec))
+
+    assert resumed.stats == straight.stats
+    assert resumed.cached_bytes == straight.cached_bytes
+    assert resumed.unique_bytes == straight.unique_bytes
+    assert {i.id for i in resumed.images} == {i.id for i in straight.images}
+    assert {i.packages for i in resumed.images} == {
+        i.packages for i in straight.images
+    }

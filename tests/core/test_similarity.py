@@ -1,0 +1,67 @@
+"""Tests for repro.core.similarity."""
+
+import pytest
+
+from repro.core.similarity import (
+    containment,
+    jaccard_distance,
+    jaccard_similarity,
+    overlap_coefficient,
+)
+from repro.core.spec import ImageSpec
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({"a"}, {"a"}) == 1.0
+        assert jaccard_distance({"a"}, {"a"}) == 0.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({"a"}, {"b"}) == 0.0
+        assert jaccard_distance({"a"}, {"b"}) == 1.0
+
+    def test_half_overlap(self):
+        # |{a}| / |{a,b,c}| = 1/3
+        assert jaccard_similarity({"a", "b"}, {"a", "c"}) == pytest.approx(1 / 3)
+
+    def test_paper_example_one_element_difference(self):
+        # Two specs differing by one element are close (paper §V).
+        a = set(f"p{i}" for i in range(20))
+        b = a | {"extra"}
+        assert jaccard_distance(a, b) == pytest.approx(1 / 21)
+
+    def test_empty_conventions(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+        assert jaccard_similarity(set(), {"a"}) == 0.0
+
+    def test_accepts_image_specs(self):
+        assert jaccard_distance(ImageSpec(["a/1"]), ImageSpec(["a/1"])) == 0.0
+
+    def test_mixed_spec_and_set(self):
+        assert jaccard_similarity(ImageSpec(["a/1"]), {"a/1"}) == 1.0
+
+
+class TestContainment:
+    def test_full_containment(self):
+        assert containment({"a"}, {"a", "b"}) == 1.0
+
+    def test_partial(self):
+        assert containment({"a", "b"}, {"a"}) == 0.5
+
+    def test_empty_request_always_contained(self):
+        assert containment(set(), {"a"}) == 1.0
+        assert containment(set(), set()) == 1.0
+
+    def test_asymmetric(self):
+        assert containment({"a"}, {"a", "b"}) != containment({"a", "b"}, {"a"})
+
+
+class TestOverlapCoefficient:
+    def test_subset_gives_one(self):
+        assert overlap_coefficient({"a"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_gives_zero(self):
+        assert overlap_coefficient({"a"}, {"b"}) == 0.0
+
+    def test_empty_convention(self):
+        assert overlap_coefficient(set(), {"a"}) == 1.0

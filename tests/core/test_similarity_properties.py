@@ -1,0 +1,75 @@
+"""Property-based tests: Jaccard distance is a metric on finite sets.
+
+The paper picks d_j because it is "very well used and studied"; these
+properties (identity of indiscernibles, symmetry, triangle inequality,
+boundedness) are what make the α threshold a coherent notion of closeness.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.similarity import (
+    containment,
+    jaccard_distance,
+    jaccard_similarity,
+)
+
+elements = st.integers(0, 30).map(str)
+sets = st.frozensets(elements, max_size=15)
+
+EPS = 1e-12
+
+
+@settings(max_examples=150)
+@given(sets, sets)
+def test_bounded_in_unit_interval(a, b):
+    d = jaccard_distance(a, b)
+    assert -EPS <= d <= 1 + EPS
+
+
+@settings(max_examples=150)
+@given(sets)
+def test_identity(a):
+    assert jaccard_distance(a, a) == 0.0
+
+
+@settings(max_examples=150)
+@given(sets, sets)
+def test_identity_of_indiscernibles(a, b):
+    if jaccard_distance(a, b) == 0.0:
+        assert a == b
+
+
+@settings(max_examples=150)
+@given(sets, sets)
+def test_symmetry(a, b):
+    assert jaccard_distance(a, b) == jaccard_distance(b, a)
+
+
+@settings(max_examples=200)
+@given(sets, sets, sets)
+def test_triangle_inequality(a, b, c):
+    assert jaccard_distance(a, c) <= (
+        jaccard_distance(a, b) + jaccard_distance(b, c) + EPS
+    )
+
+
+@settings(max_examples=150)
+@given(sets, sets)
+def test_similarity_distance_complement(a, b):
+    assert abs(jaccard_similarity(a, b) + jaccard_distance(a, b) - 1.0) < EPS
+
+
+@settings(max_examples=150)
+@given(sets, sets)
+def test_subset_requests_have_high_containment(a, b):
+    if a <= b:
+        assert containment(a, b) == 1.0
+
+
+@settings(max_examples=150)
+@given(sets, sets)
+def test_merging_never_increases_distance_to_constituent(a, b):
+    """d(a, a ∪ b) <= d(a, b): a merged image is at least as close to each
+    constituent as the constituents were to each other."""
+    union = a | b
+    assert jaccard_distance(a, union) <= jaccard_distance(a, b) + EPS

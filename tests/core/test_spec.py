@@ -1,0 +1,107 @@
+"""Tests for repro.core.spec.ImageSpec."""
+
+import pytest
+
+from repro.core.spec import ImageSpec
+
+
+class TestConstruction:
+    def test_from_iterable_dedupes(self):
+        spec = ImageSpec(["a/1", "b/1", "a/1"])
+        assert len(spec) == 2
+
+    def test_from_other_spec(self):
+        a = ImageSpec(["x/1"])
+        assert ImageSpec(a).packages == a.packages
+
+    def test_empty(self):
+        spec = ImageSpec()
+        assert not spec and len(spec) == 0
+
+    def test_rejects_non_string_ids(self):
+        with pytest.raises(TypeError):
+            ImageSpec([1, 2])
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(TypeError):
+            ImageSpec([""])
+
+    def test_label_carried(self):
+        assert ImageSpec(["a/1"], label="job-7").label == "job-7"
+
+
+class TestSetBehaviour:
+    def test_contains_and_iter(self):
+        spec = ImageSpec(["a/1", "b/1"])
+        assert "a/1" in spec
+        assert sorted(spec) == ["a/1", "b/1"]
+
+    def test_equality_with_spec_and_frozenset(self):
+        assert ImageSpec(["a/1"]) == ImageSpec(["a/1"])
+        assert ImageSpec(["a/1"]) == frozenset(["a/1"])
+        assert ImageSpec(["a/1"]) != ImageSpec(["b/1"])
+
+    def test_hashable_and_usable_as_key(self):
+        d = {ImageSpec(["a/1"]): 1}
+        assert d[ImageSpec(["a/1"])] == 1
+
+    def test_label_does_not_affect_equality_or_hash(self):
+        assert ImageSpec(["a/1"], label="x") == ImageSpec(["a/1"], label="y")
+        assert hash(ImageSpec(["a/1"], label="x")) == hash(ImageSpec(["a/1"]))
+
+
+class TestSatisfaction:
+    def test_superset_satisfies(self):
+        image = ImageSpec(["a/1", "b/1", "c/1"])
+        assert image.satisfies(ImageSpec(["a/1", "c/1"]))
+
+    def test_exact_match_satisfies(self):
+        spec = ImageSpec(["a/1"])
+        assert spec.satisfies(spec)
+
+    def test_missing_package_fails(self):
+        assert not ImageSpec(["a/1"]).satisfies(ImageSpec(["a/1", "b/1"]))
+
+    def test_anything_satisfies_empty_request(self):
+        assert ImageSpec(["a/1"]).satisfies(ImageSpec())
+        assert ImageSpec().satisfies(ImageSpec())
+
+    def test_ordering_operators(self):
+        small, big = ImageSpec(["a/1"]), ImageSpec(["a/1", "b/1"])
+        assert small <= big and big >= small
+        assert not big <= small
+
+
+class TestMergeAndSplit:
+    def test_merge_is_union(self):
+        merged = ImageSpec(["a/1"]).merge(ImageSpec(["b/1"]))
+        assert merged == ImageSpec(["a/1", "b/1"])
+
+    def test_merge_with_subset_returns_self_object(self):
+        big = ImageSpec(["a/1", "b/1"])
+        assert big.merge(ImageSpec(["a/1"])) is big
+
+    def test_merge_labels_joined(self):
+        merged = ImageSpec(["a/1"], label="x").merge(ImageSpec(["b/1"], label="y"))
+        assert merged.label == "x+y"
+
+    def test_or_operator(self):
+        assert (ImageSpec(["a/1"]) | ImageSpec(["b/1"])) == ImageSpec(
+            ["a/1", "b/1"]
+        )
+
+    def test_intersection_and_difference(self):
+        a = ImageSpec(["x/1", "y/1"])
+        b = ImageSpec(["y/1", "z/1"])
+        assert (a & b) == ImageSpec(["y/1"])
+        assert (a - b) == ImageSpec(["x/1"])
+
+    def test_union_all(self):
+        specs = [ImageSpec(["a/1"]), ImageSpec(["b/1"]), ImageSpec(["a/1", "c/1"])]
+        assert ImageSpec.union_all(specs) == ImageSpec(["a/1", "b/1", "c/1"])
+
+    def test_union_all_empty(self):
+        assert ImageSpec.union_all([]) == ImageSpec()
+
+    def test_repr_mentions_count_and_label(self):
+        assert "2 pkgs" in repr(ImageSpec(["a/1", "b/1"], label="j"))

@@ -1,0 +1,63 @@
+"""Property-based tests: merge is a bounded semilattice operation.
+
+Merge (union of requirements) must be commutative, associative and
+idempotent, and a merged spec must satisfy every constituent — the
+algebraic facts Algorithm 1 silently relies on when it replaces an image
+with ``merge(s, j)`` and keeps serving both request families from it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.spec import ImageSpec
+
+package_ids = st.text(
+    alphabet="abcdefgh", min_size=1, max_size=4
+).map(lambda s: f"{s}/1.0")
+
+specs = st.frozensets(package_ids, max_size=12).map(ImageSpec)
+
+
+@settings(max_examples=100)
+@given(specs, specs)
+def test_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@settings(max_examples=100)
+@given(specs, specs, specs)
+def test_merge_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@settings(max_examples=100)
+@given(specs)
+def test_merge_idempotent(a):
+    assert a.merge(a) == a
+
+
+@settings(max_examples=100)
+@given(specs, specs)
+def test_merged_spec_satisfies_both_constituents(a, b):
+    merged = a.merge(b)
+    assert merged.satisfies(a)
+    assert merged.satisfies(b)
+
+
+@settings(max_examples=100)
+@given(specs, specs)
+def test_satisfaction_is_subset_order(a, b):
+    assert a.satisfies(b) == (b.packages <= a.packages)
+
+
+@settings(max_examples=100)
+@given(specs, specs)
+def test_difference_then_merge_restores(a, b):
+    """(a - b) merged with (a & b) rebuilds a — split is lossless."""
+    assert (a - b).merge(a & b) == a
+
+
+@settings(max_examples=100)
+@given(specs, specs)
+def test_merge_size_bounds(a, b):
+    merged = a.merge(b)
+    assert max(len(a), len(b)) <= len(merged) <= len(a) + len(b)

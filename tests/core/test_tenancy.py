@@ -1,0 +1,159 @@
+"""Tests for repro.core.tenancy.MultiTenantLandlord."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.core.tenancy import MultiTenantLandlord
+from repro.util.units import GB
+
+
+@pytest.fixture()
+def repo(small_sft):
+    return small_sft
+
+
+def tenant_spec(repo, offset, k=4):
+    """A deterministic selection per tenant, distinct by offset."""
+    ids = repo.ids
+    return frozenset(ids[(offset * 17 + i * 7) % len(ids)] for i in range(k))
+
+
+class TestConstruction:
+    def test_unknown_isolation_rejected(self, repo):
+        with pytest.raises(ValueError, match="isolation"):
+            MultiTenantLandlord(repo, GB, isolation="chaos")
+
+    def test_isolated_requires_tenants(self, repo):
+        with pytest.raises(ValueError, match="tenants"):
+            MultiTenantLandlord(repo, GB, isolation="isolated")
+
+    def test_quota_validation(self, repo):
+        with pytest.raises(ValueError, match="missing"):
+            MultiTenantLandlord(
+                repo, 10 * GB, isolation="isolated",
+                tenants=["a", "b"], quotas={"a": GB},
+            )
+        with pytest.raises(ValueError, match="exceed"):
+            MultiTenantLandlord(
+                repo, 2 * GB, isolation="isolated",
+                tenants=["a", "b"], quotas={"a": 2 * GB, "b": GB},
+            )
+
+    def test_even_quota_split(self, repo):
+        landlord = MultiTenantLandlord(
+            repo, 10 * GB, isolation="isolated", tenants=["a", "b"]
+        )
+        assert landlord.cache_for("a").capacity == 5 * GB
+        assert landlord.cache_for("b").capacity == 5 * GB
+
+    def test_unknown_tenant_lookup(self, repo):
+        landlord = MultiTenantLandlord(
+            repo, GB, isolation="isolated", tenants=["a"]
+        )
+        with pytest.raises(KeyError):
+            landlord.cache_for("ghost")
+
+
+class TestSharedMode:
+    def test_cross_tenant_reuse(self, repo):
+        landlord = MultiTenantLandlord(repo, 100 * GB, isolation="shared")
+        spec = tenant_spec(repo, 0)
+        landlord.prepare("alice", spec)
+        decision = landlord.prepare("bob", spec)
+        assert decision.private.action is EventKind.HIT
+
+    def test_storage_reported_as_shared(self, repo):
+        landlord = MultiTenantLandlord(repo, 100 * GB, isolation="shared")
+        landlord.prepare("alice", tenant_spec(repo, 0))
+        assert list(landlord.storage_by_tenant()) == ["<shared>"]
+
+
+class TestIsolatedMode:
+    def test_no_cross_tenant_visibility(self, repo):
+        landlord = MultiTenantLandlord(
+            repo, 200 * GB, isolation="isolated", tenants=["alice", "bob"]
+        )
+        spec = tenant_spec(repo, 0)
+        landlord.prepare("alice", spec)
+        decision = landlord.prepare("bob", spec)
+        # bob pays a full insert for the identical requirements
+        assert decision.private.action is EventKind.INSERT
+
+    def test_isolation_duplicates_storage(self, repo):
+        shared = MultiTenantLandlord(repo, 200 * GB, isolation="shared")
+        isolated = MultiTenantLandlord(
+            repo, 200 * GB, isolation="isolated", tenants=["alice", "bob"]
+        )
+        spec = tenant_spec(repo, 0)
+        for landlord in (shared, isolated):
+            landlord.prepare("alice", spec)
+            landlord.prepare("bob", spec)
+        assert isolated.total_cached_bytes > shared.total_cached_bytes
+        assert isolated.total_unique_bytes > shared.total_unique_bytes
+
+    def test_per_tenant_storage_accounting(self, repo):
+        landlord = MultiTenantLandlord(
+            repo, 200 * GB, isolation="isolated", tenants=["alice", "bob"]
+        )
+        landlord.prepare("alice", tenant_spec(repo, 0))
+        storage = landlord.storage_by_tenant()
+        assert storage["alice"] > 0
+        assert storage["bob"] == 0
+
+    def test_combined_stats_sum(self, repo):
+        landlord = MultiTenantLandlord(
+            repo, 200 * GB, isolation="isolated", tenants=["alice", "bob"]
+        )
+        landlord.prepare("alice", tenant_spec(repo, 0))
+        landlord.prepare("bob", tenant_spec(repo, 1))
+        stats = landlord.combined_stats()
+        assert stats.requests == 2
+        assert stats.inserts == 2
+
+
+class TestPublicCoreMode:
+    def make(self, repo):
+        return MultiTenantLandlord(
+            repo,
+            200 * GB,
+            isolation="public-core",
+            tenants=["alice", "bob"],
+            is_public=lambda pid: pid.startswith(("core-", "fw-")),
+        )
+
+    def test_public_packages_shared(self, repo):
+        landlord = self.make(repo)
+        spec = tenant_spec(repo, 0, k=6)
+        first = landlord.prepare("alice", spec)
+        second = landlord.prepare("bob", spec)
+        assert first.public is not None
+        # bob reuses the shared public image alice materialised
+        assert second.public.action is EventKind.HIT
+
+    def test_private_packages_not_shared(self, repo):
+        landlord = self.make(repo)
+        spec = tenant_spec(repo, 0, k=6)
+        landlord.prepare("alice", spec)
+        second = landlord.prepare("bob", spec)
+        if second.private is not None:  # spec had private packages
+            assert second.private.action is not EventKind.HIT
+
+    def test_decision_reports_both_images(self, repo):
+        landlord = self.make(repo)
+        decision = landlord.prepare("alice", tenant_spec(repo, 0, k=6))
+        assert decision.bytes_used == sum(
+            d.image.size for d in (decision.public, decision.private) if d
+        )
+        assert 1 <= len(decision.actions) <= 2
+
+    def test_public_storage_reported(self, repo):
+        landlord = self.make(repo)
+        landlord.prepare("alice", tenant_spec(repo, 0, k=6))
+        assert "<public>" in landlord.storage_by_tenant()
+
+    def test_fully_public_spec_has_no_private_decision(self, repo):
+        landlord = self.make(repo)
+        core_ids = [i for i in repo.ids if i.startswith("core-")][:3]
+        decision = landlord.prepare("alice", frozenset(core_ids))
+        assert decision.private is None
+        assert decision.public is not None

@@ -1,0 +1,93 @@
+"""Property-based isolation guarantees for MultiTenantLandlord.
+
+The security property the paper's future work asks for, stated as an
+invariant: under ``isolated`` custody, a tenant's cache never contains a
+package that tenant did not (transitively) request; under ``public-core``,
+the same holds for the private caches, and the shared cache only ever
+holds public packages.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tenancy import MultiTenantLandlord
+from repro.packages.package import Package
+from repro.packages.repository import Repository
+
+# A small universe with explicit public core and private leaves.
+PUBLIC = [f"core-{i}/1.0" for i in range(4)]
+PRIVATE = [f"app-{i}/1.0" for i in range(10)]
+
+
+def build_repo() -> Repository:
+    packages = [Package(pid, 10) for pid in PUBLIC]
+    for i, pid in enumerate(PRIVATE):
+        deps = (PUBLIC[i % len(PUBLIC)],)
+        packages.append(Package(pid, 10, deps=deps))
+    return Repository(packages)
+
+
+REPO = build_repo()
+
+requests = st.lists(
+    st.tuples(
+        st.sampled_from(["alice", "bob", "carol"]),
+        st.frozensets(st.sampled_from(PRIVATE + PUBLIC), min_size=1,
+                      max_size=4),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests)
+def test_isolated_caches_hold_only_own_requests(stream):
+    landlord = MultiTenantLandlord(
+        REPO, capacity=10_000, isolation="isolated",
+        tenants=["alice", "bob", "carol"],
+    )
+    requested_by = {"alice": set(), "bob": set(), "carol": set()}
+    for tenant, spec in stream:
+        landlord.prepare(tenant, spec)
+        requested_by[tenant] |= set(REPO.closure(spec))
+    for tenant, allowed in requested_by.items():
+        for image in landlord.cache_for(tenant).images:
+            assert image.packages <= allowed, tenant
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests)
+def test_public_core_shared_cache_holds_only_public(stream):
+    landlord = MultiTenantLandlord(
+        REPO, capacity=10_000, isolation="public-core",
+        tenants=["alice", "bob", "carol"],
+        is_public=lambda pid: pid.startswith("core-"),
+    )
+    for tenant, spec in stream:
+        landlord.prepare(tenant, spec)
+    assert landlord.public_cache is not None
+    for image in landlord.public_cache.images:
+        assert all(pid.startswith("core-") for pid in image.packages)
+    for tenant in ("alice", "bob", "carol"):
+        for image in landlord.cache_for(tenant).images:
+            assert not any(pid.startswith("core-") for pid in image.packages)
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests)
+def test_every_request_fully_served(stream):
+    """Across all modes, the union of returned images covers the closure."""
+    for isolation in ("shared", "isolated", "public-core"):
+        landlord = MultiTenantLandlord(
+            REPO, capacity=10_000, isolation=isolation,
+            tenants=["alice", "bob", "carol"],
+            is_public=lambda pid: pid.startswith("core-"),
+        )
+        for tenant, spec in stream:
+            decision = landlord.prepare(tenant, spec)
+            served = set()
+            if decision.private is not None:
+                served |= decision.private.image.packages
+            if decision.public is not None:
+                served |= decision.public.image.packages
+            assert REPO.closure(spec) <= served

@@ -1,0 +1,83 @@
+"""Tests for repro.cvmfs.catalog."""
+
+import pytest
+
+from repro.cvmfs.catalog import FileCatalog, FileEntry, generate_catalog
+from repro.cvmfs.objects import ObjectStore
+
+
+def entry(path, digest, size):
+    return FileEntry(path=path, digest=digest, size=size)
+
+
+class TestFileCatalog:
+    def setup_method(self):
+        self.catalog = FileCatalog(ObjectStore())
+        self.catalog.add_package(
+            "a/1.0",
+            [entry("a/bin", "d-a", 50), entry("a/shared", "d-s", 30)],
+        )
+        self.catalog.add_package(
+            "b/1.0",
+            [entry("b/bin", "d-b", 70), entry("b/shared", "d-s", 30)],
+        )
+
+    def test_manifest_roundtrip(self):
+        assert len(self.catalog.manifest("a/1.0")) == 2
+        assert "a/1.0" in self.catalog and len(self.catalog) == 2
+
+    def test_duplicate_package_rejected(self):
+        with pytest.raises(ValueError):
+            self.catalog.add_package("a/1.0", [])
+
+    def test_unknown_package_raises(self):
+        with pytest.raises(KeyError):
+            self.catalog.manifest("ghost/1.0")
+
+    def test_installed_bytes_copies_everything(self):
+        # container images carry full copies: shared file counted twice
+        assert self.catalog.installed_bytes(["a/1.0", "b/1.0"]) == 180
+
+    def test_deduplicated_bytes_shares_content(self):
+        assert self.catalog.deduplicated_bytes(["a/1.0", "b/1.0"]) == 150
+
+    def test_digests_of(self):
+        digests = self.catalog.digests_of(["a/1.0", "b/1.0"])
+        assert digests == {"d-a": 50, "d-s": 30, "d-b": 70}
+
+    def test_store_registration_happens_on_add(self):
+        assert self.catalog.store.size_of("d-s") == 30
+
+    def test_inconsistent_shared_digest_rejected(self):
+        with pytest.raises(ValueError):
+            self.catalog.add_package(
+                "c/1.0", [entry("c/x", "d-s", 999)]  # d-s is 30 elsewhere
+            )
+
+
+class TestGenerateCatalog:
+    def test_manifests_cover_repo_and_sizes_match(self, tiny_repo):
+        catalog = generate_catalog(tiny_repo, seed=1)
+        for pid in tiny_repo.ids:
+            manifest = catalog.manifest(pid)
+            total = sum(e.size for e in manifest)
+            # file sizes sum to the package's installed size (exactly:
+            # unique chunks fill whatever the shared draws left over)
+            assert total == tiny_repo.size_of(pid)
+
+    def test_sharing_exists_across_packages(self, small_sft):
+        catalog = generate_catalog(small_sft, seed=1, shared_fraction=0.3)
+        some = small_sft.ids[:200]
+        installed = catalog.installed_bytes(some)
+        deduped = catalog.deduplicated_bytes(some)
+        assert deduped < installed  # shared objects collapse
+
+    def test_deterministic(self, tiny_repo):
+        a = generate_catalog(tiny_repo, seed=9)
+        b = generate_catalog(tiny_repo, seed=9)
+        for pid in tiny_repo.ids:
+            assert a.manifest(pid) == b.manifest(pid)
+
+    def test_invalid_shared_fraction(self, tiny_repo):
+        with pytest.raises(ValueError):
+            generate_catalog(tiny_repo, shared_fraction=1.0)

@@ -1,0 +1,84 @@
+"""Tests for repro.cvmfs.nested.NestedCatalogTree."""
+
+import pytest
+
+from repro.cvmfs.nested import BYTES_PER_ENTRY, NestedCatalogTree
+
+
+@pytest.fixture()
+def tree(tiny_repo):
+    return NestedCatalogTree(tiny_repo)
+
+
+class TestStructure:
+    def test_all_packages_reachable(self, tree, tiny_repo):
+        for pid in tiny_repo.ids:
+            tree.lookup(pid)  # raises if unreachable
+
+    def test_catalog_count(self, tree):
+        # root + shards + one program catalog per name
+        assert tree.catalog_count >= 1 + 1 + 8  # 8 distinct programs
+
+    def test_total_metadata_scales_with_entries(self, tree, tiny_repo):
+        assert tree.total_metadata_bytes >= len(tiny_repo) * BYTES_PER_ENTRY
+
+    def test_prefix_len_validation(self, tiny_repo):
+        with pytest.raises(ValueError):
+            NestedCatalogTree(tiny_repo, prefix_len=0)
+
+
+class TestLookup:
+    def test_first_lookup_loads_path(self, tree):
+        loaded = tree.lookup("appX/1.0")
+        assert loaded > 0
+        assert tree.catalogs_loaded >= 2  # shard + program (root counted too)
+
+    def test_second_lookup_is_cached(self, tree):
+        tree.lookup("appX/1.0")
+        assert tree.lookup("appX/1.0") == 0
+
+    def test_sibling_shares_catalogs(self, tree):
+        tree.lookup("appX/1.0")
+        before = tree.metadata_bytes_loaded
+        tree.lookup("appY/1.0")  # same "ap" shard, different program
+        delta = tree.metadata_bytes_loaded - before
+        assert 0 < delta < tree.metadata_bytes_loaded
+
+    def test_unknown_package_raises_after_walk(self, tree):
+        with pytest.raises(KeyError):
+            tree.lookup("apocrypha/9.9")
+        # negative lookups still load the shard catalog they walked
+        assert tree.catalogs_loaded >= 1
+
+    def test_drop_cache_restores_cold_costs(self, tree):
+        first = tree.lookup("appX/1.0")
+        tree.drop_cache()
+        assert tree.lookup("appX/1.0") == first
+
+
+class TestMetadataCost:
+    def test_cost_counts_distinct_catalogs_once(self, tree):
+        single = tree.metadata_cost_of(["appX/1.0"])
+        double = tree.metadata_cost_of(["appX/1.0", "appX/1.0"])
+        assert single == double
+
+    def test_cost_grows_with_spread(self, tree):
+        narrow = tree.metadata_cost_of(["appX/1.0"])
+        wide = tree.metadata_cost_of(["appX/1.0", "libA/1.0", "data/1.0"])
+        assert wide > narrow
+
+    def test_cost_independent_of_client_cache(self, tree):
+        cost = tree.metadata_cost_of(["appX/1.0"])
+        tree.lookup("appX/1.0")
+        assert tree.metadata_cost_of(["appX/1.0"]) == cost
+
+    def test_unknown_package_rejected(self, tree):
+        with pytest.raises(KeyError):
+            tree.metadata_cost_of(["ghost/1.0"])
+
+    def test_full_repo_cost_at_sft_scale(self, small_sft):
+        """The paper's 'metadata listings consumed gigabytes' effect is
+        visible in shape: full-repo metadata dwarfs a single spec's."""
+        tree = NestedCatalogTree(small_sft)
+        one_spec = tree.metadata_cost_of(small_sft.ids[:20])
+        assert tree.total_metadata_bytes > 5 * one_spec

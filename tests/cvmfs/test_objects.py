@@ -1,0 +1,83 @@
+"""Tests for repro.cvmfs.objects.ObjectStore."""
+
+import pytest
+
+from repro.cvmfs.objects import ObjectStore
+
+
+class TestRegister:
+    def test_register_and_size(self):
+        store = ObjectStore()
+        store.register("d1", 100)
+        assert store.size_of("d1") == 100
+        assert "d1" in store and len(store) == 1
+
+    def test_idempotent_same_size(self):
+        store = ObjectStore()
+        store.register("d1", 100)
+        store.register("d1", 100)
+        assert len(store) == 1
+
+    def test_digest_collision_rejected(self):
+        store = ObjectStore()
+        store.register("d1", 100)
+        with pytest.raises(ValueError, match="collision"):
+            store.register("d1", 200)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectStore().register("d", -1)
+
+    def test_unknown_digest_raises(self):
+        with pytest.raises(KeyError):
+            ObjectStore().size_of("ghost")
+
+    def test_total_bytes_deduplicated(self):
+        store = ObjectStore()
+        store.register("a", 10)
+        store.register("b", 20)
+        assert store.total_bytes == 30
+
+
+class TestFetch:
+    def setup_method(self):
+        self.store = ObjectStore()
+        for i in range(5):
+            self.store.register(f"d{i}", 10 * (i + 1))
+
+    def test_cold_fetch_downloads_everything(self):
+        downloaded = self.store.fetch(["d0", "d1"])
+        assert downloaded == 30
+        assert self.store.stats.bytes_fetched == 30
+
+    def test_warm_fetch_costs_nothing(self):
+        self.store.fetch(["d0"])
+        assert self.store.fetch(["d0"]) == 0
+        assert self.store.stats.cache_hits == 1
+        assert self.store.stats.bytes_served_from_cache == 10
+
+    def test_duplicates_in_one_call_fetched_once(self):
+        assert self.store.fetch(["d0", "d0", "d0"]) == 10
+
+    def test_partial_warm(self):
+        self.store.fetch(["d0"])
+        assert self.store.fetch(["d0", "d1"]) == 20
+
+    def test_cached_accounting(self):
+        self.store.fetch(["d0", "d2"])
+        assert self.store.cached_objects == 2
+        assert self.store.cached_bytes == 40
+
+    def test_evict_local_makes_refetch_cost(self):
+        self.store.fetch(["d0"])
+        self.store.evict_local(["d0"])
+        assert self.store.fetch(["d0"]) == 10
+
+    def test_drop_local_cache(self):
+        self.store.fetch(["d0", "d1"])
+        self.store.drop_local_cache()
+        assert self.store.cached_objects == 0
+
+    def test_fetch_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self.store.fetch(["ghost"])

@@ -1,0 +1,42 @@
+"""Tests for Shrinkwrap + nested-catalog metadata accounting."""
+
+import pytest
+
+from repro.cvmfs.nested import NestedCatalogTree
+from repro.cvmfs.shrinkwrap import Shrinkwrap
+
+
+class TestNestedIntegration:
+    def test_first_build_pays_metadata(self, tiny_repo):
+        plain = Shrinkwrap(tiny_repo)
+        nested = Shrinkwrap(tiny_repo, nested=NestedCatalogTree(tiny_repo))
+        a = plain.build(["appX/1.0"])
+        b = nested.build(["appX/1.0"])
+        assert b.bytes_downloaded > a.bytes_downloaded
+        assert b.image_bytes == a.image_bytes  # metadata never enters images
+
+    def test_warm_client_pays_no_metadata_again(self, tiny_repo):
+        sw = Shrinkwrap(tiny_repo, nested=NestedCatalogTree(tiny_repo))
+        first = sw.build(["appX/1.0"])
+        second = sw.build(["appX/1.0"])
+        assert second.bytes_downloaded < first.bytes_downloaded
+
+    def test_overlapping_specs_share_catalogs(self, tiny_repo):
+        sw = Shrinkwrap(tiny_repo, nested=NestedCatalogTree(tiny_repo))
+        sw.build(["appX/1.0"])
+        tree = sw.nested
+        loaded_before = tree.metadata_bytes_loaded
+        sw.build(["appY/1.0"])  # shares libA/base catalogs
+        newly = tree.metadata_bytes_loaded - loaded_before
+        assert newly < loaded_before
+
+    def test_metadata_increases_prep_time(self, tiny_repo):
+        plain = Shrinkwrap(tiny_repo, download_bw=100, write_bw=1e12,
+                           setup_seconds=0.0)
+        nested = Shrinkwrap(tiny_repo, nested=NestedCatalogTree(tiny_repo),
+                            download_bw=100, write_bw=1e12,
+                            setup_seconds=0.0)
+        assert (
+            nested.build(["appX/1.0"]).prep_seconds
+            > plain.build(["appX/1.0"]).prep_seconds
+        )

@@ -1,0 +1,45 @@
+"""Tests for the adaptive-alpha study experiment."""
+
+import pytest
+
+from repro.experiments import TINY, adaptive_study
+
+
+@pytest.fixture(scope="module")
+def results():
+    return adaptive_study.run(TINY, seed=2020)
+
+
+class TestAdaptiveStudy:
+    def test_three_configurations_two_phases(self, results):
+        assert len(results["configs"]) == 3
+        assert all(len(c["phases"]) == 2 for c in results["configs"])
+
+    def test_fixed_alphas_do_not_move(self, results):
+        low, high, _adaptive = results["configs"]
+        assert all(p["alpha_end"] == 0.4 for p in low["phases"])
+        assert all(p["alpha_end"] == 0.95 for p in high["phases"])
+
+    def test_controller_moves_off_its_start(self, results):
+        adaptive = results["configs"][-1]
+        assert adaptive["phases"][0]["alpha_end"] > 0.4
+
+    def test_controller_avoids_high_alpha_write_blowup(self, results):
+        high = results["configs"][1]
+        adaptive = results["configs"][-1]
+        assert (
+            adaptive["phases"][1]["write_amplification"]
+            < high["phases"][1]["write_amplification"]
+        )
+
+    def test_controller_beats_low_alpha_cache_efficiency(self, results):
+        low = results["configs"][0]
+        adaptive = results["configs"][-1]
+        assert (
+            adaptive["phases"][0]["cache_efficiency"]
+            >= low["phases"][0]["cache_efficiency"]
+        )
+
+    def test_report_renders(self, results):
+        out = adaptive_study.report(results)
+        assert "workload shift" in out

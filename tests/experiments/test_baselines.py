@@ -1,0 +1,62 @@
+"""Tests for the baseline-comparison experiment (§III quantified)."""
+
+import pytest
+
+from repro.experiments import TINY, baselines
+
+
+@pytest.fixture(scope="module")
+def results():
+    return baselines.run(TINY, seed=2020)
+
+
+class TestBaselines:
+    def test_all_strategies_present(self, results):
+        assert set(results["strategies"]) == {
+            "no-cache", "exact-lru (a=0)", "landlord (a=0.8)",
+            "single-image (a=1)", "full-repo image",
+        }
+
+    def test_no_cache_writes_everything(self, results):
+        no_cache = results["strategies"]["no-cache"]
+        assert no_cache["bytes_written"] == results["requested_bytes"]
+        assert no_cache["storage_held"] == 0
+
+    def test_caching_reduces_writes_vs_no_cache(self, results):
+        lru = results["strategies"]["exact-lru (a=0)"]
+        assert lru["bytes_written"] <= results["requested_bytes"]
+
+    def test_landlord_beats_lru_on_cache_efficiency(self, results):
+        lru = results["strategies"]["exact-lru (a=0)"]
+        landlord = results["strategies"]["landlord (a=0.8)"]
+        assert landlord["cache_efficiency"] >= lru["cache_efficiency"]
+        assert landlord["hit_rate"] >= lru["hit_rate"]
+
+    def test_single_image_perfect_cache_poor_container(self, results):
+        single = results["strategies"]["single-image (a=1)"]
+        assert single["cache_efficiency"] == pytest.approx(1.0)
+        assert (
+            single["container_efficiency"]
+            < results["strategies"]["landlord (a=0.8)"]["container_efficiency"]
+        )
+
+    def test_full_repo_all_hits_worst_containers(self, results):
+        full = results["strategies"]["full-repo image"]
+        assert full["hit_rate"] == 1.0
+        assert full["storage_held"] == results["repo_bytes"]
+        assert full["container_efficiency"] == min(
+            s["container_efficiency"] for s in results["strategies"].values()
+        )
+
+    def test_dedup_floor_below_any_caching_strategy_storage(self, results):
+        floor = results["dedup_floor_bytes"]
+        lru = results["strategies"]["exact-lru (a=0)"]
+        assert floor <= lru["storage_held"] or floor <= results["repo_bytes"]
+
+    def test_layering_stores_more_than_dedup_floor(self, results):
+        assert results["layering_stored_bytes"] >= results["dedup_floor_bytes"]
+
+    def test_report_renders(self, results):
+        out = baselines.report(results)
+        assert "Baseline strategies" in out
+        assert "layer store" in out

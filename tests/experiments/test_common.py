@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.common (scales and CLI plumbing)."""
+
+import pytest
+
+from repro.experiments.common import (
+    PAPER,
+    QUICK,
+    TINY,
+    base_config,
+    get_scale,
+)
+
+
+class TestScales:
+    def test_paper_scale_matches_paper_parameters(self):
+        assert PAPER.n_packages == 9660
+        assert PAPER.n_unique == 500
+        assert PAPER.repeats == 5
+        assert PAPER.repetitions == 20
+        assert PAPER.alpha_step == 0.05
+        assert PAPER.max_selection == 100
+        assert PAPER.capacity == 2 * PAPER.repo_total_size  # the 1.4 TB cache
+
+    def test_all_scales_keep_cache_at_twice_repo(self):
+        for scale in (TINY, QUICK, PAPER):
+            assert scale.capacity == 2 * scale.repo_total_size
+
+    def test_alphas_grid(self):
+        grid = PAPER.alphas()
+        assert grid[0] == 0.4 and grid[-1] == 1.0
+        assert len(grid) == 13
+
+    def test_with_(self):
+        modified = TINY.with_(repetitions=1)
+        assert modified.repetitions == 1
+        assert TINY.repetitions != 1 or modified is not TINY
+
+
+class TestGetScale:
+    def test_by_name(self):
+        assert get_scale("tiny") is TINY
+        assert get_scale("quick") is QUICK
+        assert get_scale("paper") is PAPER
+
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert get_scale(None) is QUICK
+
+    def test_repro_full_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert get_scale(None) is PAPER
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+
+class TestBaseConfig:
+    def test_mirrors_scale(self):
+        config = base_config(QUICK, seed=5)
+        assert config.capacity == QUICK.capacity
+        assert config.n_unique == QUICK.n_unique
+        assert config.seed == 5
+
+    def test_overrides(self):
+        config = base_config(TINY, alpha=0.5, scheme="random")
+        assert config.alpha == 0.5
+        assert config.scheme == "random"

@@ -1,0 +1,43 @@
+"""Tests for the federation study experiment."""
+
+import pytest
+
+from repro.experiments import TINY, federation_study
+
+
+@pytest.fixture(scope="module")
+def results():
+    return federation_study.run(TINY, seed=2020)
+
+
+class TestFederationStudy:
+    def test_both_modes_run_same_jobs(self, results):
+        iso, fed = results["isolated"], results["federated"]
+        served = lambda t: t["hits"] + t["inserts"] + t["merges"]  # noqa: E731
+        assert served(iso) == served(fed) == results["jobs"]
+
+    def test_federation_reduces_build_io(self, results):
+        assert (
+            results["federated"]["bytes_built"]
+            < results["isolated"]["bytes_built"]
+        )
+
+    def test_pulls_replace_builds(self, results):
+        fed = results["federated"]
+        assert fed["pulls"] > 0
+        assert fed["adoptions"] == fed["pulls"]
+        assert fed["inserts"] < results["isolated"]["inserts"]
+
+    def test_isolated_mode_never_touches_registry(self, results):
+        iso = results["isolated"]
+        assert iso["pulls"] == 0
+        assert iso["registry_bytes"] == 0
+
+    def test_registry_holds_dedup_images(self, results):
+        fed = results["federated"]
+        assert 0 < fed["registry_bytes"] <= fed["bytes_built"]
+
+    def test_report_renders(self, results):
+        out = federation_study.report(results)
+        assert "Federation study" in out
+        assert "cuts global build I/O" in out

@@ -1,0 +1,19 @@
+"""The CLI and the experiments registry must stay in sync."""
+
+import repro.cli as cli
+from repro.experiments import EXPERIMENTS
+
+
+class TestRegistry:
+    def test_every_listed_experiment_has_a_cli_command(self):
+        for name in EXPERIMENTS:
+            assert name in cli._FIGURES, name
+
+    def test_every_cli_figure_is_listed(self):
+        assert set(cli._FIGURES) == set(EXPERIMENTS)
+
+    def test_each_module_has_run_and_report(self):
+        for module in cli._FIGURES.values():
+            assert callable(module.run)
+            assert callable(module.report)
+            assert callable(module.main)

@@ -1,0 +1,38 @@
+"""Tests for the tenancy-overhead experiment."""
+
+import pytest
+
+from repro.experiments import TINY, tenancy_overhead
+
+
+@pytest.fixture(scope="module")
+def results():
+    return tenancy_overhead.run(TINY, seed=2020)
+
+
+class TestTenancyOverhead:
+    def test_all_modes_measured(self, results):
+        assert set(results["modes"]) == {"shared", "isolated", "public-core"}
+
+    def test_equal_request_counts(self, results):
+        # public-core issues up to two sub-requests per job, so compare
+        # served jobs via hits+merges+inserts >= jobs for every mode.
+        for mode, s in results["modes"].items():
+            assert s["hits"] + s["merges"] + s["inserts"] >= results["jobs"] / 2
+
+    def test_isolation_duplicates_unique_bytes(self, results):
+        shared = results["modes"]["shared"]["unique_bytes"]
+        isolated = results["modes"]["isolated"]["unique_bytes"]
+        assert isolated > shared
+
+    def test_public_core_between_extremes(self, results):
+        shared = results["modes"]["shared"]["unique_bytes"]
+        isolated = results["modes"]["isolated"]["unique_bytes"]
+        public_core = results["modes"]["public-core"]["unique_bytes"]
+        assert public_core < isolated
+        assert public_core <= shared * 1.5
+
+    def test_report_renders(self, results):
+        out = tenancy_overhead.report(results)
+        assert "Isolation overhead" in out
+        assert "price of privacy" in out

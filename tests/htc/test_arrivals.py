@@ -1,0 +1,81 @@
+"""Tests for repro.htc.arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import ImageSpec
+from repro.htc.arrivals import (
+    assign_arrival_times,
+    campaign_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+)
+from repro.htc.job import Job
+
+
+class TestPoisson:
+    def test_count_and_monotone(self, rng):
+        times = poisson_arrivals(rng, 500, rate_per_hour=60.0)
+        assert times.shape == (500,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_rate_calibrated(self, rng):
+        times = poisson_arrivals(rng, 20_000, rate_per_hour=120.0)
+        realised = 20_000 / (times[-1] / 3600.0)
+        assert 110 < realised < 130
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(rng, -1, 10)
+        with pytest.raises(ValueError):
+            poisson_arrivals(rng, 10, 0)
+
+    def test_zero_jobs(self, rng):
+        assert poisson_arrivals(rng, 0, 10).size == 0
+
+
+class TestDiurnal:
+    def test_sorted_and_sized(self, rng):
+        times = diurnal_arrivals(rng, 1000, mean_rate_per_hour=50.0)
+        assert times.shape == (1000,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_peak_hours_busier_than_trough(self, rng):
+        times = diurnal_arrivals(
+            rng, 50_000, mean_rate_per_hour=100.0,
+            peak_to_trough=6.0, peak_hour=15.0,
+        )
+        hours = (times / 3600.0) % 24
+        peak_count = np.sum((hours > 13) & (hours < 17))
+        trough_count = np.sum((hours > 1) & (hours < 5))
+        assert peak_count > 2 * trough_count
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(rng, 10, 10.0, peak_to_trough=0.5)
+
+
+class TestCampaigns:
+    def test_burstiness(self, rng):
+        times = campaign_arrivals(rng, 2000, campaigns_per_day=4,
+                                  jobs_per_campaign=100)
+        gaps = np.diff(times)
+        # bursty: many tiny gaps, a few huge ones
+        assert np.median(gaps) < 60
+        assert gaps.max() > 3600
+
+    def test_sorted(self, rng):
+        times = campaign_arrivals(rng, 500)
+        assert np.all(np.diff(times) >= 0)
+
+
+class TestAssign:
+    def test_pairs_sorted_by_time(self):
+        jobs = [Job(f"j{i}", ImageSpec([f"p{i}/1"])) for i in range(3)]
+        paired = assign_arrival_times(jobs, [30.0, 10.0, 20.0])
+        assert [t for t, _ in paired] == [10.0, 20.0, 30.0]
+        assert paired[0][1].job_id == "j1"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            assign_arrival_times([], [1.0])

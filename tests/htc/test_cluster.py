@@ -1,0 +1,94 @@
+"""Tests for repro.htc.cluster."""
+
+import pytest
+
+from repro.htc.cluster import Cluster, Site, WorkerNode
+from repro.util.units import GB
+
+
+@pytest.fixture()
+def site(small_sft):
+    return Site(
+        name="s0",
+        repository=small_sft,
+        cache_bytes=20 * GB,
+        alpha=0.8,
+        n_workers=2,
+        worker_scratch_bytes=10 * GB,
+        transfer_bw=1 * GB,
+    )
+
+
+class TestSite:
+    def test_workers_created(self, site):
+        assert len(site.workers) == 2
+        assert site.workers[0].name == "s0/w0"
+
+    def test_needs_workers(self, small_sft):
+        with pytest.raises(ValueError):
+            Site("s", small_sft, 1 * GB, n_workers=0)
+
+    def test_positive_transfer_bw(self, small_sft):
+        with pytest.raises(ValueError):
+            Site("s", small_sft, 1 * GB, transfer_bw=0)
+
+    def test_place_transfers_then_caches(self, site, small_sft):
+        prepared = site.landlord.prepare([small_sft.ids[0]])
+        worker, t1 = site.place(prepared, site.workers[0])
+        assert t1 > 0
+        _, t2 = site.place(prepared, site.workers[0])
+        assert t2 == 0.0  # already on the worker
+
+    def test_merged_image_is_new_artifact_version(self, site, small_sft):
+        apps = [i for i in small_sft.ids if i.startswith("app-")]
+        first = site.landlord.prepare([apps[0]])
+        site.place(first, site.workers[0])
+        second = site.landlord.prepare([apps[1]])
+        if second.action.value == "merge":
+            # the rewritten image must be re-transferred
+            _, t = site.place(second, site.workers[0])
+            assert t > 0
+
+    def test_oversized_image_streams_without_caching(self, small_sft):
+        site = Site("s", small_sft, cache_bytes=50 * GB, n_workers=1,
+                    worker_scratch_bytes=1, transfer_bw=1 * GB)
+        prepared = site.landlord.prepare([small_sft.ids[0]])
+        worker, t = site.place(prepared)
+        assert t > 0
+        assert len(worker.scratch) == 0
+        # streamed again next time, same cost
+        _, t2 = site.place(prepared, worker)
+        assert t2 == pytest.approx(t)
+
+    def test_least_busy_worker(self, site):
+        site.workers[0].busy_until = 100.0
+        assert site.least_busy_worker() is site.workers[1]
+
+
+class TestCluster:
+    def test_unique_site_names_required(self, small_sft):
+        sites = [Site("x", small_sft, GB), Site("x", small_sft, GB)]
+        with pytest.raises(ValueError):
+            Cluster(sites)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_site_lookup(self, small_sft):
+        cluster = Cluster([Site("a", small_sft, GB), Site("b", small_sft, GB)])
+        assert cluster.site("b").name == "b"
+        with pytest.raises(KeyError):
+            cluster.site("c")
+
+    def test_total_cached_bytes(self, small_sft):
+        cluster = Cluster([Site("a", small_sft, 20 * GB)])
+        cluster.site("a").landlord.prepare([small_sft.ids[0]])
+        assert cluster.total_cached_bytes > 0
+
+
+class TestWorkerNode:
+    def test_create_factory(self):
+        worker = WorkerNode.create("w", scratch_bytes=5)
+        assert worker.scratch.capacity == 5
+        assert worker.busy_until == 0.0

@@ -1,0 +1,52 @@
+"""Tests for repro.htc.job."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.core.spec import ImageSpec
+from repro.htc.job import Job, JobResult
+
+
+def job(runtime=100.0):
+    return Job("j1", ImageSpec(["a/1"]), runtime_seconds=runtime, user="u")
+
+
+class TestJob:
+    def test_packages_view(self):
+        assert job().packages == {"a/1"}
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            job(runtime=-1)
+
+    def test_frozen(self):
+        j = job()
+        with pytest.raises(Exception):
+            j.user = "other"
+
+
+class TestJobResult:
+    def result(self, prep=20.0, transfer=5.0, runtime=100.0):
+        return JobResult(
+            job=job(runtime),
+            action=EventKind.INSERT,
+            image_id="img-0",
+            image_bytes=1000,
+            requested_bytes=800,
+            prep_seconds=prep,
+            transfer_seconds=transfer,
+        )
+
+    def test_total_seconds(self):
+        assert self.result().total_seconds == 125.0
+
+    def test_overhead_fraction(self):
+        assert self.result().overhead_fraction == pytest.approx(25 / 125)
+
+    def test_zero_everything(self):
+        r = JobResult(
+            job=job(runtime=0.0), action=EventKind.HIT, image_id="i",
+            image_bytes=0, requested_bytes=0, prep_seconds=0.0,
+        )
+        assert r.total_seconds == 0.0
+        assert r.overhead_fraction == 0.0

@@ -1,0 +1,95 @@
+"""Tests for repro.htc.lhc — the Figure 2 benchmark suite."""
+
+import pytest
+
+from repro.htc.lhc import (
+    EXPERIMENT_REPO_BYTES,
+    PAPER_BENCHMARKS,
+    build_experiment_repository,
+    build_lhc_suite,
+    select_spec_for_size,
+)
+from repro.util.units import GB
+
+
+class TestPaperConstants:
+    def test_seven_benchmarks(self):
+        assert len(PAPER_BENCHMARKS) == 7
+
+    def test_experiments_covered(self):
+        assert {b.experiment for b in PAPER_BENCHMARKS} == set(
+            EXPERIMENT_REPO_BYTES
+        )
+
+    def test_figure2_values_spotcheck(self):
+        atlas_sim = next(b for b in PAPER_BENCHMARKS if b.name == "atlas-sim")
+        assert atlas_sim.running_seconds == 5340
+        assert atlas_sim.prep_seconds == 115
+        assert atlas_sim.minimal_image_bytes == int(7.6 * GB)
+
+
+class TestExperimentRepository:
+    def test_total_size_near_paper(self):
+        repo = build_experiment_repository("alice", seed=1, n_packages=800)
+        target = EXPERIMENT_REPO_BYTES["alice"]
+        assert abs(repo.total_size - target) / target < 0.25
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            build_experiment_repository("babar")
+
+    def test_too_few_packages_rejected(self):
+        with pytest.raises(ValueError):
+            build_experiment_repository("alice", n_packages=100)
+
+
+class TestSelectSpecForSize:
+    def test_hits_target_within_tolerance(self):
+        repo = build_experiment_repository("lhcb", seed=2, n_packages=800)
+        target = 4 * GB
+        selection, closure = select_spec_for_size(repo, target, seed=3)
+        size = repo.bytes_of(closure)
+        assert 0.5 * target <= size <= 1.3 * target
+        assert selection <= closure
+
+    def test_closure_is_closed(self):
+        repo = build_experiment_repository("lhcb", seed=2, n_packages=800)
+        _, closure = select_spec_for_size(repo, 4 * GB, seed=3)
+        assert repo.closure(closure) == closure
+
+    def test_bad_prefix_rejected(self, tiny_repo):
+        with pytest.raises(ValueError):
+            select_spec_for_size(tiny_repo, 100, candidate_prefix="nope-")
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return build_lhc_suite(seed=1, n_packages=800)
+
+    def test_all_apps_modelled(self, suite):
+        assert [a.name for a in suite.apps] == [
+            b.name for b in PAPER_BENCHMARKS
+        ]
+
+    def test_image_sizes_near_paper(self, suite):
+        for app in suite.apps:
+            paper = app.paper.minimal_image_bytes
+            assert abs(app.image_bytes - paper) / paper < 0.5, app.name
+
+    def test_prep_times_same_order_of_magnitude(self, suite):
+        for app in suite.apps:
+            assert app.measured_prep_seconds < 10 * app.paper.prep_seconds
+            assert app.measured_prep_seconds > app.paper.prep_seconds / 10
+
+    def test_app_lookup(self, suite):
+        assert suite.app("cms-reco").experiment == "cms"
+        with pytest.raises(KeyError):
+            suite.app("ghost-app")
+
+    def test_repository_for(self, suite):
+        app = suite.app("alice-gen-sim")
+        assert suite.repository_for(app) is suite.repositories["alice"]
+
+    def test_runtime_passthrough(self, suite):
+        assert suite.app("atlas-gen").runtime_seconds == 600

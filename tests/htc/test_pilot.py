@@ -1,0 +1,113 @@
+"""Tests for repro.htc.pilot."""
+
+import pytest
+
+from repro.htc.cluster import Site
+from repro.htc.pilot import JobQueue, Pilot, PilotFactory
+from repro.htc.workload import DependencyWorkload, jobs_from_specs
+from repro.util.rng import spawn
+from repro.util.units import GB
+
+
+@pytest.fixture()
+def site(small_sft):
+    return Site("s0", small_sft, cache_bytes=40 * GB, n_workers=2,
+                worker_scratch_bytes=30 * GB)
+
+
+def make_jobs(repo, n=10):
+    workload = DependencyWorkload(repo, max_selection=5)
+    rng = spawn(8, "pilot-test")
+    return jobs_from_specs(workload.sample_specs(rng, n), rng,
+                           mean_runtime=30.0)
+
+
+class TestJobQueue:
+    def test_fifo_order(self, small_sft):
+        jobs = make_jobs(small_sft, 3)
+        queue = JobQueue(jobs)
+        assert queue.pull() is jobs[0]
+        assert queue.pull() is jobs[1]
+        assert len(queue) == 1
+
+    def test_pull_empty_returns_none(self):
+        assert JobQueue().pull() is None
+
+    def test_submit_appends(self, small_sft):
+        queue = JobQueue()
+        job = make_jobs(small_sft, 1)[0]
+        queue.submit(job)
+        assert queue.pull() is job
+
+
+class TestPilot:
+    def test_runs_until_queue_drains(self, site, small_sft):
+        queue = JobQueue(make_jobs(small_sft, 5))
+        pilot = Pilot("p0", site, site.workers[0])
+        results = pilot.run(queue)
+        assert len(results) == 5
+        assert not queue
+        assert pilot.retired
+
+    def test_max_jobs_retires_pilot(self, site, small_sft):
+        queue = JobQueue(make_jobs(small_sft, 5))
+        pilot = Pilot("p0", site, site.workers[0], max_jobs=2)
+        results = pilot.run(queue)
+        assert len(results) == 2
+        assert len(queue) == 3
+
+    def test_walltime_retires_pilot(self, site, small_sft):
+        queue = JobQueue(make_jobs(small_sft, 50))
+        pilot = Pilot("p0", site, site.workers[0], walltime=60.0)
+        results = pilot.run(queue)
+        assert 0 < len(results) < 50
+
+    def test_retired_pilot_cannot_rerun(self, site, small_sft):
+        queue = JobQueue(make_jobs(small_sft, 1))
+        pilot = Pilot("p0", site, site.workers[0])
+        pilot.run(queue)
+        with pytest.raises(RuntimeError):
+            pilot.run(queue)
+
+    def test_jobs_advance_worker_clock(self, site, small_sft):
+        queue = JobQueue(make_jobs(small_sft, 3))
+        worker = site.workers[0]
+        Pilot("p0", site, worker).run(queue)
+        assert worker.busy_until > 0
+        assert worker.jobs_run == 3
+
+    def test_landlord_reuse_across_pulled_jobs(self, site, small_sft):
+        # the same spec queued twice: second pull is a hit at the site cache
+        job = make_jobs(small_sft, 1)[0]
+        queue = JobQueue([job, job])
+        results = Pilot("p0", site, site.workers[0]).run(queue)
+        assert results[0].action.value in ("insert", "merge")
+        assert results[1].action.value == "hit"
+
+
+class TestPilotFactory:
+    def test_drains_queue_across_generations(self, site, small_sft):
+        queue = JobQueue(make_jobs(small_sft, 12))
+        factory = PilotFactory(site, max_jobs_per_pilot=2)
+        summary = factory.drain(queue)
+        assert summary.jobs == 12
+        assert summary.jobs_left == 0
+        # 12 jobs / 2 per pilot => at least 6 pilots
+        assert summary.pilots_used >= 6
+
+    def test_generation_cap_stops_runaway(self, site, small_sft):
+        queue = JobQueue(make_jobs(small_sft, 10))
+        factory = PilotFactory(site, max_jobs_per_pilot=0,
+                               max_generations=3)
+        summary = factory.drain(queue)
+        assert summary.jobs == 0
+        assert summary.jobs_left == 10
+
+    def test_invalid_generations(self, site):
+        with pytest.raises(ValueError):
+            PilotFactory(site, max_generations=0)
+
+    def test_results_site_and_worker_tagged(self, site, small_sft):
+        summary = PilotFactory(site).drain(JobQueue(make_jobs(small_sft, 4)))
+        assert all(r.site == "s0" for r in summary.results)
+        assert all(r.worker.startswith("s0/w") for r in summary.results)

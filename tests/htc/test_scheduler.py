@@ -1,0 +1,81 @@
+"""Tests for repro.htc.scheduler."""
+
+import pytest
+
+from repro.htc.cluster import Cluster, Site
+from repro.htc.scheduler import Scheduler
+from repro.htc.workload import DependencyWorkload, jobs_from_specs
+from repro.util.rng import spawn
+from repro.util.units import GB
+
+
+@pytest.fixture()
+def cluster(small_sft):
+    return Cluster(
+        [
+            Site(f"s{i}", small_sft, cache_bytes=30 * GB, n_workers=2,
+                 worker_scratch_bytes=20 * GB)
+            for i in range(2)
+        ]
+    )
+
+
+def make_jobs(repo, n=12, user="u"):
+    workload = DependencyWorkload(repo, max_selection=5)
+    rng = spawn(3, "sched-test", user)
+    specs = workload.sample_specs(rng, n)
+    return jobs_from_specs(specs, rng, mean_runtime=60.0, user=user)
+
+
+class TestScheduler:
+    def test_all_jobs_complete(self, cluster, small_sft):
+        jobs = make_jobs(small_sft)
+        summary = Scheduler(cluster).run(jobs)
+        assert summary.jobs == len(jobs)
+        assert summary.makespan > 0
+        assert summary.throughput_jobs_per_hour > 0
+
+    def test_round_robin_spreads_sites(self, cluster, small_sft):
+        jobs = make_jobs(small_sft)
+        summary = Scheduler(cluster, "round_robin").run(jobs)
+        sites = {r.site for r in summary.results}
+        assert sites == {"s0", "s1"}
+
+    def test_sticky_user_pins_to_one_site(self, cluster, small_sft):
+        jobs = make_jobs(small_sft, user="alice")
+        summary = Scheduler(cluster, "sticky_user").run(jobs)
+        assert len({r.site for r in summary.results}) == 1
+
+    def test_least_loaded_balances(self, cluster, small_sft):
+        jobs = make_jobs(small_sft, n=16)
+        summary = Scheduler(cluster, "least_loaded").run(jobs)
+        per_site = {}
+        for r in summary.results:
+            per_site[r.site] = per_site.get(r.site, 0) + 1
+        assert min(per_site.values()) > 0
+
+    def test_unknown_policy_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            Scheduler(cluster, "chaos")
+
+    def test_by_action_counts_total(self, cluster, small_sft):
+        jobs = make_jobs(small_sft)
+        summary = Scheduler(cluster).run(jobs)
+        assert sum(summary.by_action().values()) == len(jobs)
+
+    def test_overhead_fraction_bounded(self, cluster, small_sft):
+        summary = Scheduler(cluster).run(make_jobs(small_sft))
+        assert 0.0 <= summary.overhead_fraction <= 1.0
+
+    def test_repeated_submissions_become_cheap(self, cluster, small_sft):
+        jobs = make_jobs(small_sft, n=4)
+        scheduler = Scheduler(cluster, "sticky_user")
+        scheduler.run(jobs)
+        second = scheduler.run(jobs)  # same specs again
+        assert all(r.action.value == "hit" for r in second.results)
+        assert all(r.prep_seconds == 0 for r in second.results)
+
+    def test_empty_job_list(self, cluster):
+        summary = Scheduler(cluster).run([])
+        assert summary.jobs == 0
+        assert summary.throughput_jobs_per_hour == 0.0

@@ -1,0 +1,60 @@
+"""Tests for time-aware scheduling (arrivals + run_timed)."""
+
+import pytest
+
+from repro.htc.arrivals import assign_arrival_times, poisson_arrivals
+from repro.htc.cluster import Cluster, Site
+from repro.htc.scheduler import Scheduler
+from repro.htc.workload import DependencyWorkload, jobs_from_specs
+from repro.util.rng import spawn
+from repro.util.units import GB
+
+
+@pytest.fixture()
+def cluster(small_sft):
+    return Cluster(
+        [Site("s0", small_sft, cache_bytes=30 * GB, n_workers=2,
+              worker_scratch_bytes=20 * GB)]
+    )
+
+
+def make_jobs(repo, n=6):
+    workload = DependencyWorkload(repo, max_selection=4)
+    rng = spawn(2, "timed")
+    return jobs_from_specs(workload.sample_specs(rng, n), rng,
+                           mean_runtime=10.0)
+
+
+class TestRunTimed:
+    def test_jobs_wait_for_submit_time(self, cluster, small_sft):
+        jobs = make_jobs(small_sft, 2)
+        late = 10_000.0
+        summary = Scheduler(cluster).run_timed(
+            [(0.0, jobs[0]), (late, jobs[1])]
+        )
+        assert summary.makespan >= late
+
+    def test_untimed_run_equals_zero_submit_times(self, cluster, small_sft):
+        jobs = make_jobs(small_sft, 4)
+        a = Scheduler(Cluster([Site("x", small_sft, 30 * GB)])).run(jobs)
+        b = Scheduler(Cluster([Site("x", small_sft, 30 * GB)])).run_timed(
+            [(0.0, j) for j in jobs]
+        )
+        assert a.makespan == b.makespan
+        assert a.by_action() == b.by_action()
+
+    def test_sparse_arrivals_lower_throughput(self, cluster, small_sft):
+        jobs = make_jobs(small_sft, 6)
+        rng = spawn(3, "sparse")
+        times = poisson_arrivals(rng, len(jobs), rate_per_hour=2.0)
+        timed = assign_arrival_times(jobs, times)
+        sparse = Scheduler(cluster).run_timed(timed)
+        dense_cluster = Cluster(
+            [Site("s0", small_sft, cache_bytes=30 * GB, n_workers=2,
+                  worker_scratch_bytes=20 * GB)]
+        )
+        dense = Scheduler(dense_cluster).run(jobs)
+        assert sparse.makespan > dense.makespan
+        assert (
+            sparse.throughput_jobs_per_hour < dense.throughput_jobs_per_hour
+        )

@@ -1,0 +1,56 @@
+"""simulate_stream is duck-typed: any ImageProvider can be simulated."""
+
+import pytest
+
+from repro.core.policies import (
+    ExactLRUPolicy,
+    FullRepoPolicy,
+    NoCachePolicy,
+    SingleImagePolicy,
+)
+from repro.htc.simulator import simulate_stream
+from repro.htc.workload import DependencyWorkload, build_stream
+from repro.util.rng import spawn
+from repro.util.units import GB
+
+
+@pytest.fixture(scope="module")
+def stream(small_sft):
+    workload = DependencyWorkload(small_sft, max_selection=6)
+    return build_stream(workload, spawn(4, "pol-sim"), n_unique=15,
+                        repeats=2)
+
+
+class TestSimulatePolicies:
+    def test_exact_lru(self, small_sft, stream):
+        result = simulate_stream(
+            ExactLRUPolicy(50 * GB, small_sft.size_of), stream
+        )
+        assert result.stats.requests == len(stream)
+        assert result.stats.merges == 0
+
+    def test_single_image(self, small_sft, stream):
+        result = simulate_stream(SingleImagePolicy(small_sft.size_of), stream)
+        assert result.n_images == 1
+        assert result.cache_efficiency == 1.0
+
+    def test_full_repo(self, small_sft, stream):
+        result = simulate_stream(
+            FullRepoPolicy(small_sft.ids, small_sft.size_of), stream
+        )
+        assert result.stats.hit_rate == 1.0
+        assert result.n_images == 1
+
+    def test_no_cache(self, small_sft, stream):
+        result = simulate_stream(NoCachePolicy(small_sft.size_of), stream)
+        assert result.stats.bytes_written == result.stats.requested_bytes
+        assert result.n_images == 0
+
+    def test_timelines_recorded_for_all(self, small_sft, stream):
+        for provider in (
+            ExactLRUPolicy(50 * GB, small_sft.size_of),
+            SingleImagePolicy(small_sft.size_of),
+            NoCachePolicy(small_sft.size_of),
+        ):
+            result = simulate_stream(provider, stream)
+            assert len(result.timeline["hits"]) == len(stream)

@@ -1,0 +1,123 @@
+"""Tests for repro.htc.workload — the paper's two request schemes."""
+
+import numpy as np
+import pytest
+
+from repro.htc.workload import (
+    DependencyWorkload,
+    RandomWorkload,
+    build_stream,
+    jobs_from_specs,
+)
+from repro.packages.repository import Repository
+from repro.packages.package import Package
+
+
+class TestDependencyWorkload:
+    def test_samples_are_dependency_closed(self, small_sft, rng):
+        workload = DependencyWorkload(small_sft, max_selection=10)
+        for _ in range(10):
+            spec = workload.sample(rng)
+            for pid in spec:
+                for dep in small_sft[pid].deps:
+                    assert dep in spec
+
+    def test_selection_bounded(self, small_sft, rng):
+        workload = DependencyWorkload(small_sft, max_selection=5)
+        # selections up to 5 packages expand by closure, so specs are small
+        # but at least 1 package.
+        for _ in range(10):
+            assert 1 <= len(workload.sample(rng))
+
+    def test_max_selection_clamped_to_repo(self, tiny_repo, rng):
+        workload = DependencyWorkload(tiny_repo, max_selection=10**6)
+        assert workload.max_selection == len(tiny_repo)
+
+    def test_invalid_max_selection(self, tiny_repo):
+        with pytest.raises(ValueError):
+            DependencyWorkload(tiny_repo, max_selection=0)
+
+    def test_empty_repo_rejected(self):
+        with pytest.raises(ValueError):
+            DependencyWorkload(Repository([]))
+
+    def test_deterministic_given_rng(self, small_sft):
+        a = DependencyWorkload(small_sft).sample(np.random.default_rng(3))
+        b = DependencyWorkload(small_sft).sample(np.random.default_rng(3))
+        assert a == b
+
+
+class TestRandomWorkload:
+    def test_sizes_match_dependency_scheme_distribution(self, small_sft):
+        # The paper: random images take their *count* from a dep-scheme
+        # image; sizes should therefore be in the same range.
+        dep_sizes = [
+            len(DependencyWorkload(small_sft, 10).sample(np.random.default_rng(i)))
+            for i in range(20)
+        ]
+        rnd_sizes = [
+            len(RandomWorkload(small_sft, 10).sample(np.random.default_rng(i)))
+            for i in range(20)
+        ]
+        assert min(dep_sizes) <= np.median(rnd_sizes) <= max(dep_sizes)
+
+    def test_random_contents_not_closed(self, small_sft, rng):
+        # With overwhelming probability a uniform-random spec violates
+        # dependency closure somewhere across 10 draws.
+        workload = RandomWorkload(small_sft, max_selection=20)
+        violations = 0
+        for _ in range(10):
+            spec = workload.sample(rng)
+            for pid in spec:
+                if any(dep not in spec for dep in small_sft[pid].deps):
+                    violations += 1
+                    break
+        assert violations > 0
+
+
+class TestBuildStream:
+    def test_length_and_repetition(self, small_sft, rng):
+        workload = DependencyWorkload(small_sft, 5)
+        stream = build_stream(workload, rng, n_unique=10, repeats=3)
+        assert len(stream) == 30
+        # every unique spec appears exactly `repeats` times
+        from collections import Counter
+
+        counts = Counter(stream)
+        assert all(c == 3 for c in counts.values())
+
+    def test_repeats_share_object_identity(self, small_sft, rng):
+        stream = build_stream(
+            DependencyWorkload(small_sft, 5), rng, n_unique=3, repeats=2,
+            shuffle=False,
+        )
+        assert stream[0] is stream[1]
+
+    def test_shuffle_changes_order(self, small_sft):
+        workload = DependencyWorkload(small_sft, 5)
+        plain = build_stream(workload, np.random.default_rng(1), 20, 3,
+                             shuffle=False)
+        mixed = build_stream(workload, np.random.default_rng(1), 20, 3,
+                             shuffle=True)
+        assert sorted(map(sorted, plain)) == sorted(map(sorted, mixed))
+        assert plain != mixed
+
+    def test_invalid_parameters(self, small_sft, rng):
+        workload = DependencyWorkload(small_sft, 5)
+        with pytest.raises(ValueError):
+            build_stream(workload, rng, n_unique=0)
+        with pytest.raises(ValueError):
+            build_stream(workload, rng, repeats=0)
+
+
+class TestJobsFromSpecs:
+    def test_wraps_with_ids_and_runtimes(self, rng):
+        jobs = jobs_from_specs([frozenset({"a/1"}), frozenset({"b/1"})],
+                               rng, mean_runtime=10.0, user="u1")
+        assert [j.job_id for j in jobs] == ["job-000000", "job-000001"]
+        assert all(j.runtime_seconds >= 0 for j in jobs)
+        assert all(j.user == "u1" for j in jobs)
+
+    def test_no_rng_zero_runtime(self):
+        jobs = jobs_from_specs([frozenset({"a/1"})])
+        assert jobs[0].runtime_seconds == 0.0

@@ -1,0 +1,67 @@
+"""Statistical sanity checks on workload generation.
+
+These lock in the distributions the paper's procedure implies: uniform
+initial selections up to the maximum, closure-valid specs, and the random
+scheme's count-matching construction.
+"""
+
+import numpy as np
+
+from repro.htc.workload import DependencyWorkload, RandomWorkload
+from repro.util.rng import spawn
+
+
+class TestSelectionDistribution:
+    def test_selection_sizes_span_full_range(self, small_sft):
+        """Initial selection is 'up to 100 packages' uniformly: across many
+        samples both very small and near-max selections must appear."""
+        workload = DependencyWorkload(small_sft, max_selection=20)
+        rng = spawn(0, "stat")
+        # Infer selection-size behaviour through closure sizes: record the
+        # minimum and maximum over many draws.
+        sizes = [len(workload.sample(rng)) for _ in range(150)]
+        assert min(sizes) < np.percentile(sizes, 20)
+        assert max(sizes) > np.percentile(sizes, 80)
+
+    def test_closure_sizes_grow_with_max_selection(self, small_sft):
+        rng_small = spawn(1, "stat-a")
+        rng_big = spawn(1, "stat-a")
+        small = DependencyWorkload(small_sft, max_selection=5)
+        big = DependencyWorkload(small_sft, max_selection=50)
+        mean_small = np.mean([len(small.sample(rng_small)) for _ in range(40)])
+        mean_big = np.mean([len(big.sample(rng_big)) for _ in range(40)])
+        assert mean_big > 2 * mean_small
+
+
+class TestRandomSchemeConstruction:
+    def test_count_distribution_matches_dependency_scheme(self, small_sft):
+        """The paper constructs random images with the *package count* of a
+        dependency image; count distributions must therefore overlap."""
+        dep = DependencyWorkload(small_sft, max_selection=15)
+        rnd = RandomWorkload(small_sft, max_selection=15)
+        dep_sizes = sorted(
+            len(dep.sample(spawn(2, "d", i))) for i in range(60)
+        )
+        rnd_sizes = sorted(
+            len(rnd.sample(spawn(2, "r", i))) for i in range(60)
+        )
+        # Same order of magnitude and overlapping ranges.
+        assert rnd_sizes[0] <= dep_sizes[-1]
+        assert dep_sizes[0] <= rnd_sizes[-1]
+        assert 0.5 < np.median(rnd_sizes) / np.median(dep_sizes) < 2.0
+
+    def test_random_specs_spread_over_whole_repository(self, small_sft):
+        """Uniform choice must touch far more distinct packages than the
+        dependency scheme, which concentrates on the shared core."""
+        dep = DependencyWorkload(small_sft, max_selection=10)
+        rnd = RandomWorkload(small_sft, max_selection=10)
+        dep_union = set()
+        rnd_union = set()
+        for i in range(30):
+            dep_union |= dep.sample(spawn(3, "d", i))
+            rnd_union |= rnd.sample(spawn(3, "r", i))
+        # dependency closures concentrate on core+frameworks; uniform
+        # random draws cover strictly more of the long tail per spec byte.
+        core_hits_dep = sum(1 for p in dep_union if p.startswith("core-"))
+        core_hits_rnd = sum(1 for p in rnd_union if p.startswith("core-"))
+        assert core_hits_dep >= core_hits_rnd

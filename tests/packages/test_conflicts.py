@@ -1,0 +1,56 @@
+"""Tests for repro.packages.conflicts."""
+
+import pytest
+
+from repro.packages.conflicts import NoConflicts, SlotConflicts
+
+
+class TestNoConflicts:
+    def test_never_conflicts(self):
+        policy = NoConflicts()
+        assert not policy.conflicts({"a/1.0"}, {"a/2.0"})
+        assert not policy.conflicts(set(), set())
+        assert policy.conflicting_slots({"a/1.0"}, {"a/2.0"}) == []
+
+
+class TestSlotConflicts:
+    def setup_method(self):
+        self.policy = SlotConflicts()
+
+    def test_same_version_no_conflict(self):
+        assert not self.policy.conflicts({"root/6.20"}, {"root/6.20"})
+
+    def test_different_versions_conflict(self):
+        assert self.policy.conflicts({"root/6.20"}, {"root/6.18"})
+        assert self.policy.conflicting_slots(
+            {"root/6.20"}, {"root/6.18"}
+        ) == ["root"]
+
+    def test_disjoint_names_no_conflict(self):
+        assert not self.policy.conflicts({"a/1.0"}, {"b/2.0"})
+
+    def test_internal_conflict_within_one_side(self):
+        # A side that itself contains two versions of one slot conflicts
+        # with anything (including the empty set).
+        assert self.policy.conflicts({"a/1.0", "a/2.0"}, set())
+        assert self.policy.conflicts(set(), {"a/1.0", "a/2.0"})
+
+    def test_multiple_conflicting_slots_reported_sorted(self):
+        slots = self.policy.conflicting_slots(
+            {"z/1.0", "a/1.0"}, {"z/2.0", "a/2.0"}
+        )
+        assert slots == ["a", "z"]
+
+    def test_variants_of_same_version_conflict_by_default(self):
+        # Same name+version, different platform variants share a slot and
+        # are distinct ids -> conflict under one-version-per-slot.
+        assert self.policy.conflicts({"app/1.0/el7"}, {"app/1.0/el9"})
+
+    def test_slot_override_allows_coinstall(self):
+        policy = SlotConflicts(
+            slot_of={"app/1.0/el7": "app-el7", "app/1.0/el9": "app-el9"}
+        )
+        assert not policy.conflicts({"app/1.0/el7"}, {"app/1.0/el9"})
+
+    def test_empty_sets_never_conflict(self):
+        assert not self.policy.conflicts(set(), set())

@@ -1,0 +1,112 @@
+"""Tests for repro.packages.depgen: structure of generated DAGs."""
+
+import numpy as np
+import pytest
+
+from repro.packages.depgen import LayerSpec, flat, layered_dag, random_dag
+from repro.packages.repository import Repository
+
+
+def _layers():
+    return [
+        LayerSpec(count=10, mean_size=1e6),
+        LayerSpec(count=30, dep_range=(1, 3), mean_size=1e6),
+        LayerSpec(count=60, dep_range=(2, 4), core_fraction=0.5, mean_size=1e6),
+    ]
+
+
+class TestLayerSpec:
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            LayerSpec(count=-1)
+
+    def test_rejects_bad_dep_range(self):
+        with pytest.raises(ValueError):
+            LayerSpec(count=1, dep_range=(3, 1))
+
+    def test_rejects_bad_core_fraction(self):
+        with pytest.raises(ValueError):
+            LayerSpec(count=1, core_fraction=1.5)
+
+
+class TestLayeredDag:
+    def test_package_count(self, rng):
+        packages = layered_dag(rng, _layers())
+        assert len(packages) == 100
+
+    def test_is_valid_acyclic_repository(self, rng):
+        Repository(layered_dag(rng, _layers()))  # validates deps + acyclicity
+
+    def test_layer_zero_has_no_deps(self, rng):
+        packages = layered_dag(rng, _layers())
+        layer0 = [p for p in packages if p.id.startswith("L0-")]
+        assert layer0 and all(not p.deps for p in layer0)
+
+    def test_deps_point_to_lower_layers_only(self, rng):
+        packages = layered_dag(rng, _layers())
+        for p in packages:
+            layer = int(p.id[1])
+            for dep in p.deps:
+                assert int(dep[1]) < layer
+
+    def test_popularity_skew_creates_hubs(self):
+        rng = np.random.default_rng(0)
+        packages = layered_dag(
+            rng,
+            [LayerSpec(count=50, mean_size=1e6),
+             LayerSpec(count=500, dep_range=(2, 4), zipf_s=1.2, mean_size=1e6)],
+        )
+        repo = Repository(packages)
+        counts = sorted(
+            (len(v) for v in repo.dependents_index().values()), reverse=True
+        )
+        # Zipf choice concentrates dependents on a few core packages.
+        assert counts[0] > 10 * max(1, counts[len(counts) // 2])
+
+    def test_requires_nonempty_base(self, rng):
+        with pytest.raises(ValueError):
+            layered_dag(rng, [])
+
+    def test_custom_namer(self, rng):
+        packages = layered_dag(
+            rng,
+            [LayerSpec(count=2, mean_size=1e6)],
+            namer=lambda layer, i: f"custom-{layer}-{i}/9.9",
+        )
+        assert packages[0].id == "custom-0-0/9.9"
+
+    def test_deterministic_under_same_rng_seed(self):
+        a = layered_dag(np.random.default_rng(5), _layers())
+        b = layered_dag(np.random.default_rng(5), _layers())
+        assert [(p.id, p.size, p.deps) for p in a] == [
+            (p.id, p.size, p.deps) for p in b
+        ]
+
+
+class TestRandomDag:
+    def test_count_and_validity(self, rng):
+        repo = Repository(random_dag(rng, 80, mean_deps=2.5))
+        assert len(repo) == 80
+
+    def test_zero_packages(self, rng):
+        assert random_dag(rng, 0) == []
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_dag(rng, -1)
+
+    def test_edges_point_backwards(self, rng):
+        packages = random_dag(rng, 50)
+        index = {p.id: i for i, p in enumerate(packages)}
+        for p in packages:
+            for dep in p.deps:
+                assert index[dep] < index[p.id]
+
+
+class TestFlat:
+    def test_no_dependencies(self, rng):
+        packages = flat(rng, 20)
+        assert all(not p.deps for p in packages)
+
+    def test_sizes_positive(self, rng):
+        assert all(p.size > 0 for p in flat(rng, 20))

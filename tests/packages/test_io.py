@@ -1,0 +1,74 @@
+"""Tests for repro.packages.io (JSON-lines repository interchange)."""
+
+import json
+
+import pytest
+
+from repro.packages.io import load_repository, save_repository
+from repro.packages.package import Package
+from repro.packages.repository import Repository, RepositoryError
+
+
+class TestRoundTrip:
+    def test_preserves_everything(self, tiny_repo, tmp_path):
+        path = tmp_path / "repo.jsonl"
+        count = save_repository(path, tiny_repo)
+        assert count == len(tiny_repo)
+        loaded = load_repository(path)
+        assert loaded.ids == tiny_repo.ids
+        for pid in tiny_repo.ids:
+            assert loaded[pid].size == tiny_repo[pid].size
+            assert loaded[pid].deps == tiny_repo[pid].deps
+        assert loaded.total_size == tiny_repo.total_size
+
+    def test_sft_roundtrip_closures_match(self, small_sft, tmp_path):
+        path = tmp_path / "sft.jsonl"
+        save_repository(path, small_sft)
+        loaded = load_repository(path)
+        probe = small_sft.ids[:10]
+        assert loaded.closure(probe) == small_sft.closure(probe)
+
+    def test_custom_slot_preserved(self, tmp_path):
+        repo = Repository([Package("gcc/8.3.0", 1, slot="toolchain")])
+        path = tmp_path / "r.jsonl"
+        save_repository(path, repo)
+        assert load_repository(path)["gcc/8.3.0"].slot == "toolchain"
+
+    def test_blank_lines_tolerated(self, tiny_repo, tmp_path):
+        path = tmp_path / "r.jsonl"
+        save_repository(path, tiny_repo)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_repository(path)) == len(tiny_repo)
+
+
+class TestValidation:
+    def test_invalid_json_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "a/1", "size": 1}\n{broken\n')
+        with pytest.raises(RepositoryError, match=":2:"):
+            load_repository(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"size": 1}\n')
+        with pytest.raises(RepositoryError, match="invalid package record"):
+            load_repository(path)
+
+    def test_dangling_dependency_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "a/1", "size": 1, "deps": ["ghost/1"]}\n')
+        with pytest.raises(RepositoryError, match="missing"):
+            load_repository(path)
+
+    def test_cycle_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"id": "a/1", "size": 1, "deps": ["b/1"]}\n'
+            '{"id": "b/1", "size": 1, "deps": ["a/1"]}\n'
+        )
+        with pytest.raises(RepositoryError, match="cycle"):
+            load_repository(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            load_repository(tmp_path / "ghost.jsonl")

@@ -1,0 +1,60 @@
+"""Tests for repro.packages.package."""
+
+import pytest
+
+from repro.packages.package import Package, make_package_id, split_package_id
+
+
+class TestPackageId:
+    def test_two_part_roundtrip(self):
+        pid = make_package_id("ROOT", "6.20.04")
+        assert pid == "ROOT/6.20.04"
+        assert split_package_id(pid) == ("ROOT", "6.20.04", "")
+
+    def test_three_part_roundtrip(self):
+        pid = make_package_id("ROOT", "6.20.04", "x86_64-el9")
+        assert split_package_id(pid) == ("ROOT", "6.20.04", "x86_64-el9")
+
+    @pytest.mark.parametrize(
+        "name,version,variant",
+        [("", "1.0", ""), ("a/b", "1.0", ""), ("a", "", ""),
+         ("a", "1/0", ""), ("a", "1.0", "x/y")],
+    )
+    def test_invalid_components_rejected(self, name, version, variant):
+        with pytest.raises(ValueError):
+            make_package_id(name, version, variant)
+
+    @pytest.mark.parametrize("bad", ["justname", "a/b/c/d", ""])
+    def test_split_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            split_package_id(bad)
+
+
+class TestPackage:
+    def test_accessors(self):
+        p = Package("numpy/1.24.0/x86_64", size=100)
+        assert p.name == "numpy"
+        assert p.version == "1.24.0"
+        assert p.variant == "x86_64"
+
+    def test_slot_defaults_to_name(self):
+        assert Package("gcc/8.3.0", 1).slot == "gcc"
+
+    def test_explicit_slot_preserved(self):
+        assert Package("gcc/8.3.0", 1, slot="toolchain").slot == "toolchain"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Package("a/1.0", -1)
+
+    def test_zero_size_allowed_for_metapackages(self):
+        assert Package("meta/1.0", 0).size == 0
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            Package("a/1.0", 1, deps=("a/1.0",))
+
+    def test_frozen(self):
+        p = Package("a/1.0", 1)
+        with pytest.raises(Exception):
+            p.size = 2

@@ -1,0 +1,75 @@
+"""Property-based tests: the dependency closure is a closure operator.
+
+For any repository DAG and any selection S:
+- extensive: S ⊆ closure(S)
+- monotone: S ⊆ T implies closure(S) ⊆ closure(T)
+- idempotent: closure(closure(S)) == closure(S)
+- closed: every dependency of a closure member is in the closure
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.packages.depgen import random_dag
+from repro.packages.repository import Repository
+
+
+@st.composite
+def repo_and_selection(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(1, 60))
+    rng = np.random.default_rng(seed)
+    repo = Repository(random_dag(rng, n, mean_deps=2.0))
+    ids = repo.ids
+    selection = draw(
+        st.lists(st.sampled_from(ids), min_size=0, max_size=min(10, n))
+    )
+    return repo, frozenset(selection)
+
+
+@settings(max_examples=60, deadline=None)
+@given(repo_and_selection())
+def test_closure_is_extensive(case):
+    repo, selection = case
+    assert selection <= repo.closure(selection)
+
+
+@settings(max_examples=60, deadline=None)
+@given(repo_and_selection())
+def test_closure_is_idempotent(case):
+    repo, selection = case
+    once = repo.closure(selection)
+    assert repo.closure(once) == once
+
+
+@settings(max_examples=60, deadline=None)
+@given(repo_and_selection(), st.data())
+def test_closure_is_monotone(case, data):
+    repo, selection = case
+    subset = data.draw(
+        st.sets(st.sampled_from(sorted(selection)), max_size=len(selection))
+        if selection
+        else st.just(set())
+    )
+    assert repo.closure(subset) <= repo.closure(selection)
+
+
+@settings(max_examples=60, deadline=None)
+@given(repo_and_selection())
+def test_closure_is_dependency_closed(case):
+    repo, selection = case
+    closure = repo.closure(selection)
+    for pid in closure:
+        for dep in repo[pid].deps:
+            assert dep in closure
+
+
+@settings(max_examples=60, deadline=None)
+@given(repo_and_selection())
+def test_closure_union_decomposition(case):
+    """closure(S) equals the union of single-package closures."""
+    repo, selection = case
+    union = frozenset().union(
+        *[repo.closure_of(p) for p in selection]
+    ) if selection else frozenset()
+    assert repo.closure(selection) == union

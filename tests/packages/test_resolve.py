@@ -1,0 +1,154 @@
+"""Tests for repro.packages.resolve (constraints + dependency solver)."""
+
+import pytest
+
+from repro.packages.package import Package
+from repro.packages.repository import Repository
+from repro.packages.resolve import (
+    Constraint,
+    DependencySolver,
+    Requirement,
+    UnsatisfiableError,
+    parse_version,
+)
+
+
+class TestParseVersion:
+    def test_numeric_ordering(self):
+        assert parse_version("6.20.04") > parse_version("6.9.1")
+        assert parse_version("10.0") > parse_version("9.9")
+
+    def test_equal_despite_zero_padding(self):
+        assert parse_version("6.04") == parse_version("6.4")
+
+    def test_alphanumeric_components(self):
+        assert parse_version("1.0a") != parse_version("1.0b")
+        assert parse_version("1.0a") < parse_version("1.0b")
+
+    def test_numbers_sort_after_letters_in_same_slot(self):
+        assert parse_version("1.rc") < parse_version("1.1")
+
+
+class TestConstraint:
+    @pytest.mark.parametrize(
+        "op,boundary,version,expected",
+        [
+            ("==", "6.20", "6.20", True),
+            ("==", "6.20", "6.21", False),
+            ("!=", "6.20", "6.21", True),
+            (">=", "6.18", "6.20", True),
+            (">=", "6.18", "6.18", True),
+            ("<", "6.21", "6.20", True),
+            ("<", "6.20", "6.20", False),
+            (">", "6.20", "6.20.01", True),
+            ("<=", "6.20", "6.20", True),
+        ],
+    )
+    def test_operators(self, op, boundary, version, expected):
+        assert Constraint(op, boundary).satisfied_by(version) is expected
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("~=", "1.0")
+
+
+class TestRequirementParse:
+    def test_bare_name(self):
+        req = Requirement.parse("numpy")
+        assert req.name == "numpy" and req.constraints == ()
+        assert req.allows("anything")
+
+    def test_single_constraint(self):
+        req = Requirement.parse("gcc==8.3.0")
+        assert req.allows("8.3.0") and not req.allows("9.1.0")
+
+    def test_range(self):
+        req = Requirement.parse("root>=6.18,<6.21")
+        assert req.allows("6.20.04")
+        assert not req.allows("6.21")
+        assert not req.allows("6.17")
+
+    def test_spaces_tolerated(self):
+        req = Requirement.parse("root >= 6.18, < 6.21")
+        assert req.allows("6.19")
+
+    @pytest.mark.parametrize("bad", ["", ">=1.0", "name~~1.0", "name ==",
+                                     "name foo"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Requirement.parse(bad)
+
+
+@pytest.fixture()
+def repo():
+    return Repository(
+        [
+            Package("base/1.0", 1),
+            Package("gcc/8.3.0", 1, deps=("base/1.0",)),
+            Package("gcc/9.1.0", 1, deps=("base/1.0",)),
+            Package("root/6.18.00", 1, deps=("gcc/8.3.0",)),
+            Package("root/6.20.04", 1, deps=("gcc/9.1.0",)),
+            Package("geant/10.6", 1, deps=("gcc/9.1.0",)),
+            Package("legacy-app/1.0", 1, deps=("root/6.18.00",)),
+        ]
+    )
+
+
+class TestSolver:
+    def test_newest_version_wins(self, repo):
+        resolution = DependencySolver(repo).solve(["root"])
+        assert resolution.assignments["root"] == "root/6.20.04"
+        assert "gcc/9.1.0" in resolution.closure
+
+    def test_constraint_pins_older(self, repo):
+        resolution = DependencySolver(repo).solve(["root<6.20"])
+        assert resolution.assignments["root<6.20"] == "root/6.18.00"
+
+    def test_backtracks_to_compatible_version(self, repo):
+        # Newest root needs gcc 9, legacy-app's chain needs gcc 8 via
+        # root 6.18 -> the solver must fall back to root/6.18.00.
+        resolution = DependencySolver(repo).solve(["root", "legacy-app"])
+        assert resolution.assignments["root"] == "root/6.18.00"
+        clash_versions = {
+            pid for pid in resolution.closure if pid.startswith("gcc/")
+        }
+        assert len(clash_versions) == 1
+
+    def test_unsatisfiable_with_explanation(self, repo):
+        with pytest.raises(UnsatisfiableError, match="slot 'gcc'"):
+            DependencySolver(repo).solve(["root>=6.20", "legacy-app"])
+
+    def test_unknown_package(self, repo):
+        with pytest.raises(UnsatisfiableError, match="unknown package"):
+            DependencySolver(repo).solve(["tensorflow"])
+
+    def test_constraint_excluding_everything(self, repo):
+        with pytest.raises(UnsatisfiableError, match="no package satisfies"):
+            DependencySolver(repo).solve(["root>9.0"])
+
+    def test_append_only_mode_allows_coexistence(self, repo):
+        resolution = DependencySolver(repo).solve(
+            ["root>=6.20", "legacy-app"], enforce_slots=False
+        )
+        gccs = {p for p in resolution.closure if p.startswith("gcc/")}
+        assert len(gccs) == 2  # CVMFS world: both versions coexist
+
+    def test_closure_is_closed(self, repo):
+        resolution = DependencySolver(repo).solve(["geant", "root>=6.20"])
+        assert repo.closure(resolution.closure) == resolution.closure
+
+    def test_requirement_objects_accepted(self, repo):
+        req = Requirement.parse("gcc==8.3.0")
+        resolution = DependencySolver(repo).solve([req])
+        assert resolution.assignments[str(req)] == "gcc/8.3.0"
+
+    def test_candidates_ordering(self, repo):
+        solver = DependencySolver(repo)
+        assert solver.candidates(Requirement.parse("gcc")) == [
+            "gcc/9.1.0", "gcc/8.3.0",
+        ]
+
+    def test_budget_exhaustion_reported(self, repo):
+        solver = DependencySolver(repo, max_steps=1)
+        with pytest.raises(UnsatisfiableError, match="budget"):
+            solver.solve(["root", "legacy-app"])

@@ -1,0 +1,54 @@
+"""Property-based tests for version parsing and constraint algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.packages.resolve import Constraint, parse_version
+
+numeric_versions = st.lists(
+    st.integers(0, 99), min_size=1, max_size=4
+).map(lambda parts: ".".join(str(p) for p in parts))
+
+
+@settings(max_examples=150)
+@given(numeric_versions, numeric_versions)
+def test_numeric_versions_order_like_tuples(a, b):
+    ta = tuple(int(x) for x in a.split("."))
+    tb = tuple(int(x) for x in b.split("."))
+    assert (parse_version(a) < parse_version(b)) == (ta < tb)
+    assert (parse_version(a) == parse_version(b)) == (ta == tb)
+
+
+@settings(max_examples=150)
+@given(numeric_versions)
+def test_version_equals_itself(v):
+    assert parse_version(v) == parse_version(v)
+    assert Constraint("==", v).satisfied_by(v)
+    assert Constraint(">=", v).satisfied_by(v)
+    assert Constraint("<=", v).satisfied_by(v)
+    assert not Constraint("!=", v).satisfied_by(v)
+    assert not Constraint(">", v).satisfied_by(v)
+    assert not Constraint("<", v).satisfied_by(v)
+
+
+@settings(max_examples=150)
+@given(numeric_versions, numeric_versions)
+def test_strict_and_inclusive_operators_consistent(boundary, probe):
+    ge = Constraint(">=", boundary).satisfied_by(probe)
+    gt = Constraint(">", boundary).satisfied_by(probe)
+    eq = parse_version(probe) == parse_version(boundary)
+    assert ge == (gt or eq)
+    le = Constraint("<=", boundary).satisfied_by(probe)
+    lt = Constraint("<", boundary).satisfied_by(probe)
+    assert le == (lt or eq)
+    # trichotomy
+    assert gt + lt + eq == 1
+
+
+@settings(max_examples=150)
+@given(numeric_versions, numeric_versions)
+def test_separators_do_not_matter(a, b):
+    dashed = a.replace(".", "-")
+    assert parse_version(dashed) == parse_version(a)
+    assert (parse_version(dashed) < parse_version(b)) == (
+        parse_version(a) < parse_version(b)
+    )

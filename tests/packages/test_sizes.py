@@ -1,0 +1,67 @@
+"""Tests for repro.packages.sizes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.packages.sizes import (
+    MIN_PACKAGE_SIZE,
+    lognormal_sizes,
+    mu_for_mean,
+    size_histogram,
+)
+
+
+class TestMuForMean:
+    def test_expectation_identity(self):
+        mean, sigma = 5e7, 1.2
+        mu = mu_for_mean(mean, sigma)
+        assert math.isclose(math.exp(mu + sigma**2 / 2), mean, rel_tol=1e-9)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            mu_for_mean(0, 1.0)
+
+
+class TestLognormalSizes:
+    def test_mean_roughly_calibrated(self, rng):
+        sizes = lognormal_sizes(rng, 200_000, mean_bytes=50e6, sigma=1.2)
+        assert 0.9 * 50e6 < sizes.mean() < 1.1 * 50e6
+
+    def test_minimum_clip(self, rng):
+        sizes = lognormal_sizes(rng, 10_000, mean_bytes=5000, sigma=2.0)
+        assert sizes.min() >= MIN_PACKAGE_SIZE
+
+    def test_maximum_clip(self, rng):
+        sizes = lognormal_sizes(rng, 10_000, mean_bytes=1e9, sigma=2.0,
+                                max_bytes=10**10)
+        assert sizes.max() <= 10**10
+
+    def test_zero_n(self, rng):
+        assert lognormal_sizes(rng, 0, 1e6).size == 0
+
+    def test_negative_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_sizes(rng, -1, 1e6)
+
+    def test_dtype_int64(self, rng):
+        assert lognormal_sizes(rng, 5, 1e6).dtype == np.int64
+
+    def test_heavy_tail_present(self, rng):
+        sizes = lognormal_sizes(rng, 100_000, mean_bytes=50e6, sigma=1.6)
+        assert sizes.max() > 20 * np.median(sizes)
+
+
+class TestSizeHistogram:
+    def test_counts_sum_to_n(self, rng):
+        sizes = lognormal_sizes(rng, 5000, 1e6)
+        rows = size_histogram(sizes, n_bins=10)
+        assert sum(count for _, _, count in rows) == 5000
+
+    def test_empty_input(self):
+        assert size_histogram(np.zeros(0)) == []
+
+    def test_degenerate_single_value(self):
+        rows = size_histogram(np.array([7, 7, 7]))
+        assert rows == [(7.0, 7.0, 3)]

@@ -1,0 +1,62 @@
+"""Tests for repro.specs.logparse."""
+
+import pytest
+
+from repro.packages.package import Package
+from repro.packages.repository import Repository
+from repro.specs.logparse import accessed_packages, spec_from_log, spec_from_logs
+from repro.specs.resolver import PackageResolver
+
+LOG = """
+open("/cvmfs/sft.cern.ch/root/6.20.04/lib/libCore.so") = 3
+open("/cvmfs/sft.cern.ch/root/6.20.04/lib/libHist.so") = 4
+read("/cvmfs/sft.cern.ch/python/3.9.6/bin/python3") = 5
+stat("/cvmfs/atlas.cern.ch/athena/22.0/setup.sh") = 0
+open("/tmp/scratch/file") = 6
+"""
+
+
+class TestAccessedPackages:
+    def test_extracts_name_version_pairs(self):
+        assert accessed_packages(LOG) == [
+            "root/6.20.04", "python/3.9.6", "athena/22.0",
+        ]
+
+    def test_repo_filter(self):
+        assert accessed_packages(LOG, repo_filter="atlas.cern.ch") == [
+            "athena/22.0"
+        ]
+
+    def test_duplicates_collapse_in_order(self):
+        log = "/cvmfs/r.ch/a/1.0/x\n/cvmfs/r.ch/b/2.0/y\n/cvmfs/r.ch/a/1.0/z"
+        assert accessed_packages(log) == ["a/1.0", "b/2.0"]
+
+    def test_non_cvmfs_paths_ignored(self):
+        assert accessed_packages("/usr/lib/libc.so\n/home/u/x.txt") == []
+
+    def test_empty_log(self):
+        assert accessed_packages("") == []
+
+
+class TestSpecFromLogs:
+    @pytest.fixture()
+    def resolver(self):
+        repo = Repository(
+            [Package("root/6.20.04", 1), Package("python/3.9.6", 1)]
+        )
+        return PackageResolver(repo)
+
+    def test_single_log(self, resolver):
+        report = spec_from_log(LOG, resolver, repo_filter="sft.cern.ch")
+        assert report.spec.packages == {"root/6.20.04", "python/3.9.6"}
+        assert report.complete
+
+    def test_unfiltered_log_reports_unknown(self, resolver):
+        report = spec_from_log(LOG, resolver)
+        assert "athena/22.0" in report.unresolved
+
+    def test_multiple_runs_merged(self, resolver):
+        log_a = "/cvmfs/sft.cern.ch/root/6.20.04/lib/x"
+        log_b = "/cvmfs/sft.cern.ch/python/3.9.6/bin/y"
+        report = spec_from_logs([log_a, log_b], resolver)
+        assert report.spec.packages == {"root/6.20.04", "python/3.9.6"}

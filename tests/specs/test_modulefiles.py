@@ -1,0 +1,62 @@
+"""Tests for repro.specs.modulefiles."""
+
+import pytest
+
+from repro.packages.package import Package
+from repro.packages.repository import Repository
+from repro.specs.modulefiles import loaded_modules, spec_from_module_script
+from repro.specs.resolver import PackageResolver
+
+
+class TestLoadedModules:
+    def test_basic_load(self):
+        assert loaded_modules("module load gcc/8.3.0") == ["gcc/8.3.0"]
+
+    def test_multiple_on_one_line(self):
+        assert loaded_modules("module load root geant4") == ["root", "geant4"]
+
+    def test_ml_shorthand(self):
+        assert loaded_modules("ml python/3.9") == ["python/3.9"]
+
+    def test_module_add_synonym(self):
+        assert loaded_modules("module add cmake") == ["cmake"]
+
+    def test_unload_removes_by_name(self):
+        script = "module load gcc/8.3.0\nmodule unload gcc"
+        assert loaded_modules(script) == []
+
+    def test_unload_specific_version(self):
+        script = "module load gcc/8.3.0\nmodule rm gcc/8.3.0"
+        assert loaded_modules(script) == []
+
+    def test_purge_clears_all(self):
+        script = "module load a b c\nmodule purge\nmodule load d"
+        assert loaded_modules(script) == ["d"]
+
+    def test_comments_stripped(self):
+        assert loaded_modules("module load gcc # compiler") == ["gcc"]
+
+    def test_unrelated_lines_ignored(self):
+        script = "#!/bin/bash\necho module load fake\npython job.py"
+        assert loaded_modules(script) == []
+
+    def test_option_flags_skipped(self):
+        assert loaded_modules("module load --quiet gcc") == ["gcc"]
+
+    def test_duplicates_collapse(self):
+        assert loaded_modules("module load gcc\nmodule load gcc") == ["gcc"]
+
+    def test_load_order_preserved(self):
+        script = "module load z\nmodule load a"
+        assert loaded_modules(script) == ["z", "a"]
+
+
+class TestSpecFromModuleScript:
+    def test_resolution(self):
+        repo = Repository([Package("gcc/8.3.0", 1), Package("root/6.20", 1)])
+        resolver = PackageResolver(repo)
+        report = spec_from_module_script(
+            "module load gcc/8.3.0 root\nmodule load ghost", resolver
+        )
+        assert report.spec.packages == {"gcc/8.3.0", "root/6.20"}
+        assert report.unresolved == ("ghost",)

@@ -1,0 +1,107 @@
+"""Tests for repro.specs.requirements."""
+
+import pytest
+
+from repro.packages.package import Package
+from repro.packages.repository import Repository
+from repro.packages.resolve import UnsatisfiableError
+from repro.specs.requirements import (
+    parse_environment_yml,
+    parse_requirements_txt,
+    spec_from_conda_env,
+    spec_from_requirements,
+)
+
+
+@pytest.fixture()
+def repo():
+    return Repository(
+        [
+            Package("base/1.0", 1),
+            Package("python/3.9.6", 1, deps=("base/1.0",)),
+            Package("python/3.11.2", 1, deps=("base/1.0",)),
+            Package("numpy/1.24.0", 1, deps=("python/3.11.2",)),
+            Package("oldlib/2.0", 1, deps=("python/3.9.6",)),
+        ]
+    )
+
+
+class TestParseRequirementsTxt:
+    def test_basic(self):
+        reqs, ignored = parse_requirements_txt(
+            "numpy>=1.20\n# comment\n\npython==3.11.2\n"
+        )
+        assert [r.name for r in reqs] == ["numpy", "python"]
+        assert ignored == []
+
+    def test_option_lines_ignored(self):
+        reqs, ignored = parse_requirements_txt(
+            "-r other.txt\n--hash=sha256:x\nnumpy\n"
+        )
+        assert [r.name for r in reqs] == ["numpy"]
+        assert len(ignored) == 2
+
+    def test_inline_comment(self):
+        reqs, _ = parse_requirements_txt("numpy>=1.20  # fast math\n")
+        assert reqs[0].allows("1.24.0")
+
+
+class TestParseEnvironmentYml:
+    YML = """
+name: analysis
+channels:
+  - conda-forge
+dependencies:
+  - python=3.11
+  - numpy
+  - pip:
+    - oldlib==2.0
+"""
+
+    def test_conda_pins_translated(self):
+        reqs, _ = parse_environment_yml(self.YML)
+        names = {r.name: r for r in reqs}
+        assert names["python"].allows("3.11")
+        assert not names["python"].allows("3.9")
+        assert names["numpy"].constraints == ()
+        assert names["oldlib"].allows("2.0")
+
+    def test_non_dependency_blocks_ignored(self):
+        reqs, _ = parse_environment_yml("name: x\nchannels:\n  - defaults\n")
+        assert reqs == []
+
+    def test_build_strings_dropped(self):
+        reqs, _ = parse_environment_yml(
+            "dependencies:\n  - numpy=1.24.0=py311h64a7726_0\n"
+        )
+        assert reqs[0].allows("1.24.0")
+
+
+class TestSolveIntegration:
+    def test_requirements_solved_to_closure(self, repo):
+        report = spec_from_requirements("numpy>=1.20\n", repo)
+        assert "numpy/1.24.0" in report.spec.packages
+        assert "python/3.11.2" in report.spec.packages  # dependency pulled
+        assert "base/1.0" in report.spec.packages
+
+    def test_conflicting_file_raises(self, repo):
+        # numpy needs python 3.11; oldlib needs python 3.9 -> slot clash
+        with pytest.raises(UnsatisfiableError):
+            spec_from_requirements("numpy\noldlib\n", repo)
+
+    def test_append_only_mode_tolerates(self, repo):
+        report = spec_from_requirements(
+            "numpy\noldlib\n", repo, enforce_slots=False
+        )
+        pythons = {p for p in report.spec.packages if p.startswith("python/")}
+        assert len(pythons) == 2
+
+    def test_conda_env_solved(self, repo):
+        report = spec_from_conda_env(
+            "dependencies:\n  - python=3.9.6\n", repo
+        )
+        assert "python/3.9.6" in report.spec.packages
+
+    def test_ignored_lines_surface(self, repo):
+        report = spec_from_requirements("-r base.txt\nnumpy\n", repo)
+        assert report.ignored_lines == ("-r base.txt",)

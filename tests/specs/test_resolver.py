@@ -1,0 +1,81 @@
+"""Tests for repro.specs.resolver."""
+
+import pytest
+
+from repro.packages.package import Package
+from repro.packages.repository import Repository
+from repro.specs.resolver import PackageResolver
+
+
+@pytest.fixture()
+def repo():
+    return Repository(
+        [
+            Package("root/6.18.00", 1),
+            Package("root/6.20.04", 1),
+            Package("root/6.20.04/x86_64-el9", 1),
+            Package("numpy/1.24.0", 1),
+            Package("GCC/8.3.0", 1),
+        ]
+    )
+
+
+class TestResolveOne:
+    def test_exact_id_passthrough(self, repo):
+        resolver = PackageResolver(repo)
+        assert resolver.resolve_one("numpy/1.24.0") == "numpy/1.24.0"
+
+    def test_bare_name_takes_newest_version(self, repo):
+        resolver = PackageResolver(repo)
+        assert resolver.resolve_one("root").startswith("root/6.20.04")
+
+    def test_name_version_pair(self, repo):
+        resolver = PackageResolver(repo)
+        assert resolver.resolve_one("root/6.18.00") == "root/6.18.00"
+
+    def test_name_version_picks_deterministic_variant(self, repo):
+        resolver = PackageResolver(repo)
+        assert resolver.resolve_one("root/6.20.04") == "root/6.20.04"
+
+    def test_case_insensitive_by_default(self, repo):
+        resolver = PackageResolver(repo)
+        assert resolver.resolve_one("gcc") == "GCC/8.3.0"
+        assert resolver.resolve_one("ROOT") is not None
+
+    def test_case_sensitive_mode(self, repo):
+        resolver = PackageResolver(repo, case_insensitive=False)
+        assert resolver.resolve_one("gcc") is None
+        assert resolver.resolve_one("GCC") == "GCC/8.3.0"
+
+    def test_alias(self, repo):
+        resolver = PackageResolver(repo, aliases={"np": "numpy"})
+        assert resolver.resolve_one("np") == "numpy/1.24.0"
+
+    def test_unknown_returns_none(self, repo):
+        assert PackageResolver(repo).resolve_one("tensorflow") is None
+
+    def test_unknown_version_returns_none(self, repo):
+        assert PackageResolver(repo).resolve_one("root/9.99") is None
+
+    def test_empty_string_returns_none(self, repo):
+        assert PackageResolver(repo).resolve_one("  ") is None
+
+
+class TestResolveMany:
+    def test_report_partitions_resolved_and_unresolved(self, repo):
+        report = PackageResolver(repo).resolve(["numpy", "tensorflow", "root"])
+        assert "numpy/1.24.0" in report.spec.packages
+        assert report.unresolved == ("tensorflow",)
+        assert not report.complete
+
+    def test_complete_report(self, repo):
+        report = PackageResolver(repo).resolve(["numpy"])
+        assert report.complete
+
+    def test_duplicate_unresolved_deduped(self, repo):
+        report = PackageResolver(repo).resolve(["nope", "nope"])
+        assert report.unresolved == ("nope",)
+
+    def test_empty_input(self, repo):
+        report = PackageResolver(repo).resolve([])
+        assert report.complete and len(report.spec) == 0

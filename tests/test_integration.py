@@ -1,0 +1,108 @@
+"""Integration tests: Algorithm 1's extremes reduce to analytic baselines.
+
+The paper: at α = 0 the cache is a plain LRU that never merges ("a larger
+number of independent images"); at α = 1 every request merges if possible,
+accumulating toward one all-purpose image.  These tests cross-check
+LandlordCache at the extremes against the independent policy
+implementations and against analytical facts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import LandlordCache
+from repro.core.events import EventKind
+from repro.core.policies import NoCachePolicy, SingleImagePolicy
+from repro.htc.workload import DependencyWorkload, build_stream
+from repro.util.rng import spawn
+from repro.util.units import GB
+
+
+@pytest.fixture(scope="module")
+def stream(small_sft):
+    workload = DependencyWorkload(small_sft, max_selection=8)
+    return build_stream(workload, spawn(9, "integration"),
+                        n_unique=40, repeats=3)
+
+
+class TestAlphaZeroIsLRU:
+    def test_no_merges_ever(self, small_sft, stream):
+        cache = LandlordCache(40 * GB, 0.0, small_sft.size_of)
+        for spec in stream:
+            cache.request(spec)
+        assert cache.stats.merges == 0
+
+    def test_container_efficiency_is_perfect_modulo_subsets(
+        self, small_sft, stream
+    ):
+        cache = LandlordCache(40 * GB, 0.0, small_sft.size_of,
+                              hit_selection="smallest")
+        for spec in stream:
+            cache.request(spec)
+        # Only subset hits introduce any requested<used gap; it stays high.
+        assert cache.stats.container_efficiency > 0.9
+
+    def test_repeatedly_requested_specs_hit_when_cache_is_large(
+        self, small_sft, stream
+    ):
+        cache = LandlordCache(10**15, 0.0, small_sft.size_of)
+        for spec in stream:
+            cache.request(spec)
+        # 40 unique x 3 repeats: at least 2/3 of requests are repeats.
+        assert cache.stats.hits >= 2 * 40
+        assert cache.stats.inserts <= 40
+
+
+class TestAlphaOneIsSingleImage:
+    def test_converges_to_one_image(self, small_sft, stream):
+        cache = LandlordCache(10**15, 1.0, small_sft.size_of)
+        for spec in stream:
+            cache.request(spec)
+        # Dependency-scheme specs share core packages, so d < 1 holds and
+        # everything merges into a single resident image.
+        assert len(cache) == 1
+
+    def test_matches_single_image_policy_gauges(self, small_sft, stream):
+        cache = LandlordCache(10**15, 1.0, small_sft.size_of)
+        policy = SingleImagePolicy(small_sft.size_of)
+        for spec in stream:
+            cache.request(spec)
+            policy.request(spec)
+        assert cache.cached_bytes == policy.cached_bytes
+        assert cache.unique_bytes == policy.unique_bytes
+        assert cache.cache_efficiency == 1.0
+
+    def test_final_image_is_union_of_all_requests(self, small_sft, stream):
+        cache = LandlordCache(10**15, 1.0, small_sft.size_of)
+        for spec in stream:
+            cache.request(spec)
+        union = frozenset().union(*stream)
+        assert cache.images[0].packages == union
+
+
+class TestWriteAccountingAgainstNoCache:
+    def test_caching_never_writes_more_than_rebuilding_at_alpha_zero(
+        self, small_sft, stream
+    ):
+        cache = LandlordCache(40 * GB, 0.0, small_sft.size_of)
+        baseline = NoCachePolicy(small_sft.size_of)
+        for spec in stream:
+            cache.request(spec)
+            baseline.request(spec)
+        assert cache.stats.bytes_written <= baseline.stats.bytes_written
+        assert baseline.stats.bytes_written == baseline.stats.requested_bytes
+
+
+class TestDeterministicEndToEnd:
+    def test_full_simulation_reproducible(self):
+        from repro.htc.simulator import SimulationConfig, simulate
+
+        config = SimulationConfig(
+            n_packages=400, repo_total_size=20 * GB, capacity=40 * GB,
+            n_unique=30, repeats=3, max_selection=8, seed=77,
+        )
+        a = simulate(config)
+        b = simulate(config)
+        assert a.summary() == b.summary()
+        for key in a.timeline:
+            assert np.array_equal(a.timeline[key], b.timeline[key])

@@ -1,0 +1,60 @@
+"""Tests for repro.util.asciiplot."""
+
+import math
+
+import pytest
+
+from repro.util.asciiplot import Series, line_plot
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1])
+
+    def test_values_coerced_to_float(self):
+        s = Series("s", [1], [2])
+        assert s.xs == [1.0] and s.ys == [2.0]
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        out = line_plot([Series("alpha", [0, 1], [0, 1])])
+        assert "*" in out
+        assert "alpha" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_plot(
+            [Series("a", [0, 1], [0, 1]), Series("b", [0, 1], [1, 0])]
+        )
+        assert "* a" in out and "o b" in out
+
+    def test_empty_series_degrades_gracefully(self):
+        out = line_plot([Series("none", [], [])], title="t")
+        assert "(no data)" in out
+
+    def test_nan_points_skipped(self):
+        out = line_plot([Series("s", [0, 1, 2], [0, math.nan, 2])])
+        assert "*" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = line_plot([Series("flat", [0, 1, 2], [5, 5, 5])])
+        assert "5" in out
+
+    def test_axis_labels_present(self):
+        out = line_plot(
+            [Series("s", [0.4, 1.0], [1, 2])],
+            xlabel="alpha",
+            ylabel="ops",
+            title="T",
+        )
+        assert "alpha" in out and "ops" in out and "T" in out
+
+    def test_y_range_rendered(self):
+        out = line_plot([Series("s", [0, 10], [3, 17])])
+        assert "17" in out and "3" in out
+
+    def test_respects_height(self):
+        out = line_plot([Series("s", [0, 1], [0, 1])], height=5)
+        # 5 grid rows + axis + x labels + legend
+        assert len(out.splitlines()) < 12

@@ -1,0 +1,29 @@
+"""Marker handling in ASCII plots beyond the basics."""
+
+from repro.util.asciiplot import Series, line_plot
+
+
+class TestManySeries:
+    def test_markers_wrap_after_palette_exhausts(self):
+        series = [
+            Series(f"s{i}", [0, 1], [i, i + 1]) for i in range(10)
+        ]
+        out = line_plot(series)
+        # all ten series named in the legend
+        for i in range(10):
+            assert f"s{i}" in out
+
+    def test_later_series_overdraw_earlier(self):
+        a = Series("under", [0.5], [0.5])
+        b = Series("over", [0.5], [0.5])
+        out = line_plot([a, b], width=11, height=5)
+        grid_lines = [l for l in out.splitlines() if "|" in l]
+        plotted = "".join(grid_lines)
+        # only the second series' marker ('o') remains at the shared point
+        assert "o" in plotted
+        assert "*" not in plotted
+
+    def test_width_parameter_respected(self):
+        out = line_plot([Series("s", [0, 1], [0, 1])], width=30)
+        grid_lines = [l for l in out.splitlines() if l.strip().endswith("|") or "|" in l]
+        assert all(len(l) <= 30 + 12 for l in grid_lines)

@@ -1,0 +1,37 @@
+"""Tests for repro.util.tables."""
+
+from repro.util.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table([["a", 1], ["bb", 22]], header=["name", "n"])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert lines[2].startswith("a ")
+        assert lines[3].endswith("22")
+
+    def test_default_alignment_left_then_right(self):
+        out = render_table([["x", 1]], header=["col", "val"])
+        # numeric column is right-aligned under its header
+        assert out.splitlines()[2].rstrip().endswith("1")
+
+    def test_explicit_alignment(self):
+        out = render_table([["a", "b"]], align="rr")
+        assert out == "a | b"
+
+    def test_empty_table(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_ragged_rows_padded(self):
+        out = render_table([["a"], ["b", "c"]])
+        assert len(out.splitlines()) == 2
+
+    def test_float_formatting(self):
+        out = render_table([[0.123456789]])
+        assert "0.123457" in out
+
+    def test_no_header(self):
+        out = render_table([["only", "row"]])
+        assert "-+-" not in out

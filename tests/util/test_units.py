@@ -1,0 +1,81 @@
+"""Tests for repro.util.units: parsing and formatting byte sizes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    GB,
+    GiB,
+    KB,
+    MB,
+    TB,
+    format_bytes,
+    parse_bytes,
+)
+
+
+class TestConstants:
+    def test_decimal_ladder(self):
+        assert KB == 1000 and MB == 1000 * KB and GB == 1000 * MB
+        assert TB == 1000 * GB
+
+    def test_binary_differs_from_decimal(self):
+        assert GiB == 2**30 != GB
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (1000, "1.0KB"),
+            (1_400_000_000_000, "1.4TB"),
+            (700 * GB, "700.0GB"),
+            (2.5 * MB, "2.5MB"),
+        ],
+    )
+    def test_examples(self, value, expected):
+        assert format_bytes(value) == expected
+
+    def test_negative_values_keep_sign(self):
+        assert format_bytes(-1500) == "-1.5KB"
+
+    def test_precision_parameter(self):
+        assert format_bytes(1_234_000, precision=3) == "1.234MB"
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1.4TB", 1_400_000_000_000),
+            ("700 GB", 700 * GB),
+            ("700gb", 700 * GB),
+            ("5", 5),
+            ("2KiB", 2048),
+            ("3g", 3 * GB),
+            (42, 42),
+            (1.5, 1),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "GB", "1.2.3MB", "12 parsecs", "-5GB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-3)
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_format_parse_roundtrip_within_precision(self, n):
+        # format rounds to one decimal of the leading unit; parsing back
+        # must land within that rounding error.
+        text = format_bytes(n)
+        back = parse_bytes(text)
+        unit = max(1, 10 ** (len(str(max(n, 1))) - 2))
+        assert abs(back - n) <= 0.06 * max(n, 1) + 1
