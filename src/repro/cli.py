@@ -5,6 +5,8 @@ Commands:
 - ``fig1`` … ``fig8`` — regenerate each paper figure/table;
 - ``ablations`` — the design-choice ablation studies;
 - ``all`` — run every figure at the chosen scale;
+- ``sweep`` — a standalone α sweep with explicit grid and worker count;
+- ``bench`` — time a sweep serially vs in parallel and save the numbers;
 - ``trace`` — generate a workload trace file for external replay;
 - ``replay`` — run a saved trace through a configured cache;
 - ``submit`` — the paper's job-wrapper deployment: prepare one job's
@@ -13,7 +15,9 @@ Commands:
 - ``calibrate`` — measure a repository's structural statistics.
 
 Every figure command accepts ``--scale quick|paper``, ``--seed`` and
-``--json PATH``; see ``repro-landlord <command> --help``.
+``--json PATH``; sweep-shaped ones also take ``--workers N`` (default:
+all CPUs; ``REPRO_WORKERS`` overrides).  See
+``repro-landlord <command> --help``.
 """
 
 from __future__ import annotations
@@ -55,6 +59,150 @@ _FIGURES = {
     "federation": federation_study,
     "adaptive": adaptive_study,
 }
+
+
+def _cmd_sweep(argv: Sequence[str]) -> int:
+    import os
+
+    from repro.analysis.report import sweep_table
+    from repro.analysis.sweep import alpha_sweep, default_alphas
+    from repro.experiments.common import base_config, get_scale
+    from repro.parallel import resolve_workers
+
+    parser = argparse.ArgumentParser(
+        prog="repro-landlord sweep",
+        description="Run one alpha sweep with an explicit grid and worker "
+        "count (the building block behind fig4/fig6/fig7/fig8).",
+    )
+    parser.add_argument("--scale", choices=["tiny", "quick", "paper"],
+                        default=None)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--repetitions", type=int, default=None,
+                        help="simulations per grid point (default: scale's)")
+    parser.add_argument("--alpha", nargs=3, type=float, default=None,
+                        metavar=("LO", "HI", "STEP"),
+                        help="grid bounds and step (default: scale's grid)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes (default: all CPUs; "
+                        "REPRO_WORKERS overrides; 1 = serial)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also save the sweep as JSON")
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    if args.alpha is None:
+        alphas = scale.alphas()
+    else:
+        lo, hi, step = args.alpha
+        if not 0 <= lo <= hi <= 1:
+            parser.error(f"--alpha bounds must satisfy 0 <= LO <= HI <= 1, "
+                         f"got {lo} {hi}")
+        if step <= 0:
+            parser.error(f"--alpha STEP must be positive, got {step}")
+        alphas = default_alphas(step=step, lo=lo, hi=hi)
+    repetitions = args.repetitions or scale.repetitions
+    try:
+        workers = resolve_workers(args.workers, default=os.cpu_count() or 1)
+    except ValueError as exc:
+        parser.error(str(exc))
+    sweep = alpha_sweep(
+        base_config(scale, seed=args.seed),
+        alphas=alphas,
+        repetitions=repetitions,
+        label="sweep",
+        workers=workers,
+    )
+    print(f"alpha sweep: {alphas.size} points x {repetitions} repetitions "
+          f"({scale.name} scale, {workers} workers)")
+    print(sweep_table(
+        sweep,
+        ["cache_efficiency", "container_efficiency", "write_amplification",
+         "merges"],
+    ))
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(sweep.to_jsonable(), fh, indent=2)
+            fh.write("\n")
+        print(f"\nresults saved to {args.json}")
+    return 0
+
+
+def _cmd_bench(argv: Sequence[str]) -> int:
+    import json as _json
+    import os
+    import time
+
+    import numpy as np
+
+    from repro.analysis.sweep import alpha_sweep
+    from repro.experiments.common import base_config, get_scale
+    from repro.parallel import resolve_workers
+
+    parser = argparse.ArgumentParser(
+        prog="repro-landlord bench",
+        description="Time one alpha sweep serially and in parallel, verify "
+        "the two results are bit-identical, and save the numbers.",
+    )
+    parser.add_argument("--scale", choices=["tiny", "quick", "paper"],
+                        default="quick")
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="parallel worker count (default: all CPUs; "
+                        "REPRO_WORKERS overrides)")
+    parser.add_argument("--output", default="BENCH_sweep.json",
+                        metavar="PATH",
+                        help="JSON file to write (default: %(default)s)")
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    try:
+        workers = resolve_workers(args.workers, default=os.cpu_count() or 1)
+    except ValueError as exc:
+        parser.error(str(exc))
+    config = base_config(scale, seed=args.seed)
+    alphas = scale.alphas()
+    repetitions = scale.repetitions
+
+    start = time.perf_counter()
+    serial = alpha_sweep(config, alphas=alphas, repetitions=repetitions,
+                         label="bench", workers=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = alpha_sweep(config, alphas=alphas, repetitions=repetitions,
+                           label="bench", workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    identical = (
+        np.array_equal(serial.alphas, parallel.alphas)
+        and serial.raw.keys() == parallel.raw.keys()
+        and all(
+            np.array_equal(serial.raw[name], parallel.raw[name])
+            for name in serial.raw
+        )
+    )
+    speedup = (
+        round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds > 0 else None
+    )
+    payload = {
+        "scale": scale.name,
+        "seed": args.seed,
+        "cells": int(alphas.size * repetitions),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": speedup,
+        "identical": bool(identical),
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        _json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"{payload['cells']} cells: serial {serial_seconds:.2f}s, "
+          f"parallel {parallel_seconds:.2f}s with {workers} workers "
+          f"(speedup {speedup}x, identical={identical})")
+    print(f"saved to {args.output}")
+    return 0 if identical else 1
 
 
 def _cmd_trace(argv: Sequence[str]) -> int:
@@ -324,7 +472,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     commands = sorted(
         list(_FIGURES)
-        + ["all", "trace", "replay", "submit", "cache-status", "calibrate"]
+        + ["all", "sweep", "bench", "trace", "replay", "submit",
+           "cache-status", "calibrate"]
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -340,6 +489,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if status:
                 return status
         return 0
+    if command == "sweep":
+        return _cmd_sweep(rest)
+    if command == "bench":
+        return _cmd_bench(rest)
     if command == "trace":
         return _cmd_trace(rest)
     if command == "replay":

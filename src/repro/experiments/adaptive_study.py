@@ -17,18 +17,25 @@ setting is poor in one phase; the controller walks into the zone in both.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.adaptive import AlphaController
 from repro.core.cache import LandlordCache
 from repro.experiments.common import Scale, base_config, experiment_main
 from repro.htc.simulator import make_workload
 from repro.packages.sft import build_experiment_repository
+from repro.parallel import parallel_map, resolve_workers
 from repro.util.rng import spawn
 from repro.util.tables import render_table
 from repro.util.units import format_bytes
 
 __all__ = ["run", "report", "main"]
+
+CONFIG_LABELS = ("fixed a=0.40", "fixed a=0.95", "adaptive (start 0.40)")
+
+
+def _jobs_per_phase(scale: Scale) -> int:
+    return max(150, scale.n_unique)
 
 
 def _phased_stream(repository, scale: Scale, seed: int) -> List[List[frozenset]]:
@@ -44,7 +51,7 @@ def _phased_stream(repository, scale: Scale, seed: int) -> List[List[frozenset]]
         config.with_(scheme="deps", max_selection=scale.max_selection * 2),
         repository,
     )
-    n = max(150, scale.n_unique)
+    n = _jobs_per_phase(scale)
     return [
         [small.sample(rng) for _ in range(n)],
         [big.sample(rng) for _ in range(n)],
@@ -77,28 +84,58 @@ def _run_config(label, make_provider, phases) -> Dict[str, object]:
     return out
 
 
-def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
-    """Compute this experiment's data at the given scale."""
+# Per-worker-process state for the parallel path, installed once by the
+# initializer: the repository, the phased stream, and the cache capacity.
+_ADAPTIVE_STATE: Dict[str, object] = {}
+
+
+def _init_adaptive_worker(scale: Scale, seed: int) -> None:
+    """Build the repository and phased stream once per worker."""
     repository = build_experiment_repository(
         "sft", seed=seed, n_packages=scale.n_packages,
         target_total_size=scale.repo_total_size,
     )
-    phases = _phased_stream(repository, scale, seed)
+    _ADAPTIVE_STATE["repository"] = repository
+    _ADAPTIVE_STATE["phases"] = _phased_stream(repository, scale, seed)
+    _ADAPTIVE_STATE["capacity"] = scale.capacity
 
-    def fixed(alpha):
-        return lambda: LandlordCache(scale.capacity, alpha,
-                                     repository.size_of)
 
-    def adaptive():
-        cache = LandlordCache(scale.capacity, 0.4, repository.size_of)
-        return AlphaController(cache, interval=25)
+def _run_labelled_config(label: str) -> Dict[str, object]:
+    """Run one named configuration against the worker's installed phases."""
+    repository = _ADAPTIVE_STATE["repository"]
+    phases = _ADAPTIVE_STATE["phases"]
+    capacity = _ADAPTIVE_STATE["capacity"]
+    if label == "fixed a=0.40":
+        make = lambda: LandlordCache(capacity, 0.4, repository.size_of)  # noqa: E731
+    elif label == "fixed a=0.95":
+        make = lambda: LandlordCache(capacity, 0.95, repository.size_of)  # noqa: E731
+    elif label == "adaptive (start 0.40)":
+        def make():
+            cache = LandlordCache(capacity, 0.4, repository.size_of)
+            return AlphaController(cache, interval=25)
+    else:
+        raise ValueError(f"unknown configuration: {label!r}")
+    return _run_config(label, make, phases)
 
-    configs = [
-        _run_config("fixed a=0.40", fixed(0.4), phases),
-        _run_config("fixed a=0.95", fixed(0.95), phases),
-        _run_config("adaptive (start 0.40)", adaptive, phases),
-    ]
-    return {"jobs_per_phase": len(phases[0]), "configs": configs}
+
+def run(
+    scale: Scale, seed: int = 2020, workers: Optional[int] = None
+) -> Dict[str, object]:
+    """Compute this experiment's data at the given scale."""
+    n_workers = resolve_workers(workers)
+    if n_workers > 1:
+        configs = parallel_map(
+            _run_labelled_config,
+            list(CONFIG_LABELS),
+            workers=n_workers,
+            initializer=_init_adaptive_worker,
+            initargs=(scale, seed),
+            labels=list(CONFIG_LABELS),
+        )
+    else:
+        _init_adaptive_worker(scale, seed)
+        configs = [_run_labelled_config(label) for label in CONFIG_LABELS]
+    return {"jobs_per_phase": _jobs_per_phase(scale), "configs": configs}
 
 
 def report(results: Dict[str, object]) -> str:

@@ -20,7 +20,7 @@ which images-as-opaque-files cannot reach).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.containers.layers import LayerStore, LayeredImage
 from repro.core.cache import LandlordCache
@@ -29,11 +29,48 @@ from repro.experiments.common import Scale, base_config, experiment_main
 from repro.htc.simulator import make_workload
 from repro.htc.workload import build_stream
 from repro.packages.sft import build_experiment_repository
+from repro.parallel import parallel_map, resolve_workers
 from repro.util.rng import spawn
 from repro.util.tables import render_table
 from repro.util.units import format_bytes
 
 __all__ = ["run", "report", "main"]
+
+STRATEGIES = (
+    "no-cache",
+    "exact-lru (a=0)",
+    "landlord (a=0.8)",
+    "single-image (a=1)",
+    "full-repo image",
+)
+
+# Per-worker-process state (repository, stream, capacity), installed by
+# the initializer so each strategy task reuses one build of each.
+_BASELINE_STATE: Dict[str, object] = {}
+
+
+def _init_baseline_worker(scale: Scale, seed: int) -> None:
+    """Build the shared repository and request stream once per worker."""
+    repo = build_experiment_repository(
+        "sft", seed=seed, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+    config = base_config(scale, seed=seed)
+    workload = make_workload(config, repo)
+    rng = spawn(seed, "baselines")
+    stream = build_stream(
+        workload, rng, n_unique=scale.n_unique, repeats=scale.repeats
+    )
+    _BASELINE_STATE["repo"] = repo
+    _BASELINE_STATE["stream"] = stream
+    _BASELINE_STATE["capacity"] = scale.capacity
+
+
+def _install_baseline_state(repo, stream, capacity: int) -> None:
+    """Install prebuilt shared state (the serial path's initializer)."""
+    _BASELINE_STATE["repo"] = repo
+    _BASELINE_STATE["stream"] = stream
+    _BASELINE_STATE["capacity"] = capacity
 
 
 def _drive(provider, stream) -> Dict[str, float]:
@@ -52,7 +89,32 @@ def _drive(provider, stream) -> Dict[str, float]:
     }
 
 
-def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+def _run_strategy(name: str) -> Dict[str, float]:
+    """Drive one named strategy over the worker's installed stream."""
+    repo = _BASELINE_STATE["repo"]
+    stream = _BASELINE_STATE["stream"]
+    capacity = _BASELINE_STATE["capacity"]
+    if name == "no-cache":
+        provider = NoCachePolicy(repo.size_of)
+    elif name == "exact-lru (a=0)":
+        provider = LandlordCache(capacity, 0.0, repo.size_of)
+    elif name == "landlord (a=0.8)":
+        provider = LandlordCache(capacity, 0.8, repo.size_of)
+    elif name == "single-image (a=1)":
+        provider = SingleImagePolicy(repo.size_of)
+    elif name == "full-repo image":
+        provider = FullRepoPolicy(repo.ids, repo.size_of)
+    else:
+        raise ValueError(f"unknown baseline strategy: {name!r}")
+    stats = _drive(provider, stream)
+    if name == "full-repo image":
+        stats["bytes_written"] += provider.setup_bytes_written  # up-front build
+    return stats
+
+
+def run(
+    scale: Scale, seed: int = 2020, workers: Optional[int] = None
+) -> Dict[str, object]:
     """Compute this experiment's data at the given scale."""
     repo = build_experiment_repository(
         "sft", seed=seed, n_packages=scale.n_packages,
@@ -65,21 +127,22 @@ def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
         workload, rng, n_unique=scale.n_unique, repeats=scale.repeats
     )
 
-    strategies: Dict[str, Dict[str, float]] = {}
-    strategies["no-cache"] = _drive(NoCachePolicy(repo.size_of), stream)
-    strategies["exact-lru (a=0)"] = _drive(
-        LandlordCache(scale.capacity, 0.0, repo.size_of), stream
+    n_workers = resolve_workers(workers)
+    if n_workers > 1:
+        stats_list = parallel_map(
+            _run_strategy,
+            list(STRATEGIES),
+            workers=n_workers,
+            initializer=_init_baseline_worker,
+            initargs=(scale, seed),
+            labels=list(STRATEGIES),
+        )
+    else:
+        _install_baseline_state(repo, stream, scale.capacity)
+        stats_list = [_run_strategy(name) for name in STRATEGIES]
+    strategies: Dict[str, Dict[str, float]] = dict(
+        zip(STRATEGIES, stats_list)
     )
-    strategies["landlord (a=0.8)"] = _drive(
-        LandlordCache(scale.capacity, 0.8, repo.size_of), stream
-    )
-    strategies["single-image (a=1)"] = _drive(
-        SingleImagePolicy(repo.size_of), stream
-    )
-    full = FullRepoPolicy(repo.ids, repo.size_of)
-    stats = _drive(full, stream)
-    stats["bytes_written"] += full.setup_bytes_written  # the up-front build
-    strategies["full-repo image"] = stats
 
     # Yardstick 1: a Docker-style layer store refining one image per spec
     # family (each unique spec appended as a refinement of the previous).

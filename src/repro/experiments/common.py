@@ -11,6 +11,7 @@ repository, and so on).
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
@@ -18,6 +19,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.htc.simulator import SimulationConfig
+from repro.parallel import resolve_workers
 from repro.util.units import GB
 
 __all__ = [
@@ -137,7 +139,13 @@ def experiment_main(
     report_fn,
     argv: Optional[Sequence[str]] = None,
 ) -> int:
-    """Standard CLI wrapper used by every experiment module."""
+    """Standard CLI wrapper used by every experiment module.
+
+    Sweep-shaped experiments (those whose ``run`` accepts ``workers``)
+    receive the resolved ``--workers`` count — by default every CPU, so
+    ``python -m repro fig4`` fans out; ``--workers 1`` forces serial and
+    ``REPRO_WORKERS`` overrides the default.
+    """
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument(
         "--scale",
@@ -147,11 +155,24 @@ def experiment_main(
     )
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for simulation fan-out (default: all CPUs; "
+        "REPRO_WORKERS overrides; 1 = serial)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None, help="also save results as JSON"
     )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
-    results = run_fn(scale, seed=args.seed)
+    extra = {}
+    if "workers" in inspect.signature(run_fn).parameters:
+        try:
+            extra["workers"] = resolve_workers(
+                args.workers, default=os.cpu_count() or 1
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+    results = run_fn(scale, seed=args.seed, **extra)
     print(report_fn(results))
     if args.json:
         from repro.analysis.report import save_results_json

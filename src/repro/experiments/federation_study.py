@@ -19,13 +19,14 @@ whenever the registry image isn't grossly oversized.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.containers.registry import ImageRegistry
 from repro.core.federation import FederatedLandlord
 from repro.experiments.common import Scale, experiment_main
 from repro.htc.workload import DependencyWorkload
 from repro.packages.sft import build_experiment_repository
+from repro.parallel import parallel_map, resolve_workers
 from repro.util.rng import spawn
 from repro.util.tables import render_table
 from repro.util.units import format_bytes
@@ -33,6 +34,7 @@ from repro.util.units import format_bytes
 __all__ = ["run", "report", "main", "N_SITES"]
 
 N_SITES = 4
+MODES = ("isolated", "federated")
 
 
 def _site_streams(repository, scale: Scale, seed: int) -> List[List[frozenset]]:
@@ -82,20 +84,56 @@ def _run_sites(repository, streams, scale: Scale, registry) -> Dict[str, float]:
     return totals
 
 
-def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
-    """Compute this experiment's data at the given scale."""
+# Per-worker-process state for the parallel path (repository, streams,
+# scale), installed once by the initializer.
+_FEDERATION_STATE: Dict[str, object] = {}
+
+
+def _init_federation_worker(scale: Scale, seed: int) -> None:
+    """Build the repository and site streams once per worker."""
     repository = build_experiment_repository(
         "sft", seed=seed, n_packages=scale.n_packages,
         target_total_size=scale.repo_total_size,
     )
-    streams = _site_streams(repository, scale, seed)
-    isolated = _run_sites(repository, streams, scale, registry=None)
-    federated = _run_sites(repository, streams, scale, ImageRegistry())
+    _FEDERATION_STATE["repository"] = repository
+    _FEDERATION_STATE["streams"] = _site_streams(repository, scale, seed)
+    _FEDERATION_STATE["scale"] = scale
+
+
+def _run_mode(mode: str) -> Dict[str, float]:
+    """Run one configuration (isolated or federated) over all sites."""
+    repository = _FEDERATION_STATE["repository"]
+    streams = _FEDERATION_STATE["streams"]
+    scale = _FEDERATION_STATE["scale"]
+    registry = ImageRegistry() if mode == "federated" else None
+    return _run_sites(repository, streams, scale, registry)
+
+
+def run(
+    scale: Scale, seed: int = 2020, workers: Optional[int] = None
+) -> Dict[str, object]:
+    """Compute this experiment's data at the given scale."""
+    n_workers = resolve_workers(workers)
+    if n_workers > 1:
+        totals = parallel_map(
+            _run_mode,
+            list(MODES),
+            workers=n_workers,
+            initializer=_init_federation_worker,
+            initargs=(scale, seed),
+            labels=list(MODES),
+        )
+    else:
+        _init_federation_worker(scale, seed)
+        totals = [_run_mode(mode) for mode in MODES]
+    # Each of the N_SITES streams holds 2x the per-site unique spec count
+    # (see _site_streams); computed here so the parent need not build them.
+    jobs = N_SITES * 2 * max(10, scale.n_unique // 4)
     return {
         "sites": N_SITES,
-        "jobs": sum(len(s) for s in streams),
-        "isolated": isolated,
-        "federated": federated,
+        "jobs": jobs,
+        "isolated": totals[0],
+        "federated": totals[1],
     }
 
 

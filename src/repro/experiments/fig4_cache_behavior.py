@@ -14,7 +14,7 @@ median):
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.report import sweep_table
 from repro.analysis.sweep import alpha_sweep
@@ -23,13 +23,16 @@ from repro.experiments.common import Scale, base_config, experiment_main
 __all__ = ["run", "report", "main"]
 
 
-def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+def run(
+    scale: Scale, seed: int = 2020, workers: Optional[int] = None
+) -> Dict[str, object]:
     """Compute this experiment's data at the given scale."""
     sweep = alpha_sweep(
         base_config(scale, seed=seed),
         alphas=scale.alphas(),
         repetitions=scale.repetitions,
         label="fig4",
+        workers=workers,
     )
     return {"sweep": sweep}
 

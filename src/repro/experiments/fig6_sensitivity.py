@@ -12,12 +12,13 @@ Four panels from two sweeps:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.report import sweep_plot
 from repro.analysis.sweep import SweepResult, alpha_sweep
 from repro.experiments.common import Scale, base_config, experiment_main
 from repro.packages.sft import build_experiment_repository
+from repro.parallel import RepositorySpec, SimulationPool, resolve_workers
 from repro.util.tables import render_table
 
 __all__ = ["run", "report", "main", "CACHE_MULTIPLES", "JOB_COUNTS"]
@@ -26,7 +27,9 @@ CACHE_MULTIPLES = (1, 2, 5, 10)
 JOB_COUNTS = (100, 500, 1000)
 
 
-def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+def run(
+    scale: Scale, seed: int = 2020, workers: Optional[int] = None
+) -> Dict[str, object]:
     """Compute this experiment's data at the given scale."""
     config = base_config(scale, seed=seed)
     repo = build_experiment_repository(
@@ -35,34 +38,49 @@ def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
     )
     alphas = scale.alphas()
 
-    by_cache: List[SweepResult] = []
-    for multiple in CACHE_MULTIPLES:
-        by_cache.append(
-            alpha_sweep(
-                config.with_(capacity=multiple * scale.repo_total_size),
-                alphas=alphas,
-                repetitions=scale.repetitions,
-                repository=repo,
-                label=f"{multiple}x Repo Size",
-            )
+    # All seven sweeps share one repository, so one worker pool (with the
+    # repository built once per worker) serves them all.
+    n_workers = resolve_workers(workers)
+    pool = None
+    if n_workers > 1:
+        spec = RepositorySpec(
+            "sft", seed, scale.n_packages, scale.repo_total_size
         )
+        pool = SimulationPool(spec, n_workers)
+    try:
+        by_cache: List[SweepResult] = []
+        for multiple in CACHE_MULTIPLES:
+            by_cache.append(
+                alpha_sweep(
+                    config.with_(capacity=multiple * scale.repo_total_size),
+                    alphas=alphas,
+                    repetitions=scale.repetitions,
+                    repository=repo,
+                    label=f"{multiple}x Repo Size",
+                    pool=pool,
+                )
+            )
 
-    job_counts = (
-        JOB_COUNTS
-        if scale.name == "paper"
-        else tuple(max(20, scale.n_unique * c // 500) for c in JOB_COUNTS)
-    )
-    by_jobs: List[SweepResult] = []
-    for n_unique in job_counts:
-        by_jobs.append(
-            alpha_sweep(
-                config.with_(n_unique=n_unique),
-                alphas=alphas,
-                repetitions=scale.repetitions,
-                repository=repo,
-                label=f"{n_unique} jobs",
-            )
+        job_counts = (
+            JOB_COUNTS
+            if scale.name == "paper"
+            else tuple(max(20, scale.n_unique * c // 500) for c in JOB_COUNTS)
         )
+        by_jobs: List[SweepResult] = []
+        for n_unique in job_counts:
+            by_jobs.append(
+                alpha_sweep(
+                    config.with_(n_unique=n_unique),
+                    alphas=alphas,
+                    repetitions=scale.repetitions,
+                    repository=repo,
+                    label=f"{n_unique} jobs",
+                    pool=pool,
+                )
+            )
+    finally:
+        if pool is not None:
+            pool.close()
     return {
         "by_cache": by_cache,
         "by_jobs": by_jobs,

@@ -10,18 +10,21 @@ pays off when contents follow hierarchical dependency structure.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.report import sweep_plot
 from repro.analysis.sweep import alpha_sweep
 from repro.experiments.common import Scale, base_config, experiment_main
 from repro.packages.sft import build_experiment_repository
+from repro.parallel import RepositorySpec, SimulationPool, resolve_workers
 from repro.util.tables import render_table
 
 __all__ = ["run", "report", "main"]
 
 
-def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+def run(
+    scale: Scale, seed: int = 2020, workers: Optional[int] = None
+) -> Dict[str, object]:
     """Compute this experiment's data at the given scale."""
     config = base_config(scale, seed=seed)
     repo = build_experiment_repository(
@@ -29,20 +32,34 @@ def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
         target_total_size=scale.repo_total_size,
     )
     alphas = scale.alphas()
-    deps = alpha_sweep(
-        config.with_(scheme="deps"),
-        alphas=alphas,
-        repetitions=scale.repetitions,
-        repository=repo,
-        label="Deps.",
-    )
-    random = alpha_sweep(
-        config.with_(scheme="random"),
-        alphas=alphas,
-        repetitions=scale.repetitions,
-        repository=repo,
-        label="Random",
-    )
+    # Both sweeps (deps vs random scheme) share the repository and a pool.
+    n_workers = resolve_workers(workers)
+    pool = None
+    if n_workers > 1:
+        spec = RepositorySpec(
+            "sft", seed, scale.n_packages, scale.repo_total_size
+        )
+        pool = SimulationPool(spec, n_workers)
+    try:
+        deps = alpha_sweep(
+            config.with_(scheme="deps"),
+            alphas=alphas,
+            repetitions=scale.repetitions,
+            repository=repo,
+            label="Deps.",
+            pool=pool,
+        )
+        random = alpha_sweep(
+            config.with_(scheme="random"),
+            alphas=alphas,
+            repetitions=scale.repetitions,
+            repository=repo,
+            label="Random",
+            pool=pool,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
     return {"deps": deps, "random": random}
 
 

@@ -14,7 +14,7 @@ Between them lies the **operational zone**; the paper reports a wide one
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.efficiency import find_operational_zone
 from repro.analysis.report import sweep_table
@@ -28,13 +28,16 @@ WRITE_AMPLIFICATION_CEILING = 2.0
 CONTAINER_EFFICIENCY_FLOOR = 0.2
 
 
-def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
+def run(
+    scale: Scale, seed: int = 2020, workers: Optional[int] = None
+) -> Dict[str, object]:
     """Compute this experiment's data at the given scale."""
     sweep = alpha_sweep(
         base_config(scale, seed=seed),
         alphas=scale.alphas(),
         repetitions=scale.repetitions,
         label="fig8",
+        workers=workers,
     )
     zone = find_operational_zone(
         sweep,

@@ -1,0 +1,177 @@
+"""Simulation workers: fan simulation configs out over a shared repository.
+
+The repository is the expensive shared input of every sweep — one build
+per worker *process*, not per task, is the difference between linear
+speedup and a pickling regression.  Two ways to get it into workers:
+
+- :class:`RepositorySpec` — a tiny picklable recipe; each worker rebuilds
+  the repository deterministically from the seed (preferred: ships bytes
+  proportional to four scalars);
+- a prebuilt :class:`~repro.packages.repository.Repository` — pickled
+  once per worker through the pool initializer (for repositories loaded
+  from files or otherwise not reconstructible from a spec).
+
+:class:`SimulationPool` wraps both behind one interface and is reusable
+across batches, so a multi-sweep experiment (Figure 6 runs seven sweeps)
+pays worker start-up and repository construction once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.htc.simulator import SimulationConfig, SimulationResult, simulate
+from repro.packages.repository import Repository
+from repro.packages.sft import build_experiment_repository
+from repro.parallel.pool import (
+    _execute_bounded,
+    _make_executor,
+    resolve_workers,
+)
+
+__all__ = ["RepositorySpec", "SimulationPool"]
+
+
+@dataclass(frozen=True)
+class RepositorySpec:
+    """Picklable recipe for rebuilding an experiment repository in workers.
+
+    Equal specs build identical repositories (construction is seeded), so
+    a worker can cache by spec.  A spec with ``seed=None`` would *not*
+    rebuild deterministically — callers must ship the built
+    :class:`Repository` object instead in that case.
+    """
+
+    kind: str
+    seed: Optional[int]
+    n_packages: int
+    total_size: int
+
+    @classmethod
+    def from_config(cls, config: SimulationConfig) -> "RepositorySpec":
+        """The spec matching what :func:`simulate` would build itself."""
+        return cls(
+            kind=config.repo_kind,
+            seed=config.seed,
+            n_packages=config.n_packages,
+            total_size=config.repo_total_size,
+        )
+
+    def build(self) -> Repository:
+        """Construct the repository this spec describes."""
+        return build_experiment_repository(
+            self.kind,
+            seed=self.seed,
+            n_packages=self.n_packages,
+            target_total_size=self.total_size,
+        )
+
+
+RepositorySource = Union[RepositorySpec, Repository]
+
+# Per-worker-process repository, installed by the pool initializer.  Keyed
+# by spec so a worker surviving across pools with the same spec reuses it.
+_WORKER_REPOSITORY: List[object] = [None, None]  # [key, repository]
+
+
+def _materialise(source: RepositorySource) -> Repository:
+    return source.build() if isinstance(source, RepositorySpec) else source
+
+
+def _init_simulation_worker(source: RepositorySource) -> None:
+    """Pool initializer: build/install the shared repository once."""
+    key = source if isinstance(source, RepositorySpec) else id(source)
+    if _WORKER_REPOSITORY[0] != key or _WORKER_REPOSITORY[1] is None:
+        _WORKER_REPOSITORY[0] = key
+        _WORKER_REPOSITORY[1] = _materialise(source)
+
+
+def _simulate_task(config: SimulationConfig) -> SimulationResult:
+    """Run one simulation against the worker's installed repository."""
+    repository = _WORKER_REPOSITORY[1]
+    return simulate(config, repository=repository)
+
+
+class SimulationPool:
+    """A reusable worker pool bound to one shared repository.
+
+    Usage::
+
+        with SimulationPool(RepositorySpec.from_config(cfg), workers=8) as pool:
+            results = pool.run(cell_configs, labels=cell_labels)
+
+    ``run`` returns :class:`SimulationResult`\\ s in submission order —
+    bit-identical to calling :func:`simulate` serially over the same
+    configs — regardless of worker count or completion order.  When the
+    platform cannot start a pool (or ``workers=1``), the pool degrades to
+    an in-process loop over a single locally built repository.
+    """
+
+    def __init__(self, source: RepositorySource, workers: Optional[int] = None):
+        if isinstance(source, RepositorySpec) and source.seed is None:
+            raise ValueError(
+                "RepositorySpec with seed=None cannot be rebuilt "
+                "deterministically in workers; pass the built Repository"
+            )
+        self.workers = resolve_workers(workers)
+        self._source = source
+        self._local_repo: Optional[Repository] = None
+        self._executor = None
+        if self.workers > 1:
+            self._executor = _make_executor(
+                self.workers, _init_simulation_worker, (source,)
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """Whether batches actually fan out to worker processes."""
+        return self._executor is not None
+
+    def _repository(self) -> Repository:
+        if self._local_repo is None:
+            self._local_repo = _materialise(self._source)
+        return self._local_repo
+
+    def run(
+        self,
+        configs: Sequence[SimulationConfig],
+        labels: Optional[Sequence[str]] = None,
+        progress: Optional[Callable[[int, int, str], None]] = None,
+    ) -> List[SimulationResult]:
+        """Execute a batch of simulation configs; results by input index."""
+        configs = list(configs)
+        if labels is None:
+            labels = [f"simulation {i}" for i in range(len(configs))]
+        else:
+            labels = [str(label) for label in labels]
+            if len(labels) != len(configs):
+                raise ValueError("labels must match configs one-to-one")
+        if not configs:
+            return []
+        if self._executor is None:
+            repository = self._repository()
+            results = []
+            for i, config in enumerate(configs):
+                results.append(simulate(config, repository=repository))
+                if progress is not None:
+                    progress(i + 1, len(configs), labels[i])
+            return results
+        return _execute_bounded(
+            self._executor, _simulate_task, configs, labels, progress,
+            self.workers,
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "SimulationPool":
+        """Context-manager entry: the pool itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: shut workers down."""
+        self.close()
