@@ -10,8 +10,12 @@ Commands:
 - ``trace`` — generate a workload trace file for external replay;
 - ``replay`` — run a saved trace through a configured cache;
 - ``submit`` — the paper's job-wrapper deployment: prepare one job's
-  container against a persistent on-disk cache state;
-- ``cache-status`` — inspect a persistent cache state;
+  container against a persistent on-disk cache state (write-ahead
+  journalled; crash-safe);
+- ``cache-status`` — inspect a persistent cache state (replays any
+  journal tail left by a crashed wrapper);
+- ``recover`` — explicit crash recovery: fold the journal tail into a
+  fresh snapshot and compact the journal;
 - ``calibrate`` — measure a repository's structural statistics.
 
 Every figure command accepts ``--scale quick|paper``, ``--seed`` and
@@ -336,19 +340,39 @@ def _site_repository(
     return scale, repo
 
 
+def _journal_args(parser: argparse.ArgumentParser) -> None:
+    """The durable-state flags shared by submit/cache-status/recover."""
+    parser.add_argument("--state", default=".landlord-state.json",
+                        help="cache state file (default: %(default)s)")
+    parser.add_argument("--journal", default=None, metavar="FILE",
+                        help="write-ahead journal file "
+                        "(default: <state>.journal)")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="disable write-ahead journalling (snapshot "
+                        "rewritten after every request instead)")
+    parser.add_argument("--migrate-v1", action="store_true",
+                        help="accept a v1-format state file, stamping the "
+                        "current policy knobs into it (v1 recorded none)")
+
+
 def _cmd_submit(argv: Sequence[str]) -> int:
-    from repro.core.persistence import StateError, load_state, save_state
+    from repro.core.journal import JournaledState
+    from repro.core.persistence import StateError, StateNotFound
     from repro.core.cache import LandlordCache
     from repro.util.units import format_bytes, parse_bytes
 
     parser = argparse.ArgumentParser(
         prog="repro-landlord submit",
         description="Prepare a container image for one job (the paper's "
-        "job-wrapper deployment); cache state persists across invocations.",
+        "job-wrapper deployment); cache state persists across invocations, "
+        "write-ahead journalled so a crashed wrapper loses nothing.",
     )
     parser.add_argument("specfile", help=".py/.sh/.json/.txt job spec")
-    parser.add_argument("--state", default=".landlord-state.json",
-                        help="cache state file (default: %(default)s)")
+    _journal_args(parser)
+    parser.add_argument("--snapshot-every", type=int, default=1, metavar="N",
+                        help="rewrite the full snapshot every N requests, "
+                        "relying on journal replay in between "
+                        "(default: %(default)s)")
     parser.add_argument("--alpha", type=float, default=0.8,
                         help="merge threshold on first initialisation")
     parser.add_argument("--capacity", default=None,
@@ -364,6 +388,8 @@ def _cmd_submit(argv: Sequence[str]) -> int:
     parser.add_argument("--no-closure", action="store_true",
                         help="treat the spec as already closed")
     args = parser.parse_args(argv)
+    if args.snapshot_every < 1:
+        parser.error("--snapshot-every must be >= 1")
 
     scale, repo = _site_repository(args.scale, args.seed, args.repo)
     repo_meta = (
@@ -372,8 +398,17 @@ def _cmd_submit(argv: Sequence[str]) -> int:
         else {"scale": scale.name, "seed": args.seed,
               "n_packages": scale.n_packages}
     )
+    store = JournaledState(
+        args.state, args.journal, snapshot_every=args.snapshot_every,
+        use_journal=not args.no_journal,
+    )
     try:
-        cache, metadata = load_state(args.state, repo.size_of)
+        cache, metadata, replayed = store.load(
+            repo.size_of, migrate_v1=args.migrate_v1
+        )
+        if replayed:
+            print(f"replayed {len(replayed)} journalled operation(s) "
+                  "not yet covered by the snapshot")
         if metadata.get("repository") != repo_meta:
             print(
                 f"state {args.state} was built for repository "
@@ -381,18 +416,26 @@ def _cmd_submit(argv: Sequence[str]) -> int:
                 file=sys.stderr,
             )
             return 2
-    except StateError:
+    except StateNotFound:
         capacity = (
             parse_bytes(args.capacity) if args.capacity else scale.capacity
         )
         cache = LandlordCache(capacity, args.alpha, repo.size_of)
+        metadata = {"repository": repo_meta}
+        store.initialise(cache, metadata)
         print(f"initialised new cache: capacity "
               f"{format_bytes(capacity)}, alpha {args.alpha}")
+    except StateError as exc:
+        # corrupt / v1 / policy-mismatched state is real data — refuse to
+        # silently reinitialise over it
+        print(str(exc), file=sys.stderr)
+        return 2
 
     packages = _load_specfile(args.specfile, repo)
     closed = packages if args.no_closure else repo.closure(packages)
-    decision = cache.request(closed)
-    save_state(args.state, cache, metadata={"repository": repo_meta})
+    decision = store.apply(
+        cache, metadata, "request", packages=sorted(closed)
+    )
     print(
         f"{decision.action.value}: image {decision.image.id} "
         f"({decision.image.package_count} pkgs, "
@@ -405,23 +448,32 @@ def _cmd_submit(argv: Sequence[str]) -> int:
 
 
 def _cmd_cache_status(argv: Sequence[str]) -> int:
-    from repro.core.persistence import StateError, load_state
+    from repro.core.journal import JournaledState
+    from repro.core.persistence import StateError
     from repro.util.tables import render_table
     from repro.util.units import format_bytes
 
     parser = argparse.ArgumentParser(prog="repro-landlord cache-status")
-    parser.add_argument("--state", default=".landlord-state.json")
+    _journal_args(parser)
     parser.add_argument("--scale", choices=["tiny", "quick", "paper"],
                         default=None)
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument("--repo", default=None, metavar="FILE")
     args = parser.parse_args(argv)
     _scale, repo = _site_repository(args.scale, args.seed, args.repo)
+    store = JournaledState(
+        args.state, args.journal, use_journal=not args.no_journal
+    )
     try:
-        cache, _metadata = load_state(args.state, repo.size_of)
+        cache, _metadata, replayed = store.load(
+            repo.size_of, migrate_v1=args.migrate_v1
+        )
     except StateError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if replayed:
+        print(f"journal: {len(replayed)} operation(s) pending beyond the "
+              "snapshot (run `repro-landlord recover` to compact)")
     stats = cache.stats
     print(
         f"cache: {len(cache)} images, {format_bytes(cache.cached_bytes)} / "
@@ -442,6 +494,40 @@ def _cmd_cache_status(argv: Sequence[str]) -> int:
     ]
     print(render_table(rows, header=["image", "pkgs", "size", "merges",
                                      "last used"]))
+    return 0
+
+
+def _cmd_recover(argv: Sequence[str]) -> int:
+    from repro.core.journal import JournaledState
+    from repro.core.persistence import StateError
+
+    parser = argparse.ArgumentParser(
+        prog="repro-landlord recover",
+        description="Explicit crash recovery: load the snapshot, replay "
+        "the write-ahead journal tail, write a fresh snapshot covering "
+        "it, and compact the journal.",
+    )
+    _journal_args(parser)
+    parser.add_argument("--scale", choices=["tiny", "quick", "paper"],
+                        default=None)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--repo", default=None, metavar="FILE")
+    args = parser.parse_args(argv)
+    _scale, repo = _site_repository(args.scale, args.seed, args.repo)
+    store = JournaledState(
+        args.state, args.journal, use_journal=not args.no_journal
+    )
+    try:
+        cache, metadata, replayed = store.load(
+            repo.size_of, migrate_v1=args.migrate_v1
+        )
+    except StateError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    store.flush(cache, metadata)
+    print(f"recovered: replayed {len(replayed)} journalled operation(s); "
+          f"state covers {cache.stats.requests} requests "
+          f"({len(cache)} images)")
     return 0
 
 
@@ -473,7 +559,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     commands = sorted(
         list(_FIGURES)
         + ["all", "sweep", "bench", "trace", "replay", "submit",
-           "cache-status", "calibrate"]
+           "cache-status", "recover", "calibrate"]
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -501,6 +587,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_submit(rest)
     if command == "cache-status":
         return _cmd_cache_status(rest)
+    if command == "recover":
+        return _cmd_recover(rest)
     if command == "calibrate":
         return _cmd_calibrate(rest)
     print(f"unknown command: {command!r}; available: {', '.join(commands)}",

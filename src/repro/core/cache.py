@@ -128,6 +128,7 @@ class CachedImage:
         "size",
         "created_at",
         "last_used",
+        "last_request",
         "merge_count",
         "signature",
         "_universe",
@@ -149,6 +150,7 @@ class CachedImage:
         self.size = size
         self.created_at = created_at
         self.last_used = created_at
+        self.last_request = 0
         self.merge_count = 0
         self.signature = signature
         self._universe = universe
@@ -303,6 +305,7 @@ class LandlordCache:
         self.eviction = eviction
         self.use_minhash = use_minhash
         self._minhash_perm = minhash_perm
+        self._minhash_bands = minhash_bands
         self._minhash_seed = minhash_seed
         self._lsh = (
             MinHashLSH(minhash_perm, minhash_bands) if use_minhash else None
@@ -364,15 +367,19 @@ class LandlordCache:
         regular use, the bloated image will eventually be evicted from the
         cache"); under capacity pressure LRU provides that, but an
         under-full cache can hold stale images forever.  This sweeps out
-        every image whose last use is more than ``max_idle_requests``
-        requests ago.  Returns the evicted ids (counted as deletes).
+        every image that no request has used within the last
+        ``max_idle_requests`` requests (``stats.requests`` is the unit:
+        federation adoptions and splits advance the internal LRU clock
+        but do *not* age images, so the idle window is measured in actual
+        job requests as documented).  Returns the evicted ids (counted as
+        deletes).
         """
         if max_idle_requests < 0:
             raise ValueError("max_idle_requests must be non-negative")
-        horizon = self._clock - max_idle_requests
+        horizon = self.stats.requests - max_idle_requests
         evicted = []
         for image in list(self._images.values()):
-            if image.last_used < horizon:
+            if image.last_request < horizon:
                 self._drop_image(image)
                 self.stats.deletes += 1
                 evicted.append(image.id)
@@ -418,18 +425,45 @@ class LandlordCache:
 
     # -- persistence support -------------------------------------------------
 
+    def policy_snapshot(self) -> dict:
+        """The full set of policy knobs this cache was configured with.
+
+        Everything that changes *behaviour* without changing the byte
+        gauges: eviction, hit selection, candidate order, merge write
+        mode, MinHash configuration, and the conflict-policy identity
+        (via :meth:`~repro.packages.conflicts.ConflictPolicy.describe`).
+        Recorded in every :meth:`snapshot` and validated by
+        :meth:`restore`, so a persisted cache can never silently resume
+        under different semantics than the state was built under.
+        """
+        return {
+            "eviction": self.eviction,
+            "hit_selection": self.hit_selection,
+            "candidate_order": self.candidate_order,
+            "merge_write_mode": self.merge_write_mode,
+            "use_minhash": self.use_minhash,
+            "minhash_perm": self._minhash_perm,
+            "minhash_bands": self._minhash_bands,
+            "minhash_seed": self._minhash_seed,
+            "conflict_policy": self.conflict_policy.describe(),
+        }
+
     def snapshot(self) -> dict:
         """Serialisable view of the full cache state.
 
-        Package sets are materialised to sorted id lists; pair with
-        :meth:`restore` (see :mod:`repro.core.persistence` for the
-        file-level API the job-wrapper CLI uses).
+        Package sets are materialised to sorted id lists; policy knobs
+        are recorded via :meth:`policy_snapshot`; when
+        ``candidate_order="random"`` the RNG state rides along so a
+        restored cache draws the same shuffles the original would have.
+        Pair with :meth:`restore` (see :mod:`repro.core.persistence` for
+        the file-level API the job-wrapper CLI uses).
         """
-        return {
+        state = {
             "capacity": self.capacity,
             "alpha": self.alpha,
             "clock": self._clock,
             "next_image": self._next_image,
+            "policy": self.policy_snapshot(),
             "stats": dict(self.stats.__dict__),
             "images": [
                 {
@@ -437,20 +471,24 @@ class LandlordCache:
                     "packages": sorted(img.packages),
                     "created_at": img.created_at,
                     "last_used": img.last_used,
+                    "last_request": img.last_request,
                     "merge_count": img.merge_count,
                 }
                 for img in self._images.values()
             ],
         }
+        if self.candidate_order == "random":
+            state["rng_state"] = self._rng.bit_generator.state
+        return state
 
     def restore(self, state: dict) -> None:
         """Reinstate a :meth:`snapshot` into this (empty) cache.
 
         The cache must be freshly constructed — restoring over live images
-        would corrupt the byte gauges.  Configuration (capacity, alpha)
-        must match the snapshot; mismatches raise :class:`ValueError`
-        rather than silently running with different semantics than the
-        state was built under.
+        would corrupt the byte gauges.  Configuration (capacity, alpha,
+        and every :meth:`policy_snapshot` knob) must match the snapshot;
+        mismatches raise :class:`ValueError` rather than silently running
+        with different semantics than the state was built under.
         """
         if self._images or self.stats.requests:
             raise ValueError("restore requires a fresh cache")
@@ -460,6 +498,35 @@ class LandlordCache:
                 f"{state['capacity']} alpha={state['alpha']}, cache has "
                 f"capacity={self.capacity} alpha={self.alpha}"
             )
+        recorded = state.get("policy")
+        if recorded is None:
+            raise ValueError(
+                "snapshot records no policy knobs (pre-v2 format) — "
+                "migrate it via repro.core.persistence.load_state(..., "
+                "migrate_v1=True)"
+            )
+        mine = self.policy_snapshot()
+        mismatched = [
+            knob
+            for knob in sorted(set(mine) | set(recorded))
+            if recorded.get(knob) != mine.get(knob)
+        ]
+        if mismatched:
+            detail = ", ".join(
+                f"{knob}: snapshot={recorded.get(knob)!r} "
+                f"cache={mine.get(knob)!r}"
+                for knob in mismatched
+            )
+            raise ValueError(f"snapshot policy mismatch — {detail}")
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            mine_bg = type(self._rng.bit_generator).__name__
+            if rng_state.get("bit_generator") != mine_bg:
+                raise ValueError(
+                    f"snapshot RNG is {rng_state.get('bit_generator')!r}, "
+                    f"cache uses {mine_bg!r}"
+                )
+            self._rng.bit_generator.state = rng_state
         for field_name, value in state["stats"].items():
             if not hasattr(self.stats, field_name):
                 raise ValueError(f"unknown stats field {field_name!r}")
@@ -475,6 +542,15 @@ class LandlordCache:
                 self._signature_of(packages),
             )
             image.last_used = int(record["last_used"])
+            # v1 snapshots predate last_request; clamp the clock-based
+            # last_used to the request counter as the closest honest value.
+            image.last_request = int(
+                record.get(
+                    "last_request",
+                    min(int(record["last_used"]),
+                        int(state["stats"]["requests"])),
+                )
+            )
             image.merge_count = int(record["merge_count"])
             if image.id in self._images:
                 raise ValueError(f"duplicate image id in snapshot: {image.id}")
@@ -588,6 +664,7 @@ class LandlordCache:
         image = CachedImage(
             image_id, mask, indices, size, self._clock, self._universe, signature
         )
+        image.last_request = self.stats.requests
         self._images[image_id] = image
         self._cached_bytes += size
         self._account_add(indices)
@@ -678,6 +755,7 @@ class LandlordCache:
         hit = self._find_hit(mask)
         if hit is not None:
             hit.last_used = self._clock
+            hit.last_request = self.stats.requests
             self.stats.hits += 1
             self.stats.used_bytes += hit.size
             self._emit(
@@ -761,11 +839,15 @@ class LandlordCache:
         target.indices = merged_indices
         target.size = new_size
         target.last_used = self._clock
+        target.last_request = self.stats.requests
         target.merge_count += 1
         if signature is not None and target.signature is not None:
             target.signature = target.signature.merge(signature)
             if self._lsh is not None:
-                self._lsh.insert(target.id, target.signature)
+                # update() rewrites only the bands whose key changed, so
+                # the index never accumulates stale buckets over long
+                # merge chains (membership stays bands x live images).
+                self._lsh.update(target.id, target.signature)
 
         self.stats.merges += 1
         # Paper mechanism ("full"): the merged image is rewritten in its

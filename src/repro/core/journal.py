@@ -1,0 +1,503 @@
+"""Write-ahead event journal for the durable LANDLORD cache.
+
+Snapshots (:mod:`repro.core.persistence`) are atomic but coarse: a
+wrapper that dies after serving a request and before rewriting the
+snapshot would silently lose that request.  This module closes the gap
+with the classic WAL protocol:
+
+1. every mutating cache operation is first appended to a JSON-lines
+   journal — one fsynced line per operation, carrying a CRC over its
+   canonical encoding;
+2. the operation is then applied to the in-memory cache;
+3. every ``snapshot_every`` operations the full snapshot is rewritten
+   (recording the journal sequence number it covers) and the journal is
+   compacted down to the entries the snapshot does not yet include.
+
+Recovery (:meth:`JournaledState.load` / ``repro-landlord recover``)
+loads the snapshot and replays the journal tail — entries with a
+sequence number greater than the snapshot's ``journal_seq`` — through
+the deterministic cache, arriving at the exact pre-crash state.  A torn
+final line (a crash mid-append) is detected by its CRC and discarded;
+corruption *before* intact entries is a hard :class:`JournalError`, not
+something to paper over.
+
+The cache is deterministic given its restored state (including, for
+``candidate_order="random"``, the RNG state the v2 snapshot carries), so
+replaying the journalled operations reproduces the original decisions
+bit-for-bit — the property :mod:`repro.testing` hammers with crash
+injection at every persistence call site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cache import LandlordCache
+from repro.core.persistence import StateBundle, load_bundle, save_state
+from repro.testing.faults import checkpoint
+
+__all__ = [
+    "Journal",
+    "JournalEntry",
+    "JournalError",
+    "JournaledState",
+    "apply_entry",
+    "recover_state",
+    "replay",
+]
+
+PathLike = Union[str, Path]
+
+_CANON = {"sort_keys": True, "separators": (",", ":")}
+
+
+class JournalError(ValueError):
+    """Raised for corrupt, out-of-order, or gapped journals."""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journalled cache operation.
+
+    Attributes:
+        seq: 1-based, strictly increasing sequence number.
+        op: operation name — ``"request"``, ``"adopt"``,
+            ``"evict_idle"``, or ``"clear"``.
+        data: the operation's arguments (e.g. the sorted package list of
+            a request), exactly as needed to re-apply it.
+    """
+
+    seq: int
+    op: str
+    data: dict
+
+
+def _crc(body: dict) -> int:
+    return zlib.crc32(json.dumps(body, **_CANON).encode("utf-8"))
+
+
+def _encode(entry: JournalEntry) -> str:
+    body = {"seq": entry.seq, "op": entry.op, "data": entry.data}
+    return json.dumps({**body, "crc": _crc(body)}, **_CANON) + "\n"
+
+
+def _decode(line: str) -> JournalEntry:
+    record = json.loads(line)
+    crc = record.pop("crc")
+    if _crc(record) != crc:
+        raise JournalError("journal entry fails its CRC")
+    seq = record["seq"]
+    if not isinstance(seq, int) or seq < 1:
+        raise JournalError(f"invalid journal sequence number {seq!r}")
+    return JournalEntry(seq, record["op"], record.get("data", {}))
+
+
+def _encode_marker(compacted_to: int) -> str:
+    body = {"compacted_to": compacted_to}
+    return json.dumps({**body, "crc": _crc(body)}, **_CANON) + "\n"
+
+
+class Journal:
+    """An append-only, fsynced JSON-lines journal file.
+
+    Appends are durable before they return (write, flush, fsync); a
+    crash can therefore lose at most the entry being written, and a torn
+    trailing line is recognised by its CRC and ignored on read.
+
+    Compaction replaces the dropped prefix with a marker line recording
+    the highest sequence number ever compacted away, so numbering stays
+    strictly monotonic across process restarts even when the journal is
+    emptied — without the marker, a fresh process would restart at 1 and
+    its entries would be silently skipped by replay (they'd fall at or
+    below the snapshot's ``journal_seq``).
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self._fh = None
+        self._next_seq: Optional[int] = None
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number the journal accounts for (0 when
+        fresh) — the newest intact entry, or the compaction marker when
+        every entry has been compacted away."""
+        floor, entries = self._read()
+        return entries[-1].seq if entries else floor
+
+    def entries(self) -> List[JournalEntry]:
+        """All intact entries, oldest first.
+
+        A torn final line (crash mid-append) is silently dropped;
+        anything unparsable *followed by* intact entries means the file
+        was damaged at rest and raises :class:`JournalError`, as does a
+        non-increasing sequence.
+        """
+        return self._read()[1]
+
+    def _read(self) -> Tuple[int, List[JournalEntry]]:
+        """Parse the file into ``(compaction floor, intact entries)``."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return 0, []
+        lines = [line for line in text.split("\n") if line]
+        floor = 0
+        start = 0
+        if lines:
+            try:
+                record = json.loads(lines[0])
+            except ValueError:
+                record = None
+            if isinstance(record, dict) and "compacted_to" in record:
+                crc = record.pop("crc", None)
+                upto = record.get("compacted_to")
+                if _crc(record) != crc or not isinstance(upto, int):
+                    raise JournalError(
+                        f"corrupt compaction marker in {self.path}"
+                    )
+                floor = upto
+                start = 1
+        out: List[JournalEntry] = []
+        for position, line in enumerate(lines[start:], start=start):
+            try:
+                entry = _decode(line)
+            except (ValueError, KeyError) as exc:
+                for later in lines[position + 1:]:
+                    try:
+                        _decode(later)
+                    except (ValueError, KeyError):
+                        continue
+                    raise JournalError(
+                        f"corrupt journal entry mid-file in {self.path} "
+                        f"(line {position + 1}): {exc}"
+                    ) from exc
+                break  # torn tail from a crashed append — discard
+            newest = out[-1].seq if out else floor
+            if entry.seq <= newest:
+                raise JournalError(
+                    f"journal {self.path} sequence regressed at "
+                    f"line {position + 1} ({newest} -> {entry.seq})"
+                )
+            out.append(entry)
+        return floor, out
+
+    def append(self, op: str, **data: object) -> JournalEntry:
+        """Durably append one operation; returns the written entry.
+
+        The entry has reached stable storage (fsync) when this returns —
+        the write-ahead guarantee the recovery protocol builds on.
+        """
+        if self._next_seq is None:
+            self._next_seq = self.last_seq + 1
+        entry = JournalEntry(self._next_seq, op, dict(data))
+        line = _encode(entry)
+        checkpoint("journal:append")
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._heal()
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.seek(0, os.SEEK_END)
+        start = self._fh.tell()
+        self._fh.write(line)
+        self._fh.flush()
+        checkpoint("journal:torn", fh=self._fh, start=start)
+        os.fsync(self._fh.fileno())
+        checkpoint("journal:synced")
+        self._next_seq += 1
+        return entry
+
+    def compact(self, upto_seq: int) -> int:
+        """Drop every entry with ``seq <= upto_seq`` (already snapshotted).
+
+        Crash-safe: the surviving tail is written to a temp file, fsynced
+        and renamed over the journal, so a crash leaves either the old or
+        the compacted journal — both of which recovery handles, because
+        replay filters by the snapshot's ``journal_seq`` anyway.  Returns
+        the number of entries dropped.
+        """
+        floor, entries = self._read()
+        newest = entries[-1].seq if entries else floor
+        kept = [entry for entry in entries if entry.seq > upto_seq]
+        new_floor = max(floor, min(upto_seq, newest))
+        if (len(kept) == len(entries) and new_floor == floor
+                and self.path.exists()):
+            return 0
+        checkpoint("compact:write")
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(_encode_marker(new_floor))
+            for entry in kept:
+                fh.write(_encode(entry))
+            fh.flush()
+            checkpoint("compact:torn", fh=fh, start=0)
+            os.fsync(fh.fileno())
+        tmp.replace(self.path)
+        checkpoint("compact:renamed")
+        self._fsync_dir()
+        self.close()  # the old append handle points at the replaced inode
+        return len(entries) - len(kept)
+
+    def reset(self) -> None:
+        """Empty the journal and restart numbering at 1 (fresh state).
+
+        Unlike :meth:`compact`, no marker is kept — the caller is
+        declaring the old history void (a brand-new snapshot with
+        ``journal_seq=0`` covers it), so numbering genuinely restarts.
+        """
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(self.path)
+        self._fsync_dir()
+        self.close()
+        self._next_seq = 1
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily by the next append)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _heal(self) -> None:
+        """Truncate a torn trailing line before appending after it.
+
+        A crash mid-append can leave the file ending in a partial record
+        with no newline; appending straight after it would glue the new
+        (fsynced, reported-durable) entry onto the garbage fragment,
+        producing one unparsable line that swallows both.  Cutting back
+        to the last complete line first keeps every later append intact.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        if not raw or raw.endswith(b"\n"):
+            return
+        cut = raw.rfind(b"\n") + 1
+        with open(self.path, "rb+") as fh:
+            fh.truncate(cut)
+            os.fsync(fh.fileno())
+
+    def _fsync_dir(self) -> None:
+        fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+def apply_entry(cache: LandlordCache, entry: JournalEntry) -> object:
+    """Apply one journalled operation to a live cache.
+
+    Returns whatever the underlying cache method returns (a
+    :class:`~repro.core.cache.CacheDecision` for requests, the evicted id
+    list for ``evict_idle``, …).
+    """
+    if entry.op == "request":
+        return cache.request(frozenset(entry.data["packages"]))
+    if entry.op == "adopt":
+        return cache.adopt(frozenset(entry.data["packages"]))
+    if entry.op == "evict_idle":
+        return cache.evict_idle(int(entry.data["max_idle_requests"]))
+    if entry.op == "clear":
+        cache.clear()
+        return None
+    raise JournalError(f"unknown journal operation {entry.op!r}")
+
+
+def replay(
+    cache: LandlordCache,
+    entries: Sequence[JournalEntry],
+    after_seq: int = 0,
+    on_result: Optional[Callable[[JournalEntry, object], None]] = None,
+) -> List[Tuple[JournalEntry, object]]:
+    """Re-apply the journal tail (entries with ``seq > after_seq``).
+
+    The tail must be gap-free starting at ``after_seq + 1`` — a gap means
+    operations were lost between the snapshot and the surviving journal,
+    which no replay can repair (:class:`JournalError`).  Returns
+    ``(entry, result)`` pairs for the replayed operations.
+
+    ``on_result`` fires immediately after each entry is applied — use it
+    to inspect a result *at decision time*; a returned
+    :class:`~repro.core.cache.CacheDecision` holds a live image object
+    that later entries in the same tail may mutate (e.g. grow by merge).
+    """
+    expected = after_seq
+    out: List[Tuple[JournalEntry, object]] = []
+    for entry in entries:
+        if entry.seq <= after_seq:
+            continue
+        expected += 1
+        if entry.seq != expected:
+            raise JournalError(
+                f"journal gap: expected entry {expected}, found {entry.seq} "
+                "— operations between snapshot and journal were lost"
+            )
+        result = apply_entry(cache, entry)
+        if on_result is not None:
+            on_result(entry, result)
+        out.append((entry, result))
+    return out
+
+
+class JournaledState:
+    """A snapshot file plus its write-ahead journal — the durable store
+    behind ``repro-landlord submit``.
+
+    Args:
+        state_path: the snapshot file.
+        journal_path: the journal file (default: ``<state_path>.journal``).
+        snapshot_every: rewrite the snapshot every N journalled
+            operations (1 = after each, the safest and the default; a
+            larger N amortises snapshot I/O across submissions and leans
+            on journal replay after a crash).
+        use_journal: disable write-ahead logging entirely (the snapshot
+            is then rewritten after every operation, as in format v1
+            days — the crash window between apply and snapshot returns).
+    """
+
+    def __init__(
+        self,
+        state_path: PathLike,
+        journal_path: Optional[PathLike] = None,
+        snapshot_every: int = 1,
+        use_journal: bool = True,
+    ):
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.state_path = Path(state_path)
+        self.snapshot_every = snapshot_every
+        self.journal: Optional[Journal] = None
+        if use_journal:
+            journal_path = journal_path or self.state_path.with_name(
+                self.state_path.name + ".journal"
+            )
+            self.journal = Journal(journal_path)
+
+    def load(
+        self,
+        package_size: Callable[[str], int],
+        migrate_v1: bool = False,
+        on_replay: Optional[Callable[[JournalEntry, object], None]] = None,
+        **cache_kwargs: object,
+    ) -> Tuple[LandlordCache, dict, List[Tuple[JournalEntry, object]]]:
+        """Recover the durable state: load the snapshot, replay the tail.
+
+        Returns ``(cache, metadata, replayed)`` where ``replayed`` lists
+        the journal entries (with their results) that were applied on top
+        of the snapshot — empty when the last run shut down cleanly.
+        ``on_replay`` is forwarded to :func:`replay` for callers that
+        need each result at its decision time.  Raises
+        :class:`~repro.core.persistence.StateNotFound` when no snapshot
+        exists yet.
+        """
+        bundle: StateBundle = load_bundle(
+            self.state_path, package_size, migrate_v1=migrate_v1,
+            **cache_kwargs,
+        )
+        replayed: List[Tuple[JournalEntry, object]] = []
+        if self.journal is not None:
+            replayed = replay(
+                bundle.cache, self.journal.entries(),
+                after_seq=bundle.journal_seq, on_result=on_replay,
+            )
+        return bundle.cache, bundle.metadata, replayed
+
+    def initialise(
+        self, cache: LandlordCache, metadata: Optional[dict] = None
+    ) -> None:
+        """First-time setup: persist a fresh cache with an empty journal."""
+        if self.journal is not None:
+            self.journal.reset()
+        save_state(self.state_path, cache, metadata, journal_seq=0)
+
+    def apply(
+        self,
+        cache: LandlordCache,
+        metadata: Optional[dict],
+        op: str,
+        on_result: Optional[Callable[[JournalEntry, object], None]] = None,
+        **data: object,
+    ) -> object:
+        """Journal one operation, apply it, snapshot + compact when due.
+
+        The write-ahead append is durable before the cache mutates, so a
+        crash at any later instant replays the operation from the
+        journal; a crash before the append loses the operation entirely
+        (the wrapper is simply re-invoked).  Returns the operation's
+        result (see :func:`apply_entry`).
+
+        ``on_result`` fires as soon as the operation has been applied,
+        *before* the periodic snapshot/compaction housekeeping — deliver
+        the result to the caller there, so a crash during housekeeping
+        cannot strand a decision that the snapshot already covers (and
+        that replay would therefore never reproduce).  The name
+        ``on_result`` is reserved and cannot be used as an operation
+        data key.
+        """
+        if self.journal is None:
+            result = apply_entry(
+                cache, JournalEntry(0, op, dict(data))
+            )
+            if on_result is not None:
+                on_result(JournalEntry(0, op, dict(data)), result)
+            save_state(self.state_path, cache, metadata, journal_seq=0)
+            return result
+        entry = self.journal.append(op, **data)
+        result = apply_entry(cache, entry)
+        if on_result is not None:
+            on_result(entry, result)
+        if entry.seq % self.snapshot_every == 0:
+            self.flush(cache, metadata, journal_seq=entry.seq)
+        return result
+
+    def flush(
+        self,
+        cache: LandlordCache,
+        metadata: Optional[dict],
+        journal_seq: Optional[int] = None,
+    ) -> None:
+        """Rewrite the snapshot to cover the journal, then compact it."""
+        if self.journal is None:
+            save_state(self.state_path, cache, metadata, journal_seq=0)
+            return
+        if journal_seq is None:
+            journal_seq = self.journal.last_seq
+        save_state(
+            self.state_path, cache, metadata, journal_seq=journal_seq
+        )
+        self.journal.compact(journal_seq)
+
+
+def recover_state(
+    state_path: PathLike,
+    journal_path: Optional[PathLike] = None,
+    *,
+    package_size: Callable[[str], int],
+    migrate_v1: bool = False,
+    **cache_kwargs: object,
+) -> Tuple[LandlordCache, dict, int]:
+    """One-shot crash recovery: load, replay the journal tail, re-snapshot.
+
+    After this returns, the snapshot covers every surviving journalled
+    operation and the journal is compacted to empty.  Returns
+    ``(cache, metadata, replayed_count)``.  Raises
+    :class:`~repro.core.persistence.StateError` when the snapshot is
+    missing or unusable.
+    """
+    store = JournaledState(state_path, journal_path)
+    cache, metadata, replayed = store.load(
+        package_size, migrate_v1=migrate_v1, **cache_kwargs
+    )
+    store.flush(cache, metadata)
+    return cache, metadata, len(replayed)

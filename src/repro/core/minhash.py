@@ -167,6 +167,41 @@ class MinHashLSH:
             table.setdefault(bkey, set()).add(key)
         self._keys[key] = band_keys
 
+    def update(self, key: str, signature: MinHashSignature) -> None:
+        """Re-index ``key`` under a new signature, touching only the bands
+        whose key actually changed.
+
+        Behaviourally identical to ``insert`` (which fully removes then
+        re-adds), but a merged image's signature is the element-wise
+        minimum of the old one, so most bands are unchanged and the
+        rewrite cost stays proportional to the drift — the cache calls
+        this on every merge.  Band membership stays exactly one bucket
+        entry per band per live key, so the index never accumulates
+        stale buckets over long merge chains.
+        """
+        old_keys = self._keys.get(key)
+        if old_keys is None:
+            self.insert(key, signature)
+            return
+        new_keys = self._band_keys(signature)
+        for table, okey, nkey in zip(self._tables, old_keys, new_keys):
+            if okey == nkey:
+                continue
+            bucket = table.get(okey)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del table[okey]
+            table.setdefault(nkey, set()).add(key)
+        self._keys[key] = new_keys
+
+    def total_entries(self) -> int:
+        """Total bucket membership across all bands (``bands × len(self)``
+        when the index is consistent) — an invariant probe for tests."""
+        return sum(
+            len(bucket) for table in self._tables for bucket in table.values()
+        )
+
     def remove(self, key: str) -> None:
         """Drop a key from the index (no-op if absent)."""
         band_keys = self._keys.pop(key, None)

@@ -16,6 +16,8 @@ of times during sweeps.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Iterable, List, Mapping, Optional, Set
 
 from repro.packages.package import split_package_id
@@ -29,6 +31,17 @@ class ConflictPolicy:
     def conflicts(self, a: Iterable[str], b: Iterable[str]) -> bool:
         """Return True if the union of ``a`` and ``b`` is unsatisfiable."""
         raise NotImplementedError
+
+    def describe(self) -> str:
+        """Stable identity string for this policy's merge semantics.
+
+        Persisted cache snapshots record it so a restore under a policy
+        with *different* semantics is rejected instead of silently
+        changing which merges are legal.  Policies whose behaviour
+        depends on configuration must fold that configuration into the
+        string (see :meth:`SlotConflicts.describe`).
+        """
+        return type(self).__name__
 
     def conflicting_slots(
         self, a: Iterable[str], b: Iterable[str]
@@ -60,6 +73,14 @@ class SlotConflicts(ConflictPolicy):
 
     def __init__(self, slot_of: Optional[Mapping[str, str]] = None):
         self._slot_of = slot_of
+
+    def describe(self) -> str:
+        """Identity including a digest of any explicit slot mapping."""
+        if not self._slot_of:
+            return type(self).__name__
+        canon = json.dumps(sorted(self._slot_of.items()))
+        digest = hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+        return f"{type(self).__name__}[{digest}]"
 
     def _slot(self, package_id: str) -> str:
         if self._slot_of is not None:

@@ -1,0 +1,35 @@
+"""Test-support subsystem: fault injection for the persistence layer.
+
+Production code in :mod:`repro.core.persistence` and
+:mod:`repro.core.journal` calls :func:`repro.testing.faults.checkpoint`
+at every point where a real process could die (before/after a write,
+between fsync and rename, …).  In normal operation those calls are
+no-ops; property tests arm a :class:`~repro.testing.faults.CrashPoint`
+to simulate a crash — optionally with a torn (partially persisted)
+write — at one exact site, then assert that recovery reproduces the
+uninterrupted run bit-for-bit.
+
+- :mod:`repro.testing.faults` — crash sites, :class:`CrashPoint`,
+  :class:`SimulatedCrash`, torn-write simulation.
+- :mod:`repro.testing.harness` — a job-wrapper driver that runs request
+  streams through the durable store, crashing and recovering on demand.
+"""
+
+from repro.testing.faults import (
+    CRASH_SITES,
+    CrashPoint,
+    SimulatedCrash,
+    checkpoint,
+)
+
+# NOTE: repro.testing.harness is intentionally not imported here — the
+# persistence layer imports this package for its checkpoints, and the
+# harness imports the persistence layer back; import it directly as
+# ``from repro.testing.harness import WrapperHarness``.
+
+__all__ = [
+    "CRASH_SITES",
+    "CrashPoint",
+    "SimulatedCrash",
+    "checkpoint",
+]

@@ -68,3 +68,43 @@ class TestEvictIdle:
         assert c.cached_bytes == sum(img.size for img in c.images)
         union = set().union(*[i.packages for i in c.images]) if c.images else set()
         assert c.unique_bytes == sum(SIZE[p] for p in union)
+
+
+class TestIdleUnitIsRequests:
+    def test_adoptions_do_not_age_requested_images(self):
+        # regression: the horizon used to be computed against the internal
+        # activity clock, which adopt() advances — a burst of federation
+        # pulls made a just-requested image look idle and swept it.
+        c = cache()
+        c.request(frozenset({"p0"}))
+        for i in range(1, 8):
+            c.adopt(frozenset({f"p{i}"}))
+        assert c.evict_idle(max_idle_requests=3) == []
+        assert c.peek(frozenset({"p0"})) is not None
+
+    def test_adopted_images_not_instantly_idle(self):
+        c = cache()
+        for i in range(5):
+            c.request(frozenset({f"p{i}"}))
+        adopted = c.adopt(frozenset({"p9"}))
+        evicted = c.evict_idle(max_idle_requests=2)
+        assert adopted.id not in evicted
+
+    def test_interleaved_adopts_and_requests(self):
+        c = cache()
+        c.request(frozenset({"p0"}))            # request 1
+        c.adopt(frozenset({"p10"}))
+        c.request(frozenset({"p1"}))            # request 2
+        c.adopt(frozenset({"p11"}))
+        c.request(frozenset({"p2"}))            # request 3
+        # horizon = 3 - 2 = 1: nothing is older than request 1
+        assert c.evict_idle(max_idle_requests=2) == []
+        evicted = c.evict_idle(max_idle_requests=1)
+        # horizon 2 sweeps what was last active at request-time 1: p0's
+        # image and the adoption that arrived between requests 1 and 2;
+        # the later adoption (request-time 2) survives alongside p1, p2
+        assert c.peek(frozenset({"p0"})) is None
+        assert c.peek(frozenset({"p10"})) is None
+        assert c.peek(frozenset({"p1"})) is not None
+        assert c.peek(frozenset({"p11"})) is not None
+        assert len(evicted) == 2

@@ -1,0 +1,250 @@
+"""Tests for the write-ahead journal and the journalled durable store."""
+
+import json
+
+import pytest
+
+from repro.core.cache import LandlordCache
+from repro.core.journal import (
+    Journal,
+    JournalError,
+    JournaledState,
+    apply_entry,
+    recover_state,
+    replay,
+)
+from repro.core.persistence import StateNotFound, load_bundle
+
+SIZE = {f"p{i}": 10 for i in range(30)}
+
+
+def make_cache(**kw):
+    return LandlordCache(500, 0.8, SIZE.__getitem__, **kw)
+
+
+class TestJournal:
+    def test_append_entries_roundtrip(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal")
+        journal.append("request", packages=["p0", "p1"])
+        journal.append("adopt", packages=["p2"])
+        entries = journal.entries()
+        assert [(e.seq, e.op) for e in entries] == [
+            (1, "request"), (2, "adopt"),
+        ]
+        assert entries[0].data == {"packages": ["p0", "p1"]}
+
+    def test_empty_or_missing_journal(self, tmp_path):
+        journal = Journal(tmp_path / "none.journal")
+        assert journal.entries() == []
+        assert journal.last_seq == 0
+
+    def test_sequence_continues_across_sessions(self, tmp_path):
+        path = tmp_path / "j.journal"
+        Journal(path).append("request", packages=["p0"])
+        second = Journal(path)
+        entry = second.append("request", packages=["p1"])
+        assert entry.seq == 2
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = Journal(path)
+        journal.append("request", packages=["p0"])
+        journal.append("request", packages=["p1"])
+        journal.close()
+        text = path.read_text()
+        path.write_text(text[: len(text) - 10])  # tear the last line
+        entries = Journal(path).entries()
+        assert [e.seq for e in entries] == [1]
+
+    def test_midfile_corruption_is_fatal(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = Journal(path)
+        journal.append("request", packages=["p0"])
+        journal.append("request", packages=["p1"])
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-10] + "corrupted}"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="mid-file"):
+            Journal(path).entries()
+
+    def test_crc_detects_bit_flip_in_tail(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = Journal(path)
+        journal.append("request", packages=["p0"])
+        journal.close()
+        record = json.loads(path.read_text())
+        record["data"]["packages"] = ["p9"]  # flip payload, keep old crc
+        path.write_text(json.dumps(record) + "\n")
+        assert Journal(path).entries() == []
+
+    def test_sequence_regression_is_fatal(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = Journal(path)
+        first = journal.append("request", packages=["p0"])
+        journal.close()
+        line = path.read_text()
+        path.write_text(line + line)  # duplicate seq 1
+        with pytest.raises(JournalError, match="regressed"):
+            Journal(path).entries()
+        assert first.seq == 1
+
+    def test_compact_drops_snapshotted_prefix(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal")
+        for i in range(4):
+            journal.append("request", packages=[f"p{i}"])
+        dropped = journal.compact(upto_seq=2)
+        assert dropped == 2
+        assert [e.seq for e in journal.entries()] == [3, 4]
+        # appends keep numbering after compaction
+        assert journal.append("request", packages=["p9"]).seq == 5
+
+    def test_numbering_survives_compaction_across_sessions(self, tmp_path):
+        # regression: without the compaction marker a fresh process
+        # restarted numbering at 1 after a full compaction, and replay
+        # (filtering by the snapshot's journal_seq) silently skipped the
+        # new entries — losing operations.
+        path = tmp_path / "j.journal"
+        journal = Journal(path)
+        for i in range(3):
+            journal.append("request", packages=[f"p{i}"])
+        journal.compact(upto_seq=3)  # journal now empty of entries
+        assert journal.entries() == []
+        fresh = Journal(path)
+        assert fresh.last_seq == 3
+        assert fresh.append("request", packages=["p9"]).seq == 4
+
+    def test_corrupt_compaction_marker_is_fatal(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = Journal(path)
+        journal.append("request", packages=["p0"])
+        journal.compact(upto_seq=1)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"compacted_to":1', '"compacted_to":7')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="marker"):
+            Journal(path).entries()
+
+    def test_reset_restarts_numbering(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal")
+        journal.append("request", packages=["p0"])
+        journal.reset()
+        assert journal.entries() == []
+        assert journal.append("request", packages=["p1"]).seq == 1
+
+
+class TestReplay:
+    def test_replay_reproduces_decisions(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal")
+        live = make_cache()
+        results = []
+        for spec in (["p0", "p1"], ["p0", "p1", "p2"], ["p5"]):
+            entry = journal.append("request", packages=spec)
+            results.append(apply_entry(live, entry))
+        replayed = replay(make_cache(), journal.entries())
+        assert len(replayed) == 3
+        for (entry, redo), original in zip(replayed, results):
+            assert redo.action == original.action
+            assert redo.image.id == original.image.id
+
+    def test_replay_skips_covered_entries(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal")
+        for i in range(3):
+            journal.append("request", packages=[f"p{i}"])
+        cache = make_cache()
+        replayed = replay(cache, journal.entries(), after_seq=2)
+        assert [entry.seq for entry, _ in replayed] == [3]
+        assert cache.stats.requests == 1
+
+    def test_replay_detects_gap(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal")
+        for i in range(3):
+            journal.append("request", packages=[f"p{i}"])
+        journal.compact(upto_seq=2)
+        with pytest.raises(JournalError, match="gap"):
+            replay(make_cache(), journal.entries(), after_seq=0)
+
+    def test_apply_entry_dispatch(self):
+        cache = make_cache()
+        apply_entry(cache, _entry(1, "request", {"packages": ["p0"]}))
+        apply_entry(cache, _entry(2, "adopt", {"packages": ["p1"]}))
+        assert len(cache) == 2
+        apply_entry(
+            cache, _entry(3, "evict_idle", {"max_idle_requests": 1000})
+        )
+        apply_entry(cache, _entry(4, "clear", {}))
+        assert len(cache) == 0
+
+    def test_apply_entry_unknown_op(self):
+        with pytest.raises(JournalError, match="unknown"):
+            apply_entry(make_cache(), _entry(1, "frobnicate", {}))
+
+
+def _entry(seq, op, data):
+    from repro.core.journal import JournalEntry
+
+    return JournalEntry(seq, op, data)
+
+
+class TestJournaledState:
+    def test_load_before_initialise_raises(self, tmp_path):
+        store = JournaledState(tmp_path / "state.json")
+        with pytest.raises(StateNotFound):
+            store.load(SIZE.__getitem__)
+
+    def test_apply_snapshot_every_1_keeps_journal_empty(self, tmp_path):
+        store = JournaledState(tmp_path / "state.json")
+        cache = make_cache()
+        store.initialise(cache, {"site": "s0"})
+        store.apply(cache, {"site": "s0"}, "request", packages=["p0", "p1"])
+        assert store.journal.entries() == []
+        bundle = load_bundle(tmp_path / "state.json", SIZE.__getitem__)
+        assert bundle.cache.stats.requests == 1
+        assert bundle.journal_seq == 1
+
+    def test_periodic_snapshot_leans_on_replay(self, tmp_path):
+        store = JournaledState(tmp_path / "state.json", snapshot_every=3)
+        cache = make_cache()
+        store.initialise(cache)
+        for i in range(5):
+            store.apply(cache, None, "request", packages=[f"p{i}"])
+        # 5 ops, snapshot fired at seq 3: journal holds the tail 4..5
+        assert [e.seq for e in store.journal.entries()] == [4, 5]
+        fresh = JournaledState(tmp_path / "state.json", snapshot_every=3)
+        recovered, _meta, replayed = fresh.load(SIZE.__getitem__)
+        assert len(replayed) == 2
+        assert recovered.stats == cache.stats
+
+    def test_no_journal_mode_snapshots_every_op(self, tmp_path):
+        store = JournaledState(tmp_path / "state.json", use_journal=False)
+        cache = make_cache()
+        store.initialise(cache)
+        store.apply(cache, None, "request", packages=["p0"])
+        assert not (tmp_path / "state.json.journal").exists()
+        recovered, _meta, replayed = JournaledState(
+            tmp_path / "state.json", use_journal=False
+        ).load(SIZE.__getitem__)
+        assert replayed == []
+        assert recovered.stats.requests == 1
+
+    def test_snapshot_every_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            JournaledState(tmp_path / "state.json", snapshot_every=0)
+
+    def test_recover_state_folds_tail(self, tmp_path):
+        store = JournaledState(tmp_path / "state.json", snapshot_every=100)
+        cache = make_cache()
+        store.initialise(cache)
+        for i in range(4):
+            store.apply(cache, None, "request", packages=[f"p{i}"])
+        # snapshot never fired; all 4 ops live only in the journal
+        assert len(store.journal.entries()) == 4
+        recovered, _meta, count = recover_state(
+            tmp_path / "state.json", package_size=SIZE.__getitem__
+        )
+        assert count == 4
+        assert recovered.stats == cache.stats
+        # recovery compacted: snapshot now covers everything
+        assert Journal(tmp_path / "state.json.journal").entries() == []
+        bundle = load_bundle(tmp_path / "state.json", SIZE.__getitem__)
+        assert bundle.cache.stats.requests == 4

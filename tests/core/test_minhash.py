@@ -127,3 +127,44 @@ class TestLSH:
         lsh = MinHashLSH(num_perm=128)
         with pytest.raises(ValueError):
             lsh.insert("k", MinHashSignature.of({"x"}, num_perm=64))
+
+
+class TestUpdate:
+    def test_update_equals_remove_plus_insert(self):
+        lsh = MinHashLSH()
+        old = MinHashSignature.of({f"a{i}" for i in range(30)})
+        new = MinHashSignature.of({f"a{i}" for i in range(25)} | {"z1", "z2"})
+        lsh.insert("k", old)
+        lsh.update("k", new)
+        twin = MinHashLSH()
+        twin.insert("k", new)
+        assert lsh.query(new) == twin.query(new)
+        assert lsh.total_entries() == twin.total_entries()
+
+    def test_update_unknown_key_inserts(self):
+        lsh = MinHashLSH()
+        sig = MinHashSignature.of({"x"})
+        lsh.update("k", sig)
+        assert "k" in lsh
+        assert "k" in lsh.query(sig)
+
+    def test_band_membership_stays_bounded_over_merge_chains(self):
+        # every key must occupy exactly one bucket per band no matter how
+        # often merges rewrite its signature through update()
+        from repro.core.cache import LandlordCache
+
+        sizes = {f"p{i}": 10 for i in range(40)}
+        c = LandlordCache(10**9, 1.0, sizes.__getitem__, use_minhash=True)
+        base = {f"p{i}" for i in range(10)}
+        c.request(frozenset(base))
+        for i in range(10, 30):
+            base.add(f"p{i}")
+            c.request(frozenset(base))  # long merge chain into one image
+        lsh = c._lsh
+        assert lsh.total_entries() == lsh.bands * len(lsh)
+
+    def test_total_entries_counts_buckets(self):
+        lsh = MinHashLSH()
+        lsh.insert("a", MinHashSignature.of({"x"}))
+        lsh.insert("b", MinHashSignature.of({"y", "z"}))
+        assert lsh.total_entries() == 2 * lsh.bands

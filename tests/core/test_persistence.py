@@ -6,7 +6,14 @@ import pytest
 
 from repro.core.cache import LandlordCache
 from repro.core.events import EventKind
-from repro.core.persistence import StateError, load_state, save_state
+from repro.core.persistence import (
+    StateError,
+    StateNotFound,
+    body_checksum,
+    load_bundle,
+    load_state,
+    save_state,
+)
 
 SIZE = {f"p{i}": 10 for i in range(30)}
 
@@ -77,6 +84,65 @@ class TestSnapshotRestore:
         with pytest.raises(ValueError, match="capacity"):
             other.restore(snapshot)
 
+    def test_restore_rejects_policy_mismatch(self):
+        snapshot = warm_cache().snapshot()
+        other = make_cache(eviction="fifo", hit_selection="mru")
+        with pytest.raises(ValueError, match="policy mismatch") as exc:
+            other.restore(snapshot)
+        assert "eviction" in str(exc.value)
+        assert "hit_selection" in str(exc.value)
+
+    def test_restore_rejects_conflict_policy_mismatch(self):
+        from repro.packages.conflicts import SlotConflicts
+
+        snapshot = warm_cache().snapshot()
+        other = make_cache(conflict_policy=SlotConflicts())
+        with pytest.raises(ValueError, match="conflict_policy"):
+            other.restore(snapshot)
+
+    def test_restore_rejects_policyless_snapshot(self):
+        snapshot = warm_cache().snapshot()
+        del snapshot["policy"]
+        with pytest.raises(ValueError, match="pre-v2"):
+            make_cache().restore(snapshot)
+
+    def test_snapshot_records_all_policy_knobs(self):
+        policy = warm_cache().snapshot()["policy"]
+        assert policy == {
+            "eviction": "lru",
+            "hit_selection": "smallest",
+            "candidate_order": "distance",
+            "merge_write_mode": "full",
+            "use_minhash": False,
+            "minhash_perm": 128,
+            "minhash_bands": 32,
+            "minhash_seed": 1,
+            "conflict_policy": "NoConflicts",
+        }
+
+    def test_random_candidate_order_rng_state_survives(self):
+        import numpy as np
+
+        a = LandlordCache(10**9, 1.0, SIZE.__getitem__,
+                          candidate_order="random",
+                          rng=np.random.default_rng(5))
+        b = LandlordCache(10**9, 1.0, SIZE.__getitem__,
+                          candidate_order="random",
+                          rng=np.random.default_rng(5))
+        stream = [frozenset({f"p{i}", f"p{i + 1}"}) for i in range(10)]
+        for spec in stream:
+            a.request(spec)
+            b.request(spec)
+        restored = LandlordCache(10**9, 1.0, SIZE.__getitem__,
+                                 candidate_order="random",
+                                 rng=np.random.default_rng(999))
+        restored.restore(a.snapshot())
+        probe = [frozenset({f"p{i}", f"p{i + 5}"}) for i in range(8)]
+        for spec in probe:
+            da = b.request(spec)
+            dr = restored.request(spec)
+            assert (da.action, da.image.id) == (dr.action, dr.image.id)
+
     def test_restore_with_minhash_rebuilds_index(self):
         cache = make_cache(use_minhash=True)
         base = frozenset({f"p{i}" for i in range(10)})
@@ -115,15 +181,86 @@ class TestStateFiles:
         with pytest.raises(StateError, match="version"):
             load_state(path, SIZE.__getitem__)
 
+    def test_v1_file_fails_descriptively(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(
+            {"version": 1, "cache": warm_cache().snapshot()}
+        ))
+        with pytest.raises(StateError, match="v1 format"):
+            load_state(path, SIZE.__getitem__)
+
+    def test_v1_file_migrates_on_request(self, tmp_path):
+        cache = warm_cache()
+        snapshot = cache.snapshot()
+        del snapshot["policy"]  # v1 snapshots predate the policy block
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(
+            {"version": 1, "metadata": {"site": "s0"}, "cache": snapshot}
+        ))
+        loaded, metadata = load_state(
+            path, SIZE.__getitem__, migrate_v1=True
+        )
+        assert metadata == {"site": "s0"}
+        assert loaded.stats == cache.stats
+
     def test_malformed_cache_section(self, tmp_path):
+        body = {"metadata": {}, "journal_seq": 0, "cache": {}}
+        payload = {"version": 2, "checksum": body_checksum(body), **body}
         path = tmp_path / "s.json"
-        path.write_text(json.dumps({"version": 1, "cache": {}}))
+        path.write_text(json.dumps(payload))
         with pytest.raises(StateError, match="malformed"):
             load_state(path, SIZE.__getitem__)
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        path = save_state(tmp_path / "s.json", warm_cache())
+        payload = json.loads(path.read_text())
+        payload["journal_seq"] = 42  # tamper after checksumming
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StateError, match="checksum"):
+            load_state(path, SIZE.__getitem__)
+
+    def test_missing_checksum_detected(self, tmp_path):
+        path = save_state(tmp_path / "s.json", warm_cache())
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StateError, match="checksum"):
+            load_state(path, SIZE.__getitem__)
+
+    def test_policy_mismatch_on_load(self, tmp_path):
+        path = save_state(tmp_path / "s.json", warm_cache())
+        with pytest.raises(StateError, match="policy mismatch"):
+            load_state(path, SIZE.__getitem__, eviction="fifo")
+
+    def test_missing_file_is_statenotfound(self, tmp_path):
+        with pytest.raises(StateNotFound):
+            load_state(tmp_path / "ghost.json", SIZE.__getitem__)
+
+    def test_load_bundle_reports_journal_seq(self, tmp_path):
+        path = save_state(
+            tmp_path / "s.json", warm_cache(), journal_seq=17
+        )
+        bundle = load_bundle(path, SIZE.__getitem__)
+        assert bundle.journal_seq == 17
 
     def test_atomic_write_leaves_no_tmp(self, tmp_path):
         save_state(tmp_path / "s.json", warm_cache())
         assert list(tmp_path.iterdir()) == [tmp_path / "s.json"]
+
+    def test_stale_tmp_removed_on_load(self, tmp_path):
+        path = save_state(tmp_path / "s.json", warm_cache())
+        stale = tmp_path / "s.json.tmp"
+        stale.write_text("{half-written")
+        loaded, _ = load_state(path, SIZE.__getitem__)
+        assert loaded.stats.requests == 4
+        assert not stale.exists()
+
+    def test_stale_tmp_without_state_reports_crash(self, tmp_path):
+        stale = tmp_path / "s.json.tmp"
+        stale.write_text("{half-written")
+        with pytest.raises(StateNotFound, match="tmp"):
+            load_state(tmp_path / "s.json", SIZE.__getitem__)
+        assert not stale.exists()
 
 
 class TestSubmitCli:

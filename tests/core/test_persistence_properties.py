@@ -51,3 +51,46 @@ def test_snapshot_restore_is_transparent(stream, alpha, capacity, data):
     assert {i.packages for i in resumed.images} == {
         i.packages for i in straight.images
     }
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, alphas, capacities, st.integers(1, 5))
+def test_file_layer_is_transparent(stream, alpha, capacity, every):
+    """The full durable store (snapshot file + write-ahead journal, one
+    process per request, snapshot every k-th operation) must reproduce
+    the purely in-memory run decision for decision."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.journal import JournaledState
+    from repro.core.persistence import StateNotFound
+
+    straight = fresh(alpha, capacity)
+    expected = [straight.request(spec) for spec in stream]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        state = Path(tmp) / "state.json"
+        got = []
+        for spec in stream:
+            # each request is its own "process": recover from disk first
+            store = JournaledState(state, snapshot_every=every)
+            try:
+                cache, metadata, _ = store.load(SIZE.__getitem__)
+            except StateNotFound:
+                cache, metadata = fresh(alpha, capacity), {}
+                store.initialise(cache, metadata)
+            got.append(
+                store.apply(
+                    cache, metadata, "request", packages=sorted(spec)
+                )
+            )
+        final_store = JournaledState(state, snapshot_every=every)
+        final, _meta, _ = final_store.load(SIZE.__getitem__)
+
+    assert [(d.action, d.image.id) for d in got] == [
+        (d.action, d.image.id) for d in expected
+    ]
+    assert final.stats == straight.stats
+    assert {i.packages for i in final.images} == {
+        i.packages for i in straight.images
+    }
