@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.sweep import SweepResult
+from repro.core.events import CacheEvent, EventKind
 from repro.util.asciiplot import Series, line_plot
 from repro.util.tables import render_table
 from repro.util.units import format_bytes
@@ -17,6 +18,7 @@ __all__ = [
     "sweep_table",
     "sweep_plot",
     "timeline_plot",
+    "timeline_from_events",
     "save_results_json",
     "percent",
 ]
@@ -98,6 +100,75 @@ def timeline_plot(
         if name in timeline
     ]
     return line_plot(series, title=title, xlabel="requests")
+
+
+def timeline_from_events(
+    events: "Union[Iterable[CacheEvent], str, Path]",
+) -> Dict[str, np.ndarray]:
+    """Reconstruct a Figure-5 style timeline from a ``CacheEvent`` log.
+
+    Accepts an in-memory event sequence (``cache.events``) or the path of
+    a JSONL stream written by :func:`repro.obs.write_event_stream`, so
+    :func:`timeline_plot` can consume either the simulator's recorded
+    timeline or a persisted event log interchangeably.  One sample is
+    emitted per *decision* event (hit/merge/insert — one per request),
+    after folding in any eviction events the request triggered:
+    cumulative ``hits``/``inserts``/``merges``/``deletes`` (plus the
+    per-reason ``deletes_capacity``/``deletes_idle`` breakdown),
+    ``cached_bytes`` tracked from per-image sizes, ``bytes_written``, and
+    ``requested_bytes``.  ``unique_bytes`` cannot be reconstructed — the
+    log does not record package overlap between images — so that series
+    is absent here (plots simply skip it).
+    """
+    if isinstance(events, (str, Path)):
+        from repro.obs.stream import read_event_stream
+
+        events = read_event_stream(events)
+    fields = (
+        "hits", "inserts", "merges", "deletes",
+        "deletes_capacity", "deletes_idle",
+        "cached_bytes", "bytes_written", "requested_bytes",
+    )
+    counts = {name: 0 for name in fields}
+    sizes: Dict[str, int] = {}
+    series: Dict[str, list] = {name: [] for name in fields}
+    pending_decision = False
+
+    def sample() -> None:
+        counts["cached_bytes"] = sum(sizes.values())
+        for name in fields:
+            series[name].append(counts[name])
+
+    for event in events:
+        if event.kind is EventKind.DELETE:
+            counts["deletes"] += 1
+            if event.reason == "idle":
+                counts["deletes_idle"] += 1
+            else:
+                counts["deletes_capacity"] += 1
+            sizes.pop(event.image_id, None)
+            continue
+        # A decision event closes the previous request's sample window
+        # (its evictions are emitted after it, before the next decision).
+        if pending_decision:
+            sample()
+        pending_decision = True
+        counts["requested_bytes"] += event.requested_bytes or 0
+        sizes[event.image_id] = event.image_bytes
+        if event.kind is EventKind.HIT:
+            counts["hits"] += 1
+        elif event.kind is EventKind.MERGE:
+            counts["merges"] += 1
+            counts["bytes_written"] += event.bytes_written
+        else:
+            counts["inserts"] += 1
+            counts["bytes_written"] += event.bytes_written
+    if pending_decision:
+        sample()
+    return {
+        name: np.asarray(values, dtype=np.int64)
+        for name, values in series.items()
+    }
 
 
 def save_results_json(

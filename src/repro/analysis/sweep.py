@@ -32,6 +32,7 @@ from repro.parallel.simulations import (
     RepositorySource,
     RepositorySpec,
     SimulationPool,
+    merge_result_metrics,
 )
 
 __all__ = ["SweepResult", "run_repetitions", "alpha_sweep", "default_alphas"]
@@ -78,6 +79,7 @@ def run_repetitions(
     progress: Optional[Callable[[int, int], None]] = None,
     workers: Optional[int] = None,
     pool: Optional[SimulationPool] = None,
+    metrics=None,
 ) -> List[SimulationResult]:
     """Run ``repetitions`` simulations differing only in workload seed.
 
@@ -86,24 +88,37 @@ def run_repetitions(
     :class:`~repro.parallel.SimulationPool` instead (its repository
     source takes precedence over ``repository``).  Results are ordered by
     repetition index and identical for every worker count.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) makes every
+    repetition collect per-run metrics, merged into the registry in
+    repetition order — deterministic families come out bit-identical
+    whatever the worker count.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
     rep_configs = _repetition_configs(config, repetitions)
+    if metrics is not None:
+        rep_configs = [c.with_(collect_metrics=True) for c in rep_configs]
     rep_labels = [f"rep={rep}" for rep in range(repetitions)]
 
     def bridge(done: int, total: int, _label: str) -> None:
         if progress is not None:
             progress(done, total)
 
+    def finish(results: List[SimulationResult]) -> List[SimulationResult]:
+        if metrics is not None:
+            merge_result_metrics(results, metrics)
+        return results
+
     if pool is not None:
-        return pool.run(rep_configs, labels=rep_labels, progress=bridge)
+        return finish(pool.run(rep_configs, labels=rep_labels,
+                               progress=bridge))
     n_workers = resolve_workers(workers)
     if n_workers > 1:
         source = _repository_source(config, repository)
         with SimulationPool(source, n_workers) as own_pool:
-            return own_pool.run(rep_configs, labels=rep_labels,
-                                progress=bridge)
+            return finish(own_pool.run(rep_configs, labels=rep_labels,
+                                       progress=bridge))
     if repository is None:
         repository = build_experiment_repository(
             config.repo_kind,
@@ -116,7 +131,7 @@ def run_repetitions(
         results.append(simulate(rep_config, repository=repository))
         if progress is not None:
             progress(rep + 1, repetitions)
-    return results
+    return finish(results)
 
 
 @dataclass
@@ -207,6 +222,7 @@ def alpha_sweep(
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
     pool: Optional[SimulationPool] = None,
+    metrics=None,
 ) -> SweepResult:
     """Sweep α over a grid, ``repetitions`` runs per point, median per metric.
 
@@ -216,6 +232,10 @@ def alpha_sweep(
     ``(α, repetition)`` cells fan out over worker processes, each of which
     builds that repository once; results are keyed by cell index, so the
     returned :class:`SweepResult` is bit-identical to the serial one.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) makes every cell
+    collect per-run metrics, merged into the registry in cell order —
+    deterministic families are bit-identical for any worker count.
     """
     grid = np.asarray(alphas if alphas is not None else default_alphas(), dtype=float)
     if grid.size == 0:
@@ -225,6 +245,8 @@ def alpha_sweep(
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
     rep_configs = _repetition_configs(base_config, repetitions)
+    if metrics is not None:
+        rep_configs = [c.with_(collect_metrics=True) for c in rep_configs]
     cell_configs = [
         rep_config.with_(alpha=float(alpha))
         for alpha in grid
@@ -252,6 +274,8 @@ def alpha_sweep(
         finally:
             if own_pool is not None:
                 own_pool.close()
+        if metrics is not None:
+            merge_result_metrics(results, metrics)
         return _aggregate_cells(grid, results, repetitions, label)
 
     if repository is None:
@@ -270,4 +294,6 @@ def alpha_sweep(
             )
         if progress is not None:
             progress(f"alpha={alpha:.2f} ({i + 1}/{grid.size})")
+    if metrics is not None:
+        merge_result_metrics(results, metrics)
     return _aggregate_cells(grid, results, repetitions, label)

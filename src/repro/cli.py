@@ -13,9 +13,14 @@ Commands:
   container against a persistent on-disk cache state (write-ahead
   journalled; crash-safe);
 - ``cache-status`` — inspect a persistent cache state (replays any
-  journal tail left by a crashed wrapper);
+  journal tail left by a crashed wrapper; ``--metrics-out`` adds the
+  journal fsync histogram and eviction breakdown);
 - ``recover`` — explicit crash recovery: fold the journal tail into a
   fresh snapshot and compact the journal;
+- ``explain`` — why did a request hit/merge/insert?  Renders the
+  decision trace a ``submit --trace`` invocation recorded;
+- ``metrics`` — render a saved metrics registry as a table, Prometheus
+  text exposition format, or JSON;
 - ``calibrate`` — measure a repository's structural statistics.
 
 Every figure command accepts ``--scale quick|paper``, ``--seed`` and
@@ -91,6 +96,10 @@ def _cmd_sweep(argv: Sequence[str]) -> int:
                         "REPRO_WORKERS overrides; 1 = serial)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also save the sweep as JSON")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="collect per-run cache metrics and save the "
+                        "aggregated registry (.json = JSON snapshot, "
+                        "anything else = Prometheus text format)")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
     if args.alpha is None:
@@ -108,12 +117,18 @@ def _cmd_sweep(argv: Sequence[str]) -> int:
         workers = resolve_workers(args.workers, default=os.cpu_count() or 1)
     except ValueError as exc:
         parser.error(str(exc))
+    registry = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     sweep = alpha_sweep(
         base_config(scale, seed=args.seed),
         alphas=alphas,
         repetitions=repetitions,
         label="sweep",
         workers=workers,
+        metrics=registry,
     )
     print(f"alpha sweep: {alphas.size} points x {repetitions} repetitions "
           f"({scale.name} scale, {workers} workers)")
@@ -129,6 +144,11 @@ def _cmd_sweep(argv: Sequence[str]) -> int:
             _json.dump(sweep.to_jsonable(), fh, indent=2)
             fh.write("\n")
         print(f"\nresults saved to {args.json}")
+    if registry is not None:
+        from repro.obs import save_registry
+
+        save_registry(registry, args.metrics_out)
+        print(f"metrics saved to {args.metrics_out}")
     return 0
 
 
@@ -260,6 +280,13 @@ def _cmd_replay(argv: Sequence[str]) -> int:
                         help="cache capacity, e.g. 1.4TB (default: scale's)")
     parser.add_argument("--scale", choices=["tiny", "quick", "paper"], default=None)
     parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--events-out", metavar="FILE", default=None,
+                        help="record the cache-event log and write it as a "
+                        "JSONL stream (consumable by "
+                        "repro.analysis.report.timeline_from_events)")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="record cache metrics and save the registry "
+                        "(.json = JSON snapshot, else Prometheus text)")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
     capacity = parse_bytes(args.capacity) if args.capacity else scale.capacity
@@ -267,9 +294,16 @@ def _cmd_replay(argv: Sequence[str]) -> int:
         "sft", seed=args.seed, n_packages=scale.n_packages,
         target_total_size=scale.repo_total_size,
     )
-    cache = LandlordCache(capacity, args.alpha, repo.size_of)
+    cache = LandlordCache(capacity, args.alpha, repo.size_of,
+                          record_events=bool(args.events_out))
+    registry = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     stream = [job.packages for job in iter_trace(args.trace)]
-    result = simulate_stream(cache, stream, record_timeline=False)
+    result = simulate_stream(cache, stream, record_timeline=False,
+                             metrics=registry)
     stats = result.stats
     print(f"requests={stats.requests} hits={stats.hits} merges={stats.merges} "
           f"inserts={stats.inserts} deletes={stats.deletes}")
@@ -278,6 +312,16 @@ def _cmd_replay(argv: Sequence[str]) -> int:
     print(f"requested {format_bytes(stats.requested_bytes)}  "
           f"written {format_bytes(stats.bytes_written)}  "
           f"cached {format_bytes(result.cached_bytes)}")
+    if args.events_out:
+        from repro.obs import write_event_stream
+
+        write_event_stream(cache.events, args.events_out)
+        print(f"{len(cache.events)} events written to {args.events_out}")
+    if registry is not None:
+        from repro.obs import save_registry
+
+        save_registry(registry, args.metrics_out)
+        print(f"metrics saved to {args.metrics_out}")
     return 0
 
 
@@ -355,6 +399,21 @@ def _journal_args(parser: argparse.ArgumentParser) -> None:
                         "current policy knobs into it (v1 recorded none)")
 
 
+def _obs_args(parser: argparse.ArgumentParser) -> None:
+    """The observability flags shared by submit and cache-status."""
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="accumulate a metrics registry in FILE across "
+                        "invocations (JSON; load, record, save)")
+    parser.add_argument("--trace-file", metavar="FILE", default=None,
+                        help="decision-trace sidecar "
+                        "(default: <state>.trace.jsonl)")
+
+
+def _trace_path(args: argparse.Namespace) -> str:
+    """Resolve the decision-trace sidecar path for a state file."""
+    return args.trace_file or f"{args.state}.trace.jsonl"
+
+
 def _cmd_submit(argv: Sequence[str]) -> int:
     from repro.core.journal import JournaledState
     from repro.core.persistence import StateError, StateNotFound
@@ -387,6 +446,10 @@ def _cmd_submit(argv: Sequence[str]) -> int:
                         "JSON-lines file instead of the synthetic one")
     parser.add_argument("--no-closure", action="store_true",
                         help="treat the spec as already closed")
+    _obs_args(parser)
+    parser.add_argument("--trace", action="store_true",
+                        help="record a decision trace for this request "
+                        "(inspect with `repro-landlord explain INDEX`)")
     args = parser.parse_args(argv)
     if args.snapshot_every < 1:
         parser.error("--snapshot-every must be >= 1")
@@ -431,6 +494,23 @@ def _cmd_submit(argv: Sequence[str]) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
+    # Observability attaches *after* load/replay so that journalled
+    # history already covered by the snapshot is not double-counted.
+    registry = None
+    if args.metrics_out:
+        from repro.obs import load_registry
+
+        registry = load_registry(args.metrics_out, missing_ok=True)
+        cache.enable_metrics(registry)
+        if store.journal is not None:
+            store.journal.enable_metrics(registry)
+    tracer = None
+    if args.trace:
+        from repro.obs import DecisionTracer
+
+        tracer = DecisionTracer()
+        cache.enable_tracing(tracer)
+
     packages = _load_specfile(args.specfile, repo)
     closed = packages if args.no_closure else repo.closure(packages)
     decision = store.apply(
@@ -444,7 +524,150 @@ def _cmd_submit(argv: Sequence[str]) -> int:
     )
     if decision.evicted:
         print(f"evicted: {', '.join(decision.evicted)}")
+    if registry is not None:
+        from repro.obs import save_registry
+
+        save_registry(registry, args.metrics_out)
+    if tracer is not None:
+        from repro.obs import write_traces
+
+        traces = tracer.drain()
+        trace_path = _trace_path(args)
+        write_traces(traces, trace_path, append=True)
+        for trace in traces:
+            print(f"traced request #{trace.request_index} -> "
+                  f"`repro-landlord explain {trace.request_index} "
+                  f"--state {args.state}`")
     return 0
+
+
+def _cmd_explain(argv: Sequence[str]) -> int:
+    from pathlib import Path
+
+    from repro.obs import read_traces
+
+    parser = argparse.ArgumentParser(
+        prog="repro-landlord explain",
+        description="Explain one cache decision from the trace sidecar a "
+        "`submit --trace` invocation recorded: the candidates considered "
+        "with their Jaccard distances, conflict rejections, the chosen "
+        "operation, and any eviction victims with their reason.",
+    )
+    parser.add_argument("index", type=int,
+                        help="request index to explain (0-based; shown by "
+                        "`submit --trace` as it records)")
+    parser.add_argument("--state", default=".landlord-state.json",
+                        help="cache state file the trace sidecar belongs "
+                        "to (default: %(default)s)")
+    parser.add_argument("--trace-file", metavar="FILE", default=None,
+                        help="decision-trace sidecar "
+                        "(default: <state>.trace.jsonl)")
+    args = parser.parse_args(argv)
+    trace_path = _trace_path(args)
+    if not Path(trace_path).exists():
+        print(f"no trace file at {trace_path} — run "
+              "`repro-landlord submit --trace ...` first", file=sys.stderr)
+        return 2
+    traces = read_traces(trace_path)
+    trace = traces.get(args.index)
+    if trace is None:
+        held = sorted(traces)
+        span = f"{held[0]}..{held[-1]}" if held else "none"
+        print(f"request #{args.index} is not in {trace_path} "
+              f"(traced indices: {span})", file=sys.stderr)
+        return 1
+    print(trace.explain())
+    return 0
+
+
+def _cmd_metrics(argv: Sequence[str]) -> int:
+    from repro.obs import load_registry
+    from repro.obs.metrics import Histogram
+    from repro.util.tables import render_table
+
+    parser = argparse.ArgumentParser(
+        prog="repro-landlord metrics",
+        description="Render a saved metrics registry (the JSON file a "
+        "--metrics-out flag wrote) as a summary table, Prometheus text "
+        "exposition format, or canonical JSON.",
+    )
+    parser.add_argument("file", help="metrics registry JSON file")
+    parser.add_argument("--format", choices=["table", "prom", "json"],
+                        default="table")
+    args = parser.parse_args(argv)
+    try:
+        registry = load_registry(args.file)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        print(registry.to_prometheus(), end="")
+        return 0
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(registry.to_json(), indent=1, sort_keys=True))
+        return 0
+    rows = []
+    for family in registry.families():
+        for key, child in family.series():
+            labels = ",".join(
+                f"{name}={value}"
+                for name, value in zip(family.labelnames, key)
+            )
+            name = f"{family.name}{{{labels}}}" if labels else family.name
+            if isinstance(family, Histogram):
+                rows.append([
+                    name,
+                    child.count,
+                    "-" if child.count == 0 else f"{child.mean:.3g}",
+                    "-" if child.count == 0 else f"{child.quantile(0.5):.3g}",
+                    "-" if child.count == 0 else f"{child.quantile(0.95):.3g}",
+                ])
+            else:
+                value = child.value
+                shown = (
+                    str(int(value)) if float(value).is_integer()
+                    else f"{value:.6g}"
+                )
+                rows.append([name, shown, "", "", ""])
+    print(render_table(rows, header=["metric", "value/count", "mean",
+                                     "p50", "p95"]))
+    return 0
+
+
+def _metrics_status_report(path: str) -> "list[str]":
+    """Summarise a saved registry for ``cache-status``: the eviction
+    breakdown and the journal fsync latency histogram."""
+    from repro.obs import load_registry
+
+    registry = load_registry(path)
+    lines = [f"metrics ({path}):"]
+    evictions = registry.get("landlord_evictions_total")
+    if evictions is not None:
+        parts = [
+            f"{value} by {reason}"
+            for (reason,), child in evictions.series()
+            for value in [int(child.value)]
+        ]
+        lines.append("  evictions: " + (", ".join(parts) or "none"))
+    fsync = registry.get("journal_fsync_seconds")
+    if fsync is not None and fsync.series():
+        child = fsync.series()[0][1]
+        if child.count:
+            lines.append(
+                f"  journal fsync: {child.count} syncs, "
+                f"mean {child.mean * 1e3:.2f} ms, "
+                f"p50 {child.quantile(0.5) * 1e3:.2f} ms, "
+                f"p95 {child.quantile(0.95) * 1e3:.2f} ms, "
+                f"p99 {child.quantile(0.99) * 1e3:.2f} ms"
+            )
+    appends = registry.get("journal_appends_total")
+    if appends is not None and appends.series():
+        lines.append(
+            f"  journal appends: {int(appends.series()[0][1].value)}"
+        )
+    return lines
 
 
 def _cmd_cache_status(argv: Sequence[str]) -> int:
@@ -459,6 +682,10 @@ def _cmd_cache_status(argv: Sequence[str]) -> int:
                         default=None)
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument("--repo", default=None, metavar="FILE")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="metrics registry accumulated by `submit "
+                        "--metrics-out`; reports the journal fsync latency "
+                        "histogram and the eviction breakdown")
     args = parser.parse_args(argv)
     _scale, repo = _site_repository(args.scale, args.seed, args.repo)
     store = JournaledState(
@@ -487,6 +714,9 @@ def _cmd_cache_status(argv: Sequence[str]) -> int:
         f"{stats.deletes} evictions; {format_bytes(stats.bytes_written)} "
         f"written"
     )
+    if stats.deletes:
+        print(f"eviction breakdown: {stats.evictions_capacity} by "
+              f"capacity, {stats.evictions_idle} by idling")
     rows = [
         [img.id, img.package_count, format_bytes(img.size),
          img.merge_count, img.last_used]
@@ -494,6 +724,14 @@ def _cmd_cache_status(argv: Sequence[str]) -> int:
     ]
     print(render_table(rows, header=["image", "pkgs", "size", "merges",
                                      "last used"]))
+    if args.metrics_out:
+        from pathlib import Path
+
+        if Path(args.metrics_out).exists():
+            for line in _metrics_status_report(args.metrics_out):
+                print(line)
+        else:
+            print(f"no metrics file at {args.metrics_out}")
     return 0
 
 
@@ -559,7 +797,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     commands = sorted(
         list(_FIGURES)
         + ["all", "sweep", "bench", "trace", "replay", "submit",
-           "cache-status", "recover", "calibrate"]
+           "cache-status", "recover", "explain", "metrics", "calibrate"]
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -589,6 +827,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache_status(rest)
     if command == "recover":
         return _cmd_recover(rest)
+    if command == "explain":
+        return _cmd_explain(rest)
+    if command == "metrics":
+        return _cmd_metrics(rest)
     if command == "calibrate":
         return _cmd_calibrate(rest)
     print(f"unknown command: {command!r}; available: {', '.join(commands)}",

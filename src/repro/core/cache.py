@@ -25,6 +25,7 @@ full 13-α × 20-repetition sweep of Figure 4 a seconds-scale computation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import (
     AbstractSet,
     Callable,
@@ -41,6 +42,7 @@ import numpy as np
 from repro.core.events import CacheEvent, EventKind
 from repro.core.minhash import MinHashLSH, MinHashSignature
 from repro.core.spec import ImageSpec
+from repro.obs.trace import RequestTrace, TracedCandidate, TracedEviction
 from repro.packages.conflicts import ConflictPolicy, NoConflicts
 
 __all__ = ["CachedImage", "CacheStats", "CacheDecision", "LandlordCache"]
@@ -183,6 +185,11 @@ class CacheStats:
     for); ``bytes_written`` is "Actual Writes" (inserts + merge rewrites);
     ``used_bytes`` accumulates the size of the image each request actually
     ran with, giving bytes-weighted container efficiency.
+
+    ``deletes`` is the total eviction count;
+    ``evictions_capacity``/``evictions_idle`` break it down by cause
+    (capacity pressure vs. ``evict_idle`` aging) and always sum to it for
+    histories recorded since the breakdown existed.
     """
 
     requests: int = 0
@@ -197,6 +204,8 @@ class CacheStats:
     used_bytes: int = 0
     conflicts_skipped: int = 0
     candidates_examined: int = 0
+    evictions_capacity: int = 0
+    evictions_idle: int = 0
 
     def copy(self) -> "CacheStats":
         """One-shot value copy of the counters."""
@@ -233,6 +242,108 @@ class CacheDecision:
     evicted: List[str] = field(default_factory=list)
 
 
+class _CacheInstruments:
+    """Pre-bound metric children for the cache's hot paths.
+
+    Built once by :meth:`LandlordCache.enable_metrics`; every request
+    then updates plain bound objects (no name lookups, no label-dict
+    construction).  When no registry is attached the cache holds ``None``
+    instead and each instrumentation site is a single ``is not None``
+    check — the <2% disabled-path budget of
+    ``benchmarks/test_obs_overhead.py``.
+
+    Metric names follow the schema in DESIGN.md: ``landlord_*`` for the
+    cache, with wall-clock histograms suffixed ``_seconds`` (excluded
+    from deterministic snapshots).
+    """
+
+    __slots__ = (
+        "registry",
+        "req_hit", "req_merge", "req_insert",
+        "evict_capacity", "evict_idle",
+        "requested_bytes", "bytes_written",
+        "conflicts", "candidates",
+        "cached_bytes", "unique_bytes", "images",
+        "merge_distance",
+        "request_s", "subset_scan_s", "candidate_probe_s",
+        "merge_rewrite_s", "eviction_s",
+    )
+
+    def __init__(self, registry) -> None:
+        from repro.obs.metrics import DEFAULT_TIME_BUCKETS, DISTANCE_BUCKETS
+
+        self.registry = registry
+        requests = registry.counter(
+            "landlord_requests_total",
+            "Requests served, by Algorithm 1 outcome.",
+            labelnames=("action",),
+        )
+        self.req_hit = requests.labels(action="hit")
+        self.req_merge = requests.labels(action="merge")
+        self.req_insert = requests.labels(action="insert")
+        evictions = registry.counter(
+            "landlord_evictions_total",
+            "Images evicted, by cause.",
+            labelnames=("reason",),
+        )
+        self.evict_capacity = evictions.labels(reason="capacity")
+        self.evict_idle = evictions.labels(reason="idle")
+        self.requested_bytes = registry.counter(
+            "landlord_requested_bytes_total",
+            "Bytes jobs asked for (the paper's Requested Writes).",
+        ).labels()
+        self.bytes_written = registry.counter(
+            "landlord_bytes_written_total",
+            "Bytes of build/rewrite I/O (the paper's Actual Writes).",
+        ).labels()
+        self.conflicts = registry.counter(
+            "landlord_conflicts_skipped_total",
+            "Within-alpha merge candidates rejected by the conflict check.",
+        ).labels()
+        self.candidates = registry.counter(
+            "landlord_candidates_examined_total",
+            "Images examined by the merge-candidate scan.",
+        ).labels()
+        self.cached_bytes = registry.gauge(
+            "landlord_cached_bytes",
+            "Total bytes of all cached images.",
+        ).labels()
+        self.unique_bytes = registry.gauge(
+            "landlord_unique_bytes",
+            "Bytes of distinct packages present in the cache.",
+        ).labels()
+        self.images = registry.gauge(
+            "landlord_images",
+            "Number of cached images.",
+        ).labels()
+        self.merge_distance = registry.histogram(
+            "landlord_merge_distance",
+            "Jaccard distance of accepted merges.",
+            buckets=DISTANCE_BUCKETS,
+        ).labels()
+
+        def timing(name: str, help: str):
+            return registry.histogram(
+                name, help, buckets=DEFAULT_TIME_BUCKETS
+            ).labels()
+
+        self.request_s = timing(
+            "landlord_request_seconds",
+            "Wall-clock seconds to serve one request end to end.")
+        self.subset_scan_s = timing(
+            "landlord_subset_scan_seconds",
+            "Wall-clock seconds in the superset (hit) scan.")
+        self.candidate_probe_s = timing(
+            "landlord_candidate_probe_seconds",
+            "Wall-clock seconds in the merge-candidate scan / LSH probe.")
+        self.merge_rewrite_s = timing(
+            "landlord_merge_rewrite_seconds",
+            "Wall-clock seconds in the merge rewrite (mask/index/LSH update).")
+        self.eviction_s = timing(
+            "landlord_eviction_seconds",
+            "Wall-clock seconds in the capacity-eviction loop (when it ran).")
+
+
 class LandlordCache:
     """The online container-image cache of Algorithm 1.
 
@@ -262,6 +373,14 @@ class LandlordCache:
             writes the added content).  The ablation in DESIGN.md §5 uses
             this to separate Figure 4c's policy cost from its mechanism
             cost.
+        metrics: optional :class:`repro.obs.MetricsRegistry` to record
+            counters, gauges, and hot-path latency histograms into
+            (equivalent to calling :meth:`enable_metrics` after
+            construction).
+        tracer: optional :class:`repro.obs.DecisionTracer` recording a
+            structured per-request decision trace (equivalent to
+            calling :meth:`enable_tracing`).  Tracing never perturbs
+            decisions.
     """
 
     def __init__(
@@ -280,6 +399,8 @@ class LandlordCache:
         record_events: bool = False,
         rng: Optional[np.random.Generator] = None,
         merge_write_mode: str = "full",
+        metrics=None,
+        tracer=None,
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -323,6 +444,46 @@ class LandlordCache:
         self._spec_memo: Dict[FrozenSet[str], Tuple[int, np.ndarray, int]] = {}
         self.stats = CacheStats()
         self.events: List[CacheEvent] = []
+        self._ins: Optional[_CacheInstruments] = None
+        self._tracer = None
+        self._pending_evictions: List[TracedEviction] = []
+        if metrics is not None:
+            self.enable_metrics(metrics)
+        if tracer is not None:
+            self.enable_tracing(tracer)
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The attached metrics registry, or ``None`` when disabled."""
+        return self._ins.registry if self._ins is not None else None
+
+    @property
+    def tracer(self):
+        """The attached decision tracer, or ``None`` when disabled."""
+        return self._tracer
+
+    def enable_metrics(self, registry) -> None:
+        """Record counters/gauges/latency histograms into ``registry``.
+
+        Safe to call on a live cache (e.g. after a journal replay, so
+        replayed history is not double-counted); the gauges are synced
+        immediately, the counters advance from here on.
+        """
+        self._ins = _CacheInstruments(registry)
+        self._update_gauges()
+
+    def enable_tracing(self, tracer) -> None:
+        """Record per-request decision traces into ``tracer``."""
+        self._tracer = tracer
+
+    def _update_gauges(self) -> None:
+        ins = self._ins
+        if ins is not None:
+            ins.cached_bytes.set(self._cached_bytes)
+            ins.unique_bytes.set(self._unique_bytes)
+            ins.images.set(len(self._images))
 
     # -- inspection ------------------------------------------------------------
 
@@ -359,6 +520,7 @@ class LandlordCache:
         """
         for image in list(self._images.values()):
             self._drop_image(image)
+        self._update_gauges()
 
     def evict_idle(self, max_idle_requests: int) -> List[str]:
         """Administrative maintenance: drop images unused for a while.
@@ -382,13 +544,22 @@ class LandlordCache:
             if image.last_request < horizon:
                 self._drop_image(image)
                 self.stats.deletes += 1
+                self.stats.evictions_idle += 1
                 evicted.append(image.id)
                 self._emit(
                     CacheEvent(
                         EventKind.DELETE, self.stats.requests,
-                        image.id, image.size,
+                        image.id, image.size, reason="idle",
                     )
                 )
+                if self._ins is not None:
+                    self._ins.evict_idle.inc()
+                if self._tracer is not None:
+                    self._tracer.on_idle_eviction(
+                        self.stats.requests - 1, image.id, image.size
+                    )
+        if evicted:
+            self._update_gauges()
         return evicted
 
     def peek(self, spec: "ImageSpec | AbstractSet[str]") -> Optional[CachedImage]:
@@ -421,6 +592,8 @@ class LandlordCache:
         image.last_used = self._clock
         self.stats.adoptions += 1
         self._evict_to_capacity(image.id, self.stats.requests)
+        self._pending_evictions.clear()
+        self._update_gauges()
         return image
 
     # -- persistence support -------------------------------------------------
@@ -559,6 +732,7 @@ class LandlordCache:
             self._account_add(indices)
             if self._lsh is not None and image.signature is not None:
                 self._lsh.insert(image.id, image.signature)
+        self._update_gauges()
 
     def split(
         self,
@@ -605,6 +779,7 @@ class LandlordCache:
             self.stats.bytes_written += size
             new_images.append(part_image)
         self.stats.splits += 1
+        self._update_gauges()
         return new_images
 
     # -- internals ---------------------------------------------------------------
@@ -689,12 +864,18 @@ class LandlordCache:
 
     def _evict_to_capacity(self, pinned_id: str, request_index: int) -> List[str]:
         evicted: List[str] = []
+        if self._cached_bytes <= self.capacity:
+            return evicted
+        ins = self._ins
+        tracer = self._tracer
+        start = perf_counter() if ins is not None else 0.0
         while self._cached_bytes > self.capacity:
             victim = self._eviction_victim(pinned_id)
             if victim is None:
                 break  # only the pinned image remains; allow transient overflow
             self._drop_image(victim)
             self.stats.deletes += 1
+            self.stats.evictions_capacity += 1
             evicted.append(victim.id)
             self._emit(
                 CacheEvent(
@@ -702,8 +883,17 @@ class LandlordCache:
                     request_index,
                     victim.id,
                     victim.size,
+                    reason="capacity",
                 )
             )
+            if ins is not None:
+                ins.evict_capacity.inc()
+            if tracer is not None:
+                self._pending_evictions.append(
+                    TracedEviction(victim.id, victim.size, "capacity")
+                )
+        if ins is not None:
+            ins.eviction_s.observe(perf_counter() - start)
         return evicted
 
     def _signature_of(self, packages: AbstractSet[str]) -> Optional[MinHashSignature]:
@@ -750,9 +940,18 @@ class LandlordCache:
         self.stats.requests += 1
         self.stats.requested_bytes += requested
         self._clock += 1
+        ins = self._ins
+        tracer = self._tracer
+        images_scanned = len(self._images)
+        t_request = perf_counter() if ins is not None else 0.0
 
         # Step 1: reuse an existing superset image.
-        hit = self._find_hit(mask)
+        if ins is not None:
+            t0 = perf_counter()
+            hit = self._find_hit(mask)
+            ins.subset_scan_s.observe(perf_counter() - t0)
+        else:
+            hit = self._find_hit(mask)
         if hit is not None:
             hit.last_used = self._clock
             hit.last_request = self.stats.requests
@@ -764,25 +963,94 @@ class LandlordCache:
                     requested_bytes=requested,
                 )
             )
+            if ins is not None:
+                ins.req_hit.inc()
+                ins.requested_bytes.inc(requested)
+                ins.request_s.observe(perf_counter() - t_request)
+            if tracer is not None:
+                tracer.on_request(RequestTrace(
+                    request_index=request_index,
+                    n_packages=n_request,
+                    requested_bytes=requested,
+                    alpha=self.alpha,
+                    images_scanned=images_scanned,
+                    action="hit",
+                    image_id=hit.id,
+                    image_bytes=hit.size,
+                ))
             return CacheDecision(EventKind.HIT, hit, requested)
 
         signature = self._signature_of(packages)
 
         # Step 2: merge into a near image.
-        candidates = self._merge_candidates(mask, n_request, signature)
+        examined_before = self.stats.candidates_examined
+        if ins is not None:
+            t0 = perf_counter()
+            candidates = self._merge_candidates(mask, n_request, signature)
+            ins.candidate_probe_s.observe(perf_counter() - t0)
+        else:
+            candidates = self._merge_candidates(mask, n_request, signature)
+        examined = self.stats.candidates_examined - examined_before
+        if ins is not None:
+            ins.candidates.inc(examined)
+        conflicts = 0
+        traced: Optional[List[TracedCandidate]] = (
+            [] if tracer is not None else None
+        )
         if candidates:
             if self.candidate_order == "distance":
                 candidates.sort(key=lambda pair: (pair[0], pair[1].id))
             elif self.candidate_order == "random":
                 self._rng.shuffle(candidates)
-            for distance, target in candidates:
+            for pos, (distance, target) in enumerate(candidates):
                 if self.conflict_policy.conflicts(packages, target.packages):
                     self.stats.conflicts_skipped += 1
+                    conflicts += 1
+                    if ins is not None:
+                        ins.conflicts.inc()
+                    if traced is not None:
+                        traced.append(TracedCandidate(
+                            target.id, distance, target.size, "conflict"
+                        ))
                     continue
-                return self._do_merge(
+                if traced is not None:
+                    # Record the chosen candidate's size before the merge
+                    # rewrite mutates it, and the never-reached rest.
+                    traced.append(TracedCandidate(
+                        target.id, distance, target.size, "merged"
+                    ))
+                    for rest_distance, rest in candidates[pos + 1:]:
+                        traced.append(TracedCandidate(
+                            rest.id, rest_distance, rest.size, "unused"
+                        ))
+                decision = self._do_merge(
                     target, mask, indices, requested, distance,
-                    signature, request_index,
+                    signature, request_index, examined, conflicts,
                 )
+                if ins is not None:
+                    ins.req_merge.inc()
+                    ins.requested_bytes.inc(requested)
+                    ins.merge_distance.observe(distance)
+                    self._update_gauges()
+                    ins.request_s.observe(perf_counter() - t_request)
+                if tracer is not None:
+                    evictions = tuple(self._pending_evictions)
+                    self._pending_evictions.clear()
+                    tracer.on_request(RequestTrace(
+                        request_index=request_index,
+                        n_packages=n_request,
+                        requested_bytes=requested,
+                        alpha=self.alpha,
+                        images_scanned=images_scanned,
+                        action="merge",
+                        image_id=decision.image.id,
+                        image_bytes=decision.image.size,
+                        distance=distance,
+                        bytes_added=decision.bytes_added,
+                        candidates=tuple(traced or ()),
+                        evictions=evictions,
+                    ))
+                return decision
 
         # Step 3: insert a fresh image.
         image = self._new_image(mask, indices, requested, signature)
@@ -794,9 +1062,32 @@ class LandlordCache:
             CacheEvent(
                 EventKind.INSERT, request_index, image.id, image.size,
                 bytes_written=requested, requested_bytes=requested,
+                candidates_examined=examined, conflicts_skipped=conflicts,
             )
         )
         evicted = self._evict_to_capacity(image.id, request_index)
+        if ins is not None:
+            ins.req_insert.inc()
+            ins.requested_bytes.inc(requested)
+            ins.bytes_written.inc(requested)
+            self._update_gauges()
+            ins.request_s.observe(perf_counter() - t_request)
+        if tracer is not None:
+            evictions = tuple(self._pending_evictions)
+            self._pending_evictions.clear()
+            tracer.on_request(RequestTrace(
+                request_index=request_index,
+                n_packages=n_request,
+                requested_bytes=requested,
+                alpha=self.alpha,
+                images_scanned=images_scanned,
+                action="insert",
+                image_id=image.id,
+                image_bytes=image.size,
+                bytes_added=requested,
+                candidates=tuple(traced or ()),
+                evictions=evictions,
+            ))
         return CacheDecision(
             EventKind.INSERT, image, requested,
             bytes_added=requested, evicted=evicted,
@@ -825,7 +1116,11 @@ class LandlordCache:
         distance: float,
         signature: Optional[MinHashSignature],
         request_index: int,
+        candidates_examined: int = 0,
+        conflicts_skipped: int = 0,
     ) -> CacheDecision:
+        ins = self._ins
+        t0 = perf_counter() if ins is not None else 0.0
         new_mask = target.mask | mask
         added_mask = new_mask ^ target.mask
         added = self._universe.indices_of_mask(added_mask)
@@ -848,6 +1143,8 @@ class LandlordCache:
                 # the index never accumulates stale buckets over long
                 # merge chains (membership stays bands x live images).
                 self._lsh.update(target.id, target.signature)
+        if ins is not None:
+            ins.merge_rewrite_s.observe(perf_counter() - t0)
 
         self.stats.merges += 1
         # Paper mechanism ("full"): the merged image is rewritten in its
@@ -857,10 +1154,15 @@ class LandlordCache:
         written = new_size if self.merge_write_mode == "full" else added_bytes
         self.stats.bytes_written += written
         self.stats.used_bytes += new_size
+        if ins is not None:
+            ins.bytes_written.inc(written)
         self._emit(
             CacheEvent(
                 EventKind.MERGE, request_index, target.id, new_size,
                 bytes_written=written, requested_bytes=requested,
+                distance=distance,
+                candidates_examined=candidates_examined,
+                conflicts_skipped=conflicts_skipped,
             )
         )
         evicted = self._evict_to_capacity(target.id, request_index)

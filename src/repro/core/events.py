@@ -41,6 +41,17 @@ class CacheEvent:
             and deletes.
         requested_bytes: size of the image the job actually asked for
             (None for delete events).
+        reason: why a DELETE happened — ``"capacity"`` (evicted to fit a
+            request under the byte budget) or ``"idle"`` (aged out by
+            ``evict_idle``); None for non-delete events.
+        distance: the Jaccard distance between the request and the merge
+            target on MERGE events; None otherwise.
+        candidates_examined: how many images the merge scan examined
+            while serving this request (decision events only; deltas,
+            so summing over the log reproduces the stats counter).
+        conflicts_skipped: how many within-α candidates the conflict
+            check rejected while serving this request (deltas, as
+            above).
     """
 
     kind: EventKind
@@ -49,3 +60,7 @@ class CacheEvent:
     image_bytes: int
     bytes_written: int = 0
     requested_bytes: Optional[int] = None
+    reason: Optional[str] = None
+    distance: Optional[float] = None
+    candidates_examined: int = 0
+    conflicts_skipped: int = 0

@@ -35,6 +35,7 @@ import os
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cache import LandlordCache
@@ -102,6 +103,41 @@ def _encode_marker(compacted_to: int) -> str:
     return json.dumps({**body, "crc": _crc(body)}, **_CANON) + "\n"
 
 
+class _JournalInstruments:
+    """Pre-bound ``journal_*`` metric children (see DESIGN.md schema)."""
+
+    __slots__ = (
+        "appends", "compactions", "entries_dropped",
+        "append_s", "fsync_s", "compact_s",
+    )
+
+    def __init__(self, registry) -> None:
+        self.appends = registry.counter(
+            "journal_appends_total",
+            "Operations durably appended to the write-ahead journal.",
+        ).labels()
+        self.compactions = registry.counter(
+            "journal_compactions_total",
+            "Journal compactions performed.",
+        ).labels()
+        self.entries_dropped = registry.counter(
+            "journal_entries_dropped_total",
+            "Entries removed by compaction (already snapshotted).",
+        ).labels()
+        self.append_s = registry.histogram(
+            "journal_append_seconds",
+            "Wall-clock seconds per durable append (write+flush+fsync).",
+        ).labels()
+        self.fsync_s = registry.histogram(
+            "journal_fsync_seconds",
+            "Wall-clock seconds in the append's fsync alone.",
+        ).labels()
+        self.compact_s = registry.histogram(
+            "journal_compact_seconds",
+            "Wall-clock seconds per journal compaction.",
+        ).labels()
+
+
 class Journal:
     """An append-only, fsynced JSON-lines journal file.
 
@@ -115,12 +151,23 @@ class Journal:
     emptied — without the marker, a fresh process would restart at 1 and
     its entries would be silently skipped by replay (they'd fall at or
     below the snapshot's ``journal_seq``).
+
+    Pass ``metrics`` (a :class:`repro.obs.MetricsRegistry`) to record
+    append/fsync/compaction latency histograms and operation counters
+    under the ``journal_*`` names documented in DESIGN.md.
     """
 
-    def __init__(self, path: PathLike):
+    def __init__(self, path: PathLike, metrics=None):
         self.path = Path(path)
         self._fh = None
         self._next_seq: Optional[int] = None
+        self._ins = None
+        if metrics is not None:
+            self.enable_metrics(metrics)
+
+    def enable_metrics(self, registry) -> None:
+        """Record journal I/O metrics into ``registry`` from here on."""
+        self._ins = _JournalInstruments(registry)
 
     @property
     def last_seq(self) -> int:
@@ -197,6 +244,8 @@ class Journal:
             self._next_seq = self.last_seq + 1
         entry = JournalEntry(self._next_seq, op, dict(data))
         line = _encode(entry)
+        ins = self._ins
+        t_append = perf_counter() if ins is not None else 0.0
         checkpoint("journal:append")
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -207,8 +256,14 @@ class Journal:
         self._fh.write(line)
         self._fh.flush()
         checkpoint("journal:torn", fh=self._fh, start=start)
+        t_fsync = perf_counter() if ins is not None else 0.0
         os.fsync(self._fh.fileno())
         checkpoint("journal:synced")
+        if ins is not None:
+            end = perf_counter()
+            ins.fsync_s.observe(end - t_fsync)
+            ins.append_s.observe(end - t_append)
+            ins.appends.inc()
         self._next_seq += 1
         return entry
 
@@ -228,6 +283,8 @@ class Journal:
         if (len(kept) == len(entries) and new_floor == floor
                 and self.path.exists()):
             return 0
+        ins = self._ins
+        t_compact = perf_counter() if ins is not None else 0.0
         checkpoint("compact:write")
         tmp = self.path.with_name(self.path.name + ".tmp")
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -242,7 +299,12 @@ class Journal:
         checkpoint("compact:renamed")
         self._fsync_dir()
         self.close()  # the old append handle points at the replaced inode
-        return len(entries) - len(kept)
+        dropped = len(entries) - len(kept)
+        if ins is not None:
+            ins.compact_s.observe(perf_counter() - t_compact)
+            ins.compactions.inc()
+            ins.entries_dropped.inc(dropped)
+        return dropped
 
     def reset(self) -> None:
         """Empty the journal and restart numbering at 1 (fresh state).
@@ -364,6 +426,8 @@ class JournaledState:
         use_journal: disable write-ahead logging entirely (the snapshot
             is then rewritten after every operation, as in format v1
             days — the crash window between apply and snapshot returns).
+        metrics: optional :class:`repro.obs.MetricsRegistry` forwarded
+            to the journal (``journal_*`` latency/operation metrics).
     """
 
     def __init__(
@@ -372,6 +436,7 @@ class JournaledState:
         journal_path: Optional[PathLike] = None,
         snapshot_every: int = 1,
         use_journal: bool = True,
+        metrics=None,
     ):
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be >= 1")
@@ -382,7 +447,7 @@ class JournaledState:
             journal_path = journal_path or self.state_path.with_name(
                 self.state_path.name + ".journal"
             )
-            self.journal = Journal(journal_path)
+            self.journal = Journal(journal_path, metrics=metrics)
 
     def load(
         self,

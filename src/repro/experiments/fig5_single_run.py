@@ -81,6 +81,8 @@ def report(results: Dict[str, object]) -> str:
                 ["inserts", int(final["inserts"])],
                 ["merges", int(final["merges"])],
                 ["deletes", int(final["deletes"])],
+                ["  by capacity", int(final.get("evictions_capacity", 0))],
+                ["  by idling", int(final.get("evictions_idle", 0))],
                 ["cached data", format_bytes(final["cached_bytes"])],
                 ["bytes written", format_bytes(final["bytes_written"])],
                 ["cache efficiency", f"{100 * final['cache_efficiency']:.1f}%"],

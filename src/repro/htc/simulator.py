@@ -13,11 +13,13 @@ byte gauges that the paper's figures plot:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.cache import CacheStats, LandlordCache
+from repro.obs.metrics import MetricsRegistry
 from repro.htc.workload import (
     DependencyWorkload,
     RandomWorkload,
@@ -71,6 +73,11 @@ class SimulationConfig:
     use_minhash: bool = False
     merge_write_mode: str = "full"
     record_timeline: bool = True
+    # Observability: when True, the run builds a repro.obs.MetricsRegistry,
+    # instruments the cache with it, and returns its snapshot in
+    # SimulationResult.metrics (picklable, so parallel workers ship it
+    # home for deterministic aggregation — see repro.parallel).
+    collect_metrics: bool = False
 
     def with_(self, **changes: object) -> "SimulationConfig":
         """A modified copy (sweep helper)."""
@@ -87,6 +94,9 @@ class SimulationResult:
     unique_bytes: int
     n_images: int
     timeline: Dict[str, np.ndarray] = field(default_factory=dict)
+    # Metrics-registry snapshot (repro.obs) when the run collected one;
+    # merge into a parent registry with MetricsRegistry.merge_snapshot.
+    metrics: Optional[dict] = None
 
     @property
     def cache_efficiency(self) -> float:
@@ -111,6 +121,8 @@ class SimulationResult:
             "inserts": self.stats.inserts,
             "merges": self.stats.merges,
             "deletes": self.stats.deletes,
+            "evictions_capacity": self.stats.evictions_capacity,
+            "evictions_idle": self.stats.evictions_idle,
             "hit_rate": self.stats.hit_rate,
             "cache_efficiency": self.cache_efficiency,
             "container_efficiency": self.container_efficiency,
@@ -128,16 +140,40 @@ def simulate_stream(
     stream: Sequence[frozenset],
     config: Optional[SimulationConfig] = None,
     record_timeline: bool = True,
+    metrics=None,
 ) -> SimulationResult:
     """Drive an existing image provider over a request stream.
 
     Duck-typed: any :class:`~repro.core.policies.ImageProvider` (the
     baseline policies included) works, not just a LandlordCache — it needs
     ``request``/``stats``/``cached_bytes``/``unique_bytes``/``__len__``.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) instruments the
+    provider when it supports ``enable_metrics`` and records the
+    simulation's own loop under the ``sim_*`` names; the registry
+    snapshot rides home in ``SimulationResult.metrics``.
     """
+    sim_requests = sim_request_s = None
+    if metrics is not None:
+        enable = getattr(cache, "enable_metrics", None)
+        if enable is not None:
+            enable(metrics)
+        sim_requests = metrics.counter(
+            "sim_requests_total", "Requests driven by the simulator."
+        ).labels()
+        sim_request_s = metrics.histogram(
+            "sim_request_seconds",
+            "Wall-clock seconds per simulated request (simulator loop).",
+        ).labels()
     series: Dict[str, List[int]] = {name: [] for name in _TIMELINE_FIELDS}
     for spec in stream:
-        cache.request(spec)
+        if sim_requests is not None:
+            t0 = perf_counter()
+            cache.request(spec)
+            sim_request_s.observe(perf_counter() - t0)
+            sim_requests.inc()
+        else:
+            cache.request(spec)
         if record_timeline:
             stats = cache.stats
             series["hits"].append(stats.hits)
@@ -160,6 +196,7 @@ def simulate_stream(
         unique_bytes=cache.unique_bytes,
         n_images=len(cache),
         timeline=timeline,
+        metrics=metrics.snapshot() if metrics is not None else None,
     )
 
 
@@ -212,6 +249,8 @@ def simulate(
         merge_write_mode=config.merge_write_mode,
         rng=spawn(config.seed, "cache-rng"),
     )
+    metrics = MetricsRegistry() if config.collect_metrics else None
     return simulate_stream(
-        cache, stream, config=config, record_timeline=config.record_timeline
+        cache, stream, config=config,
+        record_timeline=config.record_timeline, metrics=metrics,
     )

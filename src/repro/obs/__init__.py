@@ -1,0 +1,77 @@
+"""Observability layer: metrics, timing spans, decision traces, streams.
+
+``repro.obs`` is the measurement substrate for the LANDLORD
+reproduction.  It is zero-dependency and strictly opt-in: nothing in
+this package is global, every instrumentation site in the core is
+guarded by one ``is not None`` check (the disabled path is benchmarked
+at <2% overhead in ``benchmarks/test_obs_overhead.py``), and attaching
+a tracer never perturbs cache decisions.
+
+Modules:
+
+- :mod:`repro.obs.metrics` — ``MetricsRegistry`` with Counter / Gauge /
+  fixed-bucket Histogram families, Prometheus-text and JSON export, and
+  deterministic cross-process snapshot merging.
+- :mod:`repro.obs.timing` — nestable ``perf_counter`` spans recording
+  into ``*_seconds`` histograms.
+- :mod:`repro.obs.trace` — per-request ``RequestTrace`` records and the
+  ``explain`` renderer behind ``repro-landlord explain``.
+- :mod:`repro.obs.stream` — JSONL serialisation of the ``CacheEvent``
+  log and stats reconstruction from it.
+
+Import discipline (cycle avoidance): modules here import at most
+``repro.core.events`` and ``repro.util`` at module scope, so
+``repro.core.cache`` may import ``repro.obs`` freely.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_TIME_BUCKETS,
+    DISTANCE_BUCKETS,
+    load_registry,
+    save_registry,
+)
+from .stream import (
+    event_from_jsonable,
+    event_to_jsonable,
+    iter_event_stream,
+    read_event_stream,
+    stats_from_events,
+    write_event_stream,
+)
+from .timing import SpanClock
+from .trace import (
+    DecisionTracer,
+    RequestTrace,
+    TracedCandidate,
+    TracedEviction,
+    read_traces,
+    write_traces,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "DISTANCE_BUCKETS",
+    "load_registry",
+    "save_registry",
+    "SpanClock",
+    "DecisionTracer",
+    "RequestTrace",
+    "TracedCandidate",
+    "TracedEviction",
+    "read_traces",
+    "write_traces",
+    "event_to_jsonable",
+    "event_from_jsonable",
+    "write_event_stream",
+    "read_event_stream",
+    "iter_event_stream",
+    "stats_from_events",
+]

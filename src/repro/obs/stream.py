@@ -1,0 +1,135 @@
+"""JSONL event streams compatible with the in-memory ``CacheEvent`` log.
+
+The simulator's ``record_events`` timeline and the journal both live in
+memory or in bespoke formats; operators (and ``analysis/report.py``)
+want a flat, greppable stream.  This module serialises
+:class:`~repro.core.events.CacheEvent` records to JSON-lines and back,
+and derives :class:`~repro.core.cache.CacheStats` from a stream so the
+parity invariant *counters never drift from events* is checkable (and
+checked, in ``tests/obs/test_stream.py``).
+
+Only :mod:`repro.core.events` is imported at module scope; the
+``CacheStats`` import in :func:`stats_from_events` is deferred so that
+``repro.core.cache`` can import ``repro.obs`` without a cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from ..core.events import CacheEvent, EventKind
+
+__all__ = [
+    "event_to_jsonable",
+    "event_from_jsonable",
+    "write_event_stream",
+    "read_event_stream",
+    "iter_event_stream",
+    "stats_from_events",
+]
+
+PathLike = Union[str, Path]
+
+_DECISION_KINDS = (EventKind.HIT, EventKind.MERGE, EventKind.INSERT)
+
+
+def event_to_jsonable(event: CacheEvent) -> dict:
+    """JSON-safe dict form of one event (kind as its string value)."""
+    out = {
+        "kind": event.kind.value,
+        "request_index": event.request_index,
+        "image_id": event.image_id,
+        "image_bytes": event.image_bytes,
+        "bytes_written": event.bytes_written,
+        "requested_bytes": event.requested_bytes,
+        "candidates_examined": event.candidates_examined,
+        "conflicts_skipped": event.conflicts_skipped,
+    }
+    if event.reason is not None:
+        out["reason"] = event.reason
+    if event.distance is not None:
+        out["distance"] = event.distance
+    return out
+
+
+def event_from_jsonable(data: dict) -> CacheEvent:
+    """Inverse of :func:`event_to_jsonable` (tolerates old streams
+    written before the reason/distance/delta fields existed)."""
+    return CacheEvent(
+        kind=EventKind(data["kind"]),
+        request_index=data["request_index"],
+        image_id=data["image_id"],
+        image_bytes=data["image_bytes"],
+        bytes_written=data.get("bytes_written", 0),
+        requested_bytes=data.get("requested_bytes"),
+        reason=data.get("reason"),
+        distance=data.get("distance"),
+        candidates_examined=data.get("candidates_examined", 0),
+        conflicts_skipped=data.get("conflicts_skipped", 0),
+    )
+
+
+def write_event_stream(events: Iterable[CacheEvent], path: PathLike) -> Path:
+    """Write events as JSON-lines, one event per line, in order."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_jsonable(event), sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def iter_event_stream(path: PathLike) -> Iterator[CacheEvent]:
+    """Lazily yield events from a JSONL stream file."""
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield event_from_jsonable(json.loads(line))
+
+
+def read_event_stream(path: PathLike) -> List[CacheEvent]:
+    """Read a whole JSONL stream file into a list."""
+    return list(iter_event_stream(path))
+
+
+def stats_from_events(events: Iterable[CacheEvent]):
+    """Reconstruct a ``CacheStats`` from an event log.
+
+    Valid for request/evict-driven histories (``request`` +
+    ``evict_idle`` — everything the simulator and CLI produce): the
+    ``splits``/``adoptions`` counters only move under the tenancy
+    split/adopt operations, which do not emit events, and stay zero
+    here.  Used by the parity test asserting that replaying the event
+    log reproduces the live cache's counters exactly.
+    """
+    from ..core.cache import CacheStats
+
+    stats = CacheStats()
+    for event in events:
+        if event.kind in _DECISION_KINDS:
+            stats.requests += 1
+            stats.requested_bytes += event.requested_bytes or 0
+            stats.candidates_examined += event.candidates_examined
+            stats.conflicts_skipped += event.conflicts_skipped
+            # used_bytes accumulates the size of the image each request
+            # actually ran with — exactly the event's image_bytes.
+            stats.used_bytes += event.image_bytes
+            if event.kind is EventKind.HIT:
+                stats.hits += 1
+            elif event.kind is EventKind.MERGE:
+                stats.merges += 1
+                stats.bytes_written += event.bytes_written
+            else:
+                stats.inserts += 1
+                stats.bytes_written += event.bytes_written
+        elif event.kind is EventKind.DELETE:
+            stats.deletes += 1
+            if event.reason == "idle":
+                stats.evictions_idle += 1
+            else:
+                stats.evictions_capacity += 1
+    return stats

@@ -1,0 +1,91 @@
+"""Nestable ``perf_counter`` timing spans backed by histograms.
+
+:class:`SpanClock` wraps a :class:`~repro.obs.metrics.MetricsRegistry`
+with a context-manager interface for coarse instrumentation sites
+(journal compaction, whole simulations).  Spans nest: entering
+``span("compact")`` inside ``span("flush")`` records into
+``<prefix>_flush_compact_seconds``, so the hierarchy is readable in the
+metric names themselves without a tracing backend.
+
+The cache's per-request hot paths deliberately do *not* use this class —
+a context manager costs two method calls plus a ``try/finally`` per
+request, which matters at millions of requests per sweep.  Those sites
+pre-bind histogram children (see ``_CacheInstruments`` in
+``repro.core.cache``) and call ``perf_counter`` directly behind a single
+``is not None`` guard.  :class:`SpanClock` is the convenience layer for
+everything that is not request-rate-critical.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, Optional, Sequence
+
+from .metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry, _BoundHistogram
+
+__all__ = ["SpanClock"]
+
+
+class SpanClock:
+    """Records named, nestable wall-clock spans into histograms.
+
+    Every distinct span path becomes one histogram named
+    ``<prefix>_<joined_path>_seconds`` in the underlying registry; the
+    ``_seconds`` suffix marks it as wall-clock (excluded from
+    deterministic snapshots — see DESIGN.md).  Constructing with
+    ``registry=None`` yields a no-op clock, so call sites can hold a
+    :class:`SpanClock` unconditionally.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry],
+        prefix: str = "span",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        self._registry = registry
+        self._prefix = prefix
+        self._buckets = tuple(buckets)
+        self._stack: list = []
+        self._bound: Dict[str, _BoundHistogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans record anywhere (``False`` for the no-op clock)."""
+        return self._registry is not None
+
+    def _histogram_for(self, path: str) -> _BoundHistogram:
+        child = self._bound.get(path)
+        if child is None:
+            name = f"{self._prefix}_{path}_seconds"
+            family = self._registry.histogram(  # type: ignore[union-attr]
+                name,
+                f"Wall-clock seconds spent in the {path} span.",
+                buckets=self._buckets,
+            )
+            child = family.labels()
+            self._bound[path] = child
+        return child
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block; nested spans join their names with ``_``."""
+        if self._registry is None:
+            yield
+            return
+        self._stack.append(name)
+        path = "_".join(self._stack)
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self._stack.pop()
+            self._histogram_for(path).observe(elapsed)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration under ``name``."""
+        if self._registry is None:
+            return
+        self._histogram_for(name).observe(seconds)

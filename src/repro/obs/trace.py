@@ -1,0 +1,315 @@
+"""Decision tracing: why did the cache hit, merge, or insert?
+
+Figures 4–6 show *what* the LANDLORD cache did; a surprising merge or a
+storm of capacity evictions raises the question of *why*.  When a
+:class:`DecisionTracer` is attached to a ``LandlordCache`` (via
+``enable_tracing``), every request records a structured
+:class:`RequestTrace`: the candidates the merge scan considered with
+their Jaccard distances and outcomes, conflict rejections, the chosen
+operation, and any eviction victims with the reason (capacity vs.
+idle).  :meth:`RequestTrace.explain` renders this as a human-readable
+narrative, surfaced on the CLI as ``repro-landlord explain <index>``.
+
+Tracing must never perturb behaviour — the traced and untraced decision
+sequences are asserted bit-identical in the test suite — so the tracer
+only *records*; it owns no policy state and the cache never reads from
+it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..util.units import format_bytes
+
+__all__ = [
+    "TracedCandidate",
+    "TracedEviction",
+    "RequestTrace",
+    "DecisionTracer",
+    "write_traces",
+    "read_traces",
+]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class TracedCandidate:
+    """One image the merge scan examined for a request.
+
+    ``outcome`` is ``"merged"`` (chosen), ``"conflict"`` (within α but
+    rejected by the package-conflict check), or ``"unused"`` (examined
+    but not chosen — another candidate won or all were rejected).
+    """
+
+    image_id: int
+    distance: float
+    size: int
+    outcome: str
+
+    def to_jsonable(self) -> dict:
+        """JSON-safe dict form."""
+        return {
+            "image_id": self.image_id,
+            "distance": self.distance,
+            "size": self.size,
+            "outcome": self.outcome,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "TracedCandidate":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            image_id=data["image_id"],
+            distance=data["distance"],
+            size=data["size"],
+            outcome=data["outcome"],
+        )
+
+
+@dataclass(frozen=True)
+class TracedEviction:
+    """One image evicted while serving (or idling out after) a request.
+
+    ``reason`` is ``"capacity"`` (evicted to fit the request under the
+    byte budget) or ``"idle"`` (aged out by ``evict_idle``).
+    """
+
+    image_id: int
+    size: int
+    reason: str
+
+    def to_jsonable(self) -> dict:
+        """JSON-safe dict form."""
+        return {"image_id": self.image_id, "size": self.size,
+                "reason": self.reason}
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "TracedEviction":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(image_id=data["image_id"], size=data["size"],
+                   reason=data["reason"])
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """The full decision record for one cache request."""
+
+    request_index: int
+    n_packages: int
+    requested_bytes: int
+    alpha: float
+    images_scanned: int
+    action: str
+    image_id: int
+    image_bytes: int
+    distance: Optional[float] = None
+    bytes_added: int = 0
+    candidates: Tuple[TracedCandidate, ...] = ()
+    evictions: Tuple[TracedEviction, ...] = ()
+
+    def explain(self) -> str:
+        """Render a human-readable narrative of this decision."""
+        lines = [
+            f"request #{self.request_index}: {self.n_packages} packages, "
+            f"{format_bytes(self.requested_bytes)} requested "
+            f"(alpha={self.alpha:g})",
+        ]
+        if self.action == "hit":
+            lines.append(
+                f"  HIT image {self.image_id} "
+                f"({format_bytes(self.image_bytes)}): an existing image "
+                "already contains every requested package "
+                f"(scanned {self.images_scanned} images)."
+            )
+        elif self.action == "merge":
+            lines.append(
+                f"  MERGE into image {self.image_id}: rewrote "
+                f"{format_bytes(self.image_bytes)} to add "
+                f"{format_bytes(self.bytes_added)} of new packages."
+            )
+        else:
+            lines.append(
+                f"  INSERT image {self.image_id} "
+                f"({format_bytes(self.image_bytes)}): no hit and no "
+                "mergeable candidate."
+            )
+        if self.candidates:
+            lines.append(
+                f"  candidates within alpha ({len(self.candidates)} "
+                f"of {self.images_scanned} scanned):"
+            )
+            for cand in self.candidates:
+                note = {
+                    "merged": "chosen (closest non-conflicting)",
+                    "conflict": "rejected: package version conflict",
+                    "unused": "not chosen",
+                }[cand.outcome]
+                lines.append(
+                    f"    image {cand.image_id}: distance "
+                    f"{cand.distance:.3f}, {format_bytes(cand.size)} "
+                    f"-- {note}"
+                )
+        elif self.action == "insert":
+            lines.append(
+                f"  candidates within alpha: none "
+                f"(scanned {self.images_scanned} images)."
+            )
+        if self.distance is not None and self.action == "merge":
+            lines.append(f"  chosen Jaccard distance: {self.distance:.3f}")
+        for ev in self.evictions:
+            why = (
+                "to fit under the byte capacity"
+                if ev.reason == "capacity"
+                else "idle too long"
+            )
+            lines.append(
+                f"  EVICTED image {ev.image_id} "
+                f"({format_bytes(ev.size)}): {why}."
+            )
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> dict:
+        """JSON-safe dict form (for the ``.trace.jsonl`` sidecar)."""
+        return {
+            "request_index": self.request_index,
+            "n_packages": self.n_packages,
+            "requested_bytes": self.requested_bytes,
+            "alpha": self.alpha,
+            "images_scanned": self.images_scanned,
+            "action": self.action,
+            "image_id": self.image_id,
+            "image_bytes": self.image_bytes,
+            "distance": self.distance,
+            "bytes_added": self.bytes_added,
+            "candidates": [c.to_jsonable() for c in self.candidates],
+            "evictions": [e.to_jsonable() for e in self.evictions],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "RequestTrace":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            request_index=data["request_index"],
+            n_packages=data["n_packages"],
+            requested_bytes=data["requested_bytes"],
+            alpha=data["alpha"],
+            images_scanned=data["images_scanned"],
+            action=data["action"],
+            image_id=data["image_id"],
+            image_bytes=data["image_bytes"],
+            distance=data.get("distance"),
+            bytes_added=data.get("bytes_added", 0),
+            candidates=tuple(
+                TracedCandidate.from_jsonable(c)
+                for c in data.get("candidates", ())
+            ),
+            evictions=tuple(
+                TracedEviction.from_jsonable(e)
+                for e in data.get("evictions", ())
+            ),
+        )
+
+
+class DecisionTracer:
+    """Collects :class:`RequestTrace` records from a ``LandlordCache``.
+
+    Traces are keyed by request index.  ``limit`` bounds memory on long
+    streams by keeping only the most recent N traces; :meth:`drain`
+    hands out (and forgets the "new" status of) traces recorded since
+    the last drain, which is how the CLI appends to a sidecar file
+    across ``submit`` invocations.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit <= 0:
+            raise ValueError("limit must be positive (or None)")
+        self._limit = limit
+        self._traces: Dict[int, RequestTrace] = {}
+        self._undrained: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def on_request(self, trace: RequestTrace) -> None:
+        """Record the trace for one completed request (cache hook)."""
+        self._traces[trace.request_index] = trace
+        self._undrained.append(trace.request_index)
+        if self._limit is not None and len(self._traces) > self._limit:
+            oldest = min(self._traces)
+            del self._traces[oldest]
+
+    def on_idle_eviction(
+        self, request_index: int, image_id: int, size: int
+    ) -> None:
+        """Attach an ``evict_idle`` victim to its request's trace."""
+        trace = self._traces.get(request_index)
+        eviction = TracedEviction(image_id=image_id, size=size, reason="idle")
+        if trace is None:
+            return
+        object.__setattr__(
+            trace, "evictions", trace.evictions + (eviction,)
+        )
+
+    def trace(self, request_index: int) -> Optional[RequestTrace]:
+        """The trace for one request index, or ``None`` if not held."""
+        return self._traces.get(request_index)
+
+    def explain(self, request_index: int) -> str:
+        """Human-readable narrative for one request index."""
+        trace = self._traces.get(request_index)
+        if trace is None:
+            held = sorted(self._traces)
+            span = (
+                f" (holding {held[0]}..{held[-1]})" if held else " (empty)"
+            )
+            return f"no trace recorded for request #{request_index}{span}"
+        return trace.explain()
+
+    def traces(self) -> List[RequestTrace]:
+        """All held traces in request-index order."""
+        return [self._traces[i] for i in sorted(self._traces)]
+
+    def drain(self) -> List[RequestTrace]:
+        """Traces recorded since the last drain, in recording order."""
+        out = [
+            self._traces[i] for i in self._undrained if i in self._traces
+        ]
+        self._undrained = []
+        return out
+
+
+def write_traces(
+    traces: Iterable[RequestTrace], path: PathLike, append: bool = False
+) -> Path:
+    """Write traces as JSON-lines (one :meth:`RequestTrace.to_jsonable`
+    per line); ``append`` accumulates across CLI invocations."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mode = "a" if append else "w"
+    with path.open(mode, encoding="utf-8") as fh:
+        for trace in traces:
+            fh.write(json.dumps(trace.to_jsonable(), sort_keys=True) + "\n")
+    return path
+
+
+def read_traces(path: PathLike) -> Dict[int, RequestTrace]:
+    """Read a JSONL trace file into a dict keyed by request index.
+
+    Later lines win on duplicate indices, so an appended sidecar that
+    re-traced an index (e.g. after a state reset) resolves to the most
+    recent record.
+    """
+    traces: Dict[int, RequestTrace] = {}
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            trace = RequestTrace.from_jsonable(json.loads(line))
+            traces[trace.request_index] = trace
+    return traces

@@ -26,7 +26,11 @@ from repro.parallel.pool import (
     resolve_workers,
 )
 from repro.parallel.seeds import repetition_seed_sequence, repetition_seeds
-from repro.parallel.simulations import RepositorySpec, SimulationPool
+from repro.parallel.simulations import (
+    RepositorySpec,
+    SimulationPool,
+    merge_result_metrics,
+)
 
 __all__ = [
     "ParallelExecutionError",
@@ -36,4 +40,5 @@ __all__ = [
     "repetition_seeds",
     "RepositorySpec",
     "SimulationPool",
+    "merge_result_metrics",
 ]

@@ -175,3 +175,23 @@ class SimulationPool:
     def __exit__(self, *exc_info: object) -> None:
         """Context-manager exit: shut workers down."""
         self.close()
+
+
+def merge_result_metrics(results, registry) -> int:
+    """Fold per-run metrics snapshots into a parent registry, in order.
+
+    Each :class:`~repro.htc.simulator.SimulationResult` produced with
+    ``collect_metrics=True`` carries its worker-local registry snapshot;
+    merging them in submission order makes the parent registry
+    independent of worker count and completion order — the deterministic
+    families (everything not ``*_seconds``) come out bit-identical to a
+    serial run.  Returns the number of snapshots merged (results without
+    one are skipped).
+    """
+    merged = 0
+    for result in results:
+        snap = getattr(result, "metrics", None)
+        if snap is not None:
+            registry.merge_snapshot(snap)
+            merged += 1
+    return merged

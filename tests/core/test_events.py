@@ -22,13 +22,28 @@ class TestCacheEvent:
         event = CacheEvent(EventKind.DELETE, 3, "img-1", 50)
         assert event.bytes_written == 0
         assert event.requested_bytes is None
+        assert event.reason is None
+        assert event.distance is None
+        assert event.candidates_examined == 0
+        assert event.conflicts_skipped == 0
 
     def test_full_record(self):
         event = CacheEvent(
             EventKind.MERGE, 7, "img-2", 400, bytes_written=400,
-            requested_bytes=120,
+            requested_bytes=120, distance=0.25, candidates_examined=3,
+            conflicts_skipped=1,
         )
         assert event.request_index == 7
         assert event.image_bytes == 400
         assert event.bytes_written == 400
         assert event.requested_bytes == 120
+        assert event.distance == 0.25
+        assert event.candidates_examined == 3
+        assert event.conflicts_skipped == 1
+
+    def test_delete_carries_reason(self):
+        capacity = CacheEvent(EventKind.DELETE, 3, "img-1", 50,
+                              reason="capacity")
+        idle = CacheEvent(EventKind.DELETE, 3, "img-1", 50, reason="idle")
+        assert capacity.reason == "capacity"
+        assert idle.reason == "idle"

@@ -1,0 +1,149 @@
+"""Tests for the metric instrumentation of cache, journal, and simulator.
+
+The contract under test: when a :class:`MetricsRegistry` is attached,
+the ``landlord_*`` counters and gauges track :class:`CacheStats` and the
+live cache state exactly — metrics are a view of the cache, never a
+second bookkeeping system that can drift.
+"""
+
+import numpy as np
+
+from repro.core.cache import LandlordCache
+from repro.core.journal import Journal
+from repro.obs import MetricsRegistry
+
+SIZE = {f"p{i}": 10 * (i % 7 + 1) for i in range(40)}
+
+
+def run_instrumented(n_requests=200, capacity=2000, alpha=0.6, seed=3):
+    registry = MetricsRegistry()
+    c = LandlordCache(capacity, alpha, SIZE.__getitem__, metrics=registry)
+    rng = np.random.default_rng(seed)
+    pids = sorted(SIZE)
+    for i in range(n_requests):
+        k = int(rng.integers(1, 6))
+        c.request(frozenset(rng.choice(pids, size=k, replace=False)))
+        if i % 50 == 49:
+            c.evict_idle(max_idle_requests=10)
+    return c, registry
+
+
+class TestCacheMetrics:
+    def test_counters_track_stats_exactly(self):
+        c, reg = run_instrumented()
+        stats = c.stats
+        requests = reg.get("landlord_requests_total")
+        assert requests.value(action="hit") == stats.hits
+        assert requests.value(action="merge") == stats.merges
+        assert requests.value(action="insert") == stats.inserts
+        evictions = reg.get("landlord_evictions_total")
+        assert evictions.value(reason="capacity") == stats.evictions_capacity
+        assert evictions.value(reason="idle") == stats.evictions_idle
+        assert stats.evictions_capacity > 0 and stats.evictions_idle > 0
+        assert reg.get("landlord_requested_bytes_total").value() == (
+            stats.requested_bytes
+        )
+        assert reg.get("landlord_bytes_written_total").value() == (
+            stats.bytes_written
+        )
+        assert reg.get("landlord_candidates_examined_total").value() == (
+            stats.candidates_examined
+        )
+
+    def test_gauges_track_live_state(self):
+        c, reg = run_instrumented()
+        assert reg.get("landlord_cached_bytes").value() == c.cached_bytes
+        assert reg.get("landlord_unique_bytes").value() == c.unique_bytes
+        assert reg.get("landlord_images").value() == len(c)
+
+    def test_merge_distance_histogram_counts_merges(self):
+        c, reg = run_instrumented()
+        child = reg.get("landlord_merge_distance").labels()
+        assert child.count == c.stats.merges > 0
+        # every recorded distance respects the merge threshold
+        assert child.counts[-1] == 0  # nothing beyond the last bucket (1.0)
+
+    def test_hot_path_timers_record(self):
+        c, reg = run_instrumented(n_requests=50)
+        assert reg.get("landlord_request_seconds").labels().count == 50
+        assert reg.get("landlord_subset_scan_seconds").labels().count > 0
+
+    def test_enable_metrics_after_history_syncs_gauges(self):
+        c = LandlordCache(2000, 0.6, SIZE.__getitem__)
+        c.request(frozenset({"p0", "p1"}))
+        reg = MetricsRegistry()
+        c.enable_metrics(reg)
+        # gauges reflect current state immediately (the CLI attaches
+        # after journal replay); counters start at zero, not history.
+        assert reg.get("landlord_cached_bytes").value() == c.cached_bytes
+        assert reg.get("landlord_requests_total").value(action="insert") == 0
+
+    def test_conflicts_counter(self):
+        from repro.packages.conflicts import SlotConflicts
+
+        reg = MetricsRegistry()
+        c = LandlordCache(10_000, 0.9, lambda p: 10,
+                          conflict_policy=SlotConflicts(), metrics=reg)
+        c.request(frozenset({"root/6.20", "gcc/8.0"}))
+        c.request(frozenset({"root/6.18", "gcc/8.0"}))
+        assert reg.get("landlord_conflicts_skipped_total").value() == (
+            c.stats.conflicts_skipped
+        )
+        assert c.stats.conflicts_skipped >= 1
+
+
+class TestJournalMetrics:
+    def test_append_and_fsync_metrics(self, tmp_path):
+        reg = MetricsRegistry()
+        journal = Journal(tmp_path / "j.journal", metrics=reg)
+        journal.append("request", packages=["p0"])
+        journal.append("request", packages=["p1"])
+        assert reg.get("journal_appends_total").value() == 2
+        assert reg.get("journal_fsync_seconds").labels().count == 2
+        assert reg.get("journal_append_seconds").labels().count == 2
+
+    def test_compaction_metrics(self, tmp_path):
+        reg = MetricsRegistry()
+        journal = Journal(tmp_path / "j.journal", metrics=reg)
+        for i in range(5):
+            journal.append("request", packages=[f"p{i}"])
+        dropped = journal.compact(upto_seq=3)
+        assert dropped == 3
+        assert reg.get("journal_compactions_total").value() == 1
+        assert reg.get("journal_entries_dropped_total").value() == 3
+        assert reg.get("journal_compact_seconds").labels().count == 1
+
+    def test_uninstrumented_journal_still_works(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal")
+        journal.append("request", packages=["p0"])
+        assert journal.last_seq == 1
+
+
+class TestSimulatorMetrics:
+    def test_collect_metrics_returns_snapshot(self):
+        from repro.htc.simulator import SimulationConfig, simulate
+        from repro.util.units import GB
+
+        config = SimulationConfig(
+            capacity=20 * GB, n_unique=15, repeats=2, max_selection=6,
+            n_packages=300, repo_total_size=10 * GB, seed=4,
+            record_timeline=False, collect_metrics=True,
+        )
+        result = simulate(config)
+        assert result.metrics is not None
+        reg = MetricsRegistry.from_snapshot(result.metrics)
+        assert reg.get("sim_requests_total").value() == result.requests
+        assert reg.get("landlord_requests_total").value(
+            action="insert"
+        ) == result.stats.inserts
+
+    def test_default_run_collects_nothing(self):
+        from repro.htc.simulator import SimulationConfig, simulate
+        from repro.util.units import GB
+
+        config = SimulationConfig(
+            capacity=20 * GB, n_unique=10, repeats=2, max_selection=6,
+            n_packages=300, repo_total_size=10 * GB, seed=4,
+            record_timeline=False,
+        )
+        assert simulate(config).metrics is None

@@ -1,0 +1,310 @@
+"""Tests for repro.obs.metrics — registry, export, deterministic merge."""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    DISTANCE_BUCKETS,
+    MetricsRegistry,
+    load_registry,
+    save_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "Requests.")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_prebinding(self):
+        c = MetricsRegistry().counter("ops_total", labelnames=("op",))
+        hit = c.labels(op="hit")
+        hit.inc()
+        hit.inc()
+        c.inc(op="miss")
+        assert c.value(op="hit") == 2
+        assert c.value(op="miss") == 1
+        assert c.value(op="never") == 0
+
+    def test_wrong_labels_rejected(self):
+        c = MetricsRegistry().counter("ops_total", labelnames=("op",))
+        with pytest.raises(ValueError):
+            c.inc(kind="hit")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = MetricsRegistry().gauge("bytes")
+        g.set(100)
+        g.labels().inc(-30)
+        assert g.value() == 70
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = MetricsRegistry().histogram("d", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 99.0):
+            h.observe(v)
+        child = h.labels()
+        # upper bounds are inclusive: 1.0 lands in the first bucket.
+        assert child.counts == [2, 1, 1, 1]
+        assert child.count == 5
+        assert child.sum == pytest.approx(105.0)
+
+    def test_quantile_and_mean(self):
+        h = MetricsRegistry().histogram("d", buckets=(1.0, 2.0, 4.0))
+        child = h.labels()
+        assert math.isnan(child.quantile(0.5))
+        assert math.isnan(child.mean)
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        assert 0.0 < child.quantile(0.25) <= 1.0
+        assert 2.0 < child.quantile(0.9) <= 4.0
+        assert child.mean == pytest.approx(8.5 / 4)
+        with pytest.raises(ValueError):
+            child.quantile(1.5)
+
+    def test_buckets_validated(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("b", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("c", buckets=(1.0, 1.0))
+
+    def test_default_bucket_constants(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+        assert DISTANCE_BUCKETS[-1] == 1.0
+        assert len(DISTANCE_BUCKETS) == 20
+
+
+class TestValidation:
+    def test_bad_metric_name(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("9starts-with-digit")
+
+    def test_reserved_and_bad_label_names(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x", labelnames=("le",))
+        with pytest.raises(ValueError):
+            reg.counter("y", labelnames=("bad-dash",))
+        with pytest.raises(ValueError):
+            reg.counter("z", labelnames=("a", "a"))
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", "Hits.")
+        b = reg.counter("hits_total")
+        assert a is b
+        assert len(reg) == 1
+        assert "hits_total" in reg
+        assert reg.get("hits_total") is a
+        assert reg.get("absent") is None
+
+    def test_conflicting_reregistration_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")
+        reg.counter("l", labelnames=("op",))
+        with pytest.raises(ValueError):
+            reg.counter("l", labelnames=("kind",))
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_snapshot_order_independent(self):
+        def build(order):
+            reg = MetricsRegistry()
+            c = reg.counter("ops_total", labelnames=("op",))
+            for op in order:
+                c.inc(op=op)
+            return reg
+
+        a = build(["hit", "miss", "hit"])
+        b = build(["miss", "hit", "hit"])
+        assert json.dumps(a.snapshot(), sort_keys=True) == json.dumps(
+            b.snapshot(), sort_keys=True
+        )
+
+    def test_deterministic_snapshot_drops_wall_clock(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total").inc()
+        reg.histogram("request_seconds").observe(0.01)
+        snap = reg.deterministic_snapshot()
+        assert "requests_total" in snap["families"]
+        assert "request_seconds" not in snap["families"]
+        # the full snapshot still carries it
+        assert "request_seconds" in reg.snapshot()["families"]
+
+
+# A deliberately strict validator for the subset of the Prometheus text
+# exposition format this repo emits: HELP/TYPE headers, cumulative
+# histogram buckets ending at +Inf == _count, and parseable sample lines.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+
+def validate_prometheus_text(text: str) -> None:
+    typed = {}
+    for line in text.strip().split("\n"):
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in {"counter", "gauge", "histogram"}
+            typed[name] = kind
+            continue
+        assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
+        name = re.split(r"[{ ]", line, 1)[0]
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in typed or base in typed, f"sample before TYPE: {line!r}"
+    for name, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = re.findall(
+            rf'^{name}_bucket{{.*le="([^"]+)"}} (\d+)$', text, re.M
+        )
+        assert buckets, f"histogram {name} has no buckets"
+        counts = [int(c) for _, c in buckets]
+        assert counts == sorted(counts), f"{name} buckets not cumulative"
+        assert buckets[-1][0] == "+Inf"
+        (total,) = re.findall(rf"^{name}_count(?:{{.*}})? (\d+)$", text, re.M)
+        assert int(total) == counts[-1]
+
+
+class TestPrometheusExport:
+    def build(self):
+        reg = MetricsRegistry()
+        ops = reg.counter("cache_ops_total", "Operations.", ("op",))
+        ops.inc(3, op="hit")
+        ops.inc(op="miss")
+        reg.gauge("cached_bytes", "Bytes resident.").set(12345)
+        h = reg.histogram("req_seconds", "Latency.", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        return reg
+
+    def test_text_format_valid(self):
+        validate_prometheus_text(self.build().to_prometheus())
+
+    def test_escaping_and_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labelnames=("p",)).inc(p='we"ird\nval\\ue')
+        text = reg.to_prometheus()
+        assert '\\"' in text and "\\n" in text and "\\\\" in text
+        validate_prometheus_text(text)
+
+    def test_empty_registry_exports_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestMergeAndRoundTrip:
+    def build(self, n):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "Ops.", ("op",)).inc(n, op="hit")
+        reg.gauge("cached_bytes").set(100 * n)
+        h = reg.histogram("dist", buckets=(0.5, 1.0))
+        for _ in range(n):
+            h.observe(0.4)
+        return reg
+
+    def test_merge_semantics(self):
+        parent = self.build(2)
+        parent.merge_snapshot(self.build(3).snapshot())
+        assert parent.get("ops_total").value(op="hit") == 5
+        # gauges take the incoming (newer) value, not the sum
+        assert parent.get("cached_bytes").value() == 300
+        child = parent.get("dist").labels()
+        assert child.count == 5
+        assert child.counts == [5, 0, 0]
+
+    def test_merge_creates_absent_families(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot(self.build(4).snapshot())
+        assert parent.get("ops_total").value(op="hit") == 4
+
+    def test_merge_bucket_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("dist", buckets=(0.5, 1.0)).observe(0.1)
+        snap = self.build(1).snapshot()
+        snap["families"]["dist"]["buckets"] = [0.5, 1.0, 2.0]
+        snap["families"]["dist"]["series"][0]["counts"] = [1, 0, 0, 0]
+        with pytest.raises(ValueError):
+            parent.merge_snapshot(snap)
+
+    def test_merge_unknown_type_rejected(self):
+        snap = {"v": 1, "families": {"x": {"type": "summary", "series": []}}}
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_snapshot(snap)
+
+    def test_from_snapshot_round_trip(self):
+        reg = self.build(7)
+        snap = reg.snapshot()
+        clone = MetricsRegistry.from_snapshot(snap)
+        assert json.dumps(clone.snapshot(), sort_keys=True) == json.dumps(
+            snap, sort_keys=True
+        )
+
+    def test_merge_order_deterministic(self):
+        # Counter/histogram merging commutes; folding worker snapshots
+        # in submission order is what the sweep layer relies on.
+        snaps = [self.build(n).snapshot() for n in (1, 2, 3)]
+        a = MetricsRegistry()
+        for snap in snaps:
+            a.merge_snapshot(snap)
+        b = MetricsRegistry()
+        for snap in snaps:
+            b.merge_snapshot(snap)
+        assert json.dumps(a.snapshot(), sort_keys=True) == json.dumps(
+            b.snapshot(), sort_keys=True
+        )
+
+
+class TestSaveLoad:
+    def test_json_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("hits_total").inc(9)
+        reg.histogram("d", buckets=(1.0,)).observe(0.5)
+        path = save_registry(reg, tmp_path / "m.json")
+        loaded = load_registry(path)
+        assert json.dumps(loaded.snapshot(), sort_keys=True) == json.dumps(
+            reg.snapshot(), sort_keys=True
+        )
+
+    def test_prom_extension_writes_text(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "Hits.").inc()
+        path = save_registry(reg, tmp_path / "metrics.prom")
+        text = path.read_text()
+        assert "# TYPE hits_total counter" in text
+        validate_prometheus_text(text)
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_registry(tmp_path / "absent.json")
+        reg = load_registry(tmp_path / "absent.json", missing_ok=True)
+        assert len(reg) == 0
+
+    def test_load_corrupt_raises_value_error(self, tmp_path):
+        bad = tmp_path / "m.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_registry(bad)

@@ -1,0 +1,89 @@
+"""Cross-process metric aggregation must be bit-identical to serial.
+
+Companion to ``tests/analysis/test_parallel.py``: the same determinism
+bar, applied to the metrics registries that sweeps populate via
+``merge_result_metrics``.  Wall-clock ``*_seconds`` families are
+excluded by ``deterministic_snapshot`` (they genuinely differ between
+machines and runs); everything else must match exactly.
+"""
+
+import json
+
+import numpy as np
+
+from repro.analysis.sweep import alpha_sweep, run_repetitions
+from repro.htc.simulator import SimulationConfig
+from repro.obs import MetricsRegistry
+from repro.parallel import merge_result_metrics
+from repro.util.units import GB
+
+
+def tiny_config(**kw):
+    base = dict(
+        capacity=20 * GB, n_unique=15, repeats=3, max_selection=6,
+        n_packages=300, repo_total_size=10 * GB, seed=4,
+        record_timeline=False,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def canonical(registry: MetricsRegistry) -> str:
+    return json.dumps(registry.deterministic_snapshot(), sort_keys=True)
+
+
+class TestRunRepetitionsMetrics:
+    def test_parallel_matches_serial_bit_identically(self):
+        serial = MetricsRegistry()
+        run_repetitions(tiny_config(), repetitions=3, workers=1,
+                        metrics=serial)
+        fanned = MetricsRegistry()
+        run_repetitions(tiny_config(), repetitions=3, workers=2,
+                        metrics=fanned)
+        assert canonical(serial) == canonical(fanned)
+        assert serial.get("landlord_requests_total") is not None
+
+    def test_no_metrics_requested_costs_nothing(self):
+        results = run_repetitions(tiny_config(), repetitions=2, workers=1)
+        assert all(r.metrics is None for r in results)
+
+
+class TestAlphaSweepMetrics:
+    def test_parallel_sweep_metrics_match_serial(self):
+        alphas = [0.6, 0.8]
+        serial = MetricsRegistry()
+        s_sweep = alpha_sweep(tiny_config(), alphas=alphas, repetitions=2,
+                              workers=1, metrics=serial)
+        fanned = MetricsRegistry()
+        p_sweep = alpha_sweep(tiny_config(), alphas=alphas, repetitions=2,
+                              workers=2, metrics=fanned)
+        assert canonical(serial) == canonical(fanned)
+        for name, values in s_sweep.series.items():
+            np.testing.assert_array_equal(values, p_sweep.series[name])
+
+    def test_sweep_accumulates_all_cells(self):
+        registry = MetricsRegistry()
+        alpha_sweep(tiny_config(), alphas=[0.6, 0.8], repetitions=2,
+                    workers=1, metrics=registry)
+        total_requests = sum(
+            child.value
+            for _, child in registry.get("sim_requests_total").series()
+        )
+        # 2 alphas x 2 repetitions x (15 unique x 3 repeats) requests
+        assert total_requests == 2 * 2 * 15 * 3
+
+
+class TestMergeResultMetrics:
+    def test_skips_results_without_snapshots(self):
+        results = run_repetitions(tiny_config(), repetitions=2, workers=1)
+        registry = MetricsRegistry()
+        assert merge_result_metrics(results, registry) == 0
+        assert len(registry) == 0
+
+    def test_counts_merged_snapshots(self):
+        registry = MetricsRegistry()
+        results = run_repetitions(tiny_config(), repetitions=2, workers=1,
+                                  metrics=registry)
+        fresh = MetricsRegistry()
+        assert merge_result_metrics(results, fresh) == 2
+        assert canonical(fresh) == canonical(registry)

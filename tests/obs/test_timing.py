@@ -1,0 +1,69 @@
+"""Tests for repro.obs.timing.SpanClock."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import SpanClock
+
+
+class TestNoOpClock:
+    def test_disabled_clock_is_inert(self):
+        clock = SpanClock(None)
+        assert not clock.enabled
+        with clock.span("anything"):
+            pass
+        clock.observe("anything", 1.0)  # swallowed, no registry to touch
+
+
+class TestRecording:
+    def test_span_records_into_named_histogram(self):
+        reg = MetricsRegistry()
+        clock = SpanClock(reg, prefix="journal")
+        assert clock.enabled
+        with clock.span("compact"):
+            pass
+        family = reg.get("journal_compact_seconds")
+        assert family is not None
+        child = family.labels()
+        assert child.count == 1
+        assert child.sum >= 0.0
+
+    def test_nested_spans_join_names(self):
+        reg = MetricsRegistry()
+        clock = SpanClock(reg)
+        with clock.span("flush"):
+            with clock.span("compact"):
+                pass
+        assert reg.get("span_flush_compact_seconds").labels().count == 1
+        assert reg.get("span_flush_seconds").labels().count == 1
+
+    def test_span_records_on_exception(self):
+        reg = MetricsRegistry()
+        clock = SpanClock(reg)
+        try:
+            with clock.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert reg.get("span_boom_seconds").labels().count == 1
+        # the stack unwound: the next span is not nested under "boom"
+        with clock.span("after"):
+            pass
+        assert reg.get("span_after_seconds") is not None
+
+    def test_observe_records_external_duration(self):
+        reg = MetricsRegistry()
+        clock = SpanClock(reg, buckets=(0.1, 1.0))
+        clock.observe("fsync", 0.05)
+        clock.observe("fsync", 0.5)
+        child = reg.get("span_fsync_seconds").labels()
+        assert child.count == 2
+        assert child.counts == [1, 1, 0]
+        assert child.sum == 0.55
+
+    def test_wall_clock_names_excluded_from_deterministic_snapshot(self):
+        reg = MetricsRegistry()
+        clock = SpanClock(reg)
+        with clock.span("anything"):
+            pass
+        assert "span_anything_seconds" not in (
+            reg.deterministic_snapshot()["families"]
+        )

@@ -1,0 +1,211 @@
+"""Tests for repro.obs.trace — decision traces, explain, non-perturbation."""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import LandlordCache
+from repro.obs import (
+    DecisionTracer,
+    MetricsRegistry,
+    RequestTrace,
+    TracedCandidate,
+    TracedEviction,
+    read_traces,
+    write_traces,
+)
+from repro.packages.conflicts import SlotConflicts
+
+GOLDEN = Path(__file__).parent / "data" / "explain_golden.txt"
+
+SIZE = {"a": 10, "b": 20, "c": 30, "d": 40}
+
+
+def traced_scenario():
+    """The deterministic scenario behind the golden file: inserts, a
+    merge with a capacity eviction, a hit, an idle eviction, and (in a
+    second cache) a conflict rejection."""
+    c = LandlordCache(100, 0.5, SIZE.__getitem__)
+    tracer = DecisionTracer()
+    c.enable_tracing(tracer)
+    c.request(frozenset({"a", "b"}))
+    c.request(frozenset({"c", "d"}))
+    c.request(frozenset({"a", "b", "c"}))
+    c.request(frozenset({"a", "b"}))
+    c.request(frozenset({"d"}))
+    c.evict_idle(max_idle_requests=0)
+
+    k = LandlordCache(10_000, 0.9, lambda p: 10,
+                      conflict_policy=SlotConflicts())
+    kt = DecisionTracer()
+    k.enable_tracing(kt)
+    k.request(frozenset({"root/6.20", "gcc/8.0"}))
+    k.request(frozenset({"root/6.18", "gcc/8.0"}))
+    return tracer, kt
+
+
+class TestExplainGolden:
+    def test_explain_matches_golden_file(self):
+        tracer, kt = traced_scenario()
+        parts = [t.explain() for t in tracer.traces()] + [kt.explain(1)]
+        assert "\n\n".join(parts) + "\n" == GOLDEN.read_text()
+
+    def test_golden_covers_every_branch(self):
+        text = GOLDEN.read_text()
+        for marker in (
+            "HIT image", "MERGE into image", "INSERT image",
+            "chosen (closest non-conflicting)",
+            "rejected: package version conflict",
+            "to fit under the byte capacity", "idle too long",
+            "chosen Jaccard distance",
+        ):
+            assert marker in text, f"golden file lost branch: {marker!r}"
+
+
+class TestTracerBookkeeping:
+    def test_trace_and_explain_missing(self):
+        tracer = DecisionTracer()
+        assert tracer.trace(0) is None
+        assert "no trace recorded" in tracer.explain(3)
+        assert "(empty)" in tracer.explain(3)
+
+    def test_explain_missing_names_held_span(self):
+        tracer, _ = traced_scenario()
+        message = tracer.explain(99)
+        assert "holding 0..4" in message
+
+    def test_limit_keeps_most_recent(self):
+        tracer = DecisionTracer(limit=2)
+        c = LandlordCache(10_000, 0.0, SIZE.__getitem__, tracer=tracer)
+        for pid in ("a", "b", "c"):
+            c.request(frozenset({pid}))
+        assert len(tracer) == 2
+        assert tracer.trace(0) is None
+        assert [t.request_index for t in tracer.traces()] == [1, 2]
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTracer(limit=0)
+
+    def test_drain_hands_out_new_traces_once(self):
+        tracer = DecisionTracer()
+        c = LandlordCache(10_000, 0.0, SIZE.__getitem__, tracer=tracer)
+        c.request(frozenset({"a"}))
+        first = tracer.drain()
+        assert [t.request_index for t in first] == [0]
+        assert tracer.drain() == []
+        c.request(frozenset({"b"}))
+        assert [t.request_index for t in tracer.drain()] == [1]
+        # drained traces are still held for explain()
+        assert tracer.trace(0) is not None
+
+    def test_idle_eviction_attaches_to_latest_request(self):
+        tracer, _ = traced_scenario()
+        last = tracer.trace(4)
+        assert [e.reason for e in last.evictions] == ["idle"]
+        assert last.evictions[0].image_id == "img-000000"
+
+    def test_idle_eviction_without_trace_is_ignored(self):
+        tracer = DecisionTracer()
+        tracer.on_idle_eviction(7, "img-000000", 10)  # nothing recorded yet
+        assert len(tracer) == 0
+
+
+class TestSerialisation:
+    def full_trace(self):
+        return RequestTrace(
+            request_index=3, n_packages=2, requested_bytes=30, alpha=0.5,
+            images_scanned=4, action="merge", image_id="img-000002",
+            image_bytes=60, distance=0.25, bytes_added=10,
+            candidates=(
+                TracedCandidate("img-000001", 0.2, 40, "conflict"),
+                TracedCandidate("img-000002", 0.25, 50, "merged"),
+            ),
+            evictions=(TracedEviction("img-000000", 30, "capacity"),),
+        )
+
+    def test_round_trip(self):
+        trace = self.full_trace()
+        assert RequestTrace.from_jsonable(trace.to_jsonable()) == trace
+
+    def test_write_read_traces(self, tmp_path):
+        tracer, _ = traced_scenario()
+        path = tmp_path / "sidecar.jsonl"
+        write_traces(tracer.traces(), path)
+        loaded = read_traces(path)
+        assert sorted(loaded) == [0, 1, 2, 3, 4]
+        assert loaded[2] == tracer.trace(2)
+
+    def test_append_and_later_lines_win(self, tmp_path):
+        path = tmp_path / "sidecar.jsonl"
+        old = self.full_trace()
+        write_traces([old], path)
+        newer = RequestTrace(
+            request_index=3, n_packages=1, requested_bytes=10, alpha=0.5,
+            images_scanned=0, action="insert", image_id="img-000009",
+            image_bytes=10,
+        )
+        write_traces([newer], path, append=True)
+        loaded = read_traces(path)
+        assert len(loaded) == 1
+        assert loaded[3] == newer
+
+
+def decision_key(decision):
+    return (
+        decision.action.value,
+        decision.image.id,
+        decision.image.size,
+        decision.requested_bytes,
+        decision.distance,
+        decision.bytes_added,
+        tuple(decision.evicted),
+    )
+
+
+@st.composite
+def request_streams(draw):
+    n_packages = draw(st.integers(min_value=4, max_value=12))
+    n_requests = draw(st.integers(min_value=1, max_value=25))
+    return [
+        frozenset(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=n_packages - 1),
+                    min_size=1, max_size=n_packages,
+                ).map(lambda ids: {f"p{i}" for i in ids})
+            )
+        )
+        for _ in range(n_requests)
+    ]
+
+
+class TestNonPerturbation:
+    """Tracing and metrics must never change what the cache decides."""
+
+    @given(
+        stream=request_streams(),
+        alpha=st.sampled_from([0.0, 0.3, 0.6, 0.9, 1.0]),
+        capacity=st.sampled_from([40, 100, 10_000]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_traced_run_is_bit_identical_to_bare_run(
+        self, stream, alpha, capacity
+    ):
+        size_of = {f"p{i}": 10 * (i + 1) for i in range(12)}.__getitem__
+
+        bare = LandlordCache(capacity, alpha, size_of)
+        instrumented = LandlordCache(
+            capacity, alpha, size_of,
+            metrics=MetricsRegistry(), tracer=DecisionTracer(),
+        )
+        bare_decisions = [decision_key(bare.request(s)) for s in stream]
+        obs_decisions = [
+            decision_key(instrumented.request(s)) for s in stream
+        ]
+        assert bare_decisions == obs_decisions
+        assert bare.stats == instrumented.stats
+        assert bare.evict_idle(max_idle_requests=1) == (
+            instrumented.evict_idle(max_idle_requests=1)
+        )
