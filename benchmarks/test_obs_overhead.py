@@ -14,11 +14,18 @@ measurements of the current one:
 
 A deliberately generous ``GUARDS_PER_REQUEST`` (about 3x the real site
 count in ``LandlordCache.request``) keeps the bound honest against
-refactors that add sites.  The enabled path is also measured and
-reported (informative, not bounded — attaching a registry is opt-in).
+refactors that add sites.
+
+The *enabled* path — metrics registry plus rolling-window SLO tracker
+attached, the full live-telemetry configuration ``submit --serve``
+runs — is bounded too, at ≤25%: attaching telemetry is opt-in, so it
+may cost real time, but "opt-in" must never become "unusable in
+production".  The bound is deliberately loose (perf_counter calls and
+histogram bucketing dominate it) and exists to catch regressions that
+would make operators turn telemetry off.
 
 Running this file writes ``BENCH_obs.json`` at the repository root, the
-committed record of the measurement.
+committed record of both ratios.
 """
 
 from __future__ import annotations
@@ -33,6 +40,9 @@ from repro.packages.sft import build_experiment_repository
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 OVERHEAD_BOUND = 0.02
+# Full telemetry (metrics + SLO window) may cost real time, bounded so
+# it stays deployable; see the module docstring.
+ENABLED_OVERHEAD_BOUND = 0.25
 # LandlordCache.request has ~8 `is not None` guard evaluations on the
 # insert path (the worst case); budget triple that.
 GUARDS_PER_REQUEST = 24
@@ -82,15 +92,14 @@ def test_disabled_path_overhead_under_bound():
     )
     n_requests = config.n_unique * config.repeats
 
+    enabled = config.with_(collect_metrics=True, collect_slo=True)
     disabled_s = _best_of(lambda: simulate(config, repository=repository))
-    enabled_s = _best_of(
-        lambda: simulate(config.with_(collect_metrics=True),
-                         repository=repository)
-    )
+    enabled_s = _best_of(lambda: simulate(enabled, repository=repository))
     guard_s = _guard_cost_seconds()
 
     per_request = disabled_s / n_requests
     disabled_overhead = GUARDS_PER_REQUEST * guard_s / per_request
+    enabled_overhead = enabled_s / disabled_s - 1
 
     payload = {
         "scale": "tiny",
@@ -98,7 +107,8 @@ def test_disabled_path_overhead_under_bound():
         "requests": n_requests,
         "disabled_seconds": round(disabled_s, 4),
         "enabled_seconds": round(enabled_s, 4),
-        "enabled_overhead_ratio": round(enabled_s / disabled_s - 1, 4),
+        "enabled_overhead_ratio": round(enabled_overhead, 4),
+        "enabled_bound": ENABLED_OVERHEAD_BOUND,
         "guard_ns": round(guard_s * 1e9, 2),
         "guards_per_request": GUARDS_PER_REQUEST,
         "disabled_overhead_ratio": round(disabled_overhead, 6),
@@ -109,7 +119,8 @@ def test_disabled_path_overhead_under_bound():
     )
 
     assert disabled_overhead < OVERHEAD_BOUND, payload
+    assert enabled_overhead < ENABLED_OVERHEAD_BOUND, payload
     # sanity: the instrumented run must still be the same simulation
     assert simulate(config, repository=repository).stats == simulate(
-        config.with_(collect_metrics=True), repository=repository
+        enabled, repository=repository
     ).stats

@@ -19,6 +19,8 @@ __all__ = [
     "sweep_plot",
     "timeline_plot",
     "timeline_from_events",
+    "alert_timeline",
+    "alert_timeline_lines",
     "save_results_json",
     "percent",
 ]
@@ -169,6 +171,89 @@ def timeline_from_events(
         name: np.asarray(values, dtype=np.int64)
         for name, values in series.items()
     }
+
+
+def alert_timeline(
+    timeline: Dict[str, np.ndarray],
+    rules=None,
+    window: Optional[int] = None,
+    capacity: Optional[int] = None,
+):
+    """Evaluate alert rules over a recorded simulation timeline.
+
+    Replays a simulator timeline (the cumulative per-request series
+    ``SimulationResult.timeline`` records) through an
+    :class:`~repro.obs.slo.SloTracker` and
+    :class:`~repro.obs.alerts.AlertEngine`, returning the transitions
+    the run *would have* raised had alerts been live — the Figure 5
+    narrative uses this to place the paper's eviction onset on the alert
+    time axis.  Unlike event-stream replays, the timeline carries
+    ``unique_bytes``, so ``cache_efficiency`` rules evaluate exactly;
+    ``container_efficiency`` and ``latency_*`` are not reconstructible
+    and read ``nan`` (never breaching); ``images`` reads 0.  Defaults:
+    :data:`repro.obs.alerts.DEFAULT_RULES` and
+    :data:`repro.obs.slo.DEFAULT_WINDOW`.
+    """
+    from repro.obs.alerts import AlertEngine, DEFAULT_RULES
+    from repro.obs.slo import DEFAULT_WINDOW, SloTracker
+
+    engine = AlertEngine(DEFAULT_RULES if rules is None else rules)
+    slo = SloTracker(window=DEFAULT_WINDOW if window is None else window)
+    if capacity is not None:
+        slo.configure(capacity, float("nan"))
+    n = len(next(iter(timeline.values()))) if timeline else 0
+    cumulative = ("hits", "merges", "inserts", "deletes",
+                  "bytes_written", "requested_bytes")
+    prev = {name: 0 for name in cumulative}
+    unique = timeline.get("unique_bytes")
+    cached = timeline.get("cached_bytes")
+    for i in range(n):
+        delta = {
+            name: int(timeline[name][i]) - prev[name]
+            for name in cumulative
+            if name in timeline
+        }
+        for name, value in delta.items():
+            prev[name] += value
+        if delta.get("hits"):
+            action = "hit"
+        elif delta.get("merges"):
+            action = "merge"
+        else:
+            action = "insert"
+        slo.on_request(
+            action=action,
+            requested_bytes=delta.get("requested_bytes", 0),
+            bytes_written=delta.get("bytes_written", 0),
+            used_bytes=0,
+            evictions=delta.get("deletes", 0),
+            latency_s=None,
+            cached_bytes=int(cached[i]) if cached is not None else 0,
+            unique_bytes=int(unique[i]) if unique is not None else None,
+            images=0,
+        )
+        engine.evaluate(slo.values(), i)
+    return engine.transitions
+
+
+def alert_timeline_lines(transitions, rules=None) -> "list[str]":
+    """Render an alert-transition list as report narrative lines."""
+    from repro.obs.alerts import DEFAULT_RULES
+
+    rules = DEFAULT_RULES if rules is None else rules
+    lines = ["alert timeline (rules: "
+             + ", ".join(f"{r.name}: {r.expr} for {r.for_requests}"
+                         for r in rules) + ")"]
+    if not transitions:
+        lines.append("  quiet — no rule ever left its inactive state")
+        return lines
+    for t in transitions:
+        value = "" if np.isnan(t.value) else f"  (value {t.value:.3g})"
+        lines.append(
+            f"  request {t.request_index:>6}  {t.rule:<24} "
+            f"-> {t.state}{value}"
+        )
+    return lines
 
 
 def save_results_json(

@@ -381,6 +381,10 @@ class LandlordCache:
             structured per-request decision trace (equivalent to
             calling :meth:`enable_tracing`).  Tracing never perturbs
             decisions.
+        slo: optional :class:`repro.obs.SloTracker` fed one observation
+            per request for rolling-window telemetry (equivalent to
+            calling :meth:`enable_slo`).  Like tracing, it only reads —
+            decisions are bit-identical with or without it.
     """
 
     def __init__(
@@ -401,6 +405,7 @@ class LandlordCache:
         merge_write_mode: str = "full",
         metrics=None,
         tracer=None,
+        slo=None,
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -446,11 +451,14 @@ class LandlordCache:
         self.events: List[CacheEvent] = []
         self._ins: Optional[_CacheInstruments] = None
         self._tracer = None
+        self._slo = None
         self._pending_evictions: List[TracedEviction] = []
         if metrics is not None:
             self.enable_metrics(metrics)
         if tracer is not None:
             self.enable_tracing(tracer)
+        if slo is not None:
+            self.enable_slo(slo)
 
     # -- observability -----------------------------------------------------
 
@@ -477,6 +485,22 @@ class LandlordCache:
     def enable_tracing(self, tracer) -> None:
         """Record per-request decision traces into ``tracer``."""
         self._tracer = tracer
+
+    @property
+    def slo(self):
+        """The attached SLO tracker, or ``None`` when disabled."""
+        return self._slo
+
+    def enable_slo(self, tracker) -> None:
+        """Feed rolling-window telemetry into ``tracker``.
+
+        One :meth:`repro.obs.SloTracker.on_request` call per request,
+        behind the same ``is not None`` guard as the other instruments;
+        the tracker is configured with this cache's capacity and α so
+        windowed occupancy is meaningful.
+        """
+        tracker.configure(self.capacity, self.alpha)
+        self._slo = tracker
 
     def _update_gauges(self) -> None:
         ins = self._ins
@@ -942,8 +966,10 @@ class LandlordCache:
         self._clock += 1
         ins = self._ins
         tracer = self._tracer
+        slo = self._slo
         images_scanned = len(self._images)
-        t_request = perf_counter() if ins is not None else 0.0
+        measured = ins is not None or slo is not None
+        t_request = perf_counter() if measured else 0.0
 
         # Step 1: reuse an existing superset image.
         if ins is not None:
@@ -967,6 +993,13 @@ class LandlordCache:
                 ins.req_hit.inc()
                 ins.requested_bytes.inc(requested)
                 ins.request_s.observe(perf_counter() - t_request)
+            if slo is not None:
+                slo.on_request(
+                    "hit", requested, 0, hit.size, 0,
+                    perf_counter() - t_request,
+                    self._cached_bytes, self._unique_bytes,
+                    len(self._images),
+                )
             if tracer is not None:
                 tracer.on_request(RequestTrace(
                     request_index=request_index,
@@ -1033,6 +1066,19 @@ class LandlordCache:
                     ins.merge_distance.observe(distance)
                     self._update_gauges()
                     ins.request_s.observe(perf_counter() - t_request)
+                if slo is not None:
+                    written = (
+                        decision.image.size
+                        if self.merge_write_mode == "full"
+                        else decision.bytes_added
+                    )
+                    slo.on_request(
+                        "merge", requested, written, decision.image.size,
+                        len(decision.evicted),
+                        perf_counter() - t_request,
+                        self._cached_bytes, self._unique_bytes,
+                        len(self._images),
+                    )
                 if tracer is not None:
                     evictions = tuple(self._pending_evictions)
                     self._pending_evictions.clear()
@@ -1072,6 +1118,13 @@ class LandlordCache:
             ins.bytes_written.inc(requested)
             self._update_gauges()
             ins.request_s.observe(perf_counter() - t_request)
+        if slo is not None:
+            slo.on_request(
+                "insert", requested, requested, image.size,
+                len(evicted), perf_counter() - t_request,
+                self._cached_bytes, self._unique_bytes,
+                len(self._images),
+            )
         if tracer is not None:
             evictions = tuple(self._pending_evictions)
             self._pending_evictions.clear()

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.analysis.report import timeline_plot
+from repro.analysis.report import (
+    alert_timeline,
+    alert_timeline_lines,
+    timeline_plot,
+)
 from repro.experiments.common import Scale, base_config, experiment_main
 from repro.htc.simulator import simulate
 from repro.util.tables import render_table
@@ -26,6 +30,7 @@ def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
     """Compute this experiment's data at the given scale."""
     config = base_config(scale, seed=seed, alpha=0.75, record_timeline=True)
     result = simulate(config)
+    transitions = alert_timeline(result.timeline, capacity=config.capacity)
     return {
         "config": {
             "alpha": config.alpha,
@@ -35,6 +40,7 @@ def run(scale: Scale, seed: int = 2020) -> Dict[str, object]:
         },
         "timeline": result.timeline,
         "final": result.summary(),
+        "alerts": [t.to_jsonable() for t in transitions],
     }
 
 
@@ -73,6 +79,17 @@ def report(results: Dict[str, object]) -> str:
             title="cumulative bytes written",
         )
     )
+    lines.append("")
+    # Operational narrative: when would the default alert rules have
+    # spoken up during this run?  Typically the eviction-storm alert
+    # fires right where the occupancy plot hits the capacity ceiling
+    # and deletes begin — the paper's eviction onset, on an alert axis.
+    from repro.obs.alerts import AlertTransition
+
+    transitions = [
+        AlertTransition.from_jsonable(t) for t in results.get("alerts", [])
+    ]
+    lines.extend(alert_timeline_lines(transitions))
     lines.append("")
     lines.append(
         render_table(

@@ -78,6 +78,10 @@ class SimulationConfig:
     # SimulationResult.metrics (picklable, so parallel workers ship it
     # home for deterministic aggregation — see repro.parallel).
     collect_metrics: bool = False
+    # When True, also attach a repro.obs.SloTracker and return its final
+    # windowed series in SimulationResult.slo_window (the full enabled
+    # telemetry path the overhead benchmark bounds).
+    collect_slo: bool = False
 
     def with_(self, **changes: object) -> "SimulationConfig":
         """A modified copy (sweep helper)."""
@@ -97,6 +101,8 @@ class SimulationResult:
     # Metrics-registry snapshot (repro.obs) when the run collected one;
     # merge into a parent registry with MetricsRegistry.merge_snapshot.
     metrics: Optional[dict] = None
+    # Final rolling-window SLO series when the run attached a tracker.
+    slo_window: Optional[Dict[str, float]] = None
 
     @property
     def cache_efficiency(self) -> float:
@@ -141,6 +147,8 @@ def simulate_stream(
     config: Optional[SimulationConfig] = None,
     record_timeline: bool = True,
     metrics=None,
+    slo=None,
+    alerts=None,
 ) -> SimulationResult:
     """Drive an existing image provider over a request stream.
 
@@ -152,6 +160,11 @@ def simulate_stream(
     provider when it supports ``enable_metrics`` and records the
     simulation's own loop under the ``sim_*`` names; the registry
     snapshot rides home in ``SimulationResult.metrics``.
+
+    ``slo`` (a :class:`repro.obs.SloTracker`) attaches rolling-window
+    telemetry when the provider supports ``enable_slo``; ``alerts`` (an
+    :class:`repro.obs.AlertEngine`) is then evaluated against the window
+    after every request — neither ever perturbs decisions.
     """
     sim_requests = sim_request_s = None
     if metrics is not None:
@@ -165,6 +178,13 @@ def simulate_stream(
             "sim_request_seconds",
             "Wall-clock seconds per simulated request (simulator loop).",
         ).labels()
+    if slo is not None:
+        enable_slo = getattr(cache, "enable_slo", None)
+        if enable_slo is not None:
+            enable_slo(slo)
+    if alerts is not None and slo is None:
+        raise ValueError("alerts require an SloTracker (pass slo=)")
+    request_index = 0
     series: Dict[str, List[int]] = {name: [] for name in _TIMELINE_FIELDS}
     for spec in stream:
         if sim_requests is not None:
@@ -174,6 +194,9 @@ def simulate_stream(
             sim_requests.inc()
         else:
             cache.request(spec)
+        if alerts is not None:
+            alerts.evaluate(slo.values(), request_index)
+        request_index += 1
         if record_timeline:
             stats = cache.stats
             series["hits"].append(stats.hits)
@@ -197,6 +220,7 @@ def simulate_stream(
         n_images=len(cache),
         timeline=timeline,
         metrics=metrics.snapshot() if metrics is not None else None,
+        slo_window=slo.values() if slo is not None else None,
     )
 
 
@@ -250,7 +274,12 @@ def simulate(
         rng=spawn(config.seed, "cache-rng"),
     )
     metrics = MetricsRegistry() if config.collect_metrics else None
+    slo = None
+    if config.collect_slo:
+        from repro.obs.slo import SloTracker
+
+        slo = SloTracker()
     return simulate_stream(
         cache, stream, config=config,
-        record_timeline=config.record_timeline, metrics=metrics,
+        record_timeline=config.record_timeline, metrics=metrics, slo=slo,
     )

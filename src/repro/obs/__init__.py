@@ -17,13 +17,37 @@ Modules:
 - :mod:`repro.obs.trace` — per-request ``RequestTrace`` records and the
   ``explain`` renderer behind ``repro-landlord explain``.
 - :mod:`repro.obs.stream` — JSONL serialisation of the ``CacheEvent``
-  log and stats reconstruction from it.
+  log and stats reconstruction from it (torn final lines from a crash
+  mid-write heal like the journal's).
+- :mod:`repro.obs.slo` — rolling-window derived telemetry (windowed
+  hit rate, byte rates, efficiency, latency quantiles) updated on the
+  hot path behind the same guards.
+- :mod:`repro.obs.alerts` — declarative threshold+for-duration alert
+  rules over the windowed series, with firing/resolved life-cycles
+  exported as metrics, JSONL, and an exit code.
+- :mod:`repro.obs.server` — embedded threaded HTTP endpoint serving
+  ``/metrics``, ``/healthz``, ``/statusz``, and ``/traces/<n>``.
+- :mod:`repro.obs.dashboard` — the ``repro-landlord top`` renderer
+  (attach to a live server or replay an event stream).
+- :mod:`repro.obs.promcheck` — the strict Prometheus text-format
+  validator shared by tests and the CI scrape smoke step.
 
 Import discipline (cycle avoidance): modules here import at most
 ``repro.core.events`` and ``repro.util`` at module scope, so
 ``repro.core.cache`` may import ``repro.obs`` freely.
 """
 
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    AlertTransition,
+    DEFAULT_RULES,
+    load_rules,
+    parse_rule,
+    read_transitions,
+    write_transitions,
+)
+from .dashboard import EventReplay, frames_from_events, render_frame
 from .metrics import (
     Counter,
     Gauge,
@@ -42,6 +66,9 @@ from .stream import (
     stats_from_events,
     write_event_stream,
 )
+from .promcheck import validate_prometheus_text
+from .server import ObsServer, build_status
+from .slo import DEFAULT_WINDOW, SLO_SERIES, RollingWindow, SloTracker
 from .timing import SpanClock
 from .trace import (
     DecisionTracer,
@@ -74,4 +101,22 @@ __all__ = [
     "read_event_stream",
     "iter_event_stream",
     "stats_from_events",
+    "AlertEngine",
+    "AlertRule",
+    "AlertTransition",
+    "DEFAULT_RULES",
+    "load_rules",
+    "parse_rule",
+    "read_transitions",
+    "write_transitions",
+    "EventReplay",
+    "frames_from_events",
+    "render_frame",
+    "ObsServer",
+    "build_status",
+    "validate_prometheus_text",
+    "DEFAULT_WINDOW",
+    "SLO_SERIES",
+    "RollingWindow",
+    "SloTracker",
 ]

@@ -1,0 +1,370 @@
+"""Declarative alert rules over rolling-window SLO series.
+
+Operators of production caches express health as *rules* — "fire when
+cache efficiency stays under 0.5 for 500 requests", "fire on an
+eviction storm" — not as ad-hoc report reading.  This module evaluates
+such rules against the windowed series a
+:class:`~repro.obs.slo.SloTracker` derives, with Prometheus-style
+``pending``/``firing``/``resolved`` life-cycle semantics measured in
+*requests* (the reproduction's deterministic clock) rather than wall
+time.
+
+A rule is ``<series> <op> <threshold> for <N>``: the condition must
+hold for ``N`` consecutive evaluations before the alert transitions to
+``firing`` (``for 0`` fires immediately); when the condition stops
+holding, a firing alert transitions to ``resolved`` and a pending one
+quietly resets.  ``nan`` series values (empty window, latency not
+measured) never breach.
+
+Evaluation is a pure state machine over its inputs — property-tested to
+be deterministic — and *read-only* with respect to the cache: a run
+with alerts enabled produces a bit-identical decision sequence to one
+without (the same non-perturbation contract tracing honours).
+Transitions are exported three ways, mirroring how operators consume
+them:
+
+- **metrics** — ``alert_state{alert=...}`` gauge (1 while firing) and
+  ``alert_transitions_total{alert=...,state=...}`` counters, visible on
+  any ``/metrics`` scrape;
+- **JSONL** — :func:`write_transitions` / :func:`read_transitions`, the
+  greppable audit log;
+- **exit code** — :attr:`AlertEngine.exit_code` is non-zero when any
+  rule ever fired, so a CI job can gate on "replay this trace and fail
+  if the eviction-storm alert fires".
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "AlertRule",
+    "AlertTransition",
+    "AlertEngine",
+    "parse_rule",
+    "load_rules",
+    "write_transitions",
+    "read_transitions",
+    "DEFAULT_RULES",
+]
+
+PathLike = Union[str, Path]
+
+_OPS = {
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "==": lambda value, threshold: value == threshold,
+    "!=": lambda value, threshold: value != threshold,
+}
+
+_EXPR_RE = re.compile(
+    r"^\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*(<=|>=|==|!=|<|>)\s*"
+    r"([-+0-9.eE]+)\s*$"
+)
+
+#: States an alert can be in.
+_INACTIVE, _PENDING, _FIRING = "inactive", "pending", "firing"
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule: ``series op threshold`` held ``for`` N.
+
+    ``for_requests`` counts consecutive breaching *evaluations* (one
+    per request when driven from the hot path): the alert fires on the
+    N-th consecutive breach; 0 and 1 both fire on the first.
+    """
+
+    name: str
+    series: str
+    op: str
+    threshold: float
+    for_requests: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+        if self.for_requests < 0:
+            raise ValueError("for_requests must be non-negative")
+
+    @property
+    def expr(self) -> str:
+        """The rule condition back as its ``series op threshold`` text."""
+        return f"{self.series} {self.op} {self.threshold:g}"
+
+    def breaches(self, values: Mapping[str, float]) -> bool:
+        """Whether the condition holds for one set of series values.
+
+        Missing or ``nan`` series never breach — an empty window is
+        silence, not an incident.
+        """
+        value = values.get(self.series)
+        if value is None or math.isnan(value):
+            return False
+        return _OPS[self.op](value, self.threshold)
+
+    def to_jsonable(self) -> dict:
+        """JSON-safe dict form (the rule-file entry format)."""
+        return {
+            "name": self.name,
+            "expr": self.expr,
+            "for": self.for_requests,
+        }
+
+
+@dataclass(frozen=True)
+class AlertTransition:
+    """One alert state change: the audit-log record."""
+
+    rule: str
+    state: str  # "pending" | "firing" | "resolved"
+    request_index: int
+    value: float
+
+    def to_jsonable(self) -> dict:
+        """JSON-safe dict form (one JSONL line)."""
+        return {
+            "rule": self.rule,
+            "state": self.state,
+            "request_index": self.request_index,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "AlertTransition":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            rule=data["rule"],
+            state=data["state"],
+            request_index=data["request_index"],
+            value=data["value"],
+        )
+
+
+def parse_rule(data: "Union[dict, str]", index: int = 0) -> AlertRule:
+    """Build an :class:`AlertRule` from a rule-file entry.
+
+    An entry is a dict ``{"name": ..., "expr": "series op threshold",
+    "for": N}`` (``name`` defaults to a slug of the expression, ``for``
+    to 0) or a bare expression string.
+    """
+    if isinstance(data, str):
+        data = {"expr": data}
+    expr = data.get("expr")
+    if not expr:
+        raise ValueError(f"alert rule #{index} has no 'expr'")
+    match = _EXPR_RE.match(expr)
+    if not match:
+        raise ValueError(
+            f"unparseable alert expression {expr!r} "
+            "(expected: <series> <op> <threshold>)"
+        )
+    series, op, threshold = match.groups()
+    name = data.get("name") or re.sub(r"\s+", "-", expr.strip())
+    return AlertRule(
+        name=name,
+        series=series,
+        op=op,
+        threshold=float(threshold),
+        for_requests=int(data.get("for", 0)),
+    )
+
+
+def load_rules(path: PathLike) -> List[AlertRule]:
+    """Load a JSON rule file: a list of rule entries (see
+    :func:`parse_rule`), or ``{"rules": [...]}``.
+
+    Duplicate rule names are rejected — the name keys the state machine
+    and every export.
+    """
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(raw, dict):
+        raw = raw.get("rules", [])
+    if not isinstance(raw, list):
+        raise ValueError(f"alert rule file {path}: expected a JSON list")
+    rules = [parse_rule(entry, i) for i, entry in enumerate(raw)]
+    seen = set()
+    for rule in rules:
+        if rule.name in seen:
+            raise ValueError(f"duplicate alert rule name {rule.name!r}")
+        seen.add(rule.name)
+    return rules
+
+
+#: The default operational rule set (used by Figure 5's narrative and
+#: as a starting point for sites): a sustained cache-efficiency slump
+#: and an eviction storm.
+DEFAULT_RULES: Sequence[AlertRule] = (
+    AlertRule("low-cache-efficiency", "cache_efficiency", "<", 0.5, 50),
+    AlertRule("eviction-storm", "eviction_rate", ">", 0.5, 25),
+)
+
+
+class _RuleState:
+    __slots__ = ("state", "breaching_for")
+
+    def __init__(self) -> None:
+        self.state = _INACTIVE
+        self.breaching_for = 0
+
+
+class AlertEngine:
+    """Evaluates alert rules and tracks their firing life-cycle.
+
+    Call :meth:`evaluate` once per request (the CLI and simulator do
+    this wherever an :class:`~repro.obs.slo.SloTracker` is attached);
+    it returns the transitions that evaluation caused and appends them
+    to :attr:`transitions`.  Attach a registry to also export state as
+    metrics.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[AlertRule] = DEFAULT_RULES,
+        registry=None,
+    ) -> None:
+        self.rules: List[AlertRule] = list(rules)
+        self._states: Dict[str, _RuleState] = {
+            rule.name: _RuleState() for rule in self.rules
+        }
+        if len(self._states) != len(self.rules):
+            raise ValueError("duplicate alert rule names")
+        self.transitions: List[AlertTransition] = []
+        self.fired_ever = False
+        self._state_gauge = None
+        self._transition_counter = None
+        if registry is not None:
+            self.enable_metrics(registry)
+
+    def enable_metrics(self, registry) -> None:
+        """Export alert state into ``registry`` from now on."""
+        self._state_gauge = registry.gauge(
+            "alert_state",
+            "1 while the alert is firing, 0 otherwise.",
+            labelnames=("alert",),
+        )
+        self._transition_counter = registry.counter(
+            "alert_transitions_total",
+            "Alert life-cycle transitions, by rule and new state.",
+            labelnames=("alert", "state"),
+        )
+        for rule in self.rules:
+            state = self._states[rule.name].state
+            self._state_gauge.set(
+                1 if state == _FIRING else 0, alert=rule.name
+            )
+
+    def evaluate(
+        self, values: Mapping[str, float], request_index: int
+    ) -> List[AlertTransition]:
+        """Advance every rule's state machine by one observation.
+
+        ``values`` is a series→value mapping (normally
+        ``SloTracker.values()``); ``request_index`` stamps any
+        transitions.  Deterministic: the same sequence of calls always
+        yields the same transitions.
+        """
+        out: List[AlertTransition] = []
+
+        def emit(rule: AlertRule, state: str) -> None:
+            transition = AlertTransition(
+                rule=rule.name,
+                state=state,
+                request_index=request_index,
+                value=float(values.get(rule.series, float("nan"))),
+            )
+            out.append(transition)
+            self.transitions.append(transition)
+            if self._transition_counter is not None:
+                self._transition_counter.inc(alert=rule.name, state=state)
+            if self._state_gauge is not None:
+                self._state_gauge.set(
+                    1 if state == _FIRING else 0, alert=rule.name
+                )
+
+        for rule in self.rules:
+            rs = self._states[rule.name]
+            if rule.breaches(values):
+                rs.breaching_for += 1
+                if rs.state == _FIRING:
+                    continue
+                if rs.breaching_for >= max(rule.for_requests, 1):
+                    rs.state = _FIRING
+                    self.fired_ever = True
+                    emit(rule, _FIRING)
+                elif rs.state == _INACTIVE:
+                    rs.state = _PENDING
+                    emit(rule, _PENDING)
+            else:
+                rs.breaching_for = 0
+                if rs.state == _FIRING:
+                    rs.state = _INACTIVE
+                    emit(rule, "resolved")
+                elif rs.state == _PENDING:
+                    rs.state = _INACTIVE
+        return out
+
+    def firing(self) -> List[str]:
+        """Names of the rules currently firing, in rule order."""
+        return [
+            rule.name
+            for rule in self.rules
+            if self._states[rule.name].state == _FIRING
+        ]
+
+    def state_of(self, name: str) -> str:
+        """Current life-cycle state of one rule by name."""
+        return self._states[name].state
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no rule ever fired, 1 otherwise (the CI gate)."""
+        return 1 if self.fired_ever else 0
+
+    def summary(self) -> List[dict]:
+        """One JSON-safe status row per rule (the ``/statusz`` shape)."""
+        return [
+            {
+                "name": rule.name,
+                "expr": rule.expr,
+                "for": rule.for_requests,
+                "state": self._states[rule.name].state,
+            }
+            for rule in self.rules
+        ]
+
+
+def write_transitions(
+    transitions: Iterable[AlertTransition],
+    path: PathLike,
+    append: bool = False,
+) -> Path:
+    """Write transitions as JSON-lines (the alert audit log)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mode = "a" if append else "w"
+    with path.open(mode, encoding="utf-8") as fh:
+        for transition in transitions:
+            fh.write(
+                json.dumps(transition.to_jsonable(), sort_keys=True) + "\n"
+            )
+    return path
+
+
+def read_transitions(path: PathLike) -> List[AlertTransition]:
+    """Read a JSONL transition log back (inverse of
+    :func:`write_transitions`)."""
+    out: List[AlertTransition] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(AlertTransition.from_jsonable(json.loads(line)))
+    return out

@@ -1,0 +1,73 @@
+"""Strict validator for the Prometheus text exposition subset we emit.
+
+Lives in the package (not the test tree) so the same checker guards
+three surfaces: the unit tests over ``MetricsRegistry.to_prometheus``,
+the CI serve-and-scrape smoke step (``python -m repro.obs.promcheck``
+over a curl'ed ``/metrics`` body), and ad-hoc operator debugging.
+
+Checked properties: every sample line parses; every sample is preceded
+by a ``# TYPE`` declaration of a known kind; histogram bucket counts
+are cumulative, end at ``le="+Inf"``, and equal ``_count``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+__all__ = ["validate_prometheus_text", "main"]
+
+_SAMPLE_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$")
+
+
+def validate_prometheus_text(text: str) -> None:
+    """Assert ``text`` is well-formed exposition output; raise on drift.
+
+    Raises :class:`AssertionError` naming the offending line or
+    histogram; returns ``None`` on success.
+    """
+    typed = {}
+    for line in text.strip().split("\n"):
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in {"counter", "gauge", "histogram"}
+            typed[name] = kind
+            continue
+        assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
+        name = re.split(r"[{ ]", line, 1)[0]
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in typed or base in typed, f"sample before TYPE: {line!r}"
+    for name, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = re.findall(
+            rf'^{name}_bucket{{.*le="([^"]+)"}} (\d+)$', text, re.M
+        )
+        assert buckets, f"histogram {name} has no buckets"
+        counts = [int(c) for _, c in buckets]
+        assert counts == sorted(counts), f"{name} buckets not cumulative"
+        assert buckets[-1][0] == "+Inf"
+        (total,) = re.findall(rf"^{name}_count(?:{{.*}})? (\d+)$", text, re.M)
+        assert int(total) == counts[-1]
+
+
+def main(argv=None) -> int:
+    """Validate a scrape body given as a file argument (or stdin)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv:
+        text = open(argv[0], encoding="utf-8").read()
+    else:
+        text = sys.stdin.read()
+    try:
+        validate_prometheus_text(text)
+    except AssertionError as exc:
+        print(f"invalid exposition format: {exc}", file=sys.stderr)
+        return 1
+    print("exposition format ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

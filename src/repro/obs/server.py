@@ -1,0 +1,299 @@
+"""Embedded observability HTTP server — zero-dependency, stdlib only.
+
+Production cache fleets are watched by *scraping*: a Prometheus server
+polls ``/metrics``, Kubernetes probes ``/healthz``, humans curl
+``/statusz``.  This module gives a running LANDLORD the same surface
+using only :mod:`http.server` (the container image bakes in no HTTP
+framework), serving from a daemon thread so the request loop never
+blocks on a scraper:
+
+- ``GET /metrics`` — the live registry in Prometheus text exposition
+  format (refreshed through an optional ``on_scrape`` hook, which the
+  CLI uses to mirror the rolling SLO window into gauges);
+- ``GET /healthz`` — liveness JSON (``{"status": "ok", ...}``);
+- ``GET /statusz`` — one JSON cache snapshot: occupancy, the
+  hit/merge/insert/evict mix, α, windowed SLO series, alert states
+  (built by :func:`build_status`);
+- ``GET /traces/<n>`` — the last *n* decision narratives (the
+  ``explain`` renderer) from a bounded ring buffer — a
+  :class:`~repro.obs.trace.DecisionTracer` with a ``limit``.
+
+The server only ever *reads* shared state.  Scrapes race the request
+loop benignly under the GIL for scalar reads; an optional ``lock`` can
+serialise scrape rendering against mutation for callers that want
+strict consistency (the CLI's serve loop passes one and holds it while
+applying requests).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import monotonic
+from typing import Callable, Dict, Optional
+
+__all__ = ["ObsServer", "build_status"]
+
+
+def build_status(cache, slo=None, alerts=None, extra: Optional[dict] = None) -> dict:
+    """One JSON-safe status snapshot of a live cache (the ``/statusz``
+    body).
+
+    Always includes configuration (capacity, α), occupancy, and the
+    lifetime hit/merge/insert/evict mix from
+    :class:`~repro.core.cache.CacheStats`; adds the rolling-window SLO
+    series when an :class:`~repro.obs.slo.SloTracker` is attached and
+    the per-rule alert states when an
+    :class:`~repro.obs.alerts.AlertEngine` is.  ``nan`` window values
+    are dropped (JSON has no NaN).
+    """
+    import math
+
+    stats = cache.stats
+    status: Dict[str, object] = {
+        "alpha": cache.alpha,
+        "capacity_bytes": cache.capacity,
+        "cached_bytes": cache.cached_bytes,
+        "unique_bytes": cache.unique_bytes,
+        "occupancy": (
+            cache.cached_bytes / cache.capacity if cache.capacity else None
+        ),
+        "cache_efficiency": cache.cache_efficiency,
+        "images": len(cache),
+        "lifetime": {
+            "requests": stats.requests,
+            "hits": stats.hits,
+            "merges": stats.merges,
+            "inserts": stats.inserts,
+            "evictions": stats.deletes,
+            "evictions_capacity": stats.evictions_capacity,
+            "evictions_idle": stats.evictions_idle,
+            "hit_rate": stats.hit_rate,
+            "requested_bytes": stats.requested_bytes,
+            "bytes_written": stats.bytes_written,
+            "container_efficiency": stats.container_efficiency,
+        },
+    }
+    if slo is not None:
+        status["window"] = {
+            "size": slo.window,
+            "series": {
+                name: value
+                for name, value in slo.values().items()
+                if not math.isnan(value)
+            },
+        }
+    if alerts is not None:
+        status["alerts"] = alerts.summary()
+        status["alerts_firing"] = alerts.firing()
+    if extra:
+        status.update(extra)
+    return status
+
+
+class ObsServer:
+    """Threaded HTTP endpoint over a registry, status source, and traces.
+
+    Args:
+        registry: :class:`~repro.obs.metrics.MetricsRegistry` rendered
+            by ``/metrics`` (``None`` serves an empty exposition).
+        status_fn: zero-argument callable returning the ``/statusz``
+            dict (typically ``lambda: build_status(cache, slo, alerts)``).
+        tracer: bounded :class:`~repro.obs.trace.DecisionTracer` backing
+            ``/traces/<n>`` (``None`` → 404).
+        host / port: bind address; port 0 binds an ephemeral port —
+            read the outcome from :attr:`port` / :attr:`url`.
+        on_scrape: called (under ``lock`` if given) before rendering
+            ``/metrics`` — the freshness hook for windowed gauges.
+        lock: optional :class:`threading.Lock` serialising scrape
+            rendering against cache mutation.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        status_fn: Optional[Callable[[], dict]] = None,
+        tracer=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_scrape: Optional[Callable[[], None]] = None,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        self.registry = registry
+        self.status_fn = status_fn
+        self.tracer = tracer
+        self.on_scrape = on_scrape
+        self.lock = lock
+        self._host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self.scrapes = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the server thread is live."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port once started (resolves ephemeral port 0)."""
+        return self._httpd.server_address[1] if self._httpd else None
+
+    @property
+    def url(self) -> Optional[str]:
+        """Base URL once started, e.g. ``http://127.0.0.1:43210``."""
+        if self._httpd is None:
+            return None
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> int:
+        """Bind and serve from a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._started_at = monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut down cleanly; idempotent."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        """Context-manager start (``with ObsServer(...) as srv:``)."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager clean stop."""
+        self.stop()
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def _uptime(self) -> float:
+        return monotonic() - self._started_at if self._started_at else 0.0
+
+    def _render_metrics(self) -> str:
+        if self.on_scrape is not None:
+            self.on_scrape()
+        self.scrapes += 1
+        return self.registry.to_prometheus() if self.registry else ""
+
+    def _render_health(self) -> str:
+        return json.dumps(
+            {
+                "status": "ok",
+                "uptime_seconds": round(self._uptime(), 3),
+                "scrapes": self.scrapes,
+            }
+        )
+
+    def _render_status(self) -> str:
+        status = self.status_fn() if self.status_fn else {}
+        return json.dumps(status, sort_keys=True, default=str)
+
+    def _render_traces(self, n: int) -> Optional[str]:
+        if self.tracer is None:
+            return None
+        traces = self.tracer.traces()[-n:]
+        if not traces:
+            return "no traces recorded\n"
+        return "\n\n".join(t.explain() for t in traces) + "\n"
+
+
+def _make_handler(server: "ObsServer"):
+    """Build the request-handler class closed over one ObsServer."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # scrapers are chatty; stay silent
+
+        def _reply(self, code: int, body: str, content_type: str) -> None:
+            data = body.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self):  # noqa: N802 - stdlib casing
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            lock = server.lock
+            try:
+                if lock is not None:
+                    lock.acquire()
+                try:
+                    if path == "/metrics":
+                        self._reply(
+                            200,
+                            server._render_metrics(),
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                    elif path == "/healthz":
+                        self._reply(
+                            200, server._render_health(), "application/json"
+                        )
+                    elif path == "/statusz":
+                        self._reply(
+                            200, server._render_status(), "application/json"
+                        )
+                    elif path.startswith("/traces"):
+                        tail = path[len("/traces"):].lstrip("/")
+                        try:
+                            n = int(tail) if tail else 10
+                        except ValueError:
+                            self._reply(
+                                400, f"bad trace count {tail!r}\n",
+                                "text/plain",
+                            )
+                            return
+                        if n < 1:
+                            self._reply(
+                                400, "trace count must be >= 1\n",
+                                "text/plain",
+                            )
+                            return
+                        body = server._render_traces(n)
+                        if body is None:
+                            self._reply(
+                                404, "tracing not enabled\n", "text/plain"
+                            )
+                        else:
+                            self._reply(200, body, "text/plain; charset=utf-8")
+                    else:
+                        self._reply(
+                            404,
+                            "endpoints: /metrics /healthz /statusz "
+                            "/traces/<n>\n",
+                            "text/plain",
+                        )
+                finally:
+                    if lock is not None:
+                        lock.release()
+            except BrokenPipeError:  # scraper went away mid-reply
+                pass
+
+    return Handler

@@ -1,0 +1,312 @@
+"""Rolling-window derived telemetry (SLO series) over the landlord loop.
+
+PR 3's :class:`~repro.obs.metrics.MetricsRegistry` records *lifetime*
+counters; operators watch *windows* — "what is the hit rate over the
+last 500 requests", "are evictions storming right now".  This module
+derives exactly those series, updated on the cache's hot path behind
+the same ``is not None`` guard discipline the instruments use (see
+``benchmarks/test_obs_overhead.py`` for the disabled-path bound and the
+enabled-path bound this module must fit inside).
+
+A :class:`SloTracker` is attached with
+:meth:`~repro.core.cache.LandlordCache.enable_slo` and receives one
+:meth:`SloTracker.on_request` call per request.  It maintains, over a
+request-count window (a ring buffer with O(1) rolling sums):
+
+- the windowed **hit/merge/insert mix** and hit rate;
+- the windowed **merge-rewrite byte-rate** (bytes written per request —
+  the paper's Actual Writes, localised in time);
+- windowed **container efficiency** (requested/used bytes) and the
+  instantaneous **cache efficiency** and **occupancy** gauges;
+- the windowed **eviction rate** (evictions per request — the
+  "eviction storm" signal);
+- **p50/p95/p99 request latency** by streaming the same fixed bucket
+  scheme the latency histograms use: each request pushes one bucket
+  index and pops the expired one, so a window quantile is a single
+  pass over ~20 bucket counts, never a sort over raw samples.
+
+Every series is a plain float readable via :meth:`SloTracker.values`,
+which is what the alert engine (:mod:`repro.obs.alerts`), the
+``/statusz`` endpoint (:mod:`repro.obs.server`), and the ``top``
+dashboard (:mod:`repro.obs.dashboard`) all consume.  Latency series are
+wall-clock and therefore non-deterministic; every other series is a
+pure function of the decision sequence, so alert rules over them
+evaluate bit-identically across runs (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Optional, Sequence, Tuple
+
+from .metrics import DEFAULT_TIME_BUCKETS
+
+__all__ = [
+    "RollingWindow",
+    "SloTracker",
+    "quantile_from_buckets",
+    "DEFAULT_WINDOW",
+    "SLO_SERIES",
+]
+
+DEFAULT_WINDOW = 500
+
+#: Every series name a tracker exposes, in display order.  Alert rules
+#: may reference any of these; ``latency_*`` are wall-clock (present
+#: only when the cache measured latencies) and everything else is a
+#: deterministic function of the decision sequence.
+SLO_SERIES: Tuple[str, ...] = (
+    "window_requests",
+    "hit_rate",
+    "merge_rate",
+    "insert_rate",
+    "eviction_rate",
+    "write_bytes_per_request",
+    "requested_bytes_per_request",
+    "container_efficiency",
+    "cache_efficiency",
+    "occupancy",
+    "images",
+    "latency_p50",
+    "latency_p95",
+    "latency_p99",
+)
+
+_ACTIONS = ("hit", "merge", "insert")
+
+
+def quantile_from_buckets(
+    uppers: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile from cumulative-free bucket counts.
+
+    ``counts`` has one slot per upper bound plus a final ``+Inf`` slot
+    (the layout of :class:`~repro.obs.metrics.Histogram` children and of
+    the tracker's rolling latency buckets).  Linear interpolation within
+    the containing bucket, matching PromQL's ``histogram_quantile``;
+    ``nan`` when the window is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    rank = q * total
+    seen = 0
+    for i, bucket_count in enumerate(counts):
+        if seen + bucket_count >= rank and bucket_count:
+            lower = 0.0 if i == 0 else uppers[i - 1]
+            upper = uppers[i] if i < len(uppers) else uppers[-1]
+            fraction = (rank - seen) / bucket_count
+            return lower + (upper - lower) * min(1.0, fraction)
+        seen += bucket_count
+    return uppers[-1]  # pragma: no cover - defensive
+
+
+class RollingWindow:
+    """A fixed-size ring buffer of floats with an O(1) rolling sum."""
+
+    __slots__ = ("size", "_values", "_sum")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.size = size
+        self._values: Deque[float] = deque()
+        self._sum = 0.0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def push(self, value: float) -> None:
+        """Append one sample, expiring the oldest when full."""
+        self._values.append(value)
+        self._sum += value
+        if len(self._values) > self.size:
+            self._sum -= self._values.popleft()
+
+    @property
+    def sum(self) -> float:
+        """Sum of the samples currently in the window."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean of the samples in the window (``nan`` when empty)."""
+        return self._sum / len(self._values) if self._values else float("nan")
+
+
+class SloTracker:
+    """Derives rolling-window series from per-request observations.
+
+    One :meth:`on_request` call per served request keeps every series
+    current in O(1); :meth:`values` exposes them as a flat name→float
+    mapping (see :data:`SLO_SERIES`).  Wall-clock latency is optional —
+    pass ``latency_s=None`` (event replays, deterministic tests) and the
+    ``latency_*`` series stay ``nan`` without perturbing anything else.
+    """
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.capacity: Optional[int] = None
+        self.alpha: Optional[float] = None
+        self._uppers = tuple(float(b) for b in buckets)
+        # Per-request parallel windows (all trimmed together).
+        self._actions: Deque[int] = deque()  # index into _ACTIONS
+        self._action_counts = [0, 0, 0]
+        self._evictions = RollingWindow(window)
+        self._written = RollingWindow(window)
+        self._requested = RollingWindow(window)
+        self._used = RollingWindow(window)
+        # Rolling latency bucket counts; -1 marks "no latency sample".
+        self._lat_buckets: Deque[int] = deque()
+        self._lat_counts = [0] * (len(self._uppers) + 1)
+        # Instantaneous gauges (set from the cache on every request).
+        self._cached_bytes = 0
+        self._unique_bytes: Optional[int] = 0
+        self._images = 0
+        self.requests = 0
+
+    def configure(self, capacity: int, alpha: float) -> None:
+        """Record static cache configuration (shown on dashboards)."""
+        self.capacity = capacity
+        self.alpha = alpha
+
+    def _bucket_of(self, latency_s: float) -> int:
+        lo, hi = 0, len(self._uppers)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if latency_s <= self._uppers[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def on_request(
+        self,
+        action: str,
+        requested_bytes: int,
+        bytes_written: int,
+        used_bytes: int,
+        evictions: int,
+        latency_s: Optional[float],
+        cached_bytes: int,
+        unique_bytes: Optional[int],
+        images: int,
+    ) -> None:
+        """Fold one served request into the window (cache hook).
+
+        ``action`` is ``"hit"``/``"merge"``/``"insert"``; the byte
+        arguments are that request's requested bytes, build/rewrite I/O,
+        and the size of the image it ran with; ``evictions`` counts
+        capacity victims it triggered; the three gauges are the cache's
+        state *after* the request.  ``unique_bytes`` may be ``None``
+        (event-stream replays cannot reconstruct package overlap) —
+        ``cache_efficiency`` then reads ``nan``.
+        """
+        self.requests += 1
+        action_index = _ACTIONS.index(action)
+        self._actions.append(action_index)
+        self._action_counts[action_index] += 1
+        if len(self._actions) > self.window:
+            self._action_counts[self._actions.popleft()] -= 1
+        self._evictions.push(float(evictions))
+        self._written.push(float(bytes_written))
+        self._requested.push(float(requested_bytes))
+        self._used.push(float(used_bytes))
+        bucket = -1 if latency_s is None else self._bucket_of(latency_s)
+        self._lat_buckets.append(bucket)
+        if bucket >= 0:
+            self._lat_counts[bucket] += 1
+        if len(self._lat_buckets) > self.window:
+            expired = self._lat_buckets.popleft()
+            if expired >= 0:
+                self._lat_counts[expired] -= 1
+        self._cached_bytes = cached_bytes
+        self._unique_bytes = unique_bytes
+        self._images = images
+
+    # -- derived series ----------------------------------------------------
+
+    @property
+    def window_requests(self) -> int:
+        """How many requests the window currently holds (≤ ``window``)."""
+        return len(self._actions)
+
+    def latency_quantile(self, q: float) -> float:
+        """Windowed request-latency quantile (``nan`` with no samples)."""
+        return quantile_from_buckets(self._uppers, self._lat_counts, q)
+
+    def values(self) -> Dict[str, float]:
+        """Every windowed series as a flat name → float mapping.
+
+        Rates are per-request over the current window contents; empty
+        windows yield ``nan`` so alert conditions (which treat ``nan``
+        as not-breaching) stay quiet until data arrives.
+        """
+        n = len(self._actions)
+        nan = float("nan")
+        if n:
+            hit_rate = self._action_counts[0] / n
+            merge_rate = self._action_counts[1] / n
+            insert_rate = self._action_counts[2] / n
+            eviction_rate = self._evictions.sum / n
+            write_rate = self._written.sum / n
+            requested_rate = self._requested.sum / n
+        else:
+            hit_rate = merge_rate = insert_rate = nan
+            eviction_rate = write_rate = requested_rate = nan
+        used = self._used.sum
+        container_eff = self._requested.sum / used if used else nan
+        if self._unique_bytes is None:
+            cache_eff = nan
+        elif self._cached_bytes:
+            cache_eff = self._unique_bytes / self._cached_bytes
+        else:
+            cache_eff = 1.0
+        occupancy = (
+            self._cached_bytes / self.capacity
+            if self.capacity
+            else nan
+        )
+        return {
+            "window_requests": float(n),
+            "hit_rate": hit_rate,
+            "merge_rate": merge_rate,
+            "insert_rate": insert_rate,
+            "eviction_rate": eviction_rate,
+            "write_bytes_per_request": write_rate,
+            "requested_bytes_per_request": requested_rate,
+            "container_efficiency": container_eff,
+            "cache_efficiency": cache_eff,
+            "occupancy": occupancy,
+            "images": float(self._images),
+            "latency_p50": self.latency_quantile(0.50),
+            "latency_p95": self.latency_quantile(0.95),
+            "latency_p99": self.latency_quantile(0.99),
+        }
+
+    def export_to(self, registry) -> None:
+        """Mirror the current window into ``slo_*`` gauges.
+
+        Called by the ``/metrics`` handler on every scrape, so scrapes
+        see the freshest window without the hot path paying for gauge
+        writes per request.  ``nan`` series (empty window, latency not
+        measured) are skipped rather than exported.
+        """
+        gauges = registry.gauge(
+            "slo_window",
+            "Rolling-window SLO series (window of "
+            f"{self.window} requests).",
+            labelnames=("series",),
+        )
+        for name, value in self.values().items():
+            if not math.isnan(value):
+                gauges.set(value, series=name)

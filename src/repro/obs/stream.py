@@ -82,18 +82,50 @@ def write_event_stream(events: Iterable[CacheEvent], path: PathLike) -> Path:
     return path
 
 
-def iter_event_stream(path: PathLike) -> Iterator[CacheEvent]:
-    """Lazily yield events from a JSONL stream file."""
+def iter_event_stream(
+    path: PathLike, heal_torn_tail: bool = True
+) -> Iterator[CacheEvent]:
+    """Lazily yield events from a JSONL stream file.
+
+    A *torn final line* — a truncated JSON fragment left by a writer
+    that crashed mid-write — is silently dropped, the same healing
+    contract the write-ahead journal honours: the stream replays to
+    the last complete event instead of raising.  A malformed line that
+    is *not* last is real corruption and raises :class:`ValueError`
+    (pass ``heal_torn_tail=False`` to make even a torn tail raise).
+    """
+    pending_error: "tuple[str, Exception] | None" = None
     with Path(path).open(encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                yield event_from_jsonable(json.loads(line))
+            if not line:
+                continue
+            if pending_error is not None:
+                bad, exc = pending_error
+                raise ValueError(
+                    f"corrupt event stream {path}: unparseable non-final "
+                    f"line {bad!r}: {exc}"
+                )
+            try:
+                event = event_from_jsonable(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if not heal_torn_tail:
+                    raise ValueError(
+                        f"corrupt event stream {path}: {line!r}: {exc}"
+                    ) from exc
+                # Maybe a torn tail: defer the verdict until we know
+                # whether any later line exists.
+                pending_error = (line, exc)
+                continue
+            yield event
 
 
-def read_event_stream(path: PathLike) -> List[CacheEvent]:
-    """Read a whole JSONL stream file into a list."""
-    return list(iter_event_stream(path))
+def read_event_stream(
+    path: PathLike, heal_torn_tail: bool = True
+) -> List[CacheEvent]:
+    """Read a whole JSONL stream file into a list (healing a torn
+    final line unless ``heal_torn_tail=False``)."""
+    return list(iter_event_stream(path, heal_torn_tail=heal_torn_tail))
 
 
 def stats_from_events(events: Iterable[CacheEvent]):

@@ -181,6 +181,54 @@ class TestReplayObservability:
         assert stats.requests == n
 
 
+class TestReplayAlerts:
+    def make_stream(self, tmp_path):
+        stream = tmp_path / "stream.jsonl"
+        assert main(["trace", str(stream), "--scale", "tiny"]) == 0
+        return stream
+
+    def test_fired_rule_gates_exit_code(self, tmp_path, capsys):
+        stream = self.make_stream(tmp_path)
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([
+            {"name": "always", "expr": "window_requests > 0"},
+        ]))
+        log = tmp_path / "transitions.jsonl"
+        rc = main([
+            "replay", str(stream), "--scale", "tiny",
+            "--alert-rules", str(rules), "--alert-log", str(log),
+        ])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "alert always [firing]" in captured.out
+        assert "ALERT:" in captured.err
+        from repro.obs import read_transitions
+
+        transitions = read_transitions(log)
+        assert transitions[0].rule == "always"
+        assert transitions[0].state == "firing"
+
+    def test_quiet_rules_exit_zero(self, tmp_path, capsys):
+        stream = self.make_stream(tmp_path)
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps(["eviction_rate > 99"]))
+        rc = main([
+            "replay", str(stream), "--scale", "tiny",
+            "--alert-rules", str(rules),
+        ])
+        assert rc == 0
+        assert "[inactive]" in capsys.readouterr().out
+
+    def test_unreadable_rules_exit_2(self, tmp_path, capsys):
+        stream = self.make_stream(tmp_path)
+        rc = main([
+            "replay", str(stream), "--scale", "tiny",
+            "--alert-rules", str(tmp_path / "absent.json"),
+        ])
+        assert rc == 2
+        assert "cannot read alert rules" in capsys.readouterr().err
+
+
 class TestSweepMetrics:
     def test_sweep_metrics_out(self, tmp_path, capsys):
         metrics = tmp_path / "sweep.json"

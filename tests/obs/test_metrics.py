@@ -2,7 +2,6 @@
 
 import json
 import math
-import re
 
 import pytest
 
@@ -13,6 +12,12 @@ from repro.obs.metrics import (
     load_registry,
     save_registry,
 )
+
+# The strict exposition-format validator lives in the package
+# (repro.obs.promcheck) so that the CI scrape smoke step and these unit
+# tests run the exact same checker; re-exported here because
+# tests/obs/test_cli_obs.py also imports it from this module.
+from repro.obs.promcheck import validate_prometheus_text
 
 
 class TestCounter:
@@ -152,42 +157,6 @@ class TestRegistry:
         assert "request_seconds" not in snap["families"]
         # the full snapshot still carries it
         assert "request_seconds" in reg.snapshot()["families"]
-
-
-# A deliberately strict validator for the subset of the Prometheus text
-# exposition format this repo emits: HELP/TYPE headers, cumulative
-# histogram buckets ending at +Inf == _count, and parseable sample lines.
-_SAMPLE_RE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
-)
-
-
-def validate_prometheus_text(text: str) -> None:
-    typed = {}
-    for line in text.strip().split("\n"):
-        if line.startswith("# HELP "):
-            continue
-        if line.startswith("# TYPE "):
-            _, _, name, kind = line.split(" ")
-            assert kind in {"counter", "gauge", "histogram"}
-            typed[name] = kind
-            continue
-        assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
-        name = re.split(r"[{ ]", line, 1)[0]
-        base = re.sub(r"_(bucket|sum|count)$", "", name)
-        assert name in typed or base in typed, f"sample before TYPE: {line!r}"
-    for name, kind in typed.items():
-        if kind != "histogram":
-            continue
-        buckets = re.findall(
-            rf'^{name}_bucket{{.*le="([^"]+)"}} (\d+)$', text, re.M
-        )
-        assert buckets, f"histogram {name} has no buckets"
-        counts = [int(c) for _, c in buckets]
-        assert counts == sorted(counts), f"{name} buckets not cumulative"
-        assert buckets[-1][0] == "+Inf"
-        (total,) = re.findall(rf"^{name}_count(?:{{.*}})? (\d+)$", text, re.M)
-        assert int(total) == counts[-1]
 
 
 class TestPrometheusExport:

@@ -1,0 +1,277 @@
+"""Tests for repro.obs.server — endpoints, lifecycle, and the CLI's
+`submit --serve` loop end to end (subprocess + SIGTERM)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import LandlordCache
+from repro.obs import (
+    AlertEngine,
+    DecisionTracer,
+    MetricsRegistry,
+    ObsServer,
+    SloTracker,
+    build_status,
+    validate_prometheus_text,
+)
+
+SIZE = {f"p{i}": 10 * (i % 5 + 1) for i in range(20)}
+
+
+def get(url):
+    """GET a URL; returns (status, content_type, body_text)."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type", ""), (
+            error.read().decode("utf-8")
+        )
+
+
+def make_cache(n_requests=30):
+    cache = LandlordCache(500, 0.5, SIZE.__getitem__)
+    for i in range(n_requests):
+        cache.request(frozenset({f"p{i % 8}", f"p{(i + 3) % 8}"}))
+    return cache
+
+
+@pytest.fixture()
+def served():
+    """A fully-wired server over a live cache; yields (server, url)."""
+    cache = make_cache()
+    registry = MetricsRegistry()
+    registry.counter("landlord_requests_total", "Requests.").inc(
+        cache.stats.requests
+    )
+    slo = SloTracker(window=20)
+    cache.enable_slo(slo)
+    cache.request(frozenset({"p0", "p1"}))  # one request through the slo
+    alerts = AlertEngine()
+    server = ObsServer(
+        registry,
+        status_fn=lambda: build_status(cache, slo=slo, alerts=alerts),
+        on_scrape=lambda: slo.export_to(registry),
+    )
+    port = server.start()
+    try:
+        yield server, f"http://127.0.0.1:{port}"
+    finally:
+        server.stop()
+
+
+class TestEndpoints:
+    def test_metrics_is_valid_exposition(self, served):
+        server, url = served
+        status, content_type, body = get(url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        validate_prometheus_text(body)
+        assert "landlord_requests_total" in body
+        # the on_scrape hook mirrored the window into slo gauges
+        assert 'slo_window{series="hit_rate"}' in body
+
+    def test_healthz(self, served):
+        server, url = served
+        get(url + "/metrics")
+        status, content_type, body = get(url + "/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["scrapes"] == 1
+        assert payload["uptime_seconds"] >= 0
+
+    def test_statusz_shape(self, served):
+        server, url = served
+        status, content_type, body = get(url + "/statusz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["capacity_bytes"] == 500
+        assert payload["alpha"] == 0.5
+        assert payload["lifetime"]["requests"] == 31
+        assert payload["window"]["size"] == 20
+        assert "hit_rate" in payload["window"]["series"]
+        assert [a["name"] for a in payload["alerts"]] == [
+            "low-cache-efficiency", "eviction-storm",
+        ]
+        assert payload["alerts_firing"] == []
+
+    def test_traces_404_without_tracer(self, served):
+        server, url = served
+        status, _, body = get(url + "/traces/3")
+        assert status == 404
+        assert "tracing not enabled" in body
+
+    def test_unknown_path_lists_endpoints(self, served):
+        server, url = served
+        status, _, body = get(url + "/nope")
+        assert status == 404
+        assert "/metrics" in body and "/statusz" in body
+
+
+class TestTracesEndpoint:
+    def test_traces_render_explanations(self):
+        tracer = DecisionTracer(limit=50)
+        cache = LandlordCache(500, 0.5, SIZE.__getitem__, tracer=tracer)
+        cache.request(frozenset({"p0", "p1"}))
+        cache.request(frozenset({"p0", "p1", "p2"}))
+        with ObsServer(tracer=tracer) as server:
+            url = f"http://127.0.0.1:{server.port}"
+            status, _, body = get(url + "/traces/1")
+            assert status == 200
+            assert "request #1" in body
+            assert "request #0" not in body  # only the last 1
+            status, _, body = get(url + "/traces")
+            assert status == 200  # default count
+            assert "request #0" in body
+
+    def test_bad_trace_count_is_400(self):
+        with ObsServer(tracer=DecisionTracer()) as server:
+            url = f"http://127.0.0.1:{server.port}"
+            assert get(url + "/traces/zap")[0] == 400
+            assert get(url + "/traces/0")[0] == 400
+
+    def test_empty_tracer_says_so(self):
+        with ObsServer(tracer=DecisionTracer()) as server:
+            status, _, body = get(
+                f"http://127.0.0.1:{server.port}/traces/5"
+            )
+            assert status == 200
+            assert "no traces recorded" in body
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_url(self):
+        server = ObsServer()
+        assert server.port is None and server.url is None
+        port = server.start()
+        try:
+            assert port > 0
+            assert server.url == f"http://127.0.0.1:{port}"
+            assert server.running
+        finally:
+            server.stop()
+        assert not server.running
+        assert server.port is None
+
+    def test_double_start_rejected(self):
+        with ObsServer() as server:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+
+    def test_stop_is_idempotent(self):
+        server = ObsServer()
+        server.start()
+        server.stop()
+        server.stop()  # no-op, no error
+
+    def test_empty_server_serves_empty_metrics(self):
+        with ObsServer() as server:
+            status, _, body = get(
+                f"http://127.0.0.1:{server.port}/metrics"
+            )
+            assert status == 200
+            assert body == ""
+            status, _, body = get(
+                f"http://127.0.0.1:{server.port}/statusz"
+            )
+            assert json.loads(body) == {}
+
+    def test_lock_serialises_scrapes(self):
+        # A held lock delays the scrape; releasing it unblocks.
+        lock = threading.Lock()
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc()
+        with ObsServer(registry, lock=lock) as server:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with lock:
+                thread = threading.Thread(target=get, args=(url,))
+                thread.start()
+                thread.join(timeout=0.2)
+                assert thread.is_alive()  # blocked on the lock
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+            assert get(url)[0] == 200
+
+
+class TestServeCli:
+    """`submit --serve` end to end: ephemeral port, port file, live
+    endpoints, clean SIGTERM shutdown with exit code 0."""
+
+    def test_serve_until_sigterm(self, tmp_path):
+        spec = tmp_path / "job.json"
+        spec.write_text(json.dumps(
+            {"packages": ["app-0000/1.0/x86_64-el7"]}
+        ))
+        port_file = tmp_path / "port.txt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "submit", str(spec),
+             "--scale", "tiny", "--state", str(tmp_path / "state.json"),
+             "--serve", "0", "--port-file", str(port_file)],
+            cwd=str(Path(__file__).resolve().parents[2]),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if port_file.exists() and port_file.read_text().strip():
+                    break
+                assert process.poll() is None, process.communicate()[1]
+                time.sleep(0.1)
+            else:
+                pytest.fail("port file never appeared")
+            port = int(port_file.read_text().strip())
+            url = f"http://127.0.0.1:{port}"
+            assert json.loads(get(url + "/healthz")[2])["status"] == "ok"
+            payload = json.loads(get(url + "/statusz")[2])
+            assert payload["lifetime"]["requests"] == 1
+            status, _, body = get(url + "/metrics")
+            assert status == 200
+            validate_prometheus_text(body)
+            assert "landlord_requests_total" in body
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=15)
+            assert process.returncode == 0, stderr
+            assert "serving on http://127.0.0.1" in stdout
+            assert "server stopped" in stdout
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+    def test_port_file_without_serve_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "job.txt"
+        spec.write_text("app-0000/1.0/x86_64-el7")
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "submit", str(spec), "--scale", "tiny",
+                "--state", str(tmp_path / "state.json"),
+                "--port-file", str(tmp_path / "port.txt"),
+            ])
+        assert excinfo.value.code == 2
+        assert "--serve" in capsys.readouterr().err

@@ -116,6 +116,64 @@ class TestCacheStatsCopy:
         assert stats.evictions_idle == 0
 
 
+class TestTornTail:
+    """A writer that crashes mid-line leaves a torn final line; replay
+    heals it (drops it) like the journal does, but a malformed line
+    anywhere else is real corruption and must raise."""
+
+    def torn_stream(self, tmp_path, n_requests=60):
+        c = run_cache(n_requests=n_requests)
+        path = write_event_stream(c.events, tmp_path / "events.jsonl")
+        whole = path.read_text()
+        lines = whole.splitlines(keepends=True)
+        torn = "".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2]
+        path.write_text(torn)
+        return path, list(c.events)
+
+    def test_torn_final_line_heals_by_default(self, tmp_path):
+        path, events = self.torn_stream(tmp_path)
+        assert read_event_stream(path) == events[:-1]
+        assert list(iter_event_stream(path)) == events[:-1]
+
+    def test_healed_stream_still_replays_to_stats(self, tmp_path):
+        path, events = self.torn_stream(tmp_path)
+        healed = stats_from_events(read_event_stream(path))
+        assert healed == stats_from_events(events[:-1])
+
+    def test_heal_false_raises_on_torn_tail(self, tmp_path):
+        path, _ = self.torn_stream(tmp_path)
+        with pytest.raises(ValueError, match="corrupt event stream"):
+            read_event_stream(path, heal_torn_tail=False)
+
+    def test_non_final_malformed_line_always_raises(self, tmp_path):
+        c = run_cache(n_requests=40)
+        path = write_event_stream(c.events, tmp_path / "events.jsonl")
+        lines = path.read_text().splitlines()
+        lines[10] = lines[10][: len(lines[10]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="non-final"):
+            read_event_stream(path)
+
+    def test_torn_tail_then_blank_lines_still_heals(self, tmp_path):
+        # Trailing whitespace after the torn fragment is not "a later
+        # line" — the fragment is still the last real content.
+        path, events = self.torn_stream(tmp_path)
+        with path.open("a") as fh:
+            fh.write("\n\n")
+        assert read_event_stream(path) == events[:-1]
+
+    def test_valid_json_wrong_shape_is_also_healed(self, tmp_path):
+        # A tail line that parses as JSON but lacks required fields
+        # (KeyError path) gets the same torn-tail treatment.
+        c = run_cache(n_requests=30)
+        path = write_event_stream(c.events, tmp_path / "events.jsonl")
+        with path.open("a") as fh:
+            fh.write('{"kind": "hit"}\n')
+        assert read_event_stream(path) == list(c.events)
+        with pytest.raises(ValueError):
+            read_event_stream(path, heal_torn_tail=False)
+
+
 class TestTimelineFromEvents:
     def test_matches_simulator_timeline(self):
         from repro.analysis.report import timeline_from_events
