@@ -84,6 +84,7 @@ def _cmd_sweep(argv: Sequence[str]) -> int:
 
     from repro.analysis.report import sweep_table
     from repro.analysis.sweep import alpha_sweep, default_alphas
+    from repro.core.engine import ENGINES
     from repro.experiments.common import base_config, get_scale
     from repro.parallel import resolve_workers
 
@@ -109,6 +110,9 @@ def _cmd_sweep(argv: Sequence[str]) -> int:
                         help="collect per-run cache metrics and save the "
                         "aggregated registry (.json = JSON snapshot, "
                         "anything else = Prometheus text format)")
+    parser.add_argument("--engine", choices=ENGINES, default="vectorized",
+                        help="cache decision engine (bit-identical results; "
+                        "default: %(default)s)")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
     if args.alpha is None:
@@ -132,7 +136,7 @@ def _cmd_sweep(argv: Sequence[str]) -> int:
 
         registry = MetricsRegistry()
     sweep = alpha_sweep(
-        base_config(scale, seed=args.seed),
+        base_config(scale, seed=args.seed, engine=args.engine),
         alphas=alphas,
         repetitions=repetitions,
         label="sweep",
@@ -287,6 +291,7 @@ def _cmd_trace(argv: Sequence[str]) -> int:
 
 def _cmd_replay(argv: Sequence[str]) -> int:
     from repro.core.cache import LandlordCache
+    from repro.core.engine import ENGINES
     from repro.experiments.common import get_scale
     from repro.htc.simulator import simulate_stream
     from repro.htc.trace import iter_trace
@@ -307,6 +312,9 @@ def _cmd_replay(argv: Sequence[str]) -> int:
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="record cache metrics and save the registry "
                         "(.json = JSON snapshot, else Prometheus text)")
+    parser.add_argument("--engine", choices=ENGINES, default="vectorized",
+                        help="cache decision engine (bit-identical results; "
+                        "default: %(default)s)")
     _alert_args(parser)
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
@@ -316,7 +324,8 @@ def _cmd_replay(argv: Sequence[str]) -> int:
         target_total_size=scale.repo_total_size,
     )
     cache = LandlordCache(capacity, args.alpha, repo.size_of,
-                          record_events=bool(args.events_out))
+                          record_events=bool(args.events_out),
+                          engine=args.engine)
     registry = None
     if args.metrics_out:
         from repro.obs import MetricsRegistry
@@ -503,6 +512,7 @@ def _cmd_submit(argv: Sequence[str]) -> int:
     from repro.core.journal import JournaledState
     from repro.core.persistence import StateError, StateNotFound
     from repro.core.cache import LandlordCache
+    from repro.core.engine import ENGINES
     from repro.util.units import format_bytes, parse_bytes
 
     parser = argparse.ArgumentParser(
@@ -531,6 +541,10 @@ def _cmd_submit(argv: Sequence[str]) -> int:
                         "JSON-lines file instead of the synthetic one")
     parser.add_argument("--no-closure", action="store_true",
                         help="treat the spec as already closed")
+    parser.add_argument("--engine", choices=ENGINES, default="vectorized",
+                        help="cache decision engine (bit-identical results, "
+                        "so snapshots restore across engines; default: "
+                        "%(default)s)")
     _obs_args(parser)
     parser.add_argument("--trace", action="store_true",
                         help="record a decision trace for this request "
@@ -563,7 +577,7 @@ def _cmd_submit(argv: Sequence[str]) -> int:
     )
     try:
         cache, metadata, replayed = store.load(
-            repo.size_of, migrate_v1=args.migrate_v1
+            repo.size_of, migrate_v1=args.migrate_v1, engine=args.engine
         )
         if replayed:
             print(f"replayed {len(replayed)} journalled operation(s) "
@@ -579,7 +593,8 @@ def _cmd_submit(argv: Sequence[str]) -> int:
         capacity = (
             parse_bytes(args.capacity) if args.capacity else scale.capacity
         )
-        cache = LandlordCache(capacity, args.alpha, repo.size_of)
+        cache = LandlordCache(capacity, args.alpha, repo.size_of,
+                              engine=args.engine)
         metadata = {"repository": repo_meta}
         store.initialise(cache, metadata)
         print(f"initialised new cache: capacity "

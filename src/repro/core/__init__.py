@@ -21,6 +21,7 @@ This subpackage implements the paper's contribution proper:
 
 from repro.core.adaptive import AdaptationEvent, AlphaController
 from repro.core.cache import CacheDecision, CacheStats, CachedImage, LandlordCache
+from repro.core.engine import ENGINES, NaiveEngine, VectorizedEngine, make_engine
 from repro.core.federation import FederatedLandlord, FederationStats
 from repro.core.events import CacheEvent, EventKind
 from repro.core.landlord import Landlord, PreparedContainer
@@ -55,6 +56,10 @@ __all__ = [
     "CacheStats",
     "CacheEvent",
     "EventKind",
+    "ENGINES",
+    "NaiveEngine",
+    "VectorizedEngine",
+    "make_engine",
     "ImageProvider",
     "ExactLRUPolicy",
     "SingleImagePolicy",

@@ -18,8 +18,16 @@ Performance note (this is the hot loop of every experiment): package sets
 are interned into bit indices, and each cached image carries its set as a
 Python big-int bitmask.  Subset tests (``s & i == s``) and Jaccard
 intersections (``(s & j).bit_count()``) then run at C speed over ~1.2 KB
-ints instead of hashing thousands of strings per candidate, which makes the
-full 13-α × 20-repetition sweep of Figure 4 a seconds-scale computation.
+ints instead of hashing thousands of strings per candidate.  On top of
+that, the three inner scans of the algorithm (hit scan, merge-candidate
+scan, eviction-victim search) are pluggable **decision engines**
+(:mod:`repro.core.engine`): the default ``engine="vectorized"`` resolves
+them from an incrementally maintained ``uint64`` bit matrix with batched
+NumPy subset tests, popcount Jaccard, and lazy-deletion eviction heaps;
+``engine="naive"`` keeps the per-image Python loops as the reference.
+The two are bit-identical (same decisions, stats, events, snapshots),
+enforced by ``tests/core/test_engine_differential.py``, and the speedup
+is recorded in ``BENCH_cache.json`` by ``benchmarks/test_cache_kernel.py``.
 """
 
 from __future__ import annotations
@@ -39,13 +47,16 @@ from typing import (
 
 import numpy as np
 
+from repro.core.engine import ENGINES, make_engine
 from repro.core.events import CacheEvent, EventKind
 from repro.core.minhash import MinHashLSH, MinHashSignature
 from repro.core.spec import ImageSpec
 from repro.obs.trace import RequestTrace, TracedCandidate, TracedEviction
 from repro.packages.conflicts import ConflictPolicy, NoConflicts
 
-__all__ = ["CachedImage", "CacheStats", "CacheDecision", "LandlordCache"]
+__all__ = [
+    "CachedImage", "CacheStats", "CacheDecision", "LandlordCache", "ENGINES",
+]
 
 HIT_SELECTION = ("smallest", "mru", "first")
 CANDIDATE_ORDER = ("distance", "insertion", "random")
@@ -385,6 +396,14 @@ class LandlordCache:
             per request for rolling-window telemetry (equivalent to
             calling :meth:`enable_slo`).  Like tracing, it only reads —
             decisions are bit-identical with or without it.
+        engine: which decision engine resolves the hit scan, the
+            merge-candidate scan, and the eviction-victim search —
+            ``"vectorized"`` (batched NumPy kernels over a bit matrix,
+            the default) or ``"naive"`` (per-image Python loops, the
+            reference).  A pure performance knob: the engines are
+            bit-identical, so it is *not* part of
+            :meth:`policy_snapshot` and snapshots restore across
+            engines.
     """
 
     def __init__(
@@ -406,6 +425,7 @@ class LandlordCache:
         metrics=None,
         tracer=None,
         slo=None,
+        engine: str = "vectorized",
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -439,6 +459,9 @@ class LandlordCache:
         self.record_events = record_events
         self._rng = rng or np.random.default_rng(0)
 
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        self.engine = engine
         self._universe = _Universe(package_size)
         self._images: Dict[str, CachedImage] = {}
         self._clock = 0
@@ -453,6 +476,10 @@ class LandlordCache:
         self._tracer = None
         self._slo = None
         self._pending_evictions: List[TracedEviction] = []
+        # The engine binds last: it reads the validated policy knobs and
+        # mirrors _images (empty here; restore() replays adds into it).
+        self._engine = make_engine(engine)
+        self._engine.bind(self)
         if metrics is not None:
             self.enable_metrics(metrics)
         if tracer is not None:
@@ -559,10 +586,17 @@ class LandlordCache:
         but do *not* age images, so the idle window is measured in actual
         job requests as documented).  Returns the evicted ids (counted as
         deletes).
+
+        Both the emitted :class:`CacheEvent` and the tracer callback
+        carry ``stats.requests - 1`` — the 0-based index of the last
+        completed request, i.e. the request the images idled out *after*
+        (an idle eviction requires at least one request, so the index is
+        never negative).
         """
         if max_idle_requests < 0:
             raise ValueError("max_idle_requests must be non-negative")
         horizon = self.stats.requests - max_idle_requests
+        request_index = self.stats.requests - 1
         evicted = []
         for image in list(self._images.values()):
             if image.last_request < horizon:
@@ -572,7 +606,7 @@ class LandlordCache:
                 evicted.append(image.id)
                 self._emit(
                     CacheEvent(
-                        EventKind.DELETE, self.stats.requests,
+                        EventKind.DELETE, request_index,
                         image.id, image.size, reason="idle",
                     )
                 )
@@ -580,7 +614,7 @@ class LandlordCache:
                     self._ins.evict_idle.inc()
                 if self._tracer is not None:
                     self._tracer.on_idle_eviction(
-                        self.stats.requests - 1, image.id, image.size
+                        request_index, image.id, image.size
                     )
         if evicted:
             self._update_gauges()
@@ -605,6 +639,13 @@ class LandlordCache:
         here — the transport layer accounts its own transfer.  The adopted
         image participates in hits, merges, and eviction exactly like a
         locally built one.
+
+        Capacity evictions an adoption forces are reported to an attached
+        tracer via
+        :meth:`~repro.obs.trace.DecisionTracer.on_adoption_evictions`,
+        attached to the last completed request's trace (like
+        ``evict_idle`` victims); the emitted DELETE events themselves use
+        the next request's index, as for in-request capacity evictions.
         """
         key = frozenset(packages)
         if not key:
@@ -614,9 +655,18 @@ class LandlordCache:
         self._clock += 1
         image = self._new_image(mask, indices.copy(), size, signature)
         image.last_used = self._clock
+        self._engine.on_touch(image)
         self.stats.adoptions += 1
         self._evict_to_capacity(image.id, self.stats.requests)
-        self._pending_evictions.clear()
+        if self._pending_evictions:
+            # _evict_to_capacity queued these for the tracer; an adoption
+            # has no request of its own, so hand them over here instead
+            # of silently discarding them.
+            if self._tracer is not None:
+                self._tracer.on_adoption_evictions(
+                    self.stats.requests - 1, tuple(self._pending_evictions)
+                )
+            self._pending_evictions.clear()
         self._update_gauges()
         return image
 
@@ -756,6 +806,7 @@ class LandlordCache:
             self._account_add(indices)
             if self._lsh is not None and image.signature is not None:
                 self._lsh.insert(image.id, image.signature)
+            self._engine.on_add(image)
         self._update_gauges()
 
     def split(
@@ -800,6 +851,7 @@ class LandlordCache:
                 self._signature_of(self._universe.ids_of_indices(indices)),
             )
             part_image.last_used = self._clock
+            self._engine.on_touch(part_image)
             self.stats.bytes_written += size
             new_images.append(part_image)
         self.stats.splits += 1
@@ -812,6 +864,10 @@ class LandlordCache:
         if self.record_events:
             self.events.append(event)
 
+    # Incidental-memory bound for _spec_memo; class attribute so tests can
+    # shrink it without replaying 64Ki distinct specs.
+    _SPEC_MEMO_LIMIT = 65536
+
     def _intern(self, packages: AbstractSet[str]) -> Tuple[int, np.ndarray, int]:
         key = packages if isinstance(packages, frozenset) else frozenset(packages)
         memo = self._spec_memo.get(key)
@@ -819,8 +875,11 @@ class LandlordCache:
             return memo
         mask, indices = self._universe.mask_of(key)
         size = self._universe.bytes_of_indices(indices)
-        if len(self._spec_memo) >= 65536:  # bound incidental memory
-            self._spec_memo.clear()
+        if len(self._spec_memo) >= self._SPEC_MEMO_LIMIT:
+            # Drop the oldest half rather than wiping everything: recently
+            # repeated specs stay memoized across the threshold.
+            for stale in list(self._spec_memo)[: self._SPEC_MEMO_LIMIT // 2]:
+                del self._spec_memo[stale]
         self._spec_memo[key] = (mask, indices, size)
         return mask, indices, size
 
@@ -869,6 +928,7 @@ class LandlordCache:
         self._account_add(indices)
         if self._lsh is not None and signature is not None:
             self._lsh.insert(image_id, signature)
+        self._engine.on_add(image)
         return image
 
     def _drop_image(self, image: CachedImage) -> None:
@@ -877,14 +937,10 @@ class LandlordCache:
         self._account_remove(image.indices)
         if self._lsh is not None:
             self._lsh.remove(image.id)
+        self._engine.on_remove(image)
 
     def _eviction_victim(self, pinned_id: str) -> Optional[CachedImage]:
-        candidates = (img for img in self._images.values() if img.id != pinned_id)
-        if self.eviction == "lru":
-            return min(candidates, key=lambda im: im.last_used, default=None)
-        if self.eviction == "fifo":
-            return min(candidates, key=lambda im: im.created_at, default=None)
-        return max(candidates, key=lambda im: im.size, default=None)  # "size"
+        return self._engine.eviction_victim(pinned_id)
 
     def _evict_to_capacity(self, pinned_id: str, request_index: int) -> List[str]:
         evicted: List[str] = []
@@ -935,22 +991,20 @@ class LandlordCache:
     ) -> List[Tuple[float, CachedImage]]:
         """All cached images with exact d_j < alpha, with their distances."""
         if self._lsh is not None and signature is not None:
-            pool: Iterable[CachedImage] = (
-                self._images[key]
+            # Materialise the LSH pool once so both engines see the same
+            # ids in the same (set-iteration) order — candidate ordering
+            # under "insertion"/"random" depends on it.
+            pool_ids: Optional[List[str]] = [
+                key
                 for key in self._lsh.query(signature)
                 if key in self._images
-            )
+            ]
         else:
-            pool = self._images.values()
-        out: List[Tuple[float, CachedImage]] = []
-        alpha = self.alpha
-        for img in pool:
-            inter = (mask & img.mask).bit_count()
-            union = n_request + img.package_count - inter
-            distance = 1.0 - (inter / union) if union else 0.0
-            self.stats.candidates_examined += 1
-            if distance < alpha:
-                out.append((distance, img))
+            pool_ids = None
+        out, examined = self._engine.scan_candidates(
+            mask, n_request, self.alpha, pool_ids
+        )
+        self.stats.candidates_examined += examined
         return out
 
     # -- the algorithm -----------------------------------------------------------
@@ -981,6 +1035,7 @@ class LandlordCache:
         if hit is not None:
             hit.last_used = self._clock
             hit.last_request = self.stats.requests
+            self._engine.on_touch(hit)
             self.stats.hits += 1
             self.stats.used_bytes += hit.size
             self._emit(
@@ -1101,6 +1156,7 @@ class LandlordCache:
         # Step 3: insert a fresh image.
         image = self._new_image(mask, indices, requested, signature)
         image.last_used = self._clock
+        self._engine.on_touch(image)
         self.stats.inserts += 1
         self.stats.bytes_written += requested
         self.stats.used_bytes += requested
@@ -1147,18 +1203,7 @@ class LandlordCache:
         )
 
     def _find_hit(self, mask: int) -> Optional[CachedImage]:
-        best: Optional[CachedImage] = None
-        for img in self._images.values():
-            if mask & img.mask == mask:
-                if self.hit_selection == "first":
-                    return img
-                if best is None:
-                    best = img
-                elif self.hit_selection == "smallest" and img.size < best.size:
-                    best = img
-                elif self.hit_selection == "mru" and img.last_used > best.last_used:
-                    best = img
-        return best
+        return self._engine.find_hit(mask)
 
     def _do_merge(
         self,
@@ -1189,6 +1234,7 @@ class LandlordCache:
         target.last_used = self._clock
         target.last_request = self.stats.requests
         target.merge_count += 1
+        self._engine.on_update(target)
         if signature is not None and target.signature is not None:
             target.signature = target.signature.merge(signature)
             if self._lsh is not None:

@@ -1,0 +1,541 @@
+"""Decision engines: the data-parallel kernels behind Algorithm 1.
+
+Every request to :class:`~repro.core.cache.LandlordCache` runs three inner
+scans over the cached image collection:
+
+1. the **superset (hit) scan** — is some cached image a superset of the
+   request specification?
+2. the **merge-candidate scan** — which cached images are within exact
+   Jaccard distance α of the request, and at what distance?
+3. the **eviction-victim search** — which image does the configured
+   policy (LRU / FIFO / size) evict next under capacity pressure?
+
+The reference implementation (:class:`NaiveEngine`) answers all three
+with O(cache size) Python loops over big-int bitmasks — clear, exactly
+the paper's Algorithm 1, and the semantic ground truth.
+
+:class:`VectorizedEngine` answers the same three questions from
+incrementally maintained NumPy state instead:
+
+- all cached-image package sets live in one padded ``uint64`` bit matrix
+  (rows = images, columns = 64-package words), alongside parallel arrays
+  for size, ``last_used``, ``created_at``, package count, and a
+  dict-insertion sequence number;
+- the hit scan is a single vectorised subset test
+  (``(matrix & request) == request`` row-reduction);
+- the merge scan is one batched popcount intersection
+  (:func:`numpy.bitwise_count`) yielding every exact Jaccard distance in
+  one shot — no approximation on the fast path;
+- the eviction search is a lazy-deletion heap keyed by the policy, so a
+  capacity storm evicting k of n images costs O(k log n) instead of
+  O(k·n).
+
+The two engines are **bit-identical**: same decisions, same statistics,
+same events, same snapshots, for every combination of policy knobs.
+This is not accidental — each vectorised kernel reproduces the naive
+loop's selection rule *including its tie-breaking*, which falls out of
+dict iteration order.  The sequence-number array makes that order
+explicit (see the individual kernel docstrings and the proof sketch in
+DESIGN.md, "Decision-engine internals"); the differential property
+suite in ``tests/core/test_engine_differential.py`` enforces it over
+randomized workloads across the full knob grid.
+
+Engines hold *derived* state only: the cache remains the single source
+of truth (its ``_images`` dict and the ``CachedImage`` objects), and
+notifies its engine through four hooks — :meth:`~NaiveEngine.on_add`,
+:meth:`~NaiveEngine.on_remove`, :meth:`~NaiveEngine.on_touch` (the
+image's ``last_used`` changed), :meth:`~NaiveEngine.on_update` (its
+contents/size changed, i.e. a merge rewrite).  Restoring a snapshot
+replays ``on_add`` per image, which is how a recovered cache rebuilds
+its matrix.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.cache import CachedImage, LandlordCache
+
+__all__ = ["ENGINES", "NaiveEngine", "VectorizedEngine", "make_engine"]
+
+#: Valid values for the cache's ``engine=`` knob.
+ENGINES = ("naive", "vectorized")
+
+# Little-endian uint64: to_bytes(..., "little") then frombuffer must give
+# the same words on any host, so the byte order is pinned explicitly.
+_WORD = np.dtype("<u8")
+
+
+class NaiveEngine:
+    """The reference engine: Algorithm 1's scans as plain Python loops.
+
+    Selection/tie-breaking semantics (the contract the vectorized engine
+    must reproduce):
+
+    - iteration is always over ``cache._images`` in dict order, which is
+      image *insertion* order (merges mutate in place and never reorder);
+    - the hit scan keeps the **first** best image under the configured
+      ``hit_selection`` (strict comparisons, so ties go to the earliest
+      inserted image);
+    - the candidate scan returns images in iteration order with their
+      exact Jaccard distances (the cache sorts or shuffles afterwards);
+    - the eviction search is ``min()``/``max()`` over the non-pinned
+      images, which also keeps the earliest on ties.
+    """
+
+    name = "naive"
+
+    def bind(self, cache: "LandlordCache") -> None:
+        """Attach to the owning cache (called once, from its ctor)."""
+        self._cache = cache
+
+    # -- maintenance hooks (derived state: none) ---------------------------
+
+    def on_add(self, image: "CachedImage") -> None:
+        """A new image entered the cache (insert / adopt / restore)."""
+
+    def on_remove(self, image: "CachedImage") -> None:
+        """An image left the cache (eviction, clear, split source)."""
+
+    def on_touch(self, image: "CachedImage") -> None:
+        """The image's ``last_used`` clock was refreshed."""
+
+    def on_update(self, image: "CachedImage") -> None:
+        """The image's mask/size/count changed (a merge rewrite)."""
+
+    # -- kernels -----------------------------------------------------------
+
+    def find_hit(self, mask: int) -> Optional["CachedImage"]:
+        """The image that serves a hit for ``mask``, or ``None``."""
+        cache = self._cache
+        selection = cache.hit_selection
+        best: Optional["CachedImage"] = None
+        for img in cache._images.values():
+            if mask & img.mask == mask:
+                if selection == "first":
+                    return img
+                if best is None:
+                    best = img
+                elif selection == "smallest" and img.size < best.size:
+                    best = img
+                elif selection == "mru" and img.last_used > best.last_used:
+                    best = img
+        return best
+
+    def scan_candidates(
+        self,
+        mask: int,
+        n_request: int,
+        alpha: float,
+        pool_ids: Optional[Sequence[str]] = None,
+    ) -> Tuple[List[Tuple[float, "CachedImage"]], int]:
+        """All images with exact Jaccard distance < ``alpha``.
+
+        Returns ``(candidates, examined)`` where ``candidates`` are
+        ``(distance, image)`` pairs in pool order and ``examined`` is the
+        number of images scanned (the ``candidates_examined`` delta).
+        ``pool_ids`` restricts the scan to those ids in that exact order
+        (the MinHash/LSH prefilter); ``None`` scans the whole cache.
+        """
+        cache = self._cache
+        if pool_ids is None:
+            pool = cache._images.values()
+            examined = len(cache._images)
+        else:
+            pool = (cache._images[key] for key in pool_ids)
+            examined = len(pool_ids)
+        out: List[Tuple[float, "CachedImage"]] = []
+        for img in pool:
+            inter = (mask & img.mask).bit_count()
+            union = n_request + img.package_count - inter
+            distance = 1.0 - (inter / union) if union else 0.0
+            if distance < alpha:
+                out.append((distance, img))
+        return out, examined
+
+    def eviction_victim(self, pinned_id: str) -> Optional["CachedImage"]:
+        """The next eviction victim under the configured policy."""
+        cache = self._cache
+        candidates = (
+            img for img in cache._images.values() if img.id != pinned_id
+        )
+        if cache.eviction == "lru":
+            return min(candidates, key=lambda im: im.last_used, default=None)
+        if cache.eviction == "fifo":
+            return min(candidates, key=lambda im: im.created_at, default=None)
+        return max(candidates, key=lambda im: im.size, default=None)  # "size"
+
+
+class VectorizedEngine:
+    """Batched NumPy kernels with bit-identical naive-engine semantics.
+
+    State layout (rows are allocated on demand, freed rows recycled):
+
+    - ``_matrix[row, word]`` — the image's package set as ``uint64`` words
+      (little-endian bit order, matching the cache's big-int masks);
+    - ``_size`` / ``_last_used`` / ``_created`` / ``_count`` — parallel
+      ``int64`` arrays mirroring the ``CachedImage`` fields;
+    - ``_order`` — a monotonically increasing sequence number assigned
+      when the image enters ``cache._images``; because images are only
+      ever appended to that dict, ascending ``_order`` *is* dict
+      iteration order, which is what every naive tie-break reduces to;
+    - ``_heap`` — a lazy-deletion heap of ``(key, order, image_id)``
+      entries for the bound eviction policy (``last_used`` for LRU,
+      ``created_at`` for FIFO, ``-size`` for size-based).  Key changes
+      push a fresh entry; stale entries are detected at pop time by
+      comparing against the live arrays.  ``order`` is unique, so heap
+      order is total and equals the naive scan's first-minimum rule.
+
+    The eviction policy is fixed at bind time (the cache validates and
+    never mutates it); ``alpha`` and ``hit_selection`` are read per call
+    because :class:`~repro.core.adaptive.AlphaController` retunes α on a
+    live cache.
+    """
+
+    name = "vectorized"
+
+    _INITIAL_ROWS = 64
+    # Compact the heap when it holds > _HEAP_SLACK× more entries than
+    # live images (and is big enough for the rebuild to matter).
+    _HEAP_MIN = 64
+    _HEAP_SLACK = 4
+
+    def bind(self, cache: "LandlordCache") -> None:
+        """Attach to the owning cache and allocate the empty matrix."""
+        self._cache = cache
+        self._policy = cache.eviction
+        rows = self._INITIAL_ROWS
+        self._rows = rows
+        self._words = 1
+        self._matrix = np.zeros((rows, 1), dtype=_WORD)
+        # Scratch buffers sized with the matrix: the kernels run every
+        # request, so the AND temporaries are written in place instead of
+        # allocated fresh (a measurable win at thousands of rows).
+        self._and_scratch = np.zeros((rows, 1), dtype=_WORD)
+        self._pop_scratch = np.zeros((rows, 1), dtype=np.uint8)
+        self._size = np.zeros(rows, dtype=np.int64)
+        self._last_used = np.zeros(rows, dtype=np.int64)
+        self._created = np.zeros(rows, dtype=np.int64)
+        self._count = np.zeros(rows, dtype=np.int64)
+        self._order = np.zeros(rows, dtype=np.int64)
+        self._live = np.zeros(rows, dtype=bool)
+        self._image_of_row: List[Optional["CachedImage"]] = [None] * rows
+        self._row_of: dict = {}
+        self._free: List[int] = []
+        self._top = 0  # high-water mark of ever-allocated rows
+        self._order_seq = 0
+        self._n_live = 0
+        self._heap: List[Tuple[int, int, str]] = []
+
+    # -- layout ------------------------------------------------------------
+
+    @staticmethod
+    def _words_for(mask: int) -> int:
+        return max(1, (mask.bit_length() + 63) >> 6)
+
+    def _widen(self, words: int) -> None:
+        if words <= self._words:
+            return
+        new_words = self._words
+        while new_words < words:
+            new_words *= 2
+        grown = np.zeros((self._rows, new_words), dtype=_WORD)
+        grown[:, : self._words] = self._matrix
+        self._matrix = grown
+        self._words = new_words
+        self._and_scratch = np.zeros((self._rows, new_words), dtype=_WORD)
+        self._pop_scratch = np.zeros((self._rows, new_words), dtype=np.uint8)
+
+    def _grow_rows(self) -> None:
+        old = self._rows
+        new = old * 2
+        grown = np.zeros((new, self._words), dtype=_WORD)
+        grown[:old] = self._matrix
+        self._matrix = grown
+        self._and_scratch = np.zeros((new, self._words), dtype=_WORD)
+        self._pop_scratch = np.zeros((new, self._words), dtype=np.uint8)
+        for attr in ("_size", "_last_used", "_created", "_count", "_order"):
+            arr = getattr(self, attr)
+            wide = np.zeros(new, dtype=np.int64)
+            wide[:old] = arr
+            setattr(self, attr, wide)
+        live = np.zeros(new, dtype=bool)
+        live[:old] = self._live
+        self._live = live
+        self._image_of_row.extend([None] * old)
+        self._rows = new
+
+    def _alloc_row(self) -> int:
+        if self._free:
+            return self._free.pop()
+        if self._top >= self._rows:
+            self._grow_rows()
+        row = self._top
+        self._top += 1
+        return row
+
+    def _mask_words(self, mask: int) -> np.ndarray:
+        """Full-matrix-width word vector of an *image* mask (widening)."""
+        self._widen(self._words_for(mask))
+        raw = mask.to_bytes(self._words * 8, "little")
+        return np.frombuffer(raw, dtype=_WORD)
+
+    def _query_words(self, mask: int) -> Tuple[np.ndarray, bool]:
+        """A *request* mask as matrix-width words plus an overflow flag.
+
+        Bits beyond the matrix width belong to packages no cached image
+        contains: they make a hit impossible (``overflow``) and
+        contribute zero to every intersection, so truncating them is
+        exact.
+        """
+        width_bits = self._words << 6
+        overflow = (mask >> width_bits) != 0
+        if overflow:
+            mask &= (1 << width_bits) - 1
+        raw = mask.to_bytes(self._words * 8, "little")
+        return np.frombuffer(raw, dtype=_WORD), overflow
+
+    # -- maintenance hooks -------------------------------------------------
+
+    def on_add(self, image: "CachedImage") -> None:
+        """Mirror a new image into the matrix and parallel arrays."""
+        row = self._alloc_row()
+        self._matrix[row] = self._mask_words(image.mask)
+        self._size[row] = image.size
+        self._last_used[row] = image.last_used
+        self._created[row] = image.created_at
+        self._count[row] = image.package_count
+        self._order[row] = self._order_seq
+        self._order_seq += 1
+        self._live[row] = True
+        self._image_of_row[row] = image
+        self._row_of[image.id] = row
+        self._n_live += 1
+        self._push(row, image.id)
+
+    def on_remove(self, image: "CachedImage") -> None:
+        """Free the image's row (heap entries die lazily)."""
+        row = self._row_of.pop(image.id)
+        self._live[row] = False
+        self._image_of_row[row] = None
+        self._free.append(row)
+        self._n_live -= 1
+
+    def on_touch(self, image: "CachedImage") -> None:
+        """Refresh ``last_used``; LRU gets a fresh heap entry."""
+        row = self._row_of[image.id]
+        self._last_used[row] = image.last_used
+        if self._policy == "lru":
+            self._push(row, image.id)
+
+    def on_update(self, image: "CachedImage") -> None:
+        """Re-mirror a merged image (mask, size, count, last_used)."""
+        row = self._row_of[image.id]
+        self._matrix[row] = self._mask_words(image.mask)
+        self._size[row] = image.size
+        self._count[row] = image.package_count
+        self._last_used[row] = image.last_used
+        if self._policy != "fifo":  # created_at never changes
+            self._push(row, image.id)
+
+    # -- kernels -----------------------------------------------------------
+
+    def find_hit(self, mask: int) -> Optional["CachedImage"]:
+        """Vectorised subset test + the naive scan's selection rule.
+
+        A row serves the request iff every request word survives masking:
+        ``(matrix & request) == request``.  The scan first filters on the
+        single densest request word — a column pass over ``top`` int64s —
+        and verifies only the surviving rows against the full request, so
+        the common no-hit/one-hit case never touches the whole matrix.
+        Among matching rows the selection reduces to a lexicographic
+        extremum with ``_order`` as the tiebreaker, matching the naive
+        scan's strict-comparison first-winner semantics exactly.
+        """
+        if self._n_live == 0:
+            return None
+        q, overflow = self._query_words(mask)
+        if overflow:
+            return None
+        top = self._top
+        nz = np.flatnonzero(q)
+        if nz.size == 0:
+            # Empty request: every live image is a superset.
+            rows = np.flatnonzero(self._live[:top])
+        else:
+            word = int(nz[np.argmax(np.bitwise_count(q[nz]))])
+            qw = q[word]
+            col = self._matrix[:top, word]
+            cand = np.flatnonzero((col & qw) == qw)
+            if cand.size == 0:
+                return None
+            cand = cand[self._live[cand]]
+            if cand.size == 0:
+                return None
+            if nz.size > 1:
+                sub = self._matrix[np.ix_(cand, nz)]
+                covered = ((sub & q[nz]) == q[nz]).all(axis=1)
+                rows = cand[covered]
+            else:
+                rows = cand
+        if rows.size == 0:
+            return None
+        selection = self._cache.hit_selection
+        if selection == "first":
+            row = rows[np.argmin(self._order[rows])]
+        elif selection == "smallest":
+            row = rows[np.lexsort((self._order[rows], self._size[rows]))[0]]
+        else:  # "mru": max last_used, earliest order on ties
+            row = rows[
+                np.lexsort((self._order[rows], -self._last_used[rows]))[0]
+            ]
+        return self._image_of_row[int(row)]
+
+    def scan_candidates(
+        self,
+        mask: int,
+        n_request: int,
+        alpha: float,
+        pool_ids: Optional[Sequence[str]] = None,
+    ) -> Tuple[List[Tuple[float, "CachedImage"]], int]:
+        """Batched popcount intersection → all exact Jaccard distances.
+
+        ``|s ∩ j|`` is one ``bitwise_count`` over the masked matrix and a
+        row sum; distances come out of the same IEEE-754 expression the
+        naive loop evaluates (int64 division and subtraction are
+        correctly rounded in both), so the floats are bit-identical.
+        Candidates are returned in pool order: ascending ``_order`` for a
+        full scan (= dict order), given order for an LSH pool.
+        """
+        if pool_ids is not None:
+            if not pool_ids:
+                return [], 0
+            rows = np.fromiter(
+                (self._row_of[key] for key in pool_ids),
+                dtype=np.int64,
+                count=len(pool_ids),
+            )
+            sub = self._matrix[rows]
+            dist = self._distances(sub, rows, n_request, mask)
+            image_of = self._image_of_row
+            out = [
+                (float(dist[i]), image_of[int(rows[i])])
+                for i in np.flatnonzero(dist < alpha)
+            ]
+            return out, len(pool_ids)
+        if self._n_live == 0:
+            return [], 0
+        top = self._top
+        all_rows = np.arange(top, dtype=np.int64)
+        dist = self._distances(None, all_rows, n_request, mask)
+        ok = self._live[:top] & (dist < alpha)
+        rows = np.flatnonzero(ok)
+        if rows.size > 1:
+            rows = rows[np.argsort(self._order[rows])]
+        image_of = self._image_of_row
+        out = [(float(dist[int(r)]), image_of[int(r)]) for r in rows]
+        return out, self._n_live
+
+    def _distances(
+        self,
+        sub: Optional[np.ndarray],
+        rows: np.ndarray,
+        n_request: int,
+        mask: int,
+    ) -> np.ndarray:
+        """Exact Jaccard distances of ``rows`` (garbage on dead rows).
+
+        ``sub=None`` means "the first ``len(rows)`` matrix rows" and runs
+        through preallocated scratch buffers (the full-scan fast path);
+        an explicit ``sub`` (the LSH pool gather) allocates normally.
+        """
+        q, _overflow = self._query_words(mask)
+        if sub is None:
+            top = len(rows)
+            anded = np.bitwise_and(
+                self._matrix[:top], q, out=self._and_scratch[:top]
+            )
+            pops = np.bitwise_count(anded, out=self._pop_scratch[:top])
+        else:
+            pops = np.bitwise_count(sub & q)
+        inter = pops.sum(axis=1, dtype=np.int64)
+        union = n_request + self._count[rows] - inter
+        # Dead rows carry stale counts, so union may be <= 0 there; the
+        # caller filters them via _live.  union == 0 on a live row means
+        # empty-vs-empty, defined as distance 0.0 (as in the naive loop).
+        # The max(union, 1) denominator avoids a divide warning without
+        # an errstate context (measurably slow per call); rows where it
+        # kicked in are overwritten by the where().
+        return np.where(
+            union > 0, 1.0 - inter / np.maximum(union, 1), 0.0
+        )
+
+    # -- eviction heap -----------------------------------------------------
+
+    def _key_of_row(self, row: int) -> int:
+        if self._policy == "lru":
+            return int(self._last_used[row])
+        if self._policy == "fifo":
+            return int(self._created[row])
+        return -int(self._size[row])  # "size": largest first
+
+    def _push(self, row: int, image_id: str) -> None:
+        heapq.heappush(
+            self._heap, (self._key_of_row(row), int(self._order[row]), image_id)
+        )
+        if (
+            len(self._heap) > self._HEAP_MIN
+            and len(self._heap) > self._HEAP_SLACK * max(self._n_live, 1)
+        ):
+            self._rebuild_heap()
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (self._key_of_row(row), int(self._order[row]), image_id)
+            for image_id, row in self._row_of.items()
+        ]
+        heapq.heapify(self._heap)
+
+    def eviction_victim(self, pinned_id: str) -> Optional["CachedImage"]:
+        """Pop to the freshest minimal entry, skipping the pinned image.
+
+        An entry is *stale* when its image is gone or its key no longer
+        matches the live arrays (every key change pushed a newer entry,
+        so the current key is always present).  A valid entry for the
+        pinned image is set aside and pushed back afterwards — it stays
+        the would-be victim for a later, unpinned eviction.
+        """
+        heap = self._heap
+        stash = None
+        victim = None
+        while heap:
+            key, order, image_id = heap[0]
+            row = self._row_of.get(image_id)
+            if (
+                row is None
+                or self._order[row] != order
+                or self._key_of_row(row) != key
+            ):
+                heapq.heappop(heap)  # stale
+                continue
+            if image_id == pinned_id:
+                stash = heapq.heappop(heap)
+                continue
+            victim = self._image_of_row[row]
+            break
+        if stash is not None:
+            heapq.heappush(heap, stash)
+        return victim
+
+
+def make_engine(name: str):
+    """Instantiate a decision engine by knob value (unbound)."""
+    if name == "naive":
+        return NaiveEngine()
+    if name == "vectorized":
+        return VectorizedEngine()
+    raise ValueError(f"engine must be one of {ENGINES}, got {name!r}")

@@ -72,6 +72,10 @@ class SimulationConfig:
     eviction: str = "lru"
     use_minhash: bool = False
     merge_write_mode: str = "full"
+    # Which decision engine resolves the cache's inner scans ("vectorized"
+    # or "naive").  A pure performance knob — the engines are
+    # bit-identical, so results never depend on it.
+    engine: str = "vectorized"
     record_timeline: bool = True
     # Observability: when True, the run builds a repro.obs.MetricsRegistry,
     # instruments the cache with it, and returns its snapshot in
@@ -271,6 +275,7 @@ def simulate(
         eviction=config.eviction,
         use_minhash=config.use_minhash,
         merge_write_mode=config.merge_write_mode,
+        engine=config.engine,
         rng=spawn(config.seed, "cache-rng"),
     )
     metrics = MetricsRegistry() if config.collect_metrics else None

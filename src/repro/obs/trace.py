@@ -255,6 +255,25 @@ class DecisionTracer:
             trace, "evictions", trace.evictions + (eviction,)
         )
 
+    def on_adoption_evictions(
+        self,
+        request_index: int,
+        evictions: "Tuple[TracedEviction, ...]",
+    ) -> None:
+        """Attach capacity evictions forced by an ``adopt()`` call.
+
+        An adoption has no request of its own, so its victims — already
+        built as :class:`TracedEviction` records by the eviction loop —
+        join the trace of the last completed request, mirroring how
+        ``evict_idle`` victims are recorded.
+        """
+        trace = self._traces.get(request_index)
+        if trace is None:
+            return
+        object.__setattr__(
+            trace, "evictions", trace.evictions + tuple(evictions)
+        )
+
     def trace(self, request_index: int) -> Optional[RequestTrace]:
         """The trace for one request index, or ``None`` if not held."""
         return self._traces.get(request_index)

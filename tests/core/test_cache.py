@@ -355,3 +355,38 @@ class TestMinHashMode:
             exact.request(s)
             approx.request(s)
         assert approx.stats.candidates_examined < exact.stats.candidates_examined
+
+
+class TestSpecMemoBound:
+    def test_partial_eviction_keeps_recent_specs(self, monkeypatch):
+        # regression: hitting the memo bound used to clear() the whole
+        # memo, discarding hot keys; now only the oldest half is dropped.
+        monkeypatch.setattr(LandlordCache, "_SPEC_MEMO_LIMIT", 8)
+        c = cache()
+        specs = [spec(f"p{i}") for i in range(8)]
+        for s in specs:
+            c._intern(s)
+        assert len(c._spec_memo) == 8
+        c._intern(spec("q0"))  # crosses the bound
+        assert len(c._spec_memo) == 5  # 8 - 4 dropped + 1 new
+        # the oldest half is gone, the newest half (and the trigger) stay
+        assert all(specs[i] not in c._spec_memo for i in range(4))
+        assert all(specs[i] in c._spec_memo for i in range(4, 8))
+        assert spec("q0") in c._spec_memo
+
+    def test_bound_is_an_upper_limit(self, monkeypatch):
+        monkeypatch.setattr(LandlordCache, "_SPEC_MEMO_LIMIT", 16)
+        c = cache()
+        for i in range(100):
+            c._intern(spec(f"p{i % 50}", f"q{i % 40}"))
+        assert len(c._spec_memo) <= 16
+
+    def test_interning_still_correct_across_the_bound(self, monkeypatch):
+        monkeypatch.setattr(LandlordCache, "_SPEC_MEMO_LIMIT", 4)
+        c = cache()
+        for i in range(12):
+            mask, indices, size = c._intern(spec(f"p{i}"))
+            assert size == 10
+        again_mask, _, again_size = c._intern(spec("p0"))
+        assert again_size == 10
+        assert again_mask == c._universe.mask_of(spec("p0"))[0]

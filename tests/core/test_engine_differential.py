@@ -1,0 +1,165 @@
+"""Differential property suite: naive vs vectorized decision engines.
+
+The contract (see :mod:`repro.core.engine`): the two engines are
+**bit-identical** — same decision stream, same statistics, same event
+log, same snapshot dicts — for every combination of policy knobs.  This
+suite replays the same randomized workload (requests interleaved with
+``evict_idle`` sweeps, federation ``adopt``s, ``split``s, and
+snapshot/restore round-trips that *cross* engines) into two caches that
+differ only in ``engine=``, asserting equality after every operation.
+
+The workload generator is seeded per knob combination, so failures
+reproduce exactly; the grid is exhaustive over
+hit_selection × candidate_order × eviction × merge_write_mode ×
+use_minhash × conflict policy (216 combinations, ≥1000 requests each).
+"""
+
+import itertools
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.core.cache import (
+    CANDIDATE_ORDER,
+    EVICTION,
+    HIT_SELECTION,
+    LandlordCache,
+)
+from repro.packages.conflicts import NoConflicts, SlotConflicts
+
+# Package ids are name/version so SlotConflicts has real slots to clash.
+NAMES = [f"lib{i}" for i in range(16)]
+VERSIONS = ("1.0", "2.0", "3.0")
+PACKAGES = [f"{name}/{ver}" for name in NAMES for ver in VERSIONS]
+SIZES = {pid: 5 + (i * 37) % 90 for i, pid in enumerate(PACKAGES)}
+
+CAPACITY = 1200  # small enough that eviction runs constantly
+ALPHA = 0.6
+N_REQUESTS = 1000
+
+GRID = list(
+    itertools.product(
+        HIT_SELECTION,
+        CANDIDATE_ORDER,
+        EVICTION,
+        ("full", "delta"),
+        (False, True),  # use_minhash
+        (False, True),  # slot conflicts
+    )
+)
+
+
+def _size_of(pid: str) -> int:
+    return SIZES[pid]
+
+
+def _combo_id(combo) -> str:
+    hit, order, evict, mode, minhash, conflicts = combo
+    return "-".join(
+        [
+            hit,
+            order,
+            evict,
+            mode,
+            "minhash" if minhash else "exact",
+            "slots" if conflicts else "noconf",
+        ]
+    )
+
+
+def make_pair(combo):
+    """Two caches differing only in ``engine=``."""
+    hit, order, evict, mode, minhash, conflicts = combo
+    kwargs = dict(
+        hit_selection=hit,
+        candidate_order=order,
+        eviction=evict,
+        merge_write_mode=mode,
+        use_minhash=minhash,
+        minhash_perm=8,
+        minhash_bands=4,
+        record_events=True,
+        conflict_policy=SlotConflicts() if conflicts else NoConflicts(),
+    )
+    naive = LandlordCache(
+        CAPACITY, ALPHA, _size_of, engine="naive",
+        rng=np.random.default_rng(7), **kwargs,
+    )
+    vec = LandlordCache(
+        CAPACITY, ALPHA, _size_of, engine="vectorized",
+        rng=np.random.default_rng(7), **kwargs,
+    )
+    return naive, vec
+
+
+def decision_key(decision):
+    return (
+        decision.action,
+        decision.image.id,
+        decision.image.size,
+        decision.requested_bytes,
+        decision.distance,
+        decision.bytes_added,
+        tuple(decision.evicted),
+    )
+
+
+def assert_same_state(naive, vec):
+    assert naive.stats.__dict__ == vec.stats.__dict__
+    assert naive.events == vec.events
+    assert naive.snapshot() == vec.snapshot()
+    assert naive.cached_bytes == vec.cached_bytes
+    assert naive.unique_bytes == vec.unique_bytes
+
+
+def run_differential(combo, n_requests=N_REQUESTS):
+    naive, vec = make_pair(combo)
+    rng = Random("|".join(map(str, combo)))  # str seeding is stable
+    for step in range(1, n_requests + 1):
+        spec = frozenset(rng.sample(PACKAGES, rng.randint(1, 6)))
+        d_naive = naive.request(spec)
+        d_vec = vec.request(spec)
+        assert decision_key(d_naive) == decision_key(d_vec), (
+            f"step {step}: engines diverged on {sorted(spec)}"
+        )
+
+        if step % 61 == 0:
+            adopted = frozenset(rng.sample(PACKAGES, rng.randint(1, 4)))
+            a_naive = naive.adopt(adopted)
+            a_vec = vec.adopt(adopted)
+            assert (a_naive.id, a_naive.size) == (a_vec.id, a_vec.size)
+
+        if step % 97 == 0:
+            horizon = rng.randint(0, 25)
+            assert naive.evict_idle(horizon) == vec.evict_idle(horizon)
+
+        if step % 113 == 0 and naive._images:
+            image_id = rng.choice(sorted(naive._images))
+            pkgs = sorted(naive._images[image_id].packages)
+            rng.shuffle(pkgs)
+            cut = rng.randint(1, len(pkgs))
+            parts = [frozenset(pkgs[:cut])]
+            if cut < len(pkgs) and rng.random() < 0.8:
+                parts.append(frozenset(pkgs[cut:]))
+            s_naive = naive.split(image_id, parts)
+            s_vec = vec.split(image_id, parts)
+            assert [im.id for im in s_naive] == [im.id for im in s_vec]
+
+        if step % 149 == 0:
+            # Snapshot both, then restore each snapshot into a fresh
+            # cache of the *other* engine: a restored matrix must pick
+            # up exactly where the big-int path left off (and vice
+            # versa).  Events reset at the boundary, so compare first.
+            assert_same_state(naive, vec)
+            snap_naive, snap_vec = naive.snapshot(), vec.snapshot()
+            assert snap_naive == snap_vec
+            naive, vec = make_pair(combo)
+            naive.restore(snap_vec)
+            vec.restore(snap_naive)
+    assert_same_state(naive, vec)
+
+
+@pytest.mark.parametrize("combo", GRID, ids=_combo_id)
+def test_engines_bit_identical(combo):
+    run_differential(combo)

@@ -70,6 +70,29 @@ class TestEvictIdle:
         assert c.unique_bytes == sum(SIZE[p] for p in union)
 
 
+class TestIndexConvention:
+    def test_event_and_tracer_agree_on_request_index(self):
+        # regression: the DELETE event used stats.requests while the
+        # tracer callback used stats.requests - 1, so the event pointed
+        # one past the request the trace hung the eviction on.
+        from repro.obs.trace import DecisionTracer
+
+        tracer = DecisionTracer()
+        c = cache()
+        c.enable_tracing(tracer)
+        for i in range(4):
+            c.request(frozenset({f"p{i}"}))
+        evicted = c.evict_idle(0)
+        assert len(evicted) == 3
+        last_index = c.stats.requests - 1
+        delete_events = [e for e in c.events if e.kind.value == "delete"]
+        assert {e.request_index for e in delete_events} == {last_index}
+        trace = tracer.trace(last_index)
+        assert trace is not None
+        assert sorted(ev.image_id for ev in trace.evictions) == sorted(evicted)
+        assert all(ev.reason == "idle" for ev in trace.evictions)
+
+
 class TestIdleUnitIsRequests:
     def test_adoptions_do_not_age_requested_images(self):
         # regression: the horizon used to be computed against the internal

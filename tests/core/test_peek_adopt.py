@@ -77,3 +77,40 @@ class TestAdopt:
         restored = cache()
         restored.restore(c.snapshot())
         assert restored.stats.adoptions == 1
+
+
+class TestAdoptTracerEvictions:
+    def test_adoption_evictions_reach_the_tracer(self):
+        # regression: adopt() used to clear _pending_evictions without
+        # handing them to an attached tracer, so capacity evictions an
+        # adoption forced were silently untraceable.
+        from repro.obs.trace import DecisionTracer
+
+        tracer = DecisionTracer()
+        c = cache(capacity=30, alpha=0.0, tracer=tracer)
+        c.request(frozenset({"p0", "p1"}))
+        c.adopt(frozenset({"p2", "p3"}))  # 40 > 30: evicts the LRU image
+        assert c.stats.deletes == 1
+        trace = tracer.trace(0)  # the last completed request
+        assert trace is not None
+        assert [ev.reason for ev in trace.evictions] == ["capacity"]
+        assert trace.evictions[0].size == 20
+
+    def test_pending_queue_left_empty_either_way(self):
+        from repro.obs.trace import DecisionTracer
+
+        for tracer in (None, DecisionTracer()):
+            c = cache(capacity=30, alpha=0.0, tracer=tracer)
+            c.request(frozenset({"p0", "p1"}))
+            c.adopt(frozenset({"p2", "p3"}))
+            assert c._pending_evictions == []
+
+    def test_tracer_never_perturbs_adoption(self):
+        from repro.obs.trace import DecisionTracer
+
+        plain = cache(capacity=30, alpha=0.0)
+        traced = cache(capacity=30, alpha=0.0, tracer=DecisionTracer())
+        for c in (plain, traced):
+            c.request(frozenset({"p0", "p1"}))
+            c.adopt(frozenset({"p2", "p3"}))
+        assert plain.snapshot() == traced.snapshot()
