@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Render committed-vs-regenerated benchmark deltas as a Markdown table.
+
+CI regenerates ``BENCH_cache.json`` / ``BENCH_sweep.json`` on every run;
+this script diffs each regenerated file against the committed baseline
+(``git show <ref>:<file>``) and prints one GitHub-flavoured Markdown
+table per file, meant for ``$GITHUB_STEP_SUMMARY``::
+
+    python scripts/bench_summary.py BENCH_cache.json BENCH_sweep.json \
+        >> "$GITHUB_STEP_SUMMARY"
+
+Nested payloads (the ``{"scales": {...}}`` layout of BENCH_cache.json)
+are flattened to dotted keys.  Only scalar leaves are compared; numeric
+deltas carry a sign and a percentage so regressions read at a glance.
+A missing baseline (new file, shallow clone) degrades to a
+current-only table rather than failing the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+Scalar = object  # int | float | bool | str | None
+
+
+def flatten(doc: object, prefix: str = "") -> Dict[str, Scalar]:
+    """Dotted-key view of a nested JSON document's scalar leaves."""
+    out: Dict[str, Scalar] = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            out.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            out.update(flatten(value, f"{prefix}{i}."))
+    else:
+        out[prefix[:-1]] = doc
+    return out
+
+
+def baseline_of(path: Path, ref: str) -> Optional[dict]:
+    """The committed version of ``path`` at ``ref``, or None."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{path.as_posix()}"],
+            capture_output=True, check=True, cwd=path.parent or Path("."),
+        ).stdout
+        return json.loads(blob)
+    except (subprocess.CalledProcessError, OSError, ValueError):
+        return None
+
+
+def _fmt(value: Scalar) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _delta(old: Scalar, new: Scalar) -> str:
+    if old == new:
+        return ""
+    if isinstance(old, bool) or isinstance(new, bool):
+        return "changed"
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        diff = new - old
+        pct = f" ({diff / old:+.1%})" if old else ""
+        return f"{diff:+g}{pct}"
+    return "changed"
+
+
+def summarize(path: Path, ref: str) -> str:
+    current = flatten(json.loads(path.read_text()))
+    baseline_doc = baseline_of(path, ref)
+    lines = [f"### {path.name}", ""]
+    if baseline_doc is None:
+        lines += ["| metric | value |", "|---|---|"]
+        lines += [f"| {k} | {_fmt(v)} |" for k, v in sorted(current.items())]
+        lines += ["", f"_No committed baseline at `{ref}`._", ""]
+        return "\n".join(lines)
+    baseline = flatten(baseline_doc)
+    lines += [
+        f"| metric | committed (`{ref}`) | this run | delta |",
+        "|---|---|---|---|",
+    ]
+    for key in sorted(baseline.keys() | current.keys()):
+        old = baseline.get(key, "—")
+        new = current.get(key, "—")
+        delta = _delta(old, new) if key in baseline and key in current else "new" \
+            if key not in baseline else "removed"
+        lines.append(f"| {key} | {_fmt(old)} | {_fmt(new)} | {delta} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=Path,
+                        help="regenerated benchmark JSON files to diff")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref holding the committed baseline "
+                        "(default: %(default)s)")
+    args = parser.parse_args(argv)
+    failures = 0
+    print("## Benchmark deltas\n")
+    for path in args.files:
+        if not path.exists():
+            print(f"### {path.name}\n\n_Not regenerated in this run._\n")
+            continue
+        try:
+            print(summarize(path, args.ref))
+        except ValueError as exc:
+            print(f"### {path.name}\n\n_Unreadable: {exc}_\n")
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

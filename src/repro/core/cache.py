@@ -276,11 +276,11 @@ class _CacheInstruments:
         "conflicts", "candidates",
         "cached_bytes", "unique_bytes", "images",
         "merge_distance",
-        "request_s", "subset_scan_s", "candidate_probe_s",
-        "merge_rewrite_s", "eviction_s",
+        "request_s", "request_s_batched", "subset_scan_s",
+        "candidate_probe_s", "merge_rewrite_s", "eviction_s",
     )
 
-    def __init__(self, registry) -> None:
+    def __init__(self, registry, engine: str = "vectorized") -> None:
         from repro.obs.metrics import DEFAULT_TIME_BUCKETS, DISTANCE_BUCKETS
 
         self.registry = registry
@@ -338,9 +338,18 @@ class _CacheInstruments:
                 name, help, buckets=DEFAULT_TIME_BUCKETS
             ).labels()
 
-        self.request_s = timing(
+        # Labelled by engine and batched-submission mode so the SLO
+        # tracker and dashboards can tell the fast paths apart.
+        request_family = registry.histogram(
             "landlord_request_seconds",
-            "Wall-clock seconds to serve one request end to end.")
+            "Wall-clock seconds to serve one request end to end.",
+            buckets=DEFAULT_TIME_BUCKETS,
+            labelnames=("engine", "batched"),
+        )
+        self.request_s = request_family.labels(engine=engine, batched="no")
+        self.request_s_batched = request_family.labels(
+            engine=engine, batched="yes"
+        )
         self.subset_scan_s = timing(
             "landlord_subset_scan_seconds",
             "Wall-clock seconds in the superset (hit) scan.")
@@ -404,6 +413,11 @@ class LandlordCache:
             bit-identical, so it is *not* part of
             :meth:`policy_snapshot` and snapshots restore across
             engines.
+        prefilter: let the vectorized engine narrow full merge scans to
+            the exact count window (and probe its internal LSH) before
+            popcounting — another pure performance knob; decisions stay
+            bit-identical with it on or off (the default is on).  The
+            naive engine ignores it.
     """
 
     def __init__(
@@ -426,6 +440,7 @@ class LandlordCache:
         tracer=None,
         slo=None,
         engine: str = "vectorized",
+        prefilter: bool = True,
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -462,6 +477,11 @@ class LandlordCache:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.engine = engine
+        # Read by VectorizedEngine.bind(); a pure performance knob like
+        # ``engine`` itself (decisions are bit-identical either way), so
+        # not part of policy_snapshot().
+        self.engine_prefilter = bool(prefilter)
+        self._in_batch = False
         self._universe = _Universe(package_size)
         self._images: Dict[str, CachedImage] = {}
         self._clock = 0
@@ -506,7 +526,7 @@ class LandlordCache:
         replayed history is not double-counted); the gauges are synced
         immediately, the counters advance from here on.
         """
-        self._ins = _CacheInstruments(registry)
+        self._ins = _CacheInstruments(registry, self.engine)
         self._update_gauges()
 
     def enable_tracing(self, tracer) -> None:
@@ -988,6 +1008,7 @@ class LandlordCache:
         mask: int,
         n_request: int,
         signature: Optional[MinHashSignature],
+        indices: Optional[np.ndarray] = None,
     ) -> List[Tuple[float, CachedImage]]:
         """All cached images with exact d_j < alpha, with their distances."""
         if self._lsh is not None and signature is not None:
@@ -1002,7 +1023,7 @@ class LandlordCache:
         else:
             pool_ids = None
         out, examined = self._engine.scan_candidates(
-            mask, n_request, self.alpha, pool_ids
+            mask, n_request, self.alpha, pool_ids, indices=indices
         )
         self.stats.candidates_examined += examined
         return out
@@ -1024,6 +1045,11 @@ class LandlordCache:
         images_scanned = len(self._images)
         measured = ins is not None or slo is not None
         t_request = perf_counter() if measured else 0.0
+        request_timer = None
+        if ins is not None:
+            request_timer = (
+                ins.request_s_batched if self._in_batch else ins.request_s
+            )
 
         # Step 1: reuse an existing superset image.
         if ins is not None:
@@ -1047,7 +1073,7 @@ class LandlordCache:
             if ins is not None:
                 ins.req_hit.inc()
                 ins.requested_bytes.inc(requested)
-                ins.request_s.observe(perf_counter() - t_request)
+                request_timer.observe(perf_counter() - t_request)
             if slo is not None:
                 slo.on_request(
                     "hit", requested, 0, hit.size, 0,
@@ -1074,10 +1100,14 @@ class LandlordCache:
         examined_before = self.stats.candidates_examined
         if ins is not None:
             t0 = perf_counter()
-            candidates = self._merge_candidates(mask, n_request, signature)
+            candidates = self._merge_candidates(
+                mask, n_request, signature, indices
+            )
             ins.candidate_probe_s.observe(perf_counter() - t0)
         else:
-            candidates = self._merge_candidates(mask, n_request, signature)
+            candidates = self._merge_candidates(
+                mask, n_request, signature, indices
+            )
         examined = self.stats.candidates_examined - examined_before
         if ins is not None:
             ins.candidates.inc(examined)
@@ -1120,7 +1150,7 @@ class LandlordCache:
                     ins.requested_bytes.inc(requested)
                     ins.merge_distance.observe(distance)
                     self._update_gauges()
-                    ins.request_s.observe(perf_counter() - t_request)
+                    request_timer.observe(perf_counter() - t_request)
                 if slo is not None:
                     written = (
                         decision.image.size
@@ -1173,7 +1203,7 @@ class LandlordCache:
             ins.requested_bytes.inc(requested)
             ins.bytes_written.inc(requested)
             self._update_gauges()
-            ins.request_s.observe(perf_counter() - t_request)
+            request_timer.observe(perf_counter() - t_request)
         if slo is not None:
             slo.on_request(
                 "insert", requested, requested, image.size,
@@ -1201,6 +1231,47 @@ class LandlordCache:
             EventKind.INSERT, image, requested,
             bytes_added=requested, evicted=evicted,
         )
+
+    def submit_batch(
+        self,
+        specs: Iterable["ImageSpec | AbstractSet[str]"],
+        batch_size: int = 1024,
+    ) -> List[CacheDecision]:
+        """Serve a vector of independent requests through batched kernels.
+
+        Semantically identical to ``[self.request(s) for s in specs]`` —
+        same decisions, stats, events, and final state, enforced by the
+        differential suite — but per window of ``batch_size`` requests
+        the engine precomputes all hit predictions in grouped kernel
+        invocations (:meth:`~repro.core.engine.VectorizedEngine
+        .begin_batch`) and serves each request by repairing its
+        prediction against the images dirtied since the window opened,
+        amortizing per-request numpy dispatch overhead.  The naive
+        engine's window hooks are no-ops, so this is safe (just not
+        faster) under ``engine="naive"``.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        specs = list(specs)
+        decisions: List[CacheDecision] = []
+        for start in range(0, len(specs), batch_size):
+            window = specs[start : start + batch_size]
+            keys = [
+                spec.packages if isinstance(spec, ImageSpec)
+                else frozenset(spec)
+                for spec in window
+            ]
+            # Intern first so prediction masks match what request() sees.
+            masks = [self._intern(packages)[0] for packages in keys]
+            self._engine.begin_batch(masks)
+            self._in_batch = True
+            try:
+                for packages in keys:
+                    decisions.append(self.request(packages))
+            finally:
+                self._in_batch = False
+                self._engine.end_batch()
+        return decisions
 
     def _find_hit(self, mask: int) -> Optional[CachedImage]:
         return self._engine.find_hit(mask)

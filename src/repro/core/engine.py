@@ -53,9 +53,17 @@ its matrix.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.core.minhash import (
+    MinHashLSH,
+    MinHashSignature,
+    _FULL,
+    _perm_params,
+    element_hash,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.cache import CachedImage, LandlordCache
@@ -132,6 +140,7 @@ class NaiveEngine:
         n_request: int,
         alpha: float,
         pool_ids: Optional[Sequence[str]] = None,
+        indices: Optional[np.ndarray] = None,
     ) -> Tuple[List[Tuple[float, "CachedImage"]], int]:
         """All images with exact Jaccard distance < ``alpha``.
 
@@ -140,6 +149,9 @@ class NaiveEngine:
         number of images scanned (the ``candidates_examined`` delta).
         ``pool_ids`` restricts the scan to those ids in that exact order
         (the MinHash/LSH prefilter); ``None`` scans the whole cache.
+        ``indices`` (the request's sorted universe indices) is an optional
+        hint other engines use for signature hashing; the naive loop
+        ignores it.
         """
         cache = self._cache
         if pool_ids is None:
@@ -157,6 +169,31 @@ class NaiveEngine:
                 out.append((distance, img))
         return out, examined
 
+    # -- batch API (reference semantics: a plain loop) -----------------------
+
+    def find_hits(
+        self, masks: Sequence[int]
+    ) -> List[Optional["CachedImage"]]:
+        """Hit scan for a vector of independent masks against current state."""
+        return [self.find_hit(mask) for mask in masks]
+
+    def scan_candidates_batch(
+        self,
+        queries: Sequence[Tuple[int, int]],
+        alpha: float,
+    ) -> List[Tuple[List[Tuple[float, "CachedImage"]], int]]:
+        """Merge scan for a vector of ``(mask, n_request)`` queries."""
+        return [
+            self.scan_candidates(mask, n_request, alpha)
+            for mask, n_request in queries
+        ]
+
+    def begin_batch(self, masks: Sequence[int]) -> None:
+        """Batched-submission hint; the naive loops take no advantage."""
+
+    def end_batch(self) -> None:
+        """End the batched-submission window (no-op)."""
+
     def eviction_victim(self, pinned_id: str) -> Optional["CachedImage"]:
         """The next eviction victim under the configured policy."""
         cache = self._cache
@@ -168,6 +205,40 @@ class NaiveEngine:
         if cache.eviction == "fifo":
             return min(candidates, key=lambda im: im.created_at, default=None)
         return max(candidates, key=lambda im: im.size, default=None)  # "size"
+
+
+class _HitBatch:
+    """One batched-submission window: snapshot predictions plus repair state.
+
+    ``predictions[i]`` is the image :meth:`VectorizedEngine.find_hits`
+    chose for ``masks[i]`` against the state at :meth:`begin_batch` time;
+    ``dirty`` collects the ids of every image added, removed, or
+    rewritten since (plus touched images under ``"mru"`` selection, the
+    only policy whose winner a touch can change).  ``cursor`` walks the
+    mask vector as the cache replays the batch through ``request()``.
+    """
+
+    __slots__ = (
+        "masks",
+        "predictions",
+        "cursor",
+        "dirty",
+        "selection",
+        "track_touch",
+    )
+
+    def __init__(
+        self,
+        masks: Sequence[int],
+        predictions: List[Optional["CachedImage"]],
+        selection: str,
+    ):
+        self.masks = list(masks)
+        self.predictions = predictions
+        self.cursor = 0
+        self.dirty: set = set()
+        self.selection = selection
+        self.track_touch = selection == "mru"
 
 
 class VectorizedEngine:
@@ -194,6 +265,32 @@ class VectorizedEngine:
     never mutates it); ``alpha`` and ``hit_selection`` are read per call
     because :class:`~repro.core.adaptive.AlphaController` retunes α on a
     live cache.
+
+    **Candidate prefilter** (``prefilter=True`` on the cache, the
+    default): the full merge scan first narrows to the *count window* —
+    d(s, j) < α forces ``t·n_s ≤ n_j ≤ n_s/t`` with ``t = 1 − α``, an
+    exact bound since ``|s∩j|/|s∪j| ≤ min(n_s,n_j)/max(n_s,n_j)`` — and
+    only gathers + popcounts the eligible rows when the window is
+    selective.  A :class:`~repro.core.minhash.MinHashLSH` over per-image
+    signatures (maintained incrementally in ``on_add``/``on_remove``/
+    ``on_update`` once the cache is large enough) is probed per scan;
+    the probe is *conclusive* when its bucket pool covers every
+    window-eligible row, in which case the verified pool is exactly the
+    eligible set.  An inconclusive probe (or an unselective window)
+    falls back to the full bit-matrix scan.  Because every skipped row
+    is excluded by the exact count bound — never by the probabilistic
+    signatures alone — decisions stay bit-identical to the naive loops
+    (exactness argument in DESIGN.md, "Decision-engine internals").
+
+    **Batch window** (:meth:`begin_batch`/:meth:`end_batch`, driven by
+    ``LandlordCache.submit_batch``): hit predictions for a vector of
+    request masks are computed in grouped kernel invocations against a
+    state snapshot; per request the prediction is *repaired* against the
+    set of rows dirtied since the snapshot (adds, removes, merge
+    rewrites, and — under ``"mru"`` selection — touches), which is
+    provably equivalent to a fresh scan (DESIGN.md).  A prediction whose
+    winner went dirty, or a dirty set past ``_BATCH_MAX_DIRTY``,
+    triggers a rescan/re-prediction, so the fast path never guesses.
     """
 
     name = "vectorized"
@@ -203,11 +300,46 @@ class VectorizedEngine:
     # live images (and is big enough for the rebuild to matter).
     _HEAP_MIN = 64
     _HEAP_SLACK = 4
+    # Internal LSH shape: 32 slots in 8 bands of 4 rows puts the S-curve
+    # threshold near similarity 0.6, the middle of the paper's α grid.
+    _LSH_PERM = 32
+    _LSH_BANDS = 8
+    _LSH_SEED = 0x51AB
+    # Maintain/probe the internal LSH only once this many images are
+    # live (below that, signature upkeep costs more than the scan).
+    _LSH_MIN_LIVE = 256
+    # Past this many dirtied rows, batched hit repair re-predicts the
+    # rest of the batch instead of walking an ever-growing dirty set.
+    _BATCH_MAX_DIRTY = 64
+    # Element budget for batched-kernel temporaries (rows × batch lanes ×
+    # words); 4M uint64 elements keeps the AND temporary near 32 MB.
+    _BATCH_CELL_BUDGET = 1 << 22
 
     def bind(self, cache: "LandlordCache") -> None:
         """Attach to the owning cache and allocate the empty matrix."""
         self._cache = cache
         self._policy = cache.eviction
+        self._prefilter = bool(getattr(cache, "engine_prefilter", True))
+        # Instance-level so tests can lower it to force the LSH path.
+        self.lsh_min_live = self._LSH_MIN_LIVE
+        self._sig_lsh: Optional[MinHashLSH] = None
+        self._perm_a: Optional[np.ndarray] = None
+        self._perm_b: Optional[np.ndarray] = None
+        self._elem_hashes = np.zeros(0, dtype=np.uint64)
+        self._elem_filled = np.zeros(0, dtype=bool)
+        self._batch: Optional[_HitBatch] = None
+        # Observable prefilter accounting (plain counters, reset never):
+        # windowed = scans served from the count-window gather;
+        # full = scans that fell back to the full bit-matrix pass;
+        # lsh_probes/lsh_conclusive = probe attempts and certified hits;
+        # rows_scanned = physical rows popcounted by merge scans.
+        self.prefilter_stats = {
+            "windowed": 0,
+            "full": 0,
+            "lsh_probes": 0,
+            "lsh_conclusive": 0,
+            "rows_scanned": 0,
+        }
         rows = self._INITIAL_ROWS
         self._rows = rows
         self._words = 1
@@ -316,6 +448,12 @@ class VectorizedEngine:
         self._row_of[image.id] = row
         self._n_live += 1
         self._push(row, image.id)
+        if self._sig_lsh is not None:
+            self._sig_lsh.insert(
+                image.id, self._signature_of_indices(image.indices)
+            )
+        if self._batch is not None:
+            self._batch.dirty.add(image.id)
 
     def on_remove(self, image: "CachedImage") -> None:
         """Free the image's row (heap entries die lazily)."""
@@ -324,6 +462,10 @@ class VectorizedEngine:
         self._image_of_row[row] = None
         self._free.append(row)
         self._n_live -= 1
+        if self._sig_lsh is not None:
+            self._sig_lsh.remove(image.id)
+        if self._batch is not None:
+            self._batch.dirty.add(image.id)
 
     def on_touch(self, image: "CachedImage") -> None:
         """Refresh ``last_used``; LRU gets a fresh heap entry."""
@@ -331,6 +473,9 @@ class VectorizedEngine:
         self._last_used[row] = image.last_used
         if self._policy == "lru":
             self._push(row, image.id)
+        batch = self._batch
+        if batch is not None and batch.track_touch:
+            batch.dirty.add(image.id)
 
     def on_update(self, image: "CachedImage") -> None:
         """Re-mirror a merged image (mask, size, count, last_used)."""
@@ -341,6 +486,66 @@ class VectorizedEngine:
         self._last_used[row] = image.last_used
         if self._policy != "fifo":  # created_at never changes
             self._push(row, image.id)
+        if self._sig_lsh is not None:
+            self._sig_lsh.update(
+                image.id, self._signature_of_indices(image.indices)
+            )
+        if self._batch is not None:
+            self._batch.dirty.add(image.id)
+
+    # -- internal MinHash/LSH index ------------------------------------------
+
+    def _element_hash_values(self, indices: np.ndarray) -> np.ndarray:
+        """Stable 64-bit element hashes for universe indices (memoised)."""
+        if indices.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        needed = int(indices[-1]) + 1  # indices are sorted ascending
+        if needed > self._elem_hashes.size:
+            capacity = max(1024, self._elem_hashes.size)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.zeros(capacity, dtype=np.uint64)
+            grown[: self._elem_hashes.size] = self._elem_hashes
+            self._elem_hashes = grown
+            filled = np.zeros(capacity, dtype=bool)
+            filled[: self._elem_filled.size] = self._elem_filled
+            self._elem_filled = filled
+        missing = indices[~self._elem_filled[indices]]
+        if missing.size:
+            ids = self._cache._universe._ids
+            for idx in missing:
+                i = int(idx)
+                self._elem_hashes[i] = element_hash(ids[i])
+                self._elem_filled[i] = True
+        return self._elem_hashes[indices]
+
+    def _signature_of_indices(self, indices: np.ndarray) -> MinHashSignature:
+        """MinHash signature of a package-index set (engine-internal seed)."""
+        if self._perm_a is None:
+            self._perm_a, self._perm_b = _perm_params(
+                self._LSH_PERM, self._LSH_SEED
+            )
+        hashes = self._element_hash_values(indices)
+        if hashes.size == 0:
+            values = np.full(self._LSH_PERM, _FULL, dtype=np.uint64)
+        else:
+            with np.errstate(over="ignore"):
+                table = (
+                    self._perm_a[:, None] * hashes[None, :]
+                    + self._perm_b[:, None]
+                )
+            values = table.min(axis=1)
+        return MinHashSignature(values, self._LSH_PERM, self._LSH_SEED)
+
+    def _ensure_sig_lsh(self) -> None:
+        """Build the internal LSH over all live images (first use only)."""
+        if self._sig_lsh is not None:
+            return
+        lsh = MinHashLSH(self._LSH_PERM, self._LSH_BANDS)
+        for image_id, row in self._row_of.items():
+            image = self._image_of_row[row]
+            lsh.insert(image_id, self._signature_of_indices(image.indices))
+        self._sig_lsh = lsh
 
     # -- kernels -----------------------------------------------------------
 
@@ -355,7 +560,17 @@ class VectorizedEngine:
         Among matching rows the selection reduces to a lexicographic
         extremum with ``_order`` as the tiebreaker, matching the naive
         scan's strict-comparison first-winner semantics exactly.
+
+        Inside a batch window the scan is served from the window's
+        snapshot prediction repaired against the dirty set
+        (:meth:`_batched_hit`); a lane whose prediction was invalidated
+        falls through to the plain scan below.
         """
+        batch = self._batch
+        if batch is not None:
+            served, hit = self._batched_hit(batch, mask)
+            if served:
+                return hit
         if self._n_live == 0:
             return None
         q, overflow = self._query_words(mask)
@@ -384,6 +599,15 @@ class VectorizedEngine:
                 rows = cand
         if rows.size == 0:
             return None
+        return self._select_hit(rows)
+
+    def _select_hit(self, rows: np.ndarray) -> Optional["CachedImage"]:
+        """The winner among superset rows under the cache's selection rule.
+
+        Reduces to a lexicographic extremum with ``_order`` as the
+        tiebreaker, matching the naive scan's strict-comparison
+        first-winner semantics exactly.
+        """
         selection = self._cache.hit_selection
         if selection == "first":
             row = rows[np.argmin(self._order[rows])]
@@ -395,12 +619,76 @@ class VectorizedEngine:
             ]
         return self._image_of_row[int(row)]
 
+    def _verify_and_select(
+        self, cand: np.ndarray, q: np.ndarray, nz: np.ndarray
+    ) -> Optional["CachedImage"]:
+        """Finish a hit scan from densest-word candidates ``cand``."""
+        cand = cand[self._live[cand]]
+        if cand.size == 0:
+            return None
+        if nz.size > 1:
+            sub = self._matrix[np.ix_(cand, nz)]
+            covered = ((sub & q[nz]) == q[nz]).all(axis=1)
+            rows = cand[covered]
+        else:
+            rows = cand
+        if rows.size == 0:
+            return None
+        return self._select_hit(rows)
+
+    def _window_rows(
+        self, n_request: int, alpha: float
+    ) -> Optional[np.ndarray]:
+        """Live rows whose package count admits distance < ``alpha``.
+
+        Exact bound, not an approximation: with ``t = 1 − α`` and set
+        sizes ``n_s`` (request) and ``n_j`` (image),
+        ``sim(s, j) ≤ min(n_s, n_j) / max(n_s, n_j)``, so ``d < α``
+        forces ``t·n_s ≤ n_j ≤ n_s / t``.  The bounds are widened by an
+        epsilon dwarfing the ≤2-ulp rounding error of the two float ops
+        (counts stay below 2^31, so 1 ulp < 1e-6 absolute), which can
+        only *admit* extra rows — those fall to the exact distance test.
+        ``None`` means the window is vacuous (``α ≥ 1`` admits every
+        count).
+        """
+        t = 1.0 - alpha
+        if t <= 0.0:
+            return None
+        top = self._top
+        counts = self._count[:top]
+        lo = t * n_request - 1e-6
+        hi = n_request / t + 1e-6
+        ok = self._live[:top] & (counts >= lo) & (counts <= hi)
+        return np.flatnonzero(ok)
+
+    def _certify_window(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Probe the internal LSH and record whether it covers ``rows``.
+
+        The probe never prunes — MinHash collisions are probabilistic,
+        and a missed bucket would silently drop a true candidate.  It is
+        *certification accounting*: a probe is conclusive when its bucket
+        pool ⊇ the window-eligible rows, i.e. the verified pool
+        (pool ∩ eligible) is exactly the eligible set the scan already
+        uses.  The counters feed the prefilter telemetry and the
+        differential suite's LSH-path coverage assertions.
+        """
+        if self._n_live >= self.lsh_min_live:
+            self._ensure_sig_lsh()
+        if self._sig_lsh is None:
+            return
+        self.prefilter_stats["lsh_probes"] += 1
+        pool = self._sig_lsh.query(self._signature_of_indices(indices))
+        image_of = self._image_of_row
+        if all(image_of[int(r)].id in pool for r in rows):
+            self.prefilter_stats["lsh_conclusive"] += 1
+
     def scan_candidates(
         self,
         mask: int,
         n_request: int,
         alpha: float,
         pool_ids: Optional[Sequence[str]] = None,
+        indices: Optional[np.ndarray] = None,
     ) -> Tuple[List[Tuple[float, "CachedImage"]], int]:
         """Batched popcount intersection → all exact Jaccard distances.
 
@@ -410,6 +698,13 @@ class VectorizedEngine:
         correctly rounded in both), so the floats are bit-identical.
         Candidates are returned in pool order: ascending ``_order`` for a
         full scan (= dict order), given order for an LSH pool.
+
+        With the prefilter enabled, a full scan first narrows to the
+        exact count window (:meth:`_window_rows`) and gathers only those
+        rows when the window is selective; the reported ``examined``
+        stays the *logical* pool size (``n_live``), because every
+        window-excluded row was examined — by an exact bound on its
+        count — and the statistic must not depend on physical strategy.
         """
         if pool_ids is not None:
             if not pool_ids:
@@ -430,6 +725,28 @@ class VectorizedEngine:
         if self._n_live == 0:
             return [], 0
         top = self._top
+        examined = self._n_live
+        if self._prefilter:
+            rows = self._window_rows(n_request, alpha)
+            if rows is not None and (rows.size << 1) < top:
+                self.prefilter_stats["windowed"] += 1
+                self.prefilter_stats["rows_scanned"] += int(rows.size)
+                if indices is not None:
+                    self._certify_window(indices, rows)
+                if rows.size == 0:
+                    return [], examined
+                if rows.size > 1:
+                    rows = rows[np.argsort(self._order[rows])]
+                sub = self._matrix[rows]
+                dist = self._distances(sub, rows, n_request, mask)
+                image_of = self._image_of_row
+                out = [
+                    (float(dist[i]), image_of[int(rows[i])])
+                    for i in np.flatnonzero(dist < alpha)
+                ]
+                return out, examined
+        self.prefilter_stats["full"] += 1
+        self.prefilter_stats["rows_scanned"] += top
         all_rows = np.arange(top, dtype=np.int64)
         dist = self._distances(None, all_rows, n_request, mask)
         ok = self._live[:top] & (dist < alpha)
@@ -438,7 +755,214 @@ class VectorizedEngine:
             rows = rows[np.argsort(self._order[rows])]
         image_of = self._image_of_row
         out = [(float(dist[int(r)]), image_of[int(r)]) for r in rows]
-        return out, self._n_live
+        return out, examined
+
+    # -- batch API -----------------------------------------------------------
+
+    def find_hits(
+        self, masks: Sequence[int]
+    ) -> List[Optional["CachedImage"]]:
+        """Hit scan for a vector of masks in grouped kernel invocations.
+
+        Masks are deduplicated, grouped by their densest request word,
+        and each group's densest-word filter runs as one broadcast
+        kernel over ``top × group`` lanes (chunked to the element
+        budget); survivors are verified and selected per lane exactly as
+        :meth:`find_hit` would be.  Equivalent to
+        ``[self.find_hit(m) for m in masks]`` against fixed state.
+        """
+        results: List[Optional["CachedImage"]] = [None] * len(masks)
+        if self._n_live == 0 or not masks:
+            return results
+        top = self._top
+        lanes: Dict[int, List[int]] = {}
+        for i, mask in enumerate(masks):
+            lanes.setdefault(mask, []).append(i)
+        # Group distinct masks by their densest word so one column pass
+        # filters a whole group of lanes.
+        groups: Dict[int, List[Tuple[int, np.ndarray, np.ndarray]]] = {}
+        for mask, out_idx in lanes.items():
+            q, overflow = self._query_words(mask)
+            if overflow:
+                continue  # packages no cached image contains: no hit
+            nz = np.flatnonzero(q)
+            if nz.size == 0:
+                # Empty request: every live image is a superset.
+                hit = self._select_hit(np.flatnonzero(self._live[:top]))
+                for i in out_idx:
+                    results[i] = hit
+                continue
+            word = int(nz[np.argmax(np.bitwise_count(q[nz]))])
+            groups.setdefault(word, []).append((mask, q, nz))
+        for word, members in groups.items():
+            qws = np.array([q[word] for _, q, _ in members], dtype=_WORD)
+            col = self._matrix[:top, word]
+            n_lanes = len(members)
+            chunk = max(1, self._BATCH_CELL_BUDGET // n_lanes)
+            cand_lists: List[List[np.ndarray]] = [[] for _ in members]
+            for start in range(0, top, chunk):
+                stop = min(start + chunk, top)
+                covered = (
+                    col[start:stop, None] & qws[None, :]
+                ) == qws[None, :]
+                rows_idx, lane_idx = np.nonzero(covered)
+                if rows_idx.size == 0:
+                    continue
+                rows_idx = rows_idx + start
+                by_lane = np.argsort(lane_idx, kind="stable")
+                lane_sorted = lane_idx[by_lane]
+                rows_sorted = rows_idx[by_lane]
+                bounds = np.searchsorted(
+                    lane_sorted, np.arange(n_lanes + 1)
+                )
+                for j in range(n_lanes):
+                    sel = rows_sorted[bounds[j] : bounds[j + 1]]
+                    if sel.size:
+                        cand_lists[j].append(sel)
+            for j, (mask, q, nz) in enumerate(members):
+                if not cand_lists[j]:
+                    continue
+                cand = (
+                    cand_lists[j][0]
+                    if len(cand_lists[j]) == 1
+                    else np.concatenate(cand_lists[j])
+                )
+                hit = self._verify_and_select(cand, q, nz)
+                if hit is not None:
+                    for i in lanes[mask]:
+                        results[i] = hit
+        return results
+
+    def scan_candidates_batch(
+        self,
+        queries: Sequence[Tuple[int, int]],
+        alpha: float,
+    ) -> List[Tuple[List[Tuple[float, "CachedImage"]], int]]:
+        """Merge scan for a vector of ``(mask, n_request)`` queries.
+
+        One broadcast popcount kernel per lane chunk — the ``B × top``
+        intersection matrix comes out of a single ``bitwise_count`` over
+        a ``B × top × words`` AND (chunked to the element budget), and
+        each lane then applies the same exact-distance filter and
+        ``_order`` sort as :meth:`scan_candidates`.  Equivalent to
+        ``[self.scan_candidates(m, n, alpha) for m, n in queries]``
+        against fixed state.
+        """
+        n_queries = len(queries)
+        if n_queries == 0:
+            return []
+        if self._n_live == 0:
+            return [([], 0) for _ in queries]
+        top = self._top
+        words = self._words
+        examined = self._n_live
+        stacked = np.zeros((n_queries, words), dtype=_WORD)
+        n_req = np.zeros(n_queries, dtype=np.int64)
+        for i, (mask, n_request) in enumerate(queries):
+            q, _overflow = self._query_words(mask)
+            stacked[i] = q
+            n_req[i] = n_request
+        live = self._live[:top]
+        counts = self._count[:top]
+        image_of = self._image_of_row
+        results: List[Tuple[List[Tuple[float, "CachedImage"]], int]] = []
+        lane_budget = max(1, self._BATCH_CELL_BUDGET // max(1, top * words))
+        for start in range(0, n_queries, lane_budget):
+            stop = min(start + lane_budget, n_queries)
+            inter = np.bitwise_count(
+                self._matrix[None, :top, :] & stacked[start:stop, None, :]
+            ).sum(axis=2, dtype=np.int64)
+            union = n_req[start:stop, None] + counts[None, :] - inter
+            dist = np.where(
+                union > 0, 1.0 - inter / np.maximum(union, 1), 0.0
+            )
+            for j in range(stop - start):
+                ok = live & (dist[j] < alpha)
+                rows = np.flatnonzero(ok)
+                if rows.size > 1:
+                    rows = rows[np.argsort(self._order[rows])]
+                out = [
+                    (float(dist[j][int(r)]), image_of[int(r)]) for r in rows
+                ]
+                results.append((out, examined))
+        return results
+
+    def begin_batch(self, masks: Sequence[int]) -> None:
+        """Open a batch window: predict every mask's hit against now-state."""
+        self._batch = None  # predictions must come from the plain kernels
+        predictions = self.find_hits(masks)
+        self._batch = _HitBatch(masks, predictions, self._cache.hit_selection)
+
+    def end_batch(self) -> None:
+        """Close the batch window (predictions are discarded)."""
+        self._batch = None
+
+    def _hit_key(self, image: "CachedImage") -> Tuple[int, ...]:
+        """The naive scan's strict-comparison order as a sortable key."""
+        row = self._row_of[image.id]
+        selection = self._cache.hit_selection
+        if selection == "first":
+            return (int(self._order[row]),)
+        if selection == "smallest":
+            return (int(self._size[row]), int(self._order[row]))
+        return (-int(self._last_used[row]), int(self._order[row]))
+
+    def _batched_hit(
+        self, batch: _HitBatch, mask: int
+    ) -> Tuple[bool, Optional["CachedImage"]]:
+        """Serve one batch lane from its prediction, repaired for drift.
+
+        Returns ``(served, hit)``; ``served=False`` sends the caller to
+        the plain scan.  Exactness: rows untouched since the window
+        opened are byte-identical to their snapshot state, so the
+        snapshot prediction remains the best among them (its key fields
+        are immutable unless the image went dirty); every mutated or new
+        row is in ``dirty``.  The true winner is therefore
+        ``min(key)`` over {prediction} ∪ {dirty live supersets}, with
+        the big-int mask test covering rows wider than the snapshot
+        matrix.  A dirtied/evicted prediction or a stale lane (mask or
+        selection mismatch) rescans; a dirty set past
+        ``_BATCH_MAX_DIRTY`` re-predicts the remaining lanes instead of
+        walking an ever-growing set.
+        """
+        cursor = batch.cursor
+        if (
+            cursor >= len(batch.masks)
+            or batch.masks[cursor] != mask
+            or batch.selection != self._cache.hit_selection
+        ):
+            return False, None
+        if len(batch.dirty) > self._BATCH_MAX_DIRTY:
+            self._batch = None
+            try:
+                batch.predictions[cursor:] = self.find_hits(
+                    batch.masks[cursor:]
+                )
+            finally:
+                self._batch = batch
+            batch.dirty.clear()
+        batch.cursor = cursor + 1
+        pred = batch.predictions[cursor]
+        row_of = self._row_of
+        if pred is not None and (
+            pred.id in batch.dirty or pred.id not in row_of
+        ):
+            return False, None  # prediction invalidated: full rescan
+        best = pred
+        if batch.dirty:
+            image_of = self._image_of_row
+            best_key = None if best is None else self._hit_key(best)
+            for image_id in batch.dirty:
+                row = row_of.get(image_id)
+                if row is None:
+                    continue  # dirtied then removed
+                img = image_of[row]
+                if mask & img.mask != mask:
+                    continue
+                key = self._hit_key(img)
+                if best_key is None or key < best_key:
+                    best, best_key = img, key
+        return True, best
 
     def _distances(
         self,

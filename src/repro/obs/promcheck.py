@@ -42,15 +42,28 @@ def validate_prometheus_text(text: str) -> None:
     for name, kind in typed.items():
         if kind != "histogram":
             continue
-        buckets = re.findall(
-            rf'^{name}_bucket{{.*le="([^"]+)"}} (\d+)$', text, re.M
-        )
-        assert buckets, f"histogram {name} has no buckets"
-        counts = [int(c) for _, c in buckets]
-        assert counts == sorted(counts), f"{name} buckets not cumulative"
-        assert buckets[-1][0] == "+Inf"
-        (total,) = re.findall(rf"^{name}_count(?:{{.*}})? (\d+)$", text, re.M)
-        assert int(total) == counts[-1]
+        # Bucket series are cumulative *per label child* — a labelled
+        # family (e.g. landlord_request_seconds{engine=...,batched=...})
+        # interleaves several independent cumulative series, so group by
+        # the label set minus the ``le`` bound (rendered last).
+        children = {}
+        for labels, le, count in re.findall(
+            rf'^{name}_bucket{{(?:(.*),)?le="([^"]+)"}} (\d+)$', text, re.M
+        ):
+            children.setdefault(labels or "", []).append((le, int(count)))
+        assert children, f"histogram {name} has no buckets"
+        for child, series in children.items():
+            counts = [c for _, c in series]
+            label = f"{name}{{{child}}}" if child else name
+            assert counts == sorted(counts), f"{label} buckets not cumulative"
+            assert series[-1][0] == "+Inf", f"{label} missing +Inf bucket"
+            count_re = (
+                rf"^{name}_count{{{re.escape(child)}}} (\d+)$"
+                if child
+                else rf"^{name}_count (\d+)$"
+            )
+            (total,) = re.findall(count_re, text, re.M)
+            assert int(total) == counts[-1], f"{label} count != +Inf bucket"
 
 
 def main(argv=None) -> int:

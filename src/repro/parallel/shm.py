@@ -1,0 +1,127 @@
+"""Shared-memory transport for the packed closure bit-matrix.
+
+A sweep's workers all need the same repository-derived state; on spawn
+platforms each worker rebuilds it, and the dominant rebuild cost is the
+transitive-closure walk over the dependency DAG.
+:class:`SharedPackedMatrix` lets the parent compute
+:meth:`~repro.packages.repository.Repository.closure_matrix` once and
+publish it through :mod:`multiprocessing.shared_memory`; workers attach
+the segment read-only and decode closure rows lazily instead of
+re-walking the DAG (fork platforms inherit the parent's warm memo
+directly and skip this path entirely — see
+:mod:`repro.parallel.simulations`).
+
+Failure is always graceful: a platform that cannot allocate or attach
+shared memory gets ``None`` and falls back to the per-worker rebuild,
+never an error — mirroring the serial-fallback philosophy of
+:mod:`repro.parallel.pool`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SharedPackedMatrix"]
+
+#: Picklable descriptor shipped to workers: (segment name, shape, dtype).
+Handle = Tuple[str, Tuple[int, ...], str]
+
+
+class SharedPackedMatrix:
+    """A NumPy matrix backed by a POSIX shared-memory segment.
+
+    The creating process owns the segment and must :meth:`unlink` it
+    when the pool is done (closing alone only drops this process's
+    mapping; the segment itself persists until unlinked).  Attached
+    processes hold a mapping that lives as long as the object — keep a
+    reference for the worker's lifetime, since ``array`` views the
+    mapped buffer directly (zero-copy).
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        shape: Tuple[int, ...],
+        dtype: str,
+        owner: bool,
+    ):
+        self._segment = segment
+        self._owner = owner
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=segment.buf)
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> Optional["SharedPackedMatrix"]:
+        """Publish ``array`` into a fresh segment; ``None`` on failure."""
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, int(array.nbytes))
+            )
+        except (OSError, PermissionError, ValueError) as exc:
+            warnings.warn(
+                f"cannot allocate shared memory ({exc!r}); "
+                "workers will rebuild closures locally",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        shared = cls(segment, array.shape, array.dtype.str, owner=True)
+        shared.array[...] = array
+        return shared
+
+    def handle(self) -> Handle:
+        """The picklable descriptor a worker passes to :meth:`attach`."""
+        return (self._segment.name, self.shape, self.dtype.str)
+
+    @classmethod
+    def attach(cls, handle: Handle) -> Optional["SharedPackedMatrix"]:
+        """Map an existing segment by handle; ``None`` on failure."""
+        name, shape, dtype = handle
+        tracked_fallback = False
+        try:
+            try:
+                segment = shared_memory.SharedMemory(name=name, track=False)
+            except TypeError:
+                # Python < 3.13 has no track= parameter; attach normally
+                # and unregister from the resource tracker below so only
+                # the creating process ever unlinks the segment.
+                tracked_fallback = True
+                segment = shared_memory.SharedMemory(name=name)
+        except (OSError, PermissionError, ValueError) as exc:
+            warnings.warn(
+                f"cannot attach shared memory {name!r} ({exc!r}); "
+                "rebuilding closures locally",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        if tracked_fallback:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals vary
+                pass
+        return cls(segment, tuple(shape), dtype, owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping (safe to call repeatedly)."""
+        self.array = None  # release the exported buffer before closing
+        try:
+            self._segment.close()
+        except (OSError, BufferError):  # pragma: no cover - best effort
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; no-op if already gone)."""
+        if not self._owner:
+            return
+        try:
+            self._segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass

@@ -27,8 +27,10 @@ from repro.packages.sft import build_experiment_repository
 from repro.parallel.pool import (
     _execute_bounded,
     _make_executor,
+    _mp_context,
     resolve_workers,
 )
+from repro.parallel.shm import SharedPackedMatrix
 
 __all__ = ["RepositorySpec", "SimulationPool"]
 
@@ -72,19 +74,42 @@ RepositorySource = Union[RepositorySpec, Repository]
 
 # Per-worker-process repository, installed by the pool initializer.  Keyed
 # by spec so a worker surviving across pools with the same spec reuses it.
+# The parent pre-installs this *before* forking (see SimulationPool), so
+# fork-platform workers inherit the warm repository and closure memo and
+# their initializer is a no-op.
 _WORKER_REPOSITORY: List[object] = [None, None]  # [key, repository]
+# Keeps a worker's shared-memory attachment mapped for its lifetime.
+_WORKER_SHM: List[object] = [None]
+
+
+def _source_key(source: RepositorySource) -> object:
+    return source if isinstance(source, RepositorySpec) else id(source)
 
 
 def _materialise(source: RepositorySource) -> Repository:
     return source.build() if isinstance(source, RepositorySpec) else source
 
 
-def _init_simulation_worker(source: RepositorySource) -> None:
-    """Pool initializer: build/install the shared repository once."""
-    key = source if isinstance(source, RepositorySpec) else id(source)
-    if _WORKER_REPOSITORY[0] != key or _WORKER_REPOSITORY[1] is None:
-        _WORKER_REPOSITORY[0] = key
-        _WORKER_REPOSITORY[1] = _materialise(source)
+def _init_simulation_worker(source: RepositorySource, closure_handle=None) -> None:
+    """Pool initializer: build/install the shared repository once.
+
+    Three tiers, cheapest first: (1) the parent pre-installed the
+    repository before forking, so this process inherited it and returns
+    immediately; (2) a shared-memory closure-matrix handle is attached
+    so the local rebuild skips the dependency-DAG walk (spawn
+    platforms); (3) plain rebuild from the source.
+    """
+    key = _source_key(source)
+    if _WORKER_REPOSITORY[0] == key and _WORKER_REPOSITORY[1] is not None:
+        return  # inherited warm via fork (or reused across pools)
+    repository = _materialise(source)
+    if closure_handle is not None:
+        shared = SharedPackedMatrix.attach(closure_handle)
+        if shared is not None:
+            _WORKER_SHM[0] = shared  # hold the mapping open
+            repository.install_packed_closures(shared.array)
+    _WORKER_REPOSITORY[0] = key
+    _WORKER_REPOSITORY[1] = repository
 
 
 def _simulate_task(config: SimulationConfig) -> SimulationResult:
@@ -118,9 +143,31 @@ class SimulationPool:
         self._source = source
         self._local_repo: Optional[Repository] = None
         self._executor = None
+        self._shared_closures: Optional[SharedPackedMatrix] = None
+        self.shared_universe = False
         if self.workers > 1:
+            initargs: tuple = (source,)
+            if _mp_context() is not None:
+                # fork is available: build + fully warm the repository in
+                # the parent *before* the executor forks, so every worker
+                # inherits the closure memo and its initializer no-ops.
+                repository = self._repository()
+                repository.warm_closures()
+                _WORKER_REPOSITORY[0] = _source_key(source)
+                _WORKER_REPOSITORY[1] = repository
+                self.shared_universe = True
+            else:
+                # spawn platforms rebuild per worker; publish the packed
+                # closure matrix once so rebuilds skip the DAG walk.
+                shared = SharedPackedMatrix.create(
+                    self._repository().closure_matrix()
+                )
+                if shared is not None:
+                    self._shared_closures = shared
+                    self.shared_universe = True
+                    initargs = (source, shared.handle())
             self._executor = _make_executor(
-                self.workers, _init_simulation_worker, (source,)
+                self.workers, _init_simulation_worker, initargs
             )
 
     @property
@@ -167,6 +214,12 @@ class SimulationPool:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._shared_closures is not None:
+            # Unlink after shutdown: the segment persists until the last
+            # worker's mapping closes, so in-flight readers are safe.
+            self._shared_closures.close()
+            self._shared_closures.unlink()
+            self._shared_closures = None
 
     def __enter__(self) -> "SimulationPool":
         """Context-manager entry: the pool itself."""

@@ -1,0 +1,148 @@
+"""Tests for the shared-universe sweep machinery (repro.parallel.shm).
+
+The parallel-sweep fix has two halves, exercised here directly:
+
+- fork platforms: the parent builds and fully warms the repository
+  (``warm_closures``) *before* the executor forks, so workers inherit
+  the closure memo and their initializer is a no-op;
+- spawn platforms: the packed closure bit-matrix is published through
+  ``multiprocessing.shared_memory`` and workers decode rows on demand
+  (``install_packed_closures``) instead of re-walking the DAG.
+
+Either way the simulation results must stay bit-identical to the
+serial path — the shared state is a pure warm-up/transport
+optimisation, never an input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import alpha_sweep
+from repro.htc.simulator import SimulationConfig
+from repro.parallel import RepositorySpec, SharedPackedMatrix, SimulationPool
+from repro.parallel.simulations import (
+    _WORKER_REPOSITORY,
+    _init_simulation_worker,
+    _source_key,
+)
+from repro.util.units import GB
+
+
+def tiny_config(**kw):
+    base = dict(
+        capacity=20 * GB, n_unique=15, repeats=3, max_selection=6,
+        n_packages=300, repo_total_size=10 * GB, seed=4,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestSharedPackedMatrix:
+    def test_round_trip(self):
+        array = np.arange(60, dtype=np.uint8).reshape(12, 5)
+        shared = SharedPackedMatrix.create(array)
+        if shared is None:
+            pytest.skip("platform cannot allocate shared memory")
+        try:
+            attached = SharedPackedMatrix.attach(shared.handle())
+            assert attached is not None
+            assert attached.shape == array.shape
+            assert np.array_equal(attached.array, array)
+            attached.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_close_is_idempotent(self):
+        shared = SharedPackedMatrix.create(np.zeros((2, 2), dtype=np.uint8))
+        if shared is None:
+            pytest.skip("platform cannot allocate shared memory")
+        shared.close()
+        shared.close()
+        shared.unlink()
+
+
+class TestPackedClosures:
+    def test_matrix_decodes_to_original_closures(self):
+        spec = RepositorySpec.from_config(tiny_config())
+        source = spec.build()
+        packed = source.closure_matrix()
+        fresh = spec.build()
+        fresh.install_packed_closures(packed)
+        for pid in source.ids:
+            assert fresh.closure_of(pid) == source.closure_of(pid)
+
+    def test_shape_mismatch_rejected(self):
+        repo = RepositorySpec.from_config(tiny_config()).build()
+        with pytest.raises(ValueError):
+            repo.install_packed_closures(np.zeros((3, 1), dtype=np.uint8))
+
+    def test_warm_closures_memoises_everything(self):
+        repo = RepositorySpec.from_config(tiny_config()).build()
+        repo.warm_closures()
+        assert set(repo._closures) == set(repo.ids)
+
+
+class TestWorkerInitializer:
+    def test_inherited_warm_repository_is_kept(self):
+        spec = RepositorySpec.from_config(tiny_config())
+        repo = spec.build()
+        old = _WORKER_REPOSITORY[:]
+        try:
+            _WORKER_REPOSITORY[0] = _source_key(spec)
+            _WORKER_REPOSITORY[1] = repo
+            _init_simulation_worker(spec)
+            # same object: the pre-installed repository was not rebuilt
+            assert _WORKER_REPOSITORY[1] is repo
+        finally:
+            _WORKER_REPOSITORY[0] = old[0]
+            _WORKER_REPOSITORY[1] = old[1]
+
+    def test_handle_installs_packed_closures(self):
+        spec = RepositorySpec.from_config(tiny_config())
+        packed = spec.build().closure_matrix()
+        shared = SharedPackedMatrix.create(packed)
+        if shared is None:
+            pytest.skip("platform cannot allocate shared memory")
+        old = _WORKER_REPOSITORY[:]
+        try:
+            _WORKER_REPOSITORY[0] = None
+            _WORKER_REPOSITORY[1] = None
+            _init_simulation_worker(spec, shared.handle())
+            installed = _WORKER_REPOSITORY[1]
+            assert installed is not None
+            assert installed._packed_closures is not None
+            reference = spec.build()
+            for pid in reference.ids:
+                assert installed.closure_of(pid) == reference.closure_of(pid)
+        finally:
+            _WORKER_REPOSITORY[0] = old[0]
+            _WORKER_REPOSITORY[1] = old[1]
+
+
+class TestPoolSharedUniverse:
+    def test_parallel_pool_reports_shared_universe(self):
+        config = tiny_config()
+        with SimulationPool(RepositorySpec.from_config(config), 2) as pool:
+            if not pool.parallel:
+                pytest.skip("platform cannot start worker processes")
+            assert pool.shared_universe
+
+    def test_serial_pool_has_no_shared_universe(self):
+        with SimulationPool(RepositorySpec.from_config(tiny_config()), 1) as pool:
+            assert not pool.shared_universe
+
+    def test_shared_universe_sweep_bit_identical_to_serial(self):
+        config = tiny_config()
+        spec = RepositorySpec.from_config(config)
+        with SimulationPool(spec, workers=2) as pool:
+            parallel = alpha_sweep(
+                config, alphas=[0.5, 0.8], repetitions=2, pool=pool
+            )
+        serial = alpha_sweep(
+            config, alphas=[0.5, 0.8], repetitions=2, workers=1
+        )
+        for name in serial.raw:
+            assert np.array_equal(serial.raw[name], parallel.raw[name])

@@ -68,8 +68,13 @@ def _combo_id(combo) -> str:
     )
 
 
-def make_pair(combo):
-    """Two caches differing only in ``engine=``."""
+def make_pair(combo, lsh_min_live=None):
+    """Two caches differing only in ``engine=``.
+
+    ``lsh_min_live`` lowers the vectorized engine's signature-LSH build
+    threshold so the prefilter probe engages on these tiny pools (the
+    production default waits for hundreds of live images).
+    """
     hit, order, evict, mode, minhash, conflicts = combo
     kwargs = dict(
         hit_selection=hit,
@@ -90,6 +95,8 @@ def make_pair(combo):
         CAPACITY, ALPHA, _size_of, engine="vectorized",
         rng=np.random.default_rng(7), **kwargs,
     )
+    if lsh_min_live is not None:
+        vec._engine.lsh_min_live = lsh_min_live
     return naive, vec
 
 
@@ -113,8 +120,8 @@ def assert_same_state(naive, vec):
     assert naive.unique_bytes == vec.unique_bytes
 
 
-def run_differential(combo, n_requests=N_REQUESTS):
-    naive, vec = make_pair(combo)
+def run_differential(combo, n_requests=N_REQUESTS, lsh_min_live=None):
+    naive, vec = make_pair(combo, lsh_min_live=lsh_min_live)
     rng = Random("|".join(map(str, combo)))  # str seeding is stable
     for step in range(1, n_requests + 1):
         spec = frozenset(rng.sample(PACKAGES, rng.randint(1, 6)))
@@ -154,7 +161,7 @@ def run_differential(combo, n_requests=N_REQUESTS):
             assert_same_state(naive, vec)
             snap_naive, snap_vec = naive.snapshot(), vec.snapshot()
             assert snap_naive == snap_vec
-            naive, vec = make_pair(combo)
+            naive, vec = make_pair(combo, lsh_min_live=lsh_min_live)
             naive.restore(snap_vec)
             vec.restore(snap_naive)
     assert_same_state(naive, vec)
@@ -163,3 +170,117 @@ def run_differential(combo, n_requests=N_REQUESTS):
 @pytest.mark.parametrize("combo", GRID, ids=_combo_id)
 def test_engines_bit_identical(combo):
     run_differential(combo)
+
+
+# -- LSH-prefiltered and batched-submission variants ------------------------
+#
+# Reduced grids (deterministic strides over the full 216-combination grid)
+# keep the added runtime modest while still crossing every knob value.
+
+LSH_GRID = GRID[::12]
+BATCH_GRID = GRID[::18]
+BATCH_LSH_GRID = GRID[::36]
+
+
+def run_differential_batched(
+    combo, batch_size, n_requests=600, lsh_min_live=None
+):
+    """Drive both engines through ``submit_batch`` windows, interleaving
+    maintenance operations (adopt / evict_idle / split) and cross-engine
+    snapshot/restore round-trips *between* windows."""
+    naive, vec = make_pair(combo, lsh_min_live=lsh_min_live)
+    rng = Random("batched|" + "|".join(map(str, combo)) + f"|{batch_size}")
+    submitted = 0
+    window_no = 0
+    while submitted < n_requests:
+        window_no += 1
+        window = [
+            frozenset(rng.sample(PACKAGES, rng.randint(1, 6)))
+            for _ in range(rng.randint(1, 2 * batch_size))
+        ]
+        d_naive = naive.submit_batch(window, batch_size=batch_size)
+        d_vec = vec.submit_batch(window, batch_size=batch_size)
+        assert [decision_key(d) for d in d_naive] == [
+            decision_key(d) for d in d_vec
+        ], f"window {window_no}: engines diverged"
+        submitted += len(window)
+
+        if window_no % 2 == 0:
+            adopted = frozenset(rng.sample(PACKAGES, rng.randint(1, 4)))
+            a_naive = naive.adopt(adopted)
+            a_vec = vec.adopt(adopted)
+            assert (a_naive.id, a_naive.size) == (a_vec.id, a_vec.size)
+
+        if window_no % 3 == 0:
+            horizon = rng.randint(0, 25)
+            assert naive.evict_idle(horizon) == vec.evict_idle(horizon)
+
+        if window_no % 4 == 0 and naive._images:
+            image_id = rng.choice(sorted(naive._images))
+            pkgs = sorted(naive._images[image_id].packages)
+            rng.shuffle(pkgs)
+            cut = rng.randint(1, len(pkgs))
+            parts = [frozenset(pkgs[:cut])]
+            if cut < len(pkgs) and rng.random() < 0.8:
+                parts.append(frozenset(pkgs[cut:]))
+            s_naive = naive.split(image_id, parts)
+            s_vec = vec.split(image_id, parts)
+            assert [im.id for im in s_naive] == [im.id for im in s_vec]
+
+        if window_no % 5 == 0:
+            assert_same_state(naive, vec)
+            snap_naive, snap_vec = naive.snapshot(), vec.snapshot()
+            assert snap_naive == snap_vec
+            naive, vec = make_pair(combo, lsh_min_live=lsh_min_live)
+            naive.restore(snap_vec)
+            vec.restore(snap_naive)
+    assert_same_state(naive, vec)
+
+
+@pytest.mark.parametrize("combo", LSH_GRID, ids=_combo_id)
+def test_engines_bit_identical_with_lsh_prefilter(combo):
+    run_differential(combo, n_requests=600, lsh_min_live=1)
+
+
+@pytest.mark.parametrize("combo", BATCH_GRID, ids=_combo_id)
+def test_engines_bit_identical_batched(combo):
+    run_differential_batched(combo, batch_size=7)
+
+
+@pytest.mark.parametrize("combo", BATCH_LSH_GRID, ids=_combo_id)
+def test_engines_bit_identical_batched_with_lsh_prefilter(combo):
+    run_differential_batched(combo, batch_size=5, lsh_min_live=1)
+
+
+def test_batch_kernels_match_reference():
+    """Direct engine-level differential: ``find_hits`` and
+    ``scan_candidates_batch`` agree with the naive loops on identical
+    cache state, including hit identity, candidate order, distances, and
+    examined counts."""
+    combo = ("smallest", "distance", "lru", "full", False, False)
+    naive, vec = make_pair(combo, lsh_min_live=1)
+    rng = Random("kernels")
+    for _ in range(300):
+        spec = frozenset(rng.sample(PACKAGES, rng.randint(1, 6)))
+        naive.request(spec)
+        vec.request(spec)
+
+    specs = [
+        frozenset(rng.sample(PACKAGES, rng.randint(1, 6))) for _ in range(64)
+    ]
+    n_masks = [naive._intern(spec)[0] for spec in specs]
+    v_masks = [vec._intern(spec)[0] for spec in specs]
+    assert n_masks == v_masks
+
+    hits_naive = naive._engine.find_hits(n_masks)
+    hits_vec = vec._engine.find_hits(v_masks)
+    assert [h.id if h else None for h in hits_naive] == [
+        h.id if h else None for h in hits_vec
+    ]
+
+    queries = [(mask, mask.bit_count()) for mask in n_masks]
+    cands_naive = naive._engine.scan_candidates_batch(queries, ALPHA)
+    cands_vec = vec._engine.scan_candidates_batch(queries, ALPHA)
+    for (cn, examined_n), (cv, examined_v) in zip(cands_naive, cands_vec):
+        assert examined_n == examined_v
+        assert [(d, img.id) for d, img in cn] == [(d, img.id) for d, img in cv]

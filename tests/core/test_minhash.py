@@ -168,3 +168,65 @@ class TestUpdate:
         lsh.insert("a", MinHashSignature.of({"x"}))
         lsh.insert("b", MinHashSignature.of({"y", "z"}))
         assert lsh.total_entries() == 2 * lsh.bands
+
+
+class TestChurnInvariants:
+    """The index must never leak bucket entries or empty buckets under
+    arbitrary insert/update/remove churn — the regime the vectorized
+    engine's signature index lives in, where every cache insert, merge,
+    and eviction rewrites membership."""
+
+    def test_total_entries_invariant_under_churn(self):
+        from random import Random
+
+        rng = Random("lsh-churn")
+        lsh = MinHashLSH(num_perm=32, bands=8)
+        live = {}
+        for step in range(2000):
+            key = f"k{rng.randint(0, 80)}"
+            op = rng.random()
+            if op < 0.75:
+                sig = MinHashSignature.of(
+                    {f"e{rng.randint(0, 200)}"
+                     for _ in range(rng.randint(1, 20))},
+                    num_perm=32,
+                )
+                if op < 0.45:
+                    lsh.insert(key, sig)
+                else:
+                    lsh.update(key, sig)
+                live[key] = sig
+            else:
+                lsh.remove(key)
+                live.pop(key, None)
+            assert len(lsh) == len(live)
+            assert lsh.total_entries() == lsh.bands * len(live)
+        # Bucket cleanup: churn must not leave empty buckets behind.
+        for table in lsh._tables:
+            assert all(table.values())
+        # Every surviving key is still findable under its signature.
+        for key, sig in live.items():
+            assert key in lsh.query(sig)
+
+    def test_engine_signature_index_tracks_live_images(self):
+        # The vectorized engine's internal prefilter index must stay
+        # exactly one entry per band per *live* image across insert,
+        # merge, and idle-eviction churn.
+        from random import Random
+
+        from repro.core.cache import LandlordCache
+
+        sizes = {f"p{i}": 10 + i % 7 for i in range(48)}
+        c = LandlordCache(600, 0.6, sizes.__getitem__, engine="vectorized")
+        c._engine.lsh_min_live = 1
+        rng = Random("engine-churn")
+        packages = sorted(sizes)
+        for step in range(1, 401):
+            c.request(frozenset(rng.sample(packages, rng.randint(1, 6))))
+            if step % 50 == 0:
+                c.evict_idle(rng.randint(0, 20))
+            lsh = c._engine._sig_lsh
+            if lsh is not None:
+                assert len(lsh) == len(c._images)
+                assert lsh.total_entries() == lsh.bands * len(c._images)
+        assert c._engine._sig_lsh is not None  # the index actually engaged

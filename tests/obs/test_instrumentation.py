@@ -65,8 +65,19 @@ class TestCacheMetrics:
 
     def test_hot_path_timers_record(self):
         c, reg = run_instrumented(n_requests=50)
-        assert reg.get("landlord_request_seconds").labels().count == 50
+        family = reg.get("landlord_request_seconds")
+        assert family.labels(engine="vectorized", batched="no").count == 50
+        assert family.labels(engine="vectorized", batched="yes").count == 0
         assert reg.get("landlord_subset_scan_seconds").labels().count > 0
+
+    def test_batched_requests_use_batched_label(self):
+        reg = MetricsRegistry()
+        c = LandlordCache(2000, 0.6, SIZE.__getitem__, metrics=reg)
+        specs = [frozenset({f"p{i % 8}", f"p{(i + 3) % 8}"}) for i in range(20)]
+        c.submit_batch(specs, batch_size=8)
+        family = reg.get("landlord_request_seconds")
+        assert family.labels(engine="vectorized", batched="yes").count == 20
+        assert family.labels(engine="vectorized", batched="no").count == 0
 
     def test_enable_metrics_after_history_syncs_gauges(self):
         c = LandlordCache(2000, 0.6, SIZE.__getitem__)
