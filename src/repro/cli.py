@@ -11,7 +11,13 @@ Commands:
 - ``replay`` — run a saved trace through a configured cache;
 - ``submit`` — the paper's job-wrapper deployment: prepare one job's
   container against a persistent on-disk cache state (write-ahead
-  journalled; crash-safe);
+  journalled; crash-safe), or forward the spec to a running daemon
+  with ``--remote URL``;
+- ``serve`` — run LANDLORD as a concurrent multi-client daemon: a
+  loopback HTTP (and optional UNIX-socket) endpoint accepting JSON
+  spec submissions from many clients through one journalled cache,
+  with batching, admission control, and the full observability
+  surface on the same port;
 - ``cache-status`` — inspect a persistent cache state (replays any
   journal tail left by a crashed wrapper; ``--metrics-out`` adds the
   journal fsync histogram and eviction breakdown);
@@ -532,6 +538,35 @@ def _trace_path(args: argparse.Namespace) -> str:
     return args.trace_file or f"{args.state}.trace.jsonl"
 
 
+def _write_port_file(path: str, port: int) -> None:
+    """Atomically publish a bound port: write a tmp file, then rename.
+
+    Readers polling the file (the CI smoke scripts) therefore never see
+    an empty or half-written file — the rename is the publication.
+    """
+    from pathlib import Path
+
+    port_path = Path(path)
+    port_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = port_path.with_name(port_path.name + ".tmp")
+    tmp.write_text(f"{port}\n", encoding="utf-8")
+    tmp.replace(port_path)
+
+
+def _remove_port_file(path: str) -> None:
+    """Best-effort unlink of a published port file.
+
+    Tolerates the file being missing or its path being unusable (the
+    write may itself have been the setup failure that brought us here).
+    """
+    from pathlib import Path
+
+    try:
+        Path(path).unlink()
+    except OSError:
+        pass
+
+
 def _cmd_submit(argv: Sequence[str]) -> int:
     from repro.core.journal import JournaledState
     from repro.core.persistence import StateError, StateNotFound
@@ -581,14 +616,29 @@ def _cmd_submit(argv: Sequence[str]) -> int:
     parser.add_argument("--port-file", metavar="FILE", default=None,
                         help="with --serve, write the bound port to FILE "
                         "once listening (lets scripts use --serve 0)")
+    parser.add_argument("--remote", metavar="URL", default=None,
+                        help="forward the spec to a running "
+                        "`repro-landlord serve` daemon at URL "
+                        "(http://host:port or unix:/path) instead of "
+                        "touching local state")
+    parser.add_argument("--remote-retries", type=int, default=5,
+                        metavar="N",
+                        help="with --remote, retry up to N times when the "
+                        "daemon signals backpressure (HTTP 429; "
+                        "default: %(default)s)")
     _alert_args(parser)
     args = parser.parse_args(argv)
     if args.snapshot_every < 1:
         parser.error("--snapshot-every must be >= 1")
     if args.port_file and args.serve is None:
         parser.error("--port-file requires --serve")
+    if args.remote and args.serve is not None:
+        parser.error("--remote submits to an existing daemon; "
+                     "it cannot be combined with --serve")
 
     scale, repo = _site_repository(args.scale, args.seed, args.repo)
+    if args.remote:
+        return _submit_remote(args, repo)
     repo_meta = (
         {"file": args.repo, "n_packages": len(repo)}
         if args.repo
@@ -706,13 +756,24 @@ def _serve_until_signal(args, cache, registry, tracer, slo, alerts) -> None:
     ``on_scrape`` hook; the bound port is printed and optionally written
     to ``--port-file`` so scripts (and the CI smoke test) can pass
     ``--serve 0`` and discover the ephemeral port.
+
+    The serve loop is hardened in three ways (each regression-tested in
+    ``tests/obs/test_server.py``): the port file is written atomically
+    (tmp + rename — pollers never read a torn value) and unlinked on
+    every exit path; *all* setup after construction runs inside the
+    ``try`` so a failure (bad port-file path, signal registration from
+    a non-main thread) still tears the server thread down; and the
+    server shares one re-entrant lock with the cache
+    (:meth:`~repro.core.cache.LandlordCache.enable_lock`) so a scrape
+    never renders mid-mutation state.
     """
     import signal
     import threading
-    from pathlib import Path
 
     from repro.obs import ObsServer, build_status
 
+    lock = threading.RLock()
+    cache.enable_lock(lock)
     on_scrape = (
         (lambda: slo.export_to(registry)) if slo is not None else None
     )
@@ -722,26 +783,263 @@ def _serve_until_signal(args, cache, registry, tracer, slo, alerts) -> None:
         tracer=tracer,
         port=args.serve,
         on_scrape=on_scrape,
+        lock=lock,
     )
-    port = server.start()
-    if args.port_file:
-        port_path = Path(args.port_file)
-        port_path.parent.mkdir(parents=True, exist_ok=True)
-        port_path.write_text(f"{port}\n", encoding="utf-8")
-    print(f"serving on http://127.0.0.1:{port} "
-          "(/metrics /healthz /statusz /traces; SIGTERM to stop)")
     stop = threading.Event()
-    previous = {
-        sig: signal.signal(sig, lambda *_: stop.set())
-        for sig in (signal.SIGTERM, signal.SIGINT)
-    }
+    previous = {}
     try:
+        port = server.start()
+        if args.port_file:
+            _write_port_file(args.port_file, port)
+        print(f"serving on http://127.0.0.1:{port} "
+              "(/metrics /healthz /statusz /traces; SIGTERM to stop)")
+        previous = {
+            sig: signal.signal(sig, lambda *_: stop.set())
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
         stop.wait()
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
         server.stop()
+        if args.port_file:
+            _remove_port_file(args.port_file)
         print("server stopped")
+
+
+def _submit_remote(args: argparse.Namespace, repo) -> int:
+    """Forward one job spec to a running daemon (``submit --remote``).
+
+    The spec is resolved and dependency-closed locally against the same
+    site repository the daemon serves, then POSTed through
+    :class:`~repro.service.LandlordClient` with bounded retry on
+    backpressure.  State/journal flags are ignored — the daemon owns
+    durability; a printed decision has already been journalled there.
+    """
+    from repro.service import LandlordClient, ServiceError, SubmitRejected
+    from repro.util.units import format_bytes
+
+    packages = _load_specfile(args.specfile, repo)
+    closed = packages if args.no_closure else repo.closure(packages)
+    try:
+        client = LandlordClient(args.remote)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        reply = client.submit(
+            sorted(closed), retries=max(0, args.remote_retries)
+        )
+    except SubmitRejected as exc:
+        print(f"daemon rejected the submission: {exc}", file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    print(
+        f"{reply['action']}: image {reply['image']} "
+        f"({reply['image_packages']} pkgs, "
+        f"{format_bytes(reply['image_bytes'])}; requested "
+        f"{format_bytes(reply['requested_bytes'])}) "
+        f"[request #{reply['request_index']} via {args.remote}]"
+    )
+    if reply["evicted"]:
+        print(f"evicted: {', '.join(reply['evicted'])}")
+    return 0
+
+
+def _cmd_serve(argv: Sequence[str]) -> int:
+    from repro.core.journal import JournaledState
+    from repro.core.persistence import StateError, StateNotFound
+    from repro.core.cache import LandlordCache
+    from repro.core.engine import ENGINES
+    from repro.obs import (
+        AlertEngine,
+        DecisionTracer,
+        MetricsRegistry,
+        SloTracker,
+        load_registry,
+    )
+    from repro.service import LandlordDaemon
+    from repro.util.units import format_bytes, parse_bytes
+
+    parser = argparse.ArgumentParser(
+        prog="repro-landlord serve",
+        description="Run LANDLORD as a concurrent multi-client daemon: "
+        "accept JSON spec submissions (POST /submit) from many clients "
+        "through one journalled cache — every request is write-ahead "
+        "journalled before it is acknowledged and adjacent queued "
+        "requests are applied as single batched passes — while serving "
+        "/metrics, /healthz, /statusz and /traces on the same port.  "
+        "SIGTERM drains the queue, writes a final covering snapshot, "
+        "and compacts the journal.",
+    )
+    _journal_args(parser)
+    parser.add_argument("--snapshot-every", type=int, default=64,
+                        metavar="N",
+                        help="rewrite the full snapshot every N journalled "
+                        "requests (default: %(default)s — the daemon "
+                        "amortises; crashes replay the journal tail)")
+    parser.add_argument("--alpha", type=float, default=0.8,
+                        help="merge threshold on first initialisation")
+    parser.add_argument("--capacity", default=None,
+                        help="cache capacity on first initialisation, "
+                        "e.g. 300GB (default: the scale's)")
+    parser.add_argument("--scale", choices=["tiny", "quick", "paper"],
+                        default=None)
+    parser.add_argument("--seed", type=int, default=2020,
+                        help="site repository seed")
+    parser.add_argument("--repo", default=None, metavar="FILE",
+                        help="load the site's real repository from a "
+                        "JSON-lines file instead of the synthetic one")
+    parser.add_argument("--engine", choices=ENGINES, default="vectorized")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port on 127.0.0.1 (0 = ephemeral; "
+                        "default: %(default)s)")
+    parser.add_argument("--port-file", metavar="FILE", default=None,
+                        help="write the bound port to FILE once listening "
+                        "(atomic; removed on shutdown)")
+    parser.add_argument("--socket", metavar="PATH", default=None,
+                        help="additionally serve on a UNIX-domain socket "
+                        "at PATH")
+    parser.add_argument("--max-queue", type=int, default=1024, metavar="N",
+                        help="admission-queue bound; submissions beyond it "
+                        "are rejected with HTTP 429 (default: %(default)s)")
+    parser.add_argument("--max-batch", type=int, default=256, metavar="N",
+                        help="largest request window applied as one "
+                        "batched pass (default: %(default)s)")
+    _obs_args(parser)
+    parser.add_argument("--trace", action="store_true",
+                        help="record decision traces to the sidecar so "
+                        "`repro-landlord explain` works for "
+                        "daemon-processed requests")
+    _alert_args(parser)
+    args = parser.parse_args(argv)
+    if args.snapshot_every < 1:
+        parser.error("--snapshot-every must be >= 1")
+    if args.max_queue < 1:
+        parser.error("--max-queue must be >= 1")
+    if args.max_batch < 1:
+        parser.error("--max-batch must be >= 1")
+
+    scale, repo = _site_repository(args.scale, args.seed, args.repo)
+    repo_meta = (
+        {"file": args.repo, "n_packages": len(repo)}
+        if args.repo
+        else {"scale": scale.name, "seed": args.seed,
+              "n_packages": scale.n_packages}
+    )
+    store = JournaledState(
+        args.state, args.journal, snapshot_every=args.snapshot_every,
+        use_journal=not args.no_journal,
+    )
+    try:
+        cache, metadata, replayed = store.load(
+            repo.size_of, migrate_v1=args.migrate_v1, engine=args.engine
+        )
+        if replayed:
+            print(f"replayed {len(replayed)} journalled operation(s) "
+                  "not yet covered by the snapshot")
+        if metadata.get("repository") != repo_meta:
+            print(
+                f"state {args.state} was built for repository "
+                f"{metadata.get('repository')}, not {repo_meta}",
+                file=sys.stderr,
+            )
+            return 2
+    except StateNotFound:
+        capacity = (
+            parse_bytes(args.capacity) if args.capacity else scale.capacity
+        )
+        cache = LandlordCache(capacity, args.alpha, repo.size_of,
+                              engine=args.engine)
+        metadata = {"repository": repo_meta}
+        store.initialise(cache, metadata)
+        print(f"initialised new cache: capacity "
+              f"{format_bytes(capacity)}, alpha {args.alpha}")
+    except StateError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    # The daemon always carries the full observability surface — it IS
+    # the scrape endpoint for whatever fleet submits to it.
+    registry = (
+        load_registry(args.metrics_out, missing_ok=True)
+        if args.metrics_out
+        else MetricsRegistry()
+    )
+    cache.enable_metrics(registry)
+    if store.journal is not None:
+        store.journal.enable_metrics(registry)
+    slo = SloTracker(window=args.window)
+    cache.enable_slo(slo)
+    alerts = None
+    if args.alert_rules:
+        rules = _load_alert_rules(args.alert_rules)
+        if rules is None:
+            return 2
+        alerts = AlertEngine(rules, registry=registry)
+    tracer = None
+    if args.trace:
+        tracer = DecisionTracer(limit=1024)
+        cache.enable_tracing(tracer)
+
+    daemon = LandlordDaemon(
+        store, cache, metadata,
+        port=args.port,
+        socket_path=args.socket,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        registry=registry,
+        slo=slo,
+        alerts=alerts,
+        tracer=tracer,
+        trace_path=_trace_path(args) if args.trace else None,
+        known_package=lambda p: p in repo,
+    )
+
+    import signal
+    import threading
+
+    stop = threading.Event()
+    previous = {}
+    # Hardened like _serve_until_signal: everything after construction
+    # runs inside the try, so a setup failure still tears the daemon
+    # down and removes the port file.
+    try:
+        port = daemon.start()
+        if args.port_file:
+            _write_port_file(args.port_file, port)
+        endpoints = f"http://127.0.0.1:{port}"
+        if args.socket:
+            endpoints += f" and unix:{args.socket}"
+        print(f"landlord daemon on {endpoints} "
+              "(POST /submit; /metrics /healthz /statusz /traces; "
+              "SIGTERM drains and snapshots)")
+        previous = {
+            sig: signal.signal(sig, lambda *_: stop.set())
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        stop.wait()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        daemon.stop()
+        if args.port_file:
+            _remove_port_file(args.port_file)
+        print(f"daemon stopped: {daemon.accepted} accepted, "
+              f"{daemon.rejected} rejected, {daemon.batches} batch(es); "
+              "state flushed")
+
+    if args.metrics_out:
+        from repro.obs import save_registry
+
+        save_registry(registry, args.metrics_out)
+    if alerts is not None:
+        return _finish_alerts(alerts, args.alert_log)
+    return 0
 
 
 def _cmd_explain(argv: Sequence[str]) -> int:
@@ -1130,8 +1428,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     commands = sorted(
         list(_FIGURES)
         + ["all", "sweep", "bench", "trace", "replay", "submit",
-           "cache-status", "recover", "explain", "metrics", "top",
-           "calibrate"]
+           "serve", "cache-status", "recover", "explain", "metrics",
+           "top", "calibrate"]
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -1157,6 +1455,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_replay(rest)
     if command == "submit":
         return _cmd_submit(rest)
+    if command == "serve":
+        return _cmd_serve(rest)
     if command == "cache-status":
         return _cmd_cache_status(rest)
     if command == "recover":

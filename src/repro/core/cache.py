@@ -495,6 +495,7 @@ class LandlordCache:
         self._ins: Optional[_CacheInstruments] = None
         self._tracer = None
         self._slo = None
+        self._lock = None
         self._pending_evictions: List[TracedEviction] = []
         # The engine binds last: it reads the validated policy knobs and
         # mirrors _images (empty here; restore() replays adds into it).
@@ -549,6 +550,26 @@ class LandlordCache:
         tracker.configure(self.capacity, self.alpha)
         self._slo = tracker
 
+    @property
+    def lock(self):
+        """The attached mutation lock, or ``None`` when disabled."""
+        return self._lock
+
+    def enable_lock(self, lock) -> None:
+        """Serialise mutating entry points under ``lock``.
+
+        ``lock`` must be *re-entrant* (a :class:`threading.RLock`):
+        :meth:`submit_batch` holds it across a window while
+        :meth:`request` re-acquires per request.  Attach the same lock
+        to an :class:`~repro.obs.ObsServer` (its ``lock=`` parameter)
+        and scrapes render a consistent view of the registry, SLO
+        window, and cache gauges — no ``/statusz`` mid-mutation tears.
+        Guard-gated like every other instrument: when no lock is
+        attached each entry point pays one ``is not None`` check, so
+        the disabled-path overhead bound in ``BENCH_obs.json`` holds.
+        """
+        self._lock = lock
+
     def _update_gauges(self) -> None:
         ins = self._ins
         if ins is not None:
@@ -589,6 +610,13 @@ class LandlordCache:
         Used by baseline policies (build-per-job) and tests; regular
         operation relies on eviction instead.
         """
+        lock = self._lock
+        if lock is None:
+            return self._clear()
+        with lock:
+            return self._clear()
+
+    def _clear(self) -> None:
         for image in list(self._images.values()):
             self._drop_image(image)
         self._update_gauges()
@@ -615,6 +643,13 @@ class LandlordCache:
         """
         if max_idle_requests < 0:
             raise ValueError("max_idle_requests must be non-negative")
+        lock = self._lock
+        if lock is None:
+            return self._evict_idle(max_idle_requests)
+        with lock:
+            return self._evict_idle(max_idle_requests)
+
+    def _evict_idle(self, max_idle_requests: int) -> List[str]:
         horizon = self.stats.requests - max_idle_requests
         request_index = self.stats.requests - 1
         evicted = []
@@ -667,6 +702,13 @@ class LandlordCache:
         ``evict_idle`` victims); the emitted DELETE events themselves use
         the next request's index, as for in-request capacity evictions.
         """
+        lock = self._lock
+        if lock is None:
+            return self._adopt(packages)
+        with lock:
+            return self._adopt(packages)
+
+    def _adopt(self, packages: "AbstractSet[str]") -> CachedImage:
         key = frozenset(packages)
         if not key:
             raise ValueError("cannot adopt an empty image")
@@ -846,6 +888,17 @@ class LandlordCache:
         Raises :class:`KeyError` for unknown images and
         :class:`ValueError` for empty/out-of-image parts.
         """
+        lock = self._lock
+        if lock is None:
+            return self._split(image_id, parts)
+        with lock:
+            return self._split(image_id, parts)
+
+    def _split(
+        self,
+        image_id: str,
+        parts: "List[AbstractSet[str]]",
+    ) -> List[CachedImage]:
         image = self._images.get(image_id)
         if image is None:
             raise KeyError(f"unknown image: {image_id!r}")
@@ -1032,6 +1085,13 @@ class LandlordCache:
 
     def request(self, spec: "ImageSpec | AbstractSet[str]") -> CacheDecision:
         """Serve one job request; returns the decision with the image used."""
+        lock = self._lock
+        if lock is None:
+            return self._request(spec)
+        with lock:
+            return self._request(spec)
+
+    def _request(self, spec: "ImageSpec | AbstractSet[str]") -> CacheDecision:
         packages = spec.packages if isinstance(spec, ImageSpec) else frozenset(spec)
         mask, indices, requested = self._intern(packages)
         n_request = int(indices.size)
@@ -1252,6 +1312,17 @@ class LandlordCache:
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        lock = self._lock
+        if lock is None:
+            return self._submit_batch(specs, batch_size)
+        with lock:
+            return self._submit_batch(specs, batch_size)
+
+    def _submit_batch(
+        self,
+        specs: Iterable["ImageSpec | AbstractSet[str]"],
+        batch_size: int,
+    ) -> List[CacheDecision]:
         specs = list(specs)
         decisions: List[CacheDecision] = []
         for start in range(0, len(specs), batch_size):

@@ -191,6 +191,59 @@ class ObsServer:
 
     # -- endpoint bodies ---------------------------------------------------
 
+    def render_get(self, path: str) -> "tuple[int, str, str]":
+        """Resolve one GET path to ``(status, content_type, body)``.
+
+        The complete routing behind the HTTP handler, exposed so a host
+        embedding this server inside another endpoint (the service
+        daemon serves ``/metrics``/``/healthz``/``/statusz``/``/traces``
+        from its own submission socket) reuses it verbatim.  Rendering
+        happens under :attr:`lock` when one is attached, exactly as a
+        scrape through :meth:`start`'s own socket would.  ``path`` must
+        already be query-stripped and ``/``-normalised (see the
+        handler).  An embedded, never-started server begins its uptime
+        clock at the first render.
+        """
+        if self._started_at is None:
+            self._started_at = monotonic()
+        lock = self.lock
+        if lock is not None:
+            lock.acquire()
+        try:
+            return self._route(path)
+        finally:
+            if lock is not None:
+                lock.release()
+
+    def _route(self, path: str) -> "tuple[int, str, str]":
+        if path == "/metrics":
+            return (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                self._render_metrics(),
+            )
+        if path == "/healthz":
+            return 200, "application/json", self._render_health()
+        if path == "/statusz":
+            return 200, "application/json", self._render_status()
+        if path.startswith("/traces"):
+            tail = path[len("/traces"):].lstrip("/")
+            try:
+                n = int(tail) if tail else 10
+            except ValueError:
+                return 400, "text/plain", f"bad trace count {tail!r}\n"
+            if n < 1:
+                return 400, "text/plain", "trace count must be >= 1\n"
+            body = self._render_traces(n)
+            if body is None:
+                return 404, "text/plain", "tracing not enabled\n"
+            return 200, "text/plain; charset=utf-8", body
+        return (
+            404,
+            "text/plain",
+            "endpoints: /metrics /healthz /statusz /traces/<n>\n",
+        )
+
     def _uptime(self) -> float:
         return monotonic() - self._started_at if self._started_at else 0.0
 
@@ -241,58 +294,9 @@ def _make_handler(server: "ObsServer"):
 
         def do_GET(self):  # noqa: N802 - stdlib casing
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
-            lock = server.lock
             try:
-                if lock is not None:
-                    lock.acquire()
-                try:
-                    if path == "/metrics":
-                        self._reply(
-                            200,
-                            server._render_metrics(),
-                            "text/plain; version=0.0.4; charset=utf-8",
-                        )
-                    elif path == "/healthz":
-                        self._reply(
-                            200, server._render_health(), "application/json"
-                        )
-                    elif path == "/statusz":
-                        self._reply(
-                            200, server._render_status(), "application/json"
-                        )
-                    elif path.startswith("/traces"):
-                        tail = path[len("/traces"):].lstrip("/")
-                        try:
-                            n = int(tail) if tail else 10
-                        except ValueError:
-                            self._reply(
-                                400, f"bad trace count {tail!r}\n",
-                                "text/plain",
-                            )
-                            return
-                        if n < 1:
-                            self._reply(
-                                400, "trace count must be >= 1\n",
-                                "text/plain",
-                            )
-                            return
-                        body = server._render_traces(n)
-                        if body is None:
-                            self._reply(
-                                404, "tracing not enabled\n", "text/plain"
-                            )
-                        else:
-                            self._reply(200, body, "text/plain; charset=utf-8")
-                    else:
-                        self._reply(
-                            404,
-                            "endpoints: /metrics /healthz /statusz "
-                            "/traces/<n>\n",
-                            "text/plain",
-                        )
-                finally:
-                    if lock is not None:
-                        lock.release()
+                status, content_type, body = server.render_get(path)
+                self._reply(status, body, content_type)
             except BrokenPipeError:  # scraper went away mid-reply
                 pass
 

@@ -172,12 +172,32 @@ class SloTracker:
         self._cached_bytes = 0
         self._unique_bytes: Optional[int] = 0
         self._images = 0
+        self._extras: Dict[str, float] = {}
         self.requests = 0
 
     def configure(self, capacity: int, alpha: float) -> None:
         """Record static cache configuration (shown on dashboards)."""
         self.capacity = capacity
         self.alpha = alpha
+
+    def set_extra(self, name: str, value: Optional[float]) -> None:
+        """Publish a host gauge as an additional series in :meth:`values`.
+
+        The service daemon uses this to ride its queue depth and
+        rejection counters on the same machinery as the built-in series:
+        extras appear in :meth:`values` (so alert rules can reference
+        them), in :meth:`export_to`'s ``slo_window`` gauges, and on
+        ``/statusz``.  Names must not shadow a built-in
+        :data:`SLO_SERIES` entry; pass ``None`` to retract a series.
+        """
+        if name in SLO_SERIES:
+            raise ValueError(
+                f"{name!r} is a built-in SLO series and cannot be overridden"
+            )
+        if value is None:
+            self._extras.pop(name, None)
+        else:
+            self._extras[name] = float(value)
 
     def _bucket_of(self, latency_s: float) -> int:
         lo, hi = 0, len(self._uppers)
@@ -276,7 +296,7 @@ class SloTracker:
             if self.capacity
             else nan
         )
-        return {
+        out = {
             "window_requests": float(n),
             "hit_rate": hit_rate,
             "merge_rate": merge_rate,
@@ -292,6 +312,8 @@ class SloTracker:
             "latency_p95": self.latency_quantile(0.95),
             "latency_p99": self.latency_quantile(0.99),
         }
+        out.update(self._extras)
+        return out
 
     def export_to(self, registry) -> None:
         """Mirror the current window into ``slo_*`` gauges.

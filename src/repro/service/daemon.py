@@ -1,0 +1,574 @@
+"""The concurrent multi-client LANDLORD daemon.
+
+``repro-landlord serve`` turns the paper's per-job wrapper into a
+long-lived service: many clients POST JSON spec submissions, one
+:class:`~repro.core.cache.LandlordCache` decides.  Zero-dependency —
+the whole wire layer is :mod:`http.server`, the same idiom as
+:mod:`repro.obs.server`.
+
+Pipeline (one request's life)::
+
+    client --POST /submit--> handler thread (one per connection)
+        -> admission: packages validated against the site repository,
+           bounded queue (429 when full, 503 when draining)
+        -> batcher thread (single consumer):
+             pops every queued item (<= max_batch),
+             group-commits the window to the write-ahead journal
+               (one fsync -- Journal.append_many),
+             applies it through LandlordCache.submit_batch
+               (one vectorized-engine prediction window),
+             snapshots/compacts when the window crossed the
+               snapshot_every boundary,
+             appends new decision traces to the sidecar,
+             wakes each waiting handler with its decision
+        -> handler replies JSON (ack strictly after the journal fsync)
+
+Guarantees:
+
+- **Durability**: a request is journalled before it is acknowledged, so
+  a SIGKILL at any point after the ack replays to bit-identical state
+  via ``repro-landlord recover`` (the cache is deterministic; the
+  journal records arrival order).
+- **Serialisability**: the final cache state is bit-identical to the
+  same requests applied serially in arrival (journal) order —
+  ``submit_batch`` is decision-identical to sequential ``request``
+  calls by construction.
+- **Consistent telemetry**: one re-entrant lock (attached via
+  :meth:`~repro.core.cache.LandlordCache.enable_lock` and shared with
+  the embedded :class:`~repro.obs.ObsServer`) serialises scrape
+  rendering against cache mutation, so ``/metrics`` and ``/statusz``
+  never observe a half-applied batch.
+- **Bounded memory**: admission control rejects with HTTP 429 once
+  ``max_queue`` submissions wait; a draining daemon rejects with 503.
+
+SIGTERM handling lives in the CLI (:func:`repro.cli.main`): it calls
+:meth:`LandlordDaemon.stop`, which stops admitting, drains the queue,
+writes a final covering snapshot, and compacts the journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+from repro.obs import ObsServer, build_status, write_traces
+
+__all__ = ["LandlordDaemon"]
+
+#: Reject request bodies larger than this (a spec is a package list —
+#: anything bigger is a client bug, not a workload).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _PendingSubmit:
+    """One admitted submission waiting for the batcher."""
+
+    __slots__ = ("packages", "done", "decision", "request_index", "error")
+
+    def __init__(self, packages: Tuple[str, ...]):
+        self.packages = packages
+        self.done = threading.Event()
+        self.decision = None
+        self.request_index: Optional[int] = None
+        self.error: Optional[str] = None
+
+
+class _ServiceInstruments:
+    """Pre-bound ``service_*`` metric children (see DESIGN.md schema)."""
+
+    __slots__ = (
+        "accepted", "rejected_full", "rejected_draining", "rejected_invalid",
+        "batches", "batched_requests", "queue_depth",
+    )
+
+    def __init__(self, registry) -> None:
+        submissions = registry.counter(
+            "service_submissions_total",
+            "Submissions by admission outcome.",
+            labelnames=("outcome",),
+        )
+        self.accepted = submissions.labels(outcome="accepted")
+        self.rejected_full = submissions.labels(outcome="rejected_full")
+        self.rejected_draining = submissions.labels(
+            outcome="rejected_draining"
+        )
+        self.rejected_invalid = submissions.labels(outcome="rejected_invalid")
+        self.batches = registry.counter(
+            "service_batches_total",
+            "Request windows applied by the batcher.",
+        ).labels()
+        self.batched_requests = registry.counter(
+            "service_batched_requests_total",
+            "Requests applied through batched windows.",
+        ).labels()
+        self.queue_depth = registry.gauge(
+            "service_queue_depth",
+            "Submissions waiting in the admission queue.",
+        ).labels()
+
+
+class _UnixHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to a UNIX-domain socket."""
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self):
+        """Bind, replacing a stale socket file from a dead daemon."""
+        try:
+            os.unlink(self.server_address)
+        except FileNotFoundError:
+            pass
+        super().server_bind()
+
+    def get_request(self):
+        """Accept, normalising the empty AF_UNIX peer address to a pair
+        so :class:`BaseHTTPRequestHandler` machinery stays happy."""
+        request, _ = self.socket.accept()
+        return request, ("unix", 0)
+
+
+class LandlordDaemon:
+    """A multi-client submission daemon over one durable LANDLORD cache.
+
+    Args:
+        store: the :class:`~repro.core.journal.JournaledState` holding
+            the snapshot + write-ahead journal (already initialised or
+            loaded by the caller; the daemon never re-reads it).
+        cache: the live :class:`~repro.core.cache.LandlordCache` the
+            store loaded.  The daemon attaches its own re-entrant lock
+            via :meth:`~repro.core.cache.LandlordCache.enable_lock`.
+        metadata: the store's metadata dict (written into snapshots).
+        host / port: TCP bind address (loopback; port 0 = ephemeral).
+        socket_path: additionally serve the same API on a UNIX-domain
+            socket at this path (optional).
+        max_queue: admission-queue bound; submissions beyond it are
+            rejected with HTTP 429 (the backpressure contract).
+        max_batch: largest request window the batcher applies at once.
+        registry: optional :class:`~repro.obs.MetricsRegistry` — the
+            daemon adds ``service_*`` instruments and serves it at
+            ``/metrics``.
+        slo: optional :class:`~repro.obs.SloTracker` already attached
+            to the cache; the daemon publishes ``queue_depth`` /
+            ``submissions_rejected`` extras into it.
+        alerts: optional :class:`~repro.obs.AlertEngine`, evaluated
+            after every applied window (not per request — the daemon's
+            unit of progress is the window).
+        tracer: optional :class:`~repro.obs.DecisionTracer` already
+            attached to the cache; drained to ``trace_path`` after
+            every window so ``repro-landlord explain`` works against a
+            running daemon.
+        trace_path: decision-trace sidecar file (required with
+            ``tracer``).
+        known_package: predicate validating a package id at admission;
+            submissions naming unknown packages are rejected with HTTP
+            400 *before* anything is journalled, so the journal never
+            holds an unreplayable entry.
+    """
+
+    def __init__(
+        self,
+        store,
+        cache,
+        metadata: Optional[dict],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+        max_queue: int = 1024,
+        max_batch: int = 256,
+        registry=None,
+        slo=None,
+        alerts=None,
+        tracer=None,
+        trace_path: Optional[str] = None,
+        known_package: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if tracer is not None and trace_path is None:
+            raise ValueError("trace_path is required when tracing")
+        self.store = store
+        self.cache = cache
+        self.metadata = metadata
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.slo = slo
+        self.alerts = alerts
+        self.tracer = tracer
+        self.trace_path = trace_path
+        self.known_package = known_package
+        self._host = host
+        self._requested_port = port
+        self._socket_path = socket_path
+
+        self.lock = threading.RLock()
+        cache.enable_lock(self.lock)
+        self._cond = threading.Condition()
+        self._queue: Deque[_PendingSubmit] = deque()
+        self._draining = False
+        self._stopping = False
+        self.accepted = 0
+        self.rejected = 0
+        self.batches = 0
+        self._ins = (
+            _ServiceInstruments(registry) if registry is not None else None
+        )
+        self.obs = ObsServer(
+            registry,
+            status_fn=self._status,
+            tracer=tracer,
+            on_scrape=self._on_scrape if registry is not None else None,
+            lock=self.lock,
+        )
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._unix_httpd: Optional[_UnixHTTPServer] = None
+        self._threads: List[threading.Thread] = []
+        self._batcher_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound TCP port once started."""
+        return self._httpd.server_address[1] if self._httpd else None
+
+    @property
+    def url(self) -> Optional[str]:
+        """Base URL once started, e.g. ``http://127.0.0.1:43210``."""
+        if self._httpd is None:
+            return None
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def queue_depth(self) -> int:
+        """Submissions currently waiting for the batcher."""
+        with self._cond:
+            return len(self._queue)
+
+    def start(self) -> int:
+        """Bind the socket(s), start the batcher; returns the TCP port."""
+        if self._httpd is not None:
+            raise RuntimeError("daemon already started")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        servers = [self._httpd]
+        if self._socket_path is not None:
+            self._unix_httpd = _UnixHTTPServer(self._socket_path, handler)
+            self._unix_httpd.daemon_threads = True
+            servers.append(self._unix_httpd)
+        self._batcher_thread = threading.Thread(
+            target=self._batcher, name="repro-service-batcher", daemon=True
+        )
+        self._batcher_thread.start()
+        for httpd in servers:
+            thread = threading.Thread(
+                target=httpd.serve_forever,
+                name="repro-service-server",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self.port
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain, final covering snapshot, unbind.
+
+        New submissions are rejected with 503 from the moment this is
+        called; everything already admitted is applied (and its client
+        answered) before the final snapshot is written and the journal
+        compacted.  Idempotent.
+        """
+        with self._cond:
+            already = self._stopping
+            self._draining = True
+            self._stopping = True
+            self._cond.notify_all()
+        if already:
+            return
+        if self._batcher_thread is not None:
+            self._batcher_thread.join()
+        with self.lock:
+            self.store.flush(self.cache, self.metadata)
+            self._drain_traces()
+        self._close_sockets()
+
+    def kill(self) -> None:
+        """Crash-style shutdown: stop everything, flush *nothing*.
+
+        Queued-but-unapplied submissions are abandoned (their clients
+        were never acknowledged) and no final snapshot is written — the
+        on-disk state is exactly what a SIGKILL would leave.  Exists so
+        tests and the fault-injection harness can exercise the
+        ``recover`` path against a realistic crash image.
+        """
+        with self._cond:
+            self._draining = True
+            self._stopping = True
+            for item in self._queue:
+                item.error = "daemon killed"
+                item.done.set()
+            self._queue.clear()
+            self._cond.notify_all()
+        if self._batcher_thread is not None:
+            self._batcher_thread.join()
+        self._close_sockets()
+
+    def _close_sockets(self) -> None:
+        for httpd in (self._httpd, self._unix_httpd):
+            if httpd is not None:
+                httpd.shutdown()
+                httpd.server_close()
+        if self._unix_httpd is not None and self._socket_path is not None:
+            try:
+                os.unlink(self._socket_path)
+            except FileNotFoundError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+        self._httpd = None
+        self._unix_httpd = None
+
+    def __enter__(self) -> "LandlordDaemon":
+        """Context-manager start (``with LandlordDaemon(...) as d:``)."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager graceful stop (drain + final snapshot)."""
+        self.stop()
+
+    # -- submission path ---------------------------------------------------
+
+    def submit(
+        self, packages: Sequence[str]
+    ) -> Tuple[int, dict]:
+        """Admit one submission and wait for its decision (handler hook).
+
+        Returns ``(http_status, json_payload)``: 200 with the decision,
+        400 for invalid specs, 429 when the queue is full, 503 when
+        draining, 500 if the batcher failed.  Blocks the calling
+        (handler) thread until the batcher has journalled *and* applied
+        the request — the ack-after-fsync contract.
+        """
+        if not packages:
+            return 400, {"error": "empty package list"}
+        if self.known_package is not None:
+            unknown = sorted(
+                p for p in set(packages) if not self.known_package(p)
+            )
+            if unknown:
+                if self._ins is not None:
+                    self._ins.rejected_invalid.inc()
+                return 400, {"error": "unknown packages", "unknown": unknown}
+        item = _PendingSubmit(tuple(packages))
+        with self._cond:
+            if self._draining:
+                self.rejected += 1
+                if self._ins is not None:
+                    self._ins.rejected_draining.inc()
+                return 503, {"error": "draining", "retry": False}
+            if len(self._queue) >= self.max_queue:
+                self.rejected += 1
+                if self._ins is not None:
+                    self._ins.rejected_full.inc()
+                return 429, {
+                    "error": "queue full",
+                    "queue_depth": len(self._queue),
+                    "retry": True,
+                }
+            self._queue.append(item)
+            self.accepted += 1
+            if self._ins is not None:
+                self._ins.accepted.inc()
+            self._cond.notify_all()
+        while not item.done.wait(timeout=0.5):
+            batcher = self._batcher_thread
+            if batcher is None or not batcher.is_alive():
+                if item.done.is_set():
+                    break
+                return 500, {"error": "batcher died"}
+        if item.error is not None:
+            return 500, {"error": item.error}
+        decision = item.decision
+        return 200, {
+            "action": decision.action.value,
+            "request_index": item.request_index,
+            "image": decision.image.id,
+            "image_bytes": decision.image.size,
+            "image_packages": decision.image.package_count,
+            "requested_bytes": decision.requested_bytes,
+            "bytes_added": decision.bytes_added,
+            "distance": decision.distance,
+            "evicted": list(decision.evicted),
+        }
+
+    # -- the batcher -------------------------------------------------------
+
+    def _batcher(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # stopping and drained
+                window = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), self.max_batch))
+                ]
+            self._apply_window(window)
+
+    def _apply_window(self, window: List[_PendingSubmit]) -> None:
+        ops = [
+            ("request", {"packages": sorted(set(item.packages))})
+            for item in window
+        ]
+        with self.lock:
+            base = self.cache.stats.requests
+            try:
+                results = self.store.apply_batch(
+                    self.cache, self.metadata, ops
+                )
+            except Exception as exc:  # surface, don't hang the clients
+                message = f"{type(exc).__name__}: {exc}"
+                for item in window:
+                    item.error = message
+                    item.done.set()
+                return
+            if self.alerts is not None and self.slo is not None:
+                self.alerts.evaluate(
+                    self.slo.values(), self.cache.stats.requests - 1
+                )
+            self._drain_traces()
+            self.batches += 1
+            if self.slo is not None:
+                self.slo.set_extra("queue_depth", float(self.queue_depth))
+                self.slo.set_extra(
+                    "submissions_rejected", float(self.rejected)
+                )
+            if self._ins is not None:
+                self._ins.batches.inc()
+                self._ins.batched_requests.inc(len(window))
+        for offset, (item, decision) in enumerate(zip(window, results)):
+            item.request_index = base + offset
+            item.decision = decision
+            item.done.set()
+
+    def _drain_traces(self) -> None:
+        if self.tracer is None:
+            return
+        traces = self.tracer.drain()
+        if traces:
+            write_traces(traces, self.trace_path, append=True)
+
+    # -- observability -----------------------------------------------------
+
+    def _on_scrape(self) -> None:
+        if self._ins is not None:
+            self._ins.queue_depth.set(self.queue_depth)
+        if self.slo is not None:
+            self.slo.set_extra("queue_depth", float(self.queue_depth))
+            self.slo.set_extra("submissions_rejected", float(self.rejected))
+            self.slo.export_to(self.obs.registry)
+
+    def _status(self) -> dict:
+        """The ``/statusz`` body: cache status plus a ``service`` block."""
+        return build_status(
+            self.cache,
+            slo=self.slo,
+            alerts=self.alerts,
+            extra={
+                "service": {
+                    "queue_depth": self.queue_depth,
+                    "max_queue": self.max_queue,
+                    "max_batch": self.max_batch,
+                    "accepted": self.accepted,
+                    "rejected": self.rejected,
+                    "batches": self.batches,
+                    "draining": self._draining,
+                }
+            },
+        )
+
+
+def _make_handler(daemon: "LandlordDaemon"):
+    """Build the request-handler class closed over one daemon."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # many clients are chatty; stay silent
+
+        def _reply(self, code: int, body: str, content_type: str) -> None:
+            data = body.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _reply_json(self, code: int, payload: dict) -> None:
+            self._reply(code, json.dumps(payload), "application/json")
+
+        def do_GET(self):  # noqa: N802 - stdlib casing
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                status, content_type, body = daemon.obs.render_get(path)
+                if status == 404 and not path.startswith("/traces"):
+                    body = (
+                        "endpoints: POST /submit; GET /metrics /healthz "
+                        "/statusz /traces/<n>\n"
+                    )
+                self._reply(status, body, content_type)
+            except BrokenPipeError:  # client went away mid-reply
+                pass
+
+        def do_POST(self):  # noqa: N802 - stdlib casing
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                if path != "/submit":
+                    self._reply_json(404, {"error": "POST /submit only"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", ""))
+                except ValueError:
+                    self._reply_json(411, {"error": "length required"})
+                    return
+                if length > MAX_BODY_BYTES:
+                    self._reply_json(413, {"error": "body too large"})
+                    return
+                try:
+                    payload = json.loads(self.rfile.read(length))
+                except ValueError:
+                    self._reply_json(400, {"error": "bad JSON body"})
+                    return
+                packages = (
+                    payload.get("packages")
+                    if isinstance(payload, dict)
+                    else payload
+                )
+                if not isinstance(packages, list) or not all(
+                    isinstance(p, str) for p in packages
+                ):
+                    self._reply_json(
+                        400,
+                        {"error": 'body must be {"packages": [ids...]}'},
+                    )
+                    return
+                status, body = daemon.submit(packages)
+                self._reply_json(status, body)
+            except BrokenPipeError:  # client went away mid-reply
+                pass
+
+    return Handler

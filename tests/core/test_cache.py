@@ -390,3 +390,77 @@ class TestSpecMemoBound:
         again_mask, _, again_size = c._intern(spec("p0"))
         assert again_size == 10
         assert again_mask == c._universe.mask_of(spec("p0"))[0]
+
+
+class TestSharedLock:
+    """enable_lock: mutators serialise under an attached lock, and the
+    disabled path (no lock) stays a bare ``is None`` check."""
+
+    class _CountingLock:
+        """An RLock that counts acquisitions (context-manager protocol)."""
+
+        def __init__(self):
+            import threading
+
+            self._lock = threading.RLock()
+            self.acquisitions = 0
+
+        def __enter__(self):
+            self._lock.acquire()
+            self.acquisitions += 1
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release()
+
+        def acquire(self, *a, **kw):
+            self.acquisitions += 1
+            return self._lock.acquire(*a, **kw)
+
+        def release(self):
+            self._lock.release()
+
+    def test_lock_is_off_by_default(self):
+        c = cache()
+        assert c.lock is None
+        c.request(spec("p0"))  # no lock involved
+
+    def test_mutators_acquire_the_lock(self):
+        c = cache()
+        lock = self._CountingLock()
+        c.enable_lock(lock)
+        assert c.lock is lock
+        c.request(spec("p0", "p1"))
+        assert lock.acquisitions == 1
+        # submit_batch holds the lock for the window and re-enters it
+        # for each inner request (hence an RLock is required)
+        c.submit_batch([spec("p0"), spec("p2")])
+        assert lock.acquisitions == 4
+        c.evict_idle(1)
+        assert lock.acquisitions == 5
+        c.clear()
+        assert lock.acquisitions == 6
+
+    def test_locked_and_unlocked_decisions_identical(self):
+        import threading
+
+        plain = cache()
+        locked = cache()
+        locked.enable_lock(threading.RLock())
+        for i in range(12):
+            s = spec(f"p{i % 5}", f"p{(i * 3) % 5}")
+            a = plain.request(s)
+            b = locked.request(s)
+            assert a.action == b.action
+            assert a.image.id == b.image.id
+        assert plain.snapshot() == locked.snapshot()
+
+    def test_validation_errors_do_not_need_the_lock(self):
+        c = cache()
+        lock = self._CountingLock()
+        c.enable_lock(lock)
+        with pytest.raises(ValueError):
+            c.evict_idle(-1)
+        with pytest.raises(ValueError):
+            c.submit_batch([], batch_size=0)
+        assert lock.acquisitions == 0

@@ -248,3 +248,145 @@ class TestJournaledState:
         assert Journal(tmp_path / "state.json.journal").entries() == []
         bundle = load_bundle(tmp_path / "state.json", SIZE.__getitem__)
         assert bundle.cache.stats.requests == 4
+
+
+class TestGroupCommit:
+    """Batch append (one fsync per window) and batched application."""
+
+    def test_append_many_assigns_contiguous_seqs(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal")
+        journal.append("request", packages=["p0"])
+        entries = journal.append_many([
+            ("request", {"packages": ["p1"]}),
+            ("request", {"packages": ["p2"]}),
+            ("clear", {}),
+        ])
+        assert [(e.seq, e.op) for e in entries] == [
+            (2, "request"), (3, "request"), (4, "clear"),
+        ]
+        assert [e.seq for e in journal.entries()] == [1, 2, 3, 4]
+        assert journal.append("request", packages=["p3"]).seq == 5
+
+    def test_append_many_empty_is_a_noop(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal")
+        assert journal.append_many([]) == []
+        assert journal.last_seq == 0
+
+    def test_torn_batch_tail_keeps_intact_prefix(self, tmp_path):
+        # A crash mid-group-commit must leave a gap-free prefix: the
+        # entries before the tear replay, the torn one is dropped.
+        path = tmp_path / "j.journal"
+        journal = Journal(path)
+        journal.append_many([
+            ("request", {"packages": [f"p{i}"]}) for i in range(3)
+        ])
+        journal.close()
+        text = path.read_text()
+        path.write_text(text[: len(text) - 10])  # tear the final record
+        assert [e.seq for e in Journal(path).entries()] == [1, 2]
+
+    def test_apply_entries_coalesces_requests(self, tmp_path):
+        from repro.core.journal import JournalEntry, apply_entries
+
+        ops = (
+            [("request", {"packages": [f"p{i}", f"p{i + 1}"]})
+             for i in range(4)]
+            + [("clear", {})]
+            + [("request", {"packages": [f"p{i}"]}) for i in range(3)]
+        )
+        entries = [
+            JournalEntry(seq, op, data)
+            for seq, (op, data) in enumerate(ops, start=1)
+        ]
+        batched = make_cache()
+        results = apply_entries(batched, entries)
+        serial = make_cache()
+        serial_results = [apply_entry(serial, e) for e in entries]
+        assert batched.snapshot() == serial.snapshot()
+        assert len(results) == len(serial_results)
+        for got, want in zip(results, serial_results):
+            if want is None:
+                assert got is None
+            else:
+                assert got.action == want.action
+                assert got.image.id == want.image.id
+
+    def test_apply_batch_matches_serial_apply(self, tmp_path):
+        ops = [("request", {"packages": [f"p{i}", f"p{(i * 3) % 20}"]})
+               for i in range(7)]
+        batch_store = JournaledState(
+            tmp_path / "batch.json", snapshot_every=100
+        )
+        batch_cache = make_cache()
+        batch_store.initialise(batch_cache)
+        results = batch_store.apply_batch(batch_cache, None, ops)
+        serial_store = JournaledState(
+            tmp_path / "serial.json", snapshot_every=100
+        )
+        serial_cache = make_cache()
+        serial_store.initialise(serial_cache)
+        for op, data in ops:
+            serial_store.apply(serial_cache, None, op, **data)
+        assert len(results) == 7
+        assert batch_cache.snapshot() == serial_cache.snapshot()
+        assert (
+            batch_store.journal.last_seq == serial_store.journal.last_seq
+        )
+        recovered, _meta, replayed = JournaledState(
+            tmp_path / "batch.json"
+        ).load(SIZE.__getitem__)
+        assert len(replayed) == 7
+        assert recovered.snapshot() == batch_cache.snapshot()
+
+    def test_apply_batch_snapshot_cadence(self, tmp_path):
+        # Crossing the snapshot_every boundary inside a batch flushes
+        # once, after the batch: the journal is compacted to its end.
+        store = JournaledState(tmp_path / "state.json", snapshot_every=4)
+        cache = make_cache()
+        store.initialise(cache)
+        store.apply_batch(cache, None, [
+            ("request", {"packages": [f"p{i}"]}) for i in range(6)
+        ])
+        assert store.journal.entries() == []  # compacted by the flush
+        recovered, _meta, replayed = JournaledState(
+            tmp_path / "state.json", snapshot_every=4
+        ).load(SIZE.__getitem__)
+        assert replayed == []
+        assert recovered.snapshot() == cache.snapshot()
+
+    def test_apply_batch_below_cadence_skips_snapshot(self, tmp_path):
+        store = JournaledState(tmp_path / "state.json", snapshot_every=10)
+        cache = make_cache()
+        store.initialise(cache)
+        store.apply_batch(cache, None, [
+            ("request", {"packages": [f"p{i}"]}) for i in range(3)
+        ])
+        # no flush fired: all three ops still live in the journal only
+        assert [e.seq for e in store.journal.entries()] == [1, 2, 3]
+
+    def test_apply_batch_on_result_fires_in_entry_order(self, tmp_path):
+        store = JournaledState(tmp_path / "state.json", snapshot_every=100)
+        cache = make_cache()
+        store.initialise(cache)
+        seen = []
+        store.apply_batch(
+            cache, None,
+            [("request", {"packages": [f"p{i}"]}) for i in range(4)],
+            on_result=lambda entry, result: seen.append(entry.seq),
+        )
+        assert seen == [1, 2, 3, 4]
+
+    def test_apply_batch_without_journal(self, tmp_path):
+        store = JournaledState(tmp_path / "state.json", use_journal=False)
+        cache = make_cache()
+        store.initialise(cache)
+        results = store.apply_batch(cache, None, [
+            ("request", {"packages": ["p0"]}),
+            ("request", {"packages": ["p1"]}),
+        ])
+        assert len(results) == 2
+        recovered, _meta, replayed = JournaledState(
+            tmp_path / "state.json", use_journal=False
+        ).load(SIZE.__getitem__)
+        assert replayed == []
+        assert recovered.snapshot() == cache.snapshot()

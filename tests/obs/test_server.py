@@ -257,6 +257,12 @@ class TestServeCli:
             assert process.returncode == 0, stderr
             assert "serving on http://127.0.0.1" in stdout
             assert "server stopped" in stdout
+            # regression: the port file must not outlive the server —
+            # a stale one makes the next ephemeral-port run unpollable
+            assert not port_file.exists()
+            assert not port_file.with_name(
+                port_file.name + ".tmp"
+            ).exists()
         finally:
             if process.poll() is None:
                 process.kill()
@@ -275,3 +281,89 @@ class TestServeCli:
             ])
         assert excinfo.value.code == 2
         assert "--serve" in capsys.readouterr().err
+
+
+class TestServeHardening:
+    """Regression tests for the three serve-path bugs: non-atomic port
+    file publication, setup failures leaking the server thread, and
+    scrapes racing cache mutation without a lock."""
+
+    def test_port_file_written_atomically(self, tmp_path, monkeypatch):
+        # The final name must only ever appear via rename: pollers that
+        # race the write must read a complete port number or nothing.
+        from repro import cli
+
+        writes = []
+        real_write_text = Path.write_text
+
+        def recording(self, *args, **kwargs):
+            writes.append(self.name)
+            return real_write_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "write_text", recording)
+        cli._write_port_file(str(tmp_path / "port.txt"), 4321)
+        assert (tmp_path / "port.txt").read_text() == "4321\n"
+        assert writes == ["port.txt.tmp"]
+        assert not (tmp_path / "port.txt.tmp").exists()
+
+    def test_port_file_replaces_stale_value(self, tmp_path):
+        from repro import cli
+
+        target = tmp_path / "port.txt"
+        target.write_text("99999\n")
+        cli._write_port_file(str(target), 1234)
+        assert target.read_text() == "1234\n"
+
+    def test_setup_failure_tears_down_server_thread(self, tmp_path):
+        # Pre-fix, the port file was written between server.start() and
+        # the try block: a bad --port-file path raised with the server
+        # thread still alive, hanging the (non-daemonised) caller.
+        from types import SimpleNamespace
+
+        from repro import cli
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")  # a *file* where a directory is needed
+        args = SimpleNamespace(
+            serve=0, port_file=str(blocker / "port.txt")
+        )
+        cache = make_cache(2)
+        before = {
+            t for t in threading.enumerate()
+            if t.name == "repro-obs-server"
+        }
+        with pytest.raises(OSError):
+            cli._serve_until_signal(args, cache, None, None, None, None)
+        leaked = [
+            t for t in threading.enumerate()
+            if t.name == "repro-obs-server" and t not in before
+        ]
+        assert leaked == []
+
+    def test_serve_loop_passes_shared_lock(self, monkeypatch):
+        # Pre-fix, no lock reached ObsServer (or the cache): a scrape
+        # could render a half-applied request.
+        from types import SimpleNamespace
+
+        import repro.obs as obs
+        from repro import cli
+
+        recorded = {}
+
+        class Recorder:
+            def __init__(self, registry=None, **kwargs):
+                recorded.update(kwargs)
+
+            def start(self):
+                raise RuntimeError("recorded enough")
+
+            def stop(self):
+                pass
+
+        monkeypatch.setattr(obs, "ObsServer", Recorder)
+        cache = make_cache(2)
+        args = SimpleNamespace(serve=0, port_file=None)
+        with pytest.raises(RuntimeError, match="recorded enough"):
+            cli._serve_until_signal(args, cache, None, None, None, None)
+        assert recorded.get("lock") is not None
+        assert cache.lock is recorded["lock"]

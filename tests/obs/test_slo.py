@@ -247,3 +247,31 @@ class TestCacheIntegration:
         assert values["container_efficiency"] == pytest.approx(
             stats.container_efficiency
         )
+
+
+class TestExtras:
+    """set_extra: host gauges riding alongside the built-in series."""
+
+    def test_extra_appears_in_values(self):
+        slo = SloTracker(window=4)
+        slo.set_extra("queue_depth", 7)
+        assert slo.values()["queue_depth"] == 7.0
+
+    def test_extra_retracted_with_none(self):
+        slo = SloTracker(window=4)
+        slo.set_extra("queue_depth", 7)
+        slo.set_extra("queue_depth", None)
+        assert "queue_depth" not in slo.values()
+
+    def test_builtin_series_cannot_be_shadowed(self):
+        slo = SloTracker(window=4)
+        with pytest.raises(ValueError, match="built-in"):
+            slo.set_extra("hit_rate", 0.0)
+
+    def test_extras_export_as_slo_window_gauges(self):
+        registry = MetricsRegistry()
+        slo = SloTracker(window=4)
+        slo.set_extra("queue_depth", 3)
+        slo.export_to(registry)
+        text = registry.to_prometheus()
+        assert 'slo_window{series="queue_depth"} 3' in text

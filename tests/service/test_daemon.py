@@ -1,0 +1,379 @@
+"""Tests for the LANDLORD daemon: concurrent determinism, durability
+(ack-after-journal, crash replay), admission control, and the embedded
+observability surface."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.cache import LandlordCache
+from repro.core.journal import Journal, JournaledState
+from repro.obs import (
+    AlertEngine,
+    DecisionTracer,
+    MetricsRegistry,
+    SloTracker,
+    read_traces,
+    validate_prometheus_text,
+)
+from repro.service import LandlordClient, LandlordDaemon, SubmitRejected
+from repro.service.daemon import _PendingSubmit
+
+SIZE = {f"p{i}": 10 * (i % 5 + 1) for i in range(30)}
+KNOWN = frozenset(SIZE)
+
+
+def make_daemon(tmp_path, *, snapshot_every=10, use_journal=True, **kw):
+    """A daemon over a fresh journalled store in ``tmp_path``."""
+    store = JournaledState(
+        tmp_path / "state.json",
+        snapshot_every=snapshot_every,
+        use_journal=use_journal,
+    )
+    cache = LandlordCache(500, 0.8, SIZE.__getitem__)
+    store.initialise(cache, {"repository": "test"})
+    kw.setdefault("known_package", lambda p: p in KNOWN)
+    return LandlordDaemon(store, cache, {"repository": "test"}, **kw)
+
+
+def client_specs(k, n=8):
+    """Client ``k``'s disjoint-ish request stream (deterministic)."""
+    return [
+        sorted({f"p{(k * 7 + i) % 30}", f"p{(k * 3 + 2 * i) % 30}"})
+        for i in range(n)
+    ]
+
+
+class TestConcurrentDeterminism:
+    def test_concurrent_clients_match_serial_replay(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_batch=4)
+        replies = []
+        replies_lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def run_client(k):
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            barrier.wait()
+            for spec in client_specs(k):
+                reply = client.submit(spec)
+                with replies_lock:
+                    replies.append((reply["request_index"], spec, reply))
+            client.close()
+
+        with daemon:
+            threads = [
+                threading.Thread(target=run_client, args=(k,))
+                for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            live_snapshot = daemon.cache.snapshot()
+
+        assert len(replies) == 32
+        # request indices are the arrival order: dense, unique, 0-based
+        indices = sorted(r[0] for r in replies)
+        assert indices == list(range(32))
+
+        # replaying the same specs serially in arrival order through a
+        # fresh cache reproduces the exact final state and decisions
+        serial = LandlordCache(500, 0.8, SIZE.__getitem__)
+        for index, spec, reply in sorted(replies):
+            decision = serial.request(frozenset(spec))
+            assert decision.action.value == reply["action"]
+            assert decision.image.id == reply["image"]
+            assert sorted(decision.evicted) == sorted(reply["evicted"])
+        assert serial.snapshot() == live_snapshot
+
+        # and the durable store converged to the same state
+        reloaded, _, _ = JournaledState(tmp_path / "state.json").load(
+            SIZE.__getitem__
+        )
+        assert reloaded.snapshot() == live_snapshot
+
+    def test_batching_happens_under_load(self, tmp_path):
+        # Many clients stalled behind a held lock arrive as one window.
+        daemon = make_daemon(tmp_path, max_batch=64)
+        with daemon:
+            with daemon.lock:  # stall the batcher mid-pop
+                threads = [
+                    threading.Thread(
+                        target=daemon.submit, args=([f"p{i}", "p0"],)
+                    )
+                    for i in range(10)
+                ]
+                for t in threads:
+                    t.start()
+                deadline = time.monotonic() + 10
+                while daemon.accepted < 10:
+                    assert time.monotonic() < deadline, "admission stalled"
+                    time.sleep(0.005)
+            for t in threads:
+                t.join()
+            assert daemon.accepted == 10
+            # strictly fewer batches than requests proves coalescing
+            assert daemon.batches < 10
+
+
+class TestDurability:
+    def test_ack_implies_journalled(self, tmp_path):
+        daemon = make_daemon(tmp_path, snapshot_every=10_000)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            for spec in client_specs(0, n=5):
+                client.submit(spec)
+            # every acknowledged request is already on disk
+            journal = Journal(tmp_path / "state.json.journal")
+            assert journal.last_seq == 5
+
+    def test_crash_recovers_bit_identically(self, tmp_path):
+        daemon = make_daemon(tmp_path, snapshot_every=10_000)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            for spec in client_specs(1, n=6):
+                client.submit(spec)
+        # context exit = graceful stop; now simulate the crash variant
+        daemon2_dir = tmp_path / "crash"
+        daemon2_dir.mkdir()
+        daemon2 = make_daemon(daemon2_dir, snapshot_every=10_000)
+        daemon2.start()
+        client = LandlordClient(f"http://127.0.0.1:{daemon2.port}")
+        for spec in client_specs(1, n=6):
+            client.submit(spec)
+        live = daemon2.cache.snapshot()
+        daemon2.kill()  # no drain, no final snapshot — a SIGKILL image
+        cache, _, replayed = JournaledState(
+            daemon2_dir / "state.json"
+        ).load(SIZE.__getitem__)
+        assert len(replayed) == 6  # nothing was covered by a snapshot
+        assert cache.snapshot() == live
+
+    def test_recovery_at_every_journalled_point(self, tmp_path):
+        # A crash after any ack must replay to exactly the serial prefix.
+        daemon = make_daemon(tmp_path, snapshot_every=10_000)
+        specs = client_specs(2, n=8)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            for spec in specs:
+                client.submit(spec)
+            journal_lines = (
+                (tmp_path / "state.json.journal")
+                .read_text()
+                .splitlines(keepends=True)
+            )
+            state_bytes = (tmp_path / "state.json").read_bytes()
+        assert len(journal_lines) == 8
+        for k in range(len(journal_lines) + 1):
+            point = tmp_path / f"point{k}"
+            point.mkdir()
+            (point / "state.json").write_bytes(state_bytes)
+            (point / "state.json.journal").write_text(
+                "".join(journal_lines[:k])
+            )
+            recovered, _, replayed = JournaledState(
+                point / "state.json"
+            ).load(SIZE.__getitem__)
+            assert len(replayed) == k
+            serial = LandlordCache(500, 0.8, SIZE.__getitem__)
+            for spec in specs[:k]:
+                serial.request(frozenset(spec))
+            assert recovered.snapshot() == serial.snapshot()
+
+    def test_graceful_stop_compacts_journal(self, tmp_path):
+        daemon = make_daemon(tmp_path, snapshot_every=10_000)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            client.submit(["p0", "p1"])
+        # stop() wrote a covering snapshot and compacted the journal
+        assert Journal(tmp_path / "state.json.journal").entries() == []
+        cache, _, replayed = JournaledState(tmp_path / "state.json").load(
+            SIZE.__getitem__
+        )
+        assert replayed == []
+        assert cache.stats.requests == 1
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_429(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_queue=2)
+        with daemon._cond:  # white-box: pre-fill the admission queue
+            daemon._queue.extend(
+                _PendingSubmit(("p0",)) for _ in range(2)
+            )
+        status, payload = daemon.submit(["p0"])
+        assert status == 429
+        assert payload["retry"] is True
+        assert daemon.rejected == 1
+        with daemon._cond:
+            daemon._queue.clear()
+
+    def test_draining_rejects_503(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        with daemon:
+            pass  # started, drained, stopped
+        status, payload = daemon.submit(["p0"])
+        assert status == 503
+        assert payload["retry"] is False
+
+    def test_unknown_packages_rejected_before_journalling(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            with pytest.raises(Exception) as excinfo:
+                client.submit(["p0", "zork"])
+            assert excinfo.value.status == 400
+        # the poison spec never reached the journal
+        assert Journal(tmp_path / "state.json.journal").last_seq == 0
+
+    def test_empty_spec_rejected(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        assert daemon.submit([])[0] == 400
+
+    def test_http_protocol_errors(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        daemon = make_daemon(tmp_path)
+        with daemon:
+            url = f"http://127.0.0.1:{daemon.port}"
+
+            def post(path, data, headers=None):
+                request = urllib.request.Request(
+                    url + path, data=data, method="POST",
+                    headers=headers or {},
+                )
+                try:
+                    with urllib.request.urlopen(request, timeout=5) as r:
+                        return r.status, r.read()
+                except urllib.error.HTTPError as error:
+                    return error.code, error.read()
+
+            assert post("/nope", b"{}")[0] == 404
+            assert post("/submit", b"not json")[0] == 400
+            assert post("/submit", b'{"packages": "p0"}')[0] == 400
+            assert post("/submit", b'{"packages": [1, 2]}')[0] == 400
+
+
+class TestObservabilitySurface:
+    def test_metrics_statusz_healthz(self, tmp_path):
+        registry = MetricsRegistry()
+        slo = SloTracker(window=16)
+        alerts = AlertEngine(registry=registry)
+        daemon = make_daemon(
+            tmp_path, registry=registry, slo=slo, alerts=alerts
+        )
+        daemon.cache.enable_metrics(registry)
+        daemon.cache.enable_slo(slo)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            for spec in client_specs(3, n=4):
+                client.submit(spec)
+            body = client.metrics()
+            validate_prometheus_text(body)
+            assert (
+                'service_submissions_total{outcome="accepted"} 4' in body
+            )
+            assert "service_batches_total" in body
+            assert 'slo_window{series="queue_depth"}' in body
+            assert "landlord_requests_total" in body
+
+            status = client.status()
+            assert status["service"]["accepted"] == 4
+            assert status["service"]["draining"] is False
+            assert status["service"]["max_queue"] == 1024
+            assert status["lifetime"]["requests"] == 4
+            assert "queue_depth" in status["window"]["series"]
+
+            health = client.health()
+            assert health["status"] == "ok"
+
+    def test_root_404_lists_submit_endpoint(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        daemon = make_daemon(tmp_path)
+        with daemon:
+            try:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{daemon.port}/", timeout=5
+                )
+                pytest.fail("GET / should 404")
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+                assert b"/submit" in error.read()
+
+    def test_traces_flow_to_sidecar_for_explain(self, tmp_path):
+        tracer = DecisionTracer(limit=64)
+        trace_path = tmp_path / "trace.jsonl"
+        daemon = make_daemon(
+            tmp_path, tracer=tracer, trace_path=str(trace_path)
+        )
+        daemon.cache.enable_tracing(tracer)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            for spec in client_specs(4, n=3):
+                client.submit(spec)
+        traces = read_traces(trace_path)
+        assert sorted(traces) == [0, 1, 2]
+        assert "request #0" in traces[0].explain()
+
+    def test_trace_path_required_with_tracer(self, tmp_path):
+        with pytest.raises(ValueError, match="trace_path"):
+            make_daemon(tmp_path, tracer=DecisionTracer())
+
+
+class TestUnixSocket:
+    def test_submit_over_unix_socket(self, tmp_path):
+        sock = tmp_path / "landlord.sock"
+        daemon = make_daemon(tmp_path, socket_path=str(sock))
+        with daemon:
+            assert sock.exists()
+            client = LandlordClient(f"unix:{sock}")
+            reply = client.submit(["p0", "p1"])
+            assert reply["action"] == "insert"
+            assert client.health()["status"] == "ok"
+        assert not sock.exists()  # removed on shutdown
+
+    def test_stale_socket_is_replaced(self, tmp_path):
+        sock = tmp_path / "landlord.sock"
+        daemon = make_daemon(tmp_path, socket_path=str(sock))
+        with daemon:
+            pass
+        # leave a stale socket file behind, as a crashed daemon would
+        sock.touch()
+        fresh_dir = tmp_path / "fresh"
+        fresh_dir.mkdir()
+        daemon2 = make_daemon(fresh_dir, socket_path=str(sock))
+        with daemon2:
+            assert LandlordClient(f"unix:{sock}").submit(["p2"])[
+                "action"
+            ] == "insert"
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        with daemon:
+            with pytest.raises(RuntimeError, match="already started"):
+                daemon.start()
+
+    def test_stop_is_idempotent(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        daemon.start()
+        daemon.stop()
+        daemon.stop()
+
+    def test_bad_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_queue"):
+            make_daemon(tmp_path, max_queue=0)
+        with pytest.raises(ValueError, match="max_batch"):
+            make_daemon(tmp_path, max_batch=0)
+
+    def test_port_and_url_resolve_after_start(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        assert daemon.port is None and daemon.url is None
+        with daemon:
+            assert daemon.port > 0
+            assert daemon.url == f"http://127.0.0.1:{daemon.port}"

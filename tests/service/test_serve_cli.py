@@ -1,0 +1,215 @@
+"""`repro-landlord serve` end to end: concurrent clients over a real
+subprocess daemon, `submit --remote`, SIGTERM drain, SIGKILL recovery."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import LandlordCache
+from repro.core.journal import JournaledState
+from repro.obs import validate_prometheus_text
+from repro.service import LandlordClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _tiny_repo():
+    from repro.experiments.common import get_scale
+    from repro.packages.sft import build_experiment_repository
+
+    scale = get_scale("tiny")
+    return build_experiment_repository(
+        "sft", seed=2020, n_packages=scale.n_packages,
+        target_total_size=scale.repo_total_size,
+    )
+
+
+def start_daemon(tmp_path, *extra_args):
+    """Launch `serve --scale tiny` and wait for its port file."""
+    port_file = tmp_path / "port.txt"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--scale", "tiny",
+         "--state", str(tmp_path / "state.json"),
+         "--port-file", str(port_file), *extra_args],
+        cwd=str(REPO_ROOT),
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return process, int(port_file.read_text().strip())
+        if process.poll() is not None:
+            pytest.fail(
+                f"daemon died during startup: {process.communicate()[1]}"
+            )
+        time.sleep(0.1)
+    process.kill()
+    pytest.fail("daemon port file never appeared")
+
+
+class TestServeDaemonCli:
+    def test_concurrent_clients_sigterm_and_recover(self, tmp_path):
+        repo = _tiny_repo()
+        ids = list(repo.ids)
+        process, port = start_daemon(tmp_path, "--trace")
+        replies = []
+        replies_lock = threading.Lock()
+
+        def run_client(k):
+            client = LandlordClient(f"http://127.0.0.1:{port}")
+            for i in range(3):
+                spec = sorted(
+                    repo.closure({ids[(k * 5 + i * 2) % len(ids)]})
+                )
+                reply = client.submit(spec, retries=3)
+                with replies_lock:
+                    replies.append((reply["request_index"], spec, reply))
+            client.close()
+
+        try:
+            threads = [
+                threading.Thread(target=run_client, args=(k,))
+                for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(r[0] for r in replies) == list(range(12))
+
+            # one more through the submit --remote CLI path
+            spec_file = tmp_path / "job.json"
+            spec_file.write_text(json.dumps({"packages": [ids[0]]}))
+            submit = subprocess.run(
+                [sys.executable, "-m", "repro", "submit", str(spec_file),
+                 "--scale", "tiny", "--remote",
+                 f"http://127.0.0.1:{port}"],
+                cwd=str(REPO_ROOT), env=_env(),
+                capture_output=True, text=True, timeout=60,
+            )
+            assert submit.returncode == 0, submit.stderr
+            assert "request #12" in submit.stdout
+
+            client = LandlordClient(f"http://127.0.0.1:{port}")
+            body = client.metrics()
+            validate_prometheus_text(body)
+            assert "service_submissions_total" in body
+            assert client.status()["lifetime"]["requests"] == 13
+
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+            assert process.returncode == 0, stderr
+            assert "daemon stopped" in stdout
+            assert not (tmp_path / "port.txt").exists()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+        # the graceful shutdown left a covering snapshot: recover is a
+        # no-op replay and the state matches a serial re-application
+        recover = subprocess.run(
+            [sys.executable, "-m", "repro", "recover", "--scale", "tiny",
+             "--state", str(tmp_path / "state.json")],
+            cwd=str(REPO_ROOT), env=_env(),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert recover.returncode == 0, recover.stderr
+        assert "replayed 0 journalled operation(s)" in recover.stdout
+        assert "13 requests" in recover.stdout
+
+        recovered, _, _ = JournaledState(tmp_path / "state.json").load(
+            repo.size_of
+        )
+        serial = LandlordCache(
+            recovered.capacity, recovered.alpha, repo.size_of
+        )
+        for _, spec, _ in sorted(replies):
+            serial.request(frozenset(spec))
+        serial.request(frozenset(repo.closure({ids[0]})))
+        assert serial.snapshot() == recovered.snapshot()
+
+        # --trace flowed to the sidecar: explain works for a
+        # daemon-processed request
+        explain = subprocess.run(
+            [sys.executable, "-m", "repro", "explain", "5",
+             "--state", str(tmp_path / "state.json")],
+            cwd=str(REPO_ROOT), env=_env(),
+            capture_output=True, text=True, timeout=60,
+        )
+        assert explain.returncode == 0, explain.stderr
+        assert "request #5" in explain.stdout
+
+    def test_sigkill_mid_stream_recovers_bit_identically(self, tmp_path):
+        repo = _tiny_repo()
+        ids = list(repo.ids)
+        process, port = start_daemon(
+            tmp_path, "--snapshot-every", "1000"
+        )
+        specs = [
+            sorted(repo.closure({ids[(3 * i) % len(ids)]}))
+            for i in range(5)
+        ]
+        try:
+            client = LandlordClient(f"http://127.0.0.1:{port}")
+            for spec in specs:
+                client.submit(spec)
+        finally:
+            process.kill()  # SIGKILL: no drain, no final snapshot
+            process.communicate()
+
+        recovered, _, replayed = JournaledState(
+            tmp_path / "state.json"
+        ).load(repo.size_of)
+        assert len(replayed) == 5  # every ack was journalled first
+        serial = LandlordCache(
+            recovered.capacity, recovered.alpha, repo.size_of
+        )
+        for spec in specs:
+            serial.request(frozenset(spec))
+        assert serial.snapshot() == recovered.snapshot()
+
+    def test_remote_against_dead_daemon_fails_cleanly(self, tmp_path):
+        spec_file = tmp_path / "job.json"
+        spec_file.write_text(
+            json.dumps({"packages": ["app-0000/1.0/x86_64-el7"]})
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", str(spec_file),
+             "--scale", "tiny", "--remote", "http://127.0.0.1:1"],
+            cwd=str(REPO_ROOT), env=_env(),
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 2
+        assert "unreachable" in result.stderr
+
+    def test_remote_conflicts_with_serve(self, tmp_path):
+        spec_file = tmp_path / "job.json"
+        spec_file.write_text(json.dumps({"packages": []}))
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", str(spec_file),
+             "--scale", "tiny", "--remote", "http://127.0.0.1:1",
+             "--serve", "0"],
+            cwd=str(REPO_ROOT), env=_env(),
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 2
+        assert "--remote" in result.stderr
