@@ -72,6 +72,31 @@ def _guard_cost_seconds(n: int = 2_000_000) -> float:
     return max(guarded - empty, 0.0) / n
 
 
+def _exemplar_cost_seconds(n: int = 200_000) -> float:
+    """Per-observation cost of attaching an exemplar to a histogram.
+
+    The enabled path now stamps ``landlord_request_seconds`` buckets
+    with a ``request=<index>`` exemplar (the click-through to
+    ``explain``); this isolates what that stamp adds on top of a plain
+    ``observe`` so the committed record shows exemplars are not what
+    operators would turn telemetry off over.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    hist = MetricsRegistry().histogram(
+        "bench_exemplar_seconds", "exemplar cost probe"
+    )
+    t0 = perf_counter()
+    for i in range(n):
+        hist.observe(0.004)
+    plain = perf_counter() - t0
+    t0 = perf_counter()
+    for i in range(n):
+        hist.observe(0.004, exemplar=(("request", str(i)),))
+    stamped = perf_counter() - t0
+    return max(stamped - plain, 0.0) / n
+
+
 def _best_of(fn, rounds: int = 3) -> float:
     best = float("inf")
     for _ in range(rounds):
@@ -96,10 +121,14 @@ def test_disabled_path_overhead_under_bound():
     disabled_s = _best_of(lambda: simulate(config, repository=repository))
     enabled_s = _best_of(lambda: simulate(enabled, repository=repository))
     guard_s = _guard_cost_seconds()
+    exemplar_s = _exemplar_cost_seconds()
 
     per_request = disabled_s / n_requests
     disabled_overhead = GUARDS_PER_REQUEST * guard_s / per_request
     enabled_overhead = enabled_s / disabled_s - 1
+    # One exemplar stamp per request (the landlord_request_seconds
+    # observe site) as a fraction of the uninstrumented request budget.
+    exemplar_overhead = exemplar_s / per_request
 
     payload = {
         "scale": "tiny",
@@ -113,6 +142,8 @@ def test_disabled_path_overhead_under_bound():
         "guards_per_request": GUARDS_PER_REQUEST,
         "disabled_overhead_ratio": round(disabled_overhead, 6),
         "bound": OVERHEAD_BOUND,
+        "exemplar_ns": round(exemplar_s * 1e9, 2),
+        "exemplar_overhead_ratio": round(exemplar_overhead, 6),
     }
     (REPO_ROOT / "BENCH_obs.json").write_text(
         json.dumps(payload, indent=2) + "\n"
@@ -120,6 +151,9 @@ def test_disabled_path_overhead_under_bound():
 
     assert disabled_overhead < OVERHEAD_BOUND, payload
     assert enabled_overhead < ENABLED_OVERHEAD_BOUND, payload
+    # Exemplar stamping rides inside the enabled budget; it must stay a
+    # small slice of it, not a second telemetry tax.
+    assert exemplar_overhead < ENABLED_OVERHEAD_BOUND, payload
     # sanity: the instrumented run must still be the same simulation
     assert simulate(config, repository=repository).stats == simulate(
         enabled, repository=repository

@@ -80,6 +80,7 @@ def run_repetitions(
     workers: Optional[int] = None,
     pool: Optional[SimulationPool] = None,
     metrics=None,
+    telemetry: Optional[str] = None,
 ) -> List[SimulationResult]:
     """Run ``repetitions`` simulations differing only in workload seed.
 
@@ -92,12 +93,17 @@ def run_repetitions(
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) makes every
     repetition collect per-run metrics, merged into the registry in
     repetition order — deterministic families come out bit-identical
-    whatever the worker count.
+    whatever the worker count.  ``telemetry`` (a
+    :class:`~repro.obs.telemetry.TelemetryCollector` base URL) makes
+    workers additionally stream each cell's snapshot live to that
+    endpoint; it implies per-run metric collection and applies only
+    when this call builds its own pool (a caller-provided ``pool``
+    carries its own telemetry setting).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
     rep_configs = _repetition_configs(config, repetitions)
-    if metrics is not None:
+    if metrics is not None or telemetry is not None:
         rep_configs = [c.with_(collect_metrics=True) for c in rep_configs]
     rep_labels = [f"rep={rep}" for rep in range(repetitions)]
 
@@ -114,9 +120,11 @@ def run_repetitions(
         return finish(pool.run(rep_configs, labels=rep_labels,
                                progress=bridge))
     n_workers = resolve_workers(workers)
-    if n_workers > 1:
+    if n_workers > 1 or telemetry is not None:
         source = _repository_source(config, repository)
-        with SimulationPool(source, n_workers) as own_pool:
+        with SimulationPool(
+            source, n_workers, telemetry=telemetry
+        ) as own_pool:
             return finish(own_pool.run(rep_configs, labels=rep_labels,
                                        progress=bridge))
     if repository is None:
@@ -223,6 +231,7 @@ def alpha_sweep(
     workers: Optional[int] = None,
     pool: Optional[SimulationPool] = None,
     metrics=None,
+    telemetry: Optional[str] = None,
 ) -> SweepResult:
     """Sweep α over a grid, ``repetitions`` runs per point, median per metric.
 
@@ -236,6 +245,10 @@ def alpha_sweep(
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) makes every cell
     collect per-run metrics, merged into the registry in cell order —
     deterministic families are bit-identical for any worker count.
+    ``telemetry`` (a :class:`~repro.obs.telemetry.TelemetryCollector`
+    base URL) makes workers stream each cell's snapshot live to that
+    endpoint as it completes; it implies per-run metric collection and
+    applies only when this call builds its own pool.
     """
     grid = np.asarray(alphas if alphas is not None else default_alphas(), dtype=float)
     if grid.size == 0:
@@ -245,7 +258,7 @@ def alpha_sweep(
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
     rep_configs = _repetition_configs(base_config, repetitions)
-    if metrics is not None:
+    if metrics is not None or telemetry is not None:
         rep_configs = [c.with_(collect_metrics=True) for c in rep_configs]
     cell_configs = [
         rep_config.with_(alpha=float(alpha))
@@ -263,11 +276,13 @@ def alpha_sweep(
             progress(f"{cell_label} ({done}/{total})")
 
     n_workers = pool.workers if pool is not None else resolve_workers(workers)
-    if pool is not None or n_workers > 1:
+    if pool is not None or n_workers > 1 or telemetry is not None:
         own_pool = None
         if pool is None:
             source = _repository_source(base_config, repository)
-            pool = own_pool = SimulationPool(source, n_workers)
+            pool = own_pool = SimulationPool(
+                source, n_workers, telemetry=telemetry
+            )
         try:
             results = pool.run(cell_configs, labels=cell_labels,
                                progress=bridge)

@@ -119,7 +119,18 @@ def _cmd_sweep(argv: Sequence[str]) -> int:
     parser.add_argument("--engine", choices=ENGINES, default="vectorized",
                         help="cache decision engine (bit-identical results; "
                         "default: %(default)s)")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="serve live fleet telemetry on PORT while the "
+                        "sweep runs (0 = ephemeral): workers push per-cell "
+                        "registry snapshots and one /metrics scrape shows "
+                        "per-worker series plus the aggregate; the endpoint "
+                        "stays up after the sweep until SIGTERM")
+    parser.add_argument("--port-file", metavar="FILE", default=None,
+                        help="with --serve, write the bound port to FILE "
+                        "once listening (lets scripts use --serve 0)")
     args = parser.parse_args(argv)
+    if args.port_file and args.serve is None:
+        parser.error("--port-file requires --serve")
     scale = get_scale(args.scale)
     if args.alpha is None:
         alphas = scale.alphas()
@@ -141,34 +152,94 @@ def _cmd_sweep(argv: Sequence[str]) -> int:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
-    sweep = alpha_sweep(
-        base_config(scale, seed=args.seed, engine=args.engine),
-        alphas=alphas,
-        repetitions=repetitions,
-        label="sweep",
-        workers=workers,
-        metrics=registry,
-    )
-    print(f"alpha sweep: {alphas.size} points x {repetitions} repetitions "
-          f"({scale.name} scale, {workers} workers)")
-    print(sweep_table(
-        sweep,
-        ["cache_efficiency", "container_efficiency", "write_amplification",
-         "merges"],
-    ))
-    if args.json:
-        import json as _json
+    total_cells = int(alphas.size) * repetitions
+    progress_state = {"done": 0, "total": total_cells, "last": ""}
 
-        with open(args.json, "w", encoding="utf-8") as fh:
-            _json.dump(sweep.to_jsonable(), fh, indent=2)
-            fh.write("\n")
-        print(f"\nresults saved to {args.json}")
-    if registry is not None:
-        from repro.obs import save_registry
+    def sweep_progress(message: str) -> None:
+        progress_state["done"] += 1
+        progress_state["last"] = message
 
-        save_registry(registry, args.metrics_out)
-        print(f"metrics saved to {args.metrics_out}")
+    collector = None
+    if args.serve is not None:
+        from repro.obs import TelemetryAggregator, TelemetryCollector
+
+        collector = TelemetryCollector(
+            TelemetryAggregator(expected_cells=total_cells),
+            port=args.serve,
+            status_extra=lambda: {"sweep": dict(progress_state)},
+        )
+    try:
+        if collector is not None:
+            port = collector.start()
+            if args.port_file:
+                _write_port_file(args.port_file, port)
+            print(f"telemetry on http://127.0.0.1:{port} "
+                  "(/metrics /statusz; workers POST /telemetry)")
+        sweep = alpha_sweep(
+            base_config(scale, seed=args.seed, engine=args.engine),
+            alphas=alphas,
+            repetitions=repetitions,
+            label="sweep",
+            workers=workers,
+            metrics=registry,
+            telemetry=collector.url if collector is not None else None,
+            progress=sweep_progress if collector is not None else None,
+        )
+        if collector is not None:
+            collector.aggregator.mark_complete()
+        print(f"alpha sweep: {alphas.size} points x {repetitions} "
+              f"repetitions ({scale.name} scale, {workers} workers)")
+        print(sweep_table(
+            sweep,
+            ["cache_efficiency", "container_efficiency",
+             "write_amplification", "merges"],
+        ))
+        if args.json:
+            import json as _json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(sweep.to_jsonable(), fh, indent=2)
+                fh.write("\n")
+            print(f"\nresults saved to {args.json}")
+        if registry is not None:
+            from repro.obs import save_registry
+
+            save_registry(registry, args.metrics_out)
+            print(f"metrics saved to {args.metrics_out}")
+        if collector is not None:
+            _wait_for_shutdown_signal(
+                f"sweep done; telemetry still on "
+                f"http://127.0.0.1:{collector.port} (SIGTERM to stop)"
+            )
+    finally:
+        if collector is not None:
+            collector.stop()
+            if args.port_file:
+                _remove_port_file(args.port_file)
     return 0
+
+
+def _wait_for_shutdown_signal(banner: str) -> None:
+    """Print ``banner`` and block until SIGTERM/SIGINT (handlers restored).
+
+    The tail of ``sweep --serve``: results are already printed, but the
+    telemetry endpoint keeps answering scrapes until the caller says
+    stop — mirroring ``submit --serve``'s signal discipline.
+    """
+    import signal
+    import threading
+
+    stop = threading.Event()
+    print(banner)
+    previous = {
+        sig: signal.signal(sig, lambda *_: stop.set())
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        stop.wait()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
 
 
 def _cmd_bench(argv: Sequence[str]) -> int:
@@ -1089,11 +1160,12 @@ def _cmd_metrics(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-landlord metrics",
         description="Render a saved metrics registry (the JSON file a "
-        "--metrics-out flag wrote) as a summary table, Prometheus text "
-        "exposition format, or canonical JSON.",
+        "--metrics-out flag wrote) as a summary table, Prometheus or "
+        "OpenMetrics text exposition format, or canonical JSON.",
     )
     parser.add_argument("file", help="metrics registry JSON file")
-    parser.add_argument("--format", choices=["table", "prom", "json"],
+    parser.add_argument("--format",
+                        choices=["table", "prom", "openmetrics", "json"],
                         default="table")
     args = parser.parse_args(argv)
     try:
@@ -1103,6 +1175,9 @@ def _cmd_metrics(argv: Sequence[str]) -> int:
         return 2
     if args.format == "prom":
         print(registry.to_prometheus(), end="")
+        return 0
+    if args.format == "openmetrics":
+        print(registry.to_openmetrics(), end="")
         return 0
     if args.format == "json":
         import json as _json

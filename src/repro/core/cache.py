@@ -265,7 +265,10 @@ class _CacheInstruments:
 
     Metric names follow the schema in DESIGN.md: ``landlord_*`` for the
     cache, with wall-clock histograms suffixed ``_seconds`` (excluded
-    from deterministic snapshots).
+    from deterministic snapshots).  Each ``landlord_request_seconds``
+    observation carries an exemplar with the request index, so an
+    OpenMetrics scrape links a slow bucket straight to
+    ``repro-landlord explain <index>`` (the DecisionTracer narrative).
     """
 
     __slots__ = (
@@ -1133,7 +1136,10 @@ class LandlordCache:
             if ins is not None:
                 ins.req_hit.inc()
                 ins.requested_bytes.inc(requested)
-                request_timer.observe(perf_counter() - t_request)
+                request_timer.observe(
+                    perf_counter() - t_request,
+                    (("request", str(request_index)),),
+                )
             if slo is not None:
                 slo.on_request(
                     "hit", requested, 0, hit.size, 0,
@@ -1210,7 +1216,10 @@ class LandlordCache:
                     ins.requested_bytes.inc(requested)
                     ins.merge_distance.observe(distance)
                     self._update_gauges()
-                    request_timer.observe(perf_counter() - t_request)
+                    request_timer.observe(
+                        perf_counter() - t_request,
+                        (("request", str(request_index)),),
+                    )
                 if slo is not None:
                     written = (
                         decision.image.size
@@ -1263,7 +1272,10 @@ class LandlordCache:
             ins.requested_bytes.inc(requested)
             ins.bytes_written.inc(requested)
             self._update_gauges()
-            request_timer.observe(perf_counter() - t_request)
+            request_timer.observe(
+                perf_counter() - t_request,
+                (("request", str(request_index)),),
+            )
         if slo is not None:
             slo.on_request(
                 "insert", requested, requested, image.size,

@@ -29,8 +29,12 @@ Modules:
   ``/metrics``, ``/healthz``, ``/statusz``, and ``/traces/<n>``.
 - :mod:`repro.obs.dashboard` — the ``repro-landlord top`` renderer
   (attach to a live server or replay an event stream).
-- :mod:`repro.obs.promcheck` — the strict Prometheus text-format
-  validator shared by tests and the CI scrape smoke step.
+- :mod:`repro.obs.promcheck` — the strict Prometheus / OpenMetrics
+  text-format validators shared by tests and the CI scrape smoke steps.
+- :mod:`repro.obs.telemetry` — the cluster-wide telemetry plane:
+  workers push registry snapshots to a parent collector over loopback
+  HTTP; one scrape serves per-worker labelled series plus a
+  deterministic aggregate.
 
 Import discipline (cycle avoidance): modules here import at most
 ``repro.core.events`` and ``repro.util`` at module scope, so
@@ -55,6 +59,8 @@ from .metrics import (
     MetricsRegistry,
     DEFAULT_TIME_BUCKETS,
     DISTANCE_BUCKETS,
+    OPENMETRICS_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
     load_registry,
     save_registry,
 )
@@ -66,8 +72,14 @@ from .stream import (
     stats_from_events,
     write_event_stream,
 )
-from .promcheck import validate_prometheus_text
+from .promcheck import validate_openmetrics_text, validate_prometheus_text
 from .server import ObsServer, build_status
+from .telemetry import (
+    TelemetryAggregator,
+    TelemetryCollector,
+    TelemetryPusher,
+    label_snapshot,
+)
 from .slo import DEFAULT_WINDOW, SLO_SERIES, RollingWindow, SloTracker
 from .timing import SpanClock
 from .trace import (
@@ -114,6 +126,13 @@ __all__ = [
     "render_frame",
     "ObsServer",
     "build_status",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROMETHEUS_CONTENT_TYPE",
+    "TelemetryAggregator",
+    "TelemetryCollector",
+    "TelemetryPusher",
+    "label_snapshot",
+    "validate_openmetrics_text",
     "validate_prometheus_text",
     "DEFAULT_WINDOW",
     "SLO_SERIES",

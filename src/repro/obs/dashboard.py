@@ -51,6 +51,13 @@ def _seconds(value: Optional[float]) -> str:
     return f"{value:.3f}s"
 
 
+def _count(value) -> str:
+    """Integral counter values render without a trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
 def _bar(fraction: Optional[float], width: int = 24) -> str:
     if fraction is None or (
         isinstance(fraction, float) and math.isnan(fraction)
@@ -73,7 +80,9 @@ def render_frame(
     values over past frames; when at least two points exist they are
     charted as a sparkline band under the status rows.  Unknown values
     (absent keys, ``None``) render as ``-`` so a frame never fails on a
-    sparse status.
+    sparse status.  A ``telemetry`` block (present when a fleet run is
+    pushing worker snapshots — see :mod:`repro.obs.telemetry`) adds one
+    row per reporting worker with its request mix and push progress.
     """
     lifetime = status.get("lifetime", {})
     window = status.get("window", {})
@@ -137,6 +146,35 @@ def render_frame(
             }.get(state, "ok")
             parts.append(f"[{tag}] {alert['name']}")
         lines.append("alerts       " + ("   ".join(parts) or "(none)"))
+
+    telemetry = status.get("telemetry") or {}
+    workers = telemetry.get("workers") or {}
+    if workers:
+        cells = telemetry.get("cells") or {}
+        head = f"workers      {len(workers)} reporting"
+        expected = cells.get("expected")
+        if expected:
+            head += (
+                f"   cells {cells.get('folded', 0)}/{expected} folded"
+            )
+        if telemetry.get("complete"):
+            head += "   [complete]"
+        lines.append(head)
+        for worker in sorted(workers):
+            entry = workers[worker]
+            row = f"  {worker:<12.12s}"
+            for short, label in (
+                ("requests", "req"), ("hits", "hit"),
+                ("merges", "mrg"), ("inserts", "ins"),
+                ("evictions", "evt"),
+            ):
+                value = entry.get(short)
+                if value is not None:
+                    row += f" {label} {_count(value)}"
+            row += f"   pushes {entry.get('pushes', 0)}"
+            if entry.get("final"):
+                row += "   done"
+            lines.append(row)
 
     if history:
         charted = [

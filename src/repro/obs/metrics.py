@@ -43,6 +43,9 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
     "DISTANCE_BUCKETS",
+    "EXEMPLAR_MAX_RUNES",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROMETHEUS_CONTENT_TYPE",
     "load_registry",
     "save_registry",
 ]
@@ -63,6 +66,32 @@ DISTANCE_BUCKETS: Tuple[float, ...] = tuple(
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Exposition content types for the two text formats we can emit.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+# OpenMetrics caps an exemplar's label set (all names + values) at 128
+# runes; oversize exemplars are dropped at render time, never emitted.
+EXEMPLAR_MAX_RUNES = 128
+
+
+def _render_exemplar(exemplars, bucket_index: int) -> str:
+    """The `` # {labels} value`` suffix for one bucket, or ``""``."""
+    if exemplars is None:
+        return ""
+    cell = exemplars[bucket_index]
+    if cell is None:
+        return ""
+    labels, value = cell
+    if sum(len(str(k)) + len(str(v)) for k, v in labels) > EXEMPLAR_MAX_RUNES:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in labels
+    )
+    return f" # {{{body}}} {_format_value(value)}"
 
 
 def _check_name(name: str) -> str:
@@ -130,18 +159,31 @@ class _BoundGauge:
 
 
 class _BoundHistogram:
-    """One labelled series of a :class:`Histogram` (bucket counts)."""
+    """One labelled series of a :class:`Histogram` (bucket counts).
 
-    __slots__ = ("uppers", "counts", "sum", "count")
+    Each bucket can additionally hold one *exemplar* — a tiny label set
+    (e.g. ``(("request", "1423"),)``) plus the observed value — the
+    OpenMetrics mechanism that lets a latency bucket link back to the
+    concrete request that landed in it.  Storage is lazy: a series that
+    never sees an exemplar pays one ``None`` attribute.
+    """
+
+    __slots__ = ("uppers", "counts", "sum", "count", "exemplars")
 
     def __init__(self, uppers: Tuple[float, ...]) -> None:
         self.uppers = uppers
         self.counts = [0] * (len(uppers) + 1)  # final slot is +Inf
         self.sum: float = 0.0
         self.count: int = 0
+        self.exemplars: Optional[List[Optional[tuple]]] = None
 
-    def observe(self, value: float) -> None:
-        """Record one observation into its bucket."""
+    def observe(self, value: float, exemplar: Optional[tuple] = None) -> None:
+        """Record one observation into its bucket.
+
+        ``exemplar`` is a tuple of ``(label, value)`` string pairs; the
+        newest exemplar per bucket wins (matching the "most recent
+        sample" recommendation of the OpenMetrics spec).
+        """
         lo, hi = 0, len(self.uppers)
         while lo < hi:
             mid = (lo + hi) // 2
@@ -152,6 +194,10 @@ class _BoundHistogram:
         self.counts[lo] += 1
         self.sum += value
         self.count += 1
+        if exemplar is not None:
+            if self.exemplars is None:
+                self.exemplars = [None] * len(self.counts)
+            self.exemplars[lo] = (exemplar, value)
 
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile (0–1) from the bucket counts.
@@ -295,9 +341,95 @@ class Histogram(_Family):
         """Resolve (creating if needed) the child for one label set."""
         return self._child_for(self._key(labels))
 
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[tuple] = None,
+        **labels: str,
+    ) -> None:
         """Record one observation into one labelled series."""
-        self.labels(**labels).observe(value)
+        self.labels(**labels).observe(value, exemplar)
+
+
+def _openmetrics_names(family: _Family) -> Tuple[str, str]:
+    """``(display, sample)`` names for one family in OpenMetrics mode.
+
+    Counters drop their ``_total`` suffix in ``# TYPE``/``# HELP`` lines
+    while samples keep (or gain) it; other kinds are unchanged.
+    """
+    display = family.name
+    sample_name = family.name
+    if family.kind == "counter":
+        if display.endswith("_total"):
+            display = display[: -len("_total")]
+        else:
+            sample_name = f"{display}_total"
+    return display, sample_name
+
+
+def family_header_lines(family: _Family, openmetrics: bool) -> List[str]:
+    """The ``# HELP`` / ``# TYPE`` block for one family."""
+    display = _openmetrics_names(family)[0] if openmetrics else family.name
+    return [
+        f"# HELP {display} {family.help}",
+        f"# TYPE {display} {family.kind}",
+    ]
+
+
+def render_family_lines(
+    family: _Family,
+    openmetrics: bool,
+    extra_labels: Tuple[Tuple[str, str], ...] = (),
+) -> List[str]:
+    """Sample lines (no header) for one family's series.
+
+    ``extra_labels`` are prepended to every series — the fleet renderer
+    in :mod:`repro.obs.telemetry` uses this to interleave per-worker
+    series (``worker="pid-1234"``) under the aggregated family's single
+    ``# TYPE`` block, which both exposition formats require.  Exemplars
+    are emitted only in OpenMetrics mode (classic Prometheus text has no
+    syntax for them).
+    """
+    display, sample_name = (
+        _openmetrics_names(family) if openmetrics
+        else (family.name, family.name)
+    )
+    prefix = [
+        f'{label}="{_escape_label_value(str(value))}"'
+        for label, value in extra_labels
+    ]
+    lines: List[str] = []
+    for key, child in family.series():
+        labelled = prefix + [
+            f'{label}="{_escape_label_value(value)}"'
+            for label, value in zip(family.labelnames, key)
+        ]
+        base = ",".join(labelled)
+        if isinstance(family, Histogram):
+            cumulative = 0
+            for i, (upper, count) in enumerate(
+                zip(list(family.buckets) + [float("inf")], child.counts)
+            ):
+                cumulative += count
+                le = "+Inf" if math.isinf(upper) else _format_value(upper)
+                sep = "," if base else ""
+                line = (
+                    f'{display}_bucket{{{base}{sep}le="{le}"}} {cumulative}'
+                )
+                if openmetrics:
+                    line += _render_exemplar(child.exemplars, i)
+                lines.append(line)
+            suffix = f"{{{base}}}" if base else ""
+            lines.append(
+                f"{display}_sum{suffix} {_format_value(child.sum)}"
+            )
+            lines.append(f"{display}_count{suffix} {child.count}")
+        else:
+            suffix = f"{{{base}}}" if base else ""
+            lines.append(
+                f"{sample_name}{suffix} {_format_value(child.value)}"
+            )
+    return lines
 
 
 class MetricsRegistry:
@@ -333,15 +465,25 @@ class MetricsRegistry:
         if existing is None:
             self._families[family.name] = family
             return family
-        if type(existing) is not type(family) or (
-            existing.labelnames != family.labelnames
-        ) or (
+        if type(existing) is not type(family):
+            raise ValueError(
+                f"metric {family.name!r} already registered as "
+                f"{existing.kind}, cannot re-register as {family.kind}"
+            )
+        if existing.labelnames != family.labelnames:
+            raise ValueError(
+                f"metric {family.name!r} already registered with labels "
+                f"{existing.labelnames}, cannot re-register with "
+                f"{family.labelnames}"
+            )
+        if (
             isinstance(existing, Histogram)
             and existing.buckets != family.buckets  # type: ignore[attr-defined]
         ):
             raise ValueError(
-                f"metric {family.name!r} already registered with a "
-                "different type, labels, or buckets"
+                f"histogram {family.name!r} already registered with "
+                f"bucket bounds {existing.buckets}, cannot re-register "
+                f"with {family.buckets}"  # type: ignore[attr-defined]
             )
         return existing
 
@@ -385,15 +527,23 @@ class MetricsRegistry:
             }
             if isinstance(family, Histogram):
                 entry["buckets"] = list(family.buckets)
-                entry["series"] = [
-                    {
+                series_out = []
+                for key, child in family.series():
+                    item = {
                         "labels": list(key),
                         "counts": list(child.counts),
                         "sum": child.sum,
                         "count": child.count,
                     }
-                    for key, child in family.series()
-                ]
+                    if child.exemplars is not None:
+                        item["exemplars"] = [
+                            None
+                            if cell is None
+                            else [[list(pair) for pair in cell[0]], cell[1]]
+                            for cell in child.exemplars
+                        ]
+                    series_out.append(item)
+                entry["series"] = series_out
             else:
                 entry["series"] = [
                     {"labels": list(key), "value": child.value}
@@ -422,40 +572,27 @@ class MetricsRegistry:
         """Render every family in the Prometheus text exposition format."""
         lines: List[str] = []
         for family in self._families.values():
-            lines.append(f"# HELP {family.name} {family.help}")
-            lines.append(f"# TYPE {family.name} {family.kind}")
-            for key, child in family.series():
-                labelled = [
-                    f'{label}="{_escape_label_value(value)}"'
-                    for label, value in zip(family.labelnames, key)
-                ]
-                base = ",".join(labelled)
-                if isinstance(family, Histogram):
-                    cumulative = 0
-                    for upper, count in zip(
-                        list(family.buckets) + [float("inf")], child.counts
-                    ):
-                        cumulative += count
-                        le = "+Inf" if math.isinf(upper) else _format_value(upper)
-                        sep = "," if base else ""
-                        lines.append(
-                            f'{family.name}_bucket{{{base}{sep}le="{le}"}} '
-                            f"{cumulative}"
-                        )
-                    suffix = f"{{{base}}}" if base else ""
-                    lines.append(
-                        f"{family.name}_sum{suffix} "
-                        f"{_format_value(child.sum)}"
-                    )
-                    lines.append(
-                        f"{family.name}_count{suffix} {child.count}"
-                    )
-                else:
-                    suffix = f"{{{base}}}" if base else ""
-                    lines.append(
-                        f"{family.name}{suffix} {_format_value(child.value)}"
-                    )
+            lines.extend(family_header_lines(family, openmetrics=False))
+            lines.extend(render_family_lines(family, openmetrics=False))
         return "\n".join(lines) + "\n" if lines else ""
+
+    def to_openmetrics(self) -> str:
+        """Render every family in the OpenMetrics text exposition format.
+
+        Differences from :meth:`to_prometheus`: the ``# TYPE`` line of a
+        counter names the family *without* its ``_total`` suffix while
+        samples keep it; histogram bucket samples carry exemplars when
+        one was captured (``# {request="42"} 0.0031``); and the body
+        terminates with the mandatory ``# EOF`` marker.  Scrape it with
+        ``Accept: application/openmetrics-text`` semantics — the content
+        type is :data:`OPENMETRICS_CONTENT_TYPE`.
+        """
+        lines: List[str] = []
+        for family in self._families.values():
+            lines.extend(family_header_lines(family, openmetrics=True))
+            lines.extend(render_family_lines(family, openmetrics=True))
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
     # -- merge -------------------------------------------------------------
 
@@ -464,40 +601,79 @@ class MetricsRegistry:
 
         Counters and histograms add; gauges take the incoming value
         (the merged snapshot is the newer observation).  Families absent
-        here are created with the snapshot's declaration; a family that
-        exists with a different shape raises :class:`ValueError`.
+        here are created with the snapshot's declaration.  Shape drift
+        never mis-sums silently: a family that exists with a different
+        type, label set, or histogram bucket bounds raises
+        :class:`ValueError` naming the metric and both shapes, and a
+        histogram series whose count vector does not match the declared
+        buckets is rejected the same way.  Bucket exemplars, when
+        present, take the incoming value per bucket (newest wins, so
+        index-ordered folding keeps the result deterministic).
         """
         for name, entry in snap.get("families", {}).items():
             kind = entry["type"]
             labelnames = tuple(entry.get("labelnames", ()))
+            try:
+                if kind == "counter":
+                    family = self.counter(
+                        name, entry.get("help", ""), labelnames
+                    )
+                elif kind == "gauge":
+                    family = self.gauge(
+                        name, entry.get("help", ""), labelnames
+                    )
+                elif kind == "histogram":
+                    buckets = entry.get("buckets")
+                    if not buckets:
+                        raise ValueError(
+                            "snapshot histogram entry declares no buckets"
+                        )
+                    family = self.histogram(
+                        name, entry.get("help", ""), labelnames,
+                        buckets=buckets,
+                    )
+                else:
+                    raise ValueError(f"unknown metric type {kind!r}")
+            except ValueError as exc:
+                raise ValueError(
+                    f"cannot merge snapshot family {name!r}: {exc}"
+                ) from None
             if kind == "counter":
-                family = self.counter(name, entry.get("help", ""), labelnames)
                 for series in entry["series"]:
                     child = family._child_for(tuple(series["labels"]))
                     child.inc(series["value"])
             elif kind == "gauge":
-                family = self.gauge(name, entry.get("help", ""), labelnames)
                 for series in entry["series"]:
                     child = family._child_for(tuple(series["labels"]))
                     child.set(series["value"])
-            elif kind == "histogram":
-                family = self.histogram(
-                    name, entry.get("help", ""), labelnames,
-                    buckets=entry["buckets"],
-                )
+            else:
                 for series in entry["series"]:
                     child = family._child_for(tuple(series["labels"]))
                     counts = series["counts"]
                     if len(counts) != len(child.counts):
                         raise ValueError(
-                            f"metric {name!r}: bucket count mismatch"
+                            f"cannot merge snapshot family {name!r}: "
+                            f"series {series['labels']} has "
+                            f"{len(counts)} bucket counts, registered "
+                            f"bounds need {len(child.counts)}"
                         )
                     for i, count in enumerate(counts):
                         child.counts[i] += count
                     child.sum += series["sum"]
                     child.count += series["count"]
-            else:
-                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+                    incoming = series.get("exemplars")
+                    if incoming:
+                        if child.exemplars is None:
+                            child.exemplars = [None] * len(child.counts)
+                        for i, cell in enumerate(incoming):
+                            if cell is not None:
+                                labels_part, value = cell
+                                child.exemplars[i] = (
+                                    tuple(
+                                        tuple(pair) for pair in labels_part
+                                    ),
+                                    value,
+                                )
 
     @classmethod
     def from_snapshot(cls, snap: dict) -> "MetricsRegistry":

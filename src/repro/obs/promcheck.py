@@ -1,13 +1,21 @@
-"""Strict validator for the Prometheus text exposition subset we emit.
+"""Strict validators for the exposition formats we emit.
 
-Lives in the package (not the test tree) so the same checker guards
-three surfaces: the unit tests over ``MetricsRegistry.to_prometheus``,
-the CI serve-and-scrape smoke step (``python -m repro.obs.promcheck``
-over a curl'ed ``/metrics`` body), and ad-hoc operator debugging.
+Lives in the package (not the test tree) so the same checkers guard
+three surfaces: the unit tests over ``MetricsRegistry.to_prometheus`` /
+``to_openmetrics``, the CI serve-and-scrape smoke steps
+(``python -m repro.obs.promcheck`` over a curl'ed ``/metrics`` body),
+and ad-hoc operator debugging.
 
-Checked properties: every sample line parses; every sample is preceded
-by a ``# TYPE`` declaration of a known kind; histogram bucket counts
-are cumulative, end at ``le="+Inf"``, and equal ``_count``.
+Checked properties, classic Prometheus text: every sample line parses;
+every sample is preceded by a ``# TYPE`` declaration of a known kind;
+histogram bucket counts are cumulative *per label child*, end at
+``le="+Inf"``, and equal ``_count``.
+
+OpenMetrics adds: the body terminates with ``# EOF`` (and nothing
+follows it); counter samples use the ``_total`` / ``_created`` suffixes
+while the ``# TYPE`` name does not; exemplars (`` # {labels} value``)
+appear only on histogram ``_bucket`` or counter ``_total`` samples,
+parse, and keep their label set within the 128-rune spec limit.
 """
 
 from __future__ import annotations
@@ -15,30 +23,33 @@ from __future__ import annotations
 import re
 import sys
 
-__all__ = ["validate_prometheus_text", "main"]
+__all__ = [
+    "validate_openmetrics_text",
+    "validate_prometheus_text",
+    "main",
+]
 
 _SAMPLE_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$")
 
+# An OpenMetrics sample with an optional exemplar:
+#   name{labels} value [# {exemplar-labels} exemplar-value [timestamp]]
+_OM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?P<exemplar> # \{(?P<exlabels>[^}]*)\} [^ ]+( [0-9.]+)?)?$"
+)
 
-def validate_prometheus_text(text: str) -> None:
-    """Assert ``text`` is well-formed exposition output; raise on drift.
+_EXEMPLAR_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
 
-    Raises :class:`AssertionError` naming the offending line or
-    histogram; returns ``None`` on success.
-    """
-    typed = {}
-    for line in text.strip().split("\n"):
-        if line.startswith("# HELP "):
-            continue
-        if line.startswith("# TYPE "):
-            _, _, name, kind = line.split(" ")
-            assert kind in {"counter", "gauge", "histogram"}
-            typed[name] = kind
-            continue
-        assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
-        name = re.split(r"[{ ]", line, 1)[0]
-        base = re.sub(r"_(bucket|sum|count)$", "", name)
-        assert name in typed or base in typed, f"sample before TYPE: {line!r}"
+# OpenMetrics caps an exemplar's combined label names + values length.
+EXEMPLAR_MAX_RUNES = 128
+
+
+def _check_histograms(text: str, typed: dict) -> None:
+    """Shared histogram checks: cumulative buckets per label child,
+    terminal ``+Inf``, ``_count`` agreement (both formats)."""
     for name, kind in typed.items():
         if kind != "histogram":
             continue
@@ -48,7 +59,7 @@ def validate_prometheus_text(text: str) -> None:
         # the label set minus the ``le`` bound (rendered last).
         children = {}
         for labels, le, count in re.findall(
-            rf'^{name}_bucket{{(?:(.*),)?le="([^"]+)"}} (\d+)$', text, re.M
+            rf'^{name}_bucket{{(?:(.*),)?le="([^"]+)"}} (\d+)', text, re.M
         ):
             children.setdefault(labels or "", []).append((le, int(count)))
         assert children, f"histogram {name} has no buckets"
@@ -66,19 +77,111 @@ def validate_prometheus_text(text: str) -> None:
             assert int(total) == counts[-1], f"{label} count != +Inf bucket"
 
 
+def validate_prometheus_text(text: str) -> None:
+    """Assert ``text`` is well-formed classic exposition; raise on drift.
+
+    Raises :class:`AssertionError` naming the offending line or
+    histogram; returns ``None`` on success.  An empty body is legal
+    (a registry with no families scrapes as zero bytes).
+    """
+    if not text.strip():
+        return
+    typed = {}
+    for line in text.strip().split("\n"):
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in {"counter", "gauge", "histogram"}
+            typed[name] = kind
+            continue
+        assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
+        name = re.split(r"[{ ]", line, 1)[0]
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in typed or base in typed, f"sample before TYPE: {line!r}"
+    _check_histograms(text, typed)
+
+
+def validate_openmetrics_text(text: str) -> None:
+    """Assert ``text`` is well-formed OpenMetrics exposition.
+
+    Raises :class:`AssertionError` naming the offending line; returns
+    ``None`` on success.
+    """
+    lines = text.strip().split("\n")
+    assert lines and lines[-1] == "# EOF", "missing terminal # EOF marker"
+    typed = {}
+    for line in lines[:-1]:
+        assert line != "# EOF", "# EOF before the end of the body"
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in {"counter", "gauge", "histogram"}
+            assert not (
+                kind == "counter" and name.endswith("_total")
+            ), f"counter TYPE keeps _total suffix: {line!r}"
+            typed[name] = kind
+            continue
+        match = _OM_SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count|total|created)$", "", name)
+        kind = typed.get(name) or typed.get(base)
+        assert kind is not None, f"sample before TYPE: {line!r}"
+        if kind == "counter":
+            assert re.search(r"_(total|created)$", name), (
+                f"counter sample without _total/_created suffix: {line!r}"
+            )
+        if match.group("exemplar"):
+            assert (
+                name.endswith("_bucket") and kind == "histogram"
+            ) or (
+                name.endswith("_total") and kind == "counter"
+            ), f"exemplar on a non-bucket/total sample: {line!r}"
+            exlabels = match.group("exlabels")
+            pairs = _EXEMPLAR_LABEL_RE.findall(exlabels)
+            reconstructed = ",".join(f'{k}="{v}"' for k, v in pairs)
+            assert reconstructed == exlabels, (
+                f"malformed exemplar label set: {line!r}"
+            )
+            runes = sum(len(k) + len(v) for k, v in pairs)
+            assert runes <= EXEMPLAR_MAX_RUNES, (
+                f"exemplar label set exceeds {EXEMPLAR_MAX_RUNES} runes "
+                f"({runes}): {line!r}"
+            )
+    _check_histograms("\n".join(lines[:-1]), typed)
+
+
 def main(argv=None) -> int:
-    """Validate a scrape body given as a file argument (or stdin)."""
+    """Validate a scrape body from a file argument (or stdin).
+
+    ``--openmetrics`` forces the OpenMetrics validator; the default
+    auto-detects on the terminal ``# EOF`` marker.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
+    force_openmetrics = False
+    if "--openmetrics" in argv:
+        force_openmetrics = True
+        argv.remove("--openmetrics")
     if argv:
         text = open(argv[0], encoding="utf-8").read()
     else:
         text = sys.stdin.read()
+    openmetrics = force_openmetrics or text.strip().endswith("# EOF")
+    checker = (
+        validate_openmetrics_text if openmetrics else validate_prometheus_text
+    )
     try:
-        validate_prometheus_text(text)
+        checker(text)
     except AssertionError as exc:
-        print(f"invalid exposition format: {exc}", file=sys.stderr)
+        kind = "openmetrics" if openmetrics else "prometheus"
+        print(f"invalid {kind} exposition format: {exc}", file=sys.stderr)
         return 1
-    print("exposition format ok")
+    print(
+        "exposition format ok "
+        f"({'openmetrics' if openmetrics else 'prometheus'})"
+    )
     return 0
 
 

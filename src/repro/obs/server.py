@@ -10,6 +10,8 @@ blocks on a scraper:
 - ``GET /metrics`` — the live registry in Prometheus text exposition
   format (refreshed through an optional ``on_scrape`` hook, which the
   CLI uses to mirror the rolling SLO window into gauges);
+  ``?format=openmetrics`` switches to the OpenMetrics exposition,
+  which carries histogram exemplars and the ``# EOF`` terminator;
 - ``GET /healthz`` — liveness JSON (``{"status": "ok", ...}``);
 - ``GET /statusz`` — one JSON cache snapshot: occupancy, the
   hit/merge/insert/evict mix, α, windowed SLO series, alert states
@@ -32,6 +34,12 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import monotonic
 from typing import Callable, Dict, Optional
+from urllib.parse import parse_qs
+
+from repro.obs.metrics import (
+    OPENMETRICS_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+)
 
 __all__ = ["ObsServer", "build_status"]
 
@@ -191,7 +199,7 @@ class ObsServer:
 
     # -- endpoint bodies ---------------------------------------------------
 
-    def render_get(self, path: str) -> "tuple[int, str, str]":
+    def render_get(self, path: str, query: str = "") -> "tuple[int, str, str]":
         """Resolve one GET path to ``(status, content_type, body)``.
 
         The complete routing behind the HTTP handler, exposed so a host
@@ -200,9 +208,10 @@ class ObsServer:
         from its own submission socket) reuses it verbatim.  Rendering
         happens under :attr:`lock` when one is attached, exactly as a
         scrape through :meth:`start`'s own socket would.  ``path`` must
-        already be query-stripped and ``/``-normalised (see the
-        handler).  An embedded, never-started server begins its uptime
-        clock at the first render.
+        already be query-stripped and ``/``-normalised, with the raw
+        query string (no ``?``) passed separately — ``/metrics``
+        honours ``format=openmetrics``.  An embedded, never-started
+        server begins its uptime clock at the first render.
         """
         if self._started_at is None:
             self._started_at = monotonic()
@@ -210,17 +219,30 @@ class ObsServer:
         if lock is not None:
             lock.acquire()
         try:
-            return self._route(path)
+            return self._route(path, query)
         finally:
             if lock is not None:
                 lock.release()
 
-    def _route(self, path: str) -> "tuple[int, str, str]":
+    def _route(self, path: str, query: str = "") -> "tuple[int, str, str]":
         if path == "/metrics":
+            params = parse_qs(query) if query else {}
+            fmt = params.get("format", ["prometheus"])[-1]
+            if fmt not in ("prometheus", "openmetrics"):
+                return (
+                    400,
+                    "text/plain",
+                    f"unknown format {fmt!r}; "
+                    "use prometheus or openmetrics\n",
+                )
+            openmetrics = fmt == "openmetrics"
             return (
                 200,
-                "text/plain; version=0.0.4; charset=utf-8",
-                self._render_metrics(),
+                (
+                    OPENMETRICS_CONTENT_TYPE if openmetrics
+                    else PROMETHEUS_CONTENT_TYPE
+                ),
+                self._render_metrics(openmetrics),
             )
         if path == "/healthz":
             return 200, "application/json", self._render_health()
@@ -247,11 +269,15 @@ class ObsServer:
     def _uptime(self) -> float:
         return monotonic() - self._started_at if self._started_at else 0.0
 
-    def _render_metrics(self) -> str:
+    def _render_metrics(self, openmetrics: bool = False) -> str:
         if self.on_scrape is not None:
             self.on_scrape()
         self.scrapes += 1
-        return self.registry.to_prometheus() if self.registry else ""
+        if self.registry is None:
+            return "# EOF\n" if openmetrics else ""
+        if openmetrics:
+            return self.registry.to_openmetrics()
+        return self.registry.to_prometheus()
 
     def _render_health(self) -> str:
         return json.dumps(
@@ -293,9 +319,10 @@ def _make_handler(server: "ObsServer"):
             self.wfile.write(data)
 
         def do_GET(self):  # noqa: N802 - stdlib casing
-            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            path, _, query = self.path.partition("?")
+            path = path.rstrip("/") or "/"
             try:
-                status, content_type, body = server.render_get(path)
+                status, content_type, body = server.render_get(path, query)
                 self._reply(status, body, content_type)
             except BrokenPipeError:  # scraper went away mid-reply
                 pass

@@ -29,12 +29,33 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-__all__ = ["ParallelExecutionError", "parallel_map", "resolve_workers"]
+__all__ = [
+    "ParallelExecutionError",
+    "parallel_map",
+    "resolve_workers",
+    "set_task_observer",
+]
 
 # At most this many chunks in flight per worker (bounds pickled backlog).
 INFLIGHT_FACTOR = 4
 # Chunks never grow beyond this many tasks (keeps progress responsive).
 MAX_CHUNK = 32
+
+
+# Worker-side task observer: called as ``observer(index, result)`` after
+# each successful task, where ``index`` is the task's global submission
+# index.  Installed per worker process by pool initializers that stream
+# per-task telemetry (see repro.parallel.simulations); ``None`` keeps
+# the hot loop untouched.  An observer that raises is disabled rather
+# than failing the task — telemetry is best-effort by contract.
+_TASK_OBSERVER: List[Optional[Callable[[int, Any], None]]] = [None]
+
+
+def set_task_observer(
+    observer: Optional[Callable[[int, Any], None]]
+) -> None:
+    """Install (or clear, with ``None``) this process's task observer."""
+    _TASK_OBSERVER[0] = observer
 
 
 class ParallelExecutionError(RuntimeError):
@@ -110,14 +131,31 @@ def _make_executor(workers, initializer, initargs):
         return None
 
 
-def _run_chunk(fn: Callable[[Any], Any], chunk: Sequence[Tuple[int, Any]]):
-    """Worker-side chunk loop: per-task success flag, result or traceback."""
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    chunk: Sequence[Tuple[int, Any]],
+    observer_offset: int = 0,
+):
+    """Worker-side chunk loop: per-task success flag, result or traceback.
+
+    ``observer_offset`` shifts the submission indices seen by the task
+    observer — a pool reused across batches keeps indices globally
+    unique by passing its dispatched-task count.
+    """
     out = []
     for index, item in chunk:
         try:
-            out.append((index, True, fn(item)))
+            result = fn(item)
         except BaseException:  # noqa: BLE001 - reported in the parent
             out.append((index, False, traceback.format_exc()))
+            continue
+        observer = _TASK_OBSERVER[0]
+        if observer is not None:
+            try:
+                observer(index + observer_offset, result)
+            except Exception:  # noqa: BLE001 - telemetry is best-effort
+                _TASK_OBSERVER[0] = None
+        out.append((index, True, result))
     return out
 
 
@@ -142,6 +180,7 @@ def _execute_bounded(
     progress: Optional[Callable[[int, int, str], None]],
     workers: int,
     chunk_size: Optional[int] = None,
+    observer_offset: int = 0,
 ) -> List[Any]:
     """Submit chunks with a bounded in-flight window; results by index."""
     chunks = _chunked(items, chunk_size or _auto_chunk(len(items), workers))
@@ -154,7 +193,11 @@ def _execute_bounded(
     def submit_one() -> None:
         nonlocal next_chunk
         if next_chunk < len(chunks):
-            pending.add(executor.submit(_run_chunk, fn, chunks[next_chunk]))
+            pending.add(
+                executor.submit(
+                    _run_chunk, fn, chunks[next_chunk], observer_offset
+                )
+            )
             next_chunk += 1
 
     for _ in range(max(1, workers * INFLIGHT_FACTOR)):

@@ -18,6 +18,7 @@ pays worker start-up and repository construction once.
 
 from __future__ import annotations
 
+import atexit
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -29,6 +30,7 @@ from repro.parallel.pool import (
     _make_executor,
     _mp_context,
     resolve_workers,
+    set_task_observer,
 )
 from repro.parallel.shm import SharedPackedMatrix
 
@@ -80,6 +82,48 @@ RepositorySource = Union[RepositorySpec, Repository]
 _WORKER_REPOSITORY: List[object] = [None, None]  # [key, repository]
 # Keeps a worker's shared-memory attachment mapped for its lifetime.
 _WORKER_SHM: List[object] = [None]
+# Per-worker-process telemetry pusher (see repro.obs.telemetry),
+# installed by the pool initializer when the pool was given an endpoint.
+_WORKER_PUSHER: List[object] = [None]
+
+
+def _push_task_metrics(index: int, result) -> None:
+    """Task observer: stream one finished cell's metrics to the parent.
+
+    The push happens synchronously inside the worker before the result
+    travels back, so by the time the pool's ``run`` returns, every
+    cell has reached the collector — an exit scrape is complete.
+    """
+    pusher = _WORKER_PUSHER[0]
+    snap = getattr(result, "metrics", None)
+    if pusher is not None and snap is not None:
+        pusher.push_cells([(index, snap)])
+
+
+def _finalize_worker_telemetry() -> None:
+    """Worker exit hook: mark this worker done at the parent (idempotent)."""
+    pusher = _WORKER_PUSHER[0]
+    if pusher is not None:
+        _WORKER_PUSHER[0] = None
+        pusher.finalize()
+
+
+def _install_worker_telemetry(endpoint: str) -> None:
+    from multiprocessing import util as _mp_util
+
+    from repro.obs.telemetry import TelemetryPusher
+
+    pusher = TelemetryPusher(endpoint)
+    _WORKER_PUSHER[0] = pusher
+    set_task_observer(_push_task_metrics)
+    # Pool workers exit through multiprocessing's _exit_function +
+    # os._exit, which skips standard atexit handlers — register with
+    # multiprocessing's own finalizer registry so the final marker is
+    # pushed from real workers, and with atexit as a fallback for the
+    # in-process case.  The hook is idempotent, so double-firing is fine.
+    _mp_util.Finalize(None, _finalize_worker_telemetry, exitpriority=10)
+    atexit.register(_finalize_worker_telemetry)
+    pusher.register()
 
 
 def _source_key(source: RepositorySource) -> object:
@@ -90,7 +134,9 @@ def _materialise(source: RepositorySource) -> Repository:
     return source.build() if isinstance(source, RepositorySpec) else source
 
 
-def _init_simulation_worker(source: RepositorySource, closure_handle=None) -> None:
+def _init_simulation_worker(
+    source: RepositorySource, closure_handle=None, telemetry=None
+) -> None:
     """Pool initializer: build/install the shared repository once.
 
     Three tiers, cheapest first: (1) the parent pre-installed the
@@ -98,7 +144,14 @@ def _init_simulation_worker(source: RepositorySource, closure_handle=None) -> No
     immediately; (2) a shared-memory closure-matrix handle is attached
     so the local rebuild skips the dependency-DAG walk (spawn
     platforms); (3) plain rebuild from the source.
+
+    ``telemetry`` (a collector base URL) additionally installs a
+    per-task metrics pusher + exit finalizer in this worker — the
+    fork-inherited-repository tier still runs this part, since pushers
+    are per *process*, not per repository.
     """
+    if telemetry is not None and _WORKER_PUSHER[0] is None:
+        _install_worker_telemetry(telemetry)
     key = _source_key(source)
     if _WORKER_REPOSITORY[0] == key and _WORKER_REPOSITORY[1] is not None:
         return  # inherited warm via fork (or reused across pools)
@@ -133,7 +186,12 @@ class SimulationPool:
     an in-process loop over a single locally built repository.
     """
 
-    def __init__(self, source: RepositorySource, workers: Optional[int] = None):
+    def __init__(
+        self,
+        source: RepositorySource,
+        workers: Optional[int] = None,
+        telemetry: Optional[str] = None,
+    ):
         if isinstance(source, RepositorySpec) and source.seed is None:
             raise ValueError(
                 "RepositorySpec with seed=None cannot be rebuilt "
@@ -141,12 +199,15 @@ class SimulationPool:
             )
         self.workers = resolve_workers(workers)
         self._source = source
+        self.telemetry = telemetry
         self._local_repo: Optional[Repository] = None
+        self._local_pusher = None
         self._executor = None
         self._shared_closures: Optional[SharedPackedMatrix] = None
+        self._tasks_dispatched = 0
         self.shared_universe = False
         if self.workers > 1:
-            initargs: tuple = (source,)
+            closure_handle = None
             if _mp_context() is not None:
                 # fork is available: build + fully warm the repository in
                 # the parent *before* the executor forks, so every worker
@@ -165,9 +226,11 @@ class SimulationPool:
                 if shared is not None:
                     self._shared_closures = shared
                     self.shared_universe = True
-                    initargs = (source, shared.handle())
+                    closure_handle = shared.handle()
             self._executor = _make_executor(
-                self.workers, _init_simulation_worker, initargs
+                self.workers,
+                _init_simulation_worker,
+                (source, closure_handle, telemetry),
             )
 
     @property
@@ -196,24 +259,52 @@ class SimulationPool:
                 raise ValueError("labels must match configs one-to-one")
         if not configs:
             return []
+        offset = self._tasks_dispatched
+        self._tasks_dispatched += len(configs)
         if self._executor is None:
             repository = self._repository()
+            pusher = self._serial_pusher()
             results = []
             for i, config in enumerate(configs):
-                results.append(simulate(config, repository=repository))
+                result = simulate(config, repository=repository)
+                if pusher is not None:
+                    snap = getattr(result, "metrics", None)
+                    if snap is not None:
+                        pusher.push_cells([(offset + i, snap)])
+                results.append(result)
                 if progress is not None:
                     progress(i + 1, len(configs), labels[i])
             return results
         return _execute_bounded(
             self._executor, _simulate_task, configs, labels, progress,
-            self.workers,
+            self.workers, observer_offset=offset,
         )
+
+    def _serial_pusher(self):
+        """The in-process pusher for the serial path (``worker="main"``)."""
+        if self.telemetry is None:
+            return None
+        if self._local_pusher is None:
+            from repro.obs.telemetry import TelemetryPusher
+
+            self._local_pusher = TelemetryPusher(
+                self.telemetry, worker="main"
+            )
+            self._local_pusher.register()
+        return self._local_pusher
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+            # With telemetry active, wait for workers to exit so their
+            # atexit finalizers push the final marker before we return.
+            self._executor.shutdown(
+                wait=self.telemetry is not None, cancel_futures=True
+            )
             self._executor = None
+        if self._local_pusher is not None:
+            self._local_pusher.finalize()
+            self._local_pusher = None
         if self._shared_closures is not None:
             # Unlink after shutdown: the segment persists until the last
             # worker's mapping closes, so in-flight readers are safe.

@@ -57,6 +57,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from repro.obs import ObsServer, build_status, write_traces
+from repro.obs.telemetry import TelemetryAggregator
 
 __all__ = ["LandlordDaemon"]
 
@@ -220,8 +221,16 @@ class LandlordDaemon:
         self._ins = (
             _ServiceInstruments(registry) if registry is not None else None
         )
+        self.registry = registry
+        # Client processes (launchers, other caches) can push their own
+        # registry snapshots to POST /telemetry; /metrics then exposes
+        # the whole fleet — this daemon's service_*/landlord_* families
+        # as the aggregate plus worker-labelled series per client.  With
+        # no pushed clients the exposition is byte-identical to the bare
+        # registry, so existing scrapers see no change.
+        self.telemetry = TelemetryAggregator(base=registry)
         self.obs = ObsServer(
-            registry,
+            self.telemetry,
             status_fn=self._status,
             tracer=tracer,
             on_scrape=self._on_scrape if registry is not None else None,
@@ -479,25 +488,29 @@ class LandlordDaemon:
         if self.slo is not None:
             self.slo.set_extra("queue_depth", float(self.queue_depth))
             self.slo.set_extra("submissions_rejected", float(self.rejected))
-            self.slo.export_to(self.obs.registry)
+            self.slo.export_to(self.registry)
 
     def _status(self) -> dict:
         """The ``/statusz`` body: cache status plus a ``service`` block."""
+        extra: dict = {
+            "service": {
+                "queue_depth": self.queue_depth,
+                "max_queue": self.max_queue,
+                "max_batch": self.max_batch,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "batches": self.batches,
+                "draining": self._draining,
+            }
+        }
+        telemetry_status = self.telemetry.status()
+        if telemetry_status["workers"]:
+            extra["telemetry"] = telemetry_status
         return build_status(
             self.cache,
             slo=self.slo,
             alerts=self.alerts,
-            extra={
-                "service": {
-                    "queue_depth": self.queue_depth,
-                    "max_queue": self.max_queue,
-                    "max_batch": self.max_batch,
-                    "accepted": self.accepted,
-                    "rejected": self.rejected,
-                    "batches": self.batches,
-                    "draining": self._draining,
-                }
-            },
+            extra=extra,
         )
 
 
@@ -522,13 +535,16 @@ def _make_handler(daemon: "LandlordDaemon"):
             self._reply(code, json.dumps(payload), "application/json")
 
         def do_GET(self):  # noqa: N802 - stdlib casing
-            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            path, _, query = self.path.partition("?")
+            path = path.rstrip("/") or "/"
             try:
-                status, content_type, body = daemon.obs.render_get(path)
+                status, content_type, body = daemon.obs.render_get(
+                    path, query
+                )
                 if status == 404 and not path.startswith("/traces"):
                     body = (
-                        "endpoints: POST /submit; GET /metrics /healthz "
-                        "/statusz /traces/<n>\n"
+                        "endpoints: POST /submit /telemetry; GET /metrics "
+                        "/healthz /statusz /traces/<n>\n"
                     )
                 self._reply(status, body, content_type)
             except BrokenPipeError:  # client went away mid-reply
@@ -537,8 +553,10 @@ def _make_handler(daemon: "LandlordDaemon"):
         def do_POST(self):  # noqa: N802 - stdlib casing
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
             try:
-                if path != "/submit":
-                    self._reply_json(404, {"error": "POST /submit only"})
+                if path not in ("/submit", "/telemetry"):
+                    self._reply_json(
+                        404, {"error": "POST /submit or /telemetry only"}
+                    )
                     return
                 try:
                     length = int(self.headers.get("Content-Length", ""))
@@ -552,6 +570,14 @@ def _make_handler(daemon: "LandlordDaemon"):
                     payload = json.loads(self.rfile.read(length))
                 except ValueError:
                     self._reply_json(400, {"error": "bad JSON body"})
+                    return
+                if path == "/telemetry":
+                    try:
+                        ack = daemon.telemetry.ingest_payload(payload)
+                    except (ValueError, KeyError, IndexError, TypeError) as exc:
+                        self._reply_json(400, {"error": str(exc)})
+                        return
+                    self._reply_json(200, ack)
                     return
                 packages = (
                     payload.get("packages")

@@ -153,6 +153,18 @@ class TestMetricsCommand:
         payload = json.loads(capsys.readouterr().out)
         assert "landlord_requests_total" in payload["families"]
 
+    def test_openmetrics_format_is_valid_exposition(self, tmp_path, capsys,
+                                                    tiny_apps):
+        from repro.obs import validate_openmetrics_text
+
+        metrics = self.make_metrics(tmp_path, tiny_apps)
+        capsys.readouterr()
+        assert main(["metrics", str(metrics),
+                     "--format", "openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+        validate_openmetrics_text(out)
+
     def test_missing_file_exits_2(self, tmp_path, capsys):
         assert main(["metrics", str(tmp_path / "absent.json")]) == 2
 

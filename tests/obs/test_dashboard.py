@@ -256,3 +256,36 @@ class TestTopCli:
         ])
         assert rc == 2
         assert "bad alert rules" in capsys.readouterr().err
+
+class TestTelemetryRows:
+    def test_fleet_block_renders_worker_rows(self):
+        frame = render_frame({
+            "telemetry": {
+                "complete": True,
+                "cells": {"folded": 4, "expected": 4},
+                "workers": {
+                    "pid-2001": {
+                        "mode": "cells", "pushes": 3, "cells": 2,
+                        "final": True, "requests": 40.0, "hits": 9,
+                        "merges": 2, "inserts": 29, "evictions": 11,
+                    },
+                    "pid-2000": {
+                        "mode": "cells", "pushes": 2, "cells": 2,
+                        "final": False, "requests": 40.0, "hits": 12,
+                    },
+                },
+            },
+        })
+        assert "workers      2 reporting   cells 4/4 folded   [complete]" in (
+            frame
+        )
+        # sorted by worker name; integral floats render without ".0"
+        rows = [l for l in frame.splitlines() if l.startswith("  pid-")]
+        assert rows[0].startswith("  pid-2000")
+        assert "req 40 hit 12" in rows[0]
+        assert rows[0].endswith("pushes 2")
+        assert "req 40 hit 9 mrg 2 ins 29 evt 11" in rows[1]
+        assert rows[1].endswith("pushes 3   done")
+
+    def test_no_telemetry_block_no_worker_rows(self):
+        assert "workers" not in render_frame({})

@@ -158,3 +158,58 @@ class TestSimulatorMetrics:
             record_timeline=False,
         )
         assert simulate(config).metrics is None
+
+class TestRequestSecondsExemplars:
+    """The OpenMetrics click-through: slow-bucket exemplars on
+    ``landlord_request_seconds`` carry the request index, which resolves
+    to a full decision narrative via ``repro-landlord explain``."""
+
+    def run_traced(self, n_requests=30):
+        from repro.obs import DecisionTracer
+
+        registry = MetricsRegistry()
+        tracer = DecisionTracer(limit=n_requests)
+        c = LandlordCache(2000, 0.6, SIZE.__getitem__, metrics=registry)
+        c.enable_tracing(tracer)
+        rng = np.random.default_rng(5)
+        pids = sorted(SIZE)
+        for _ in range(n_requests):
+            c.request(frozenset(rng.choice(pids, size=3, replace=False)))
+        return registry, tracer, n_requests
+
+    def exemplar_indices(self, registry):
+        hist = registry.get("landlord_request_seconds")
+        indices = set()
+        for _, child in hist.series():
+            for cell in child.exemplars or ():
+                if cell is not None:
+                    indices.add(int(dict(cell[0])["request"]))
+        return indices
+
+    def test_exemplars_carry_resolvable_request_indices(self):
+        registry, tracer, n = self.run_traced()
+        indices = self.exemplar_indices(registry)
+        assert indices, "no request_seconds exemplars captured"
+        for index in indices:
+            assert 0 <= index < n
+            explanation = tracer.explain(index)
+            assert f"request #{index}" in explanation
+
+    def test_exemplars_render_in_openmetrics_only(self):
+        from repro.obs.promcheck import (
+            validate_openmetrics_text,
+            validate_prometheus_text,
+        )
+
+        registry, _, _ = self.run_traced()
+        om = registry.to_openmetrics()
+        assert 'request_seconds_bucket' in om and ' # {request="' in om
+        validate_openmetrics_text(om)
+        classic = registry.to_prometheus()
+        assert " # {" not in classic
+        validate_prometheus_text(classic)
+
+    def test_no_metrics_means_no_exemplar_machinery(self):
+        c = LandlordCache(2000, 0.6, SIZE.__getitem__)
+        c.request(frozenset(["p1", "p2"]))
+        assert c.stats.requests == 1

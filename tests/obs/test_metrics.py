@@ -17,7 +17,10 @@ from repro.obs.metrics import (
 # (repro.obs.promcheck) so that the CI scrape smoke step and these unit
 # tests run the exact same checker; re-exported here because
 # tests/obs/test_cli_obs.py also imports it from this module.
-from repro.obs.promcheck import validate_prometheus_text
+from repro.obs.promcheck import (
+    validate_openmetrics_text,
+    validate_prometheus_text,
+)
 
 
 class TestCounter:
@@ -277,3 +280,120 @@ class TestSaveLoad:
         bad.write_text("{not json")
         with pytest.raises(ValueError, match="corrupt"):
             load_registry(bad)
+
+class TestOpenMetrics:
+    def build(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "Ops.", ("op",)).inc(2, op="hit")
+        reg.gauge("cached_bytes").set(100)
+        h = reg.histogram("req_seconds", buckets=(0.01, 0.1))
+        h.observe(0.004, exemplar=(("request", "7"),))
+        h.observe(0.5)
+        return reg
+
+    def test_counter_type_drops_total_samples_keep_it(self):
+        text = self.build().to_openmetrics()
+        assert "# TYPE ops counter" in text
+        assert 'ops_total{op="hit"} 2' in text
+        assert "# TYPE ops_total" not in text
+
+    def test_terminates_with_eof(self):
+        assert self.build().to_openmetrics().endswith("# EOF\n")
+        assert MetricsRegistry().to_openmetrics() == "# EOF\n"
+
+    def test_exemplar_rendered_on_its_bucket_only(self):
+        text = self.build().to_openmetrics()
+        assert (
+            'req_seconds_bucket{le="0.01"} 1 # {request="7"} 0.004' in text
+        )
+        assert 'le="+Inf"} 2 #' not in text
+
+    def test_exemplars_absent_from_classic_format(self):
+        text = self.build().to_prometheus()
+        assert "# {" not in text
+        validate_prometheus_text(text)
+
+    def test_validates_under_strict_checker(self):
+        validate_openmetrics_text(self.build().to_openmetrics())
+
+    def test_newest_exemplar_wins_per_bucket(self):
+        h = MetricsRegistry().histogram("s", buckets=(1.0,))
+        h.observe(0.5, exemplar=(("request", "1"),))
+        h.observe(0.6, exemplar=(("request", "2"),))
+        child = h.labels()
+        assert child.exemplars[0] == ((("request", "2"),), 0.6)
+
+    def test_oversize_exemplar_dropped_at_render(self):
+        reg = MetricsRegistry()
+        reg.histogram("s", buckets=(1.0,)).observe(
+            0.5, exemplar=(("request", "x" * 200),)
+        )
+        text = reg.to_openmetrics()
+        assert "# {" not in text
+        validate_openmetrics_text(text)
+
+    def test_exemplars_survive_snapshot_round_trip(self):
+        reg = self.build()
+        clone = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert clone.to_openmetrics() == reg.to_openmetrics()
+
+    def test_exemplar_merge_incoming_wins(self):
+        a = MetricsRegistry()
+        a.histogram("s", buckets=(1.0,)).observe(
+            0.5, exemplar=(("request", "old"),)
+        )
+        b = MetricsRegistry()
+        b.histogram("s", buckets=(1.0,)).observe(
+            0.4, exemplar=(("request", "new"),)
+        )
+        a.merge_snapshot(b.snapshot())
+        assert 'request="new"' in a.to_openmetrics()
+        assert 'request="old"' not in a.to_openmetrics()
+
+
+class TestMergeGuards:
+    def test_type_conflict_names_both_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc()
+        snap = {
+            "v": 1,
+            "families": {"x_total": {
+                "type": "gauge", "labelnames": [],
+                "series": [{"labels": [], "value": 1}],
+            }},
+        }
+        with pytest.raises(ValueError, match=(
+            r"cannot merge snapshot family 'x_total'.*"
+            r"registered as counter, cannot re-register as gauge"
+        )):
+            reg.merge_snapshot(snap)
+
+    def test_bucket_bounds_mismatch_names_both_bounds(self):
+        reg = MetricsRegistry()
+        reg.histogram("d", buckets=(0.5, 1.0)).observe(0.1)
+        other = MetricsRegistry()
+        other.histogram("d", buckets=(0.5, 2.0)).observe(0.1)
+        with pytest.raises(ValueError, match=(
+            r"cannot merge snapshot family 'd'.*bucket bounds"
+        )):
+            reg.merge_snapshot(other.snapshot())
+
+    def test_label_mismatch_names_both_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("a",)).inc(a="1")
+        other = MetricsRegistry()
+        other.counter("x_total", labelnames=("b",)).inc(b="1")
+        with pytest.raises(ValueError, match=(
+            r"cannot merge snapshot family 'x_total'.*labels"
+        )):
+            reg.merge_snapshot(other.snapshot())
+
+    def test_counts_length_mismatch_is_specific(self):
+        reg = MetricsRegistry()
+        reg.histogram("d", buckets=(0.5, 1.0)).observe(0.1)
+        snap = reg.snapshot()
+        snap["families"]["d"]["series"][0]["counts"] = [1, 0]
+        with pytest.raises(ValueError, match="counts"):
+            MetricsRegistry.from_snapshot(reg.snapshot()).merge_snapshot(
+                snap
+            )

@@ -1,0 +1,160 @@
+"""Tests for repro.obs.promcheck — the OpenMetrics validator surface.
+
+The classic-format checker is exercised throughout the obs test suite;
+this file pins the OpenMetrics-specific rules (EOF discipline, counter
+suffix handling, exemplar placement and the 128-rune limit) against
+hand-built bodies, accept and reject both.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.promcheck import (
+    EXEMPLAR_MAX_RUNES,
+    main,
+    validate_openmetrics_text,
+    validate_prometheus_text,
+)
+
+
+def fleet_body():
+    reg = MetricsRegistry()
+    reg.counter("requests_total", "R.", ("action",)).inc(3, action="hit")
+    reg.gauge("images").set(7)
+    hist = reg.histogram("request_seconds", buckets=(0.01, 0.1))
+    hist.observe(0.004, exemplar=(("request", "42"),))
+    hist.observe(0.5)
+    return reg.to_openmetrics()
+
+
+GOOD = """\
+# TYPE requests counter
+requests_total 5
+requests_created 1.2
+# TYPE request_seconds histogram
+request_seconds_bucket{le="0.01"} 2 # {request="42"} 0.004
+request_seconds_bucket{le="+Inf"} 3
+request_seconds_sum 0.51
+request_seconds_count 3
+# EOF
+"""
+
+
+class TestAcceptance:
+    def test_registry_output_accepted(self):
+        validate_openmetrics_text(fleet_body())
+
+    def test_hand_built_body_with_created_accepted(self):
+        validate_openmetrics_text(GOOD)
+
+    def test_counter_exemplar_accepted(self):
+        validate_openmetrics_text(
+            "# TYPE ops counter\n"
+            'ops_total 2 # {trace="abc"} 1\n'
+            "# EOF\n"
+        )
+
+
+class TestRejections:
+    def test_missing_eof(self):
+        with pytest.raises(AssertionError, match="EOF"):
+            validate_openmetrics_text("# TYPE x gauge\nx 1\n")
+
+    def test_early_eof(self):
+        with pytest.raises(AssertionError, match="before the end"):
+            validate_openmetrics_text("# EOF\n# TYPE x gauge\nx 1\n# EOF\n")
+
+    def test_counter_type_keeping_total_suffix(self):
+        with pytest.raises(AssertionError, match="_total suffix"):
+            validate_openmetrics_text(
+                "# TYPE ops_total counter\nops_total 1\n# EOF\n"
+            )
+
+    def test_counter_sample_without_total(self):
+        with pytest.raises(AssertionError, match="without _total"):
+            validate_openmetrics_text(
+                "# TYPE ops counter\nops 1\n# EOF\n"
+            )
+
+    def test_exemplar_on_gauge(self):
+        with pytest.raises(AssertionError, match="exemplar on a non"):
+            validate_openmetrics_text(
+                "# TYPE images gauge\n"
+                'images 7 # {request="1"} 2\n'
+                "# EOF\n"
+            )
+
+    def test_exemplar_on_histogram_sum(self):
+        with pytest.raises(AssertionError, match="exemplar on a non"):
+            validate_openmetrics_text(
+                "# TYPE s histogram\n"
+                's_bucket{le="+Inf"} 1\n'
+                's_sum 0.5 # {request="1"} 0.5\n'
+                "s_count 1\n"
+                "# EOF\n"
+            )
+
+    def test_exemplar_label_set_over_128_runes(self):
+        fat = "v" * (EXEMPLAR_MAX_RUNES + 1)
+        with pytest.raises(AssertionError, match="128 runes"):
+            validate_openmetrics_text(
+                "# TYPE s histogram\n"
+                f's_bucket{{le="+Inf"}} 1 # {{k="{fat}"}} 0.5\n'
+                "s_sum 0.5\n"
+                "s_count 1\n"
+                "# EOF\n"
+            )
+
+    def test_malformed_exemplar_labels(self):
+        with pytest.raises(AssertionError, match="malformed exemplar"):
+            validate_openmetrics_text(
+                "# TYPE s histogram\n"
+                's_bucket{le="+Inf"} 1 # {not labels} 0.5\n'
+                "s_sum 0.5\n"
+                "s_count 1\n"
+                "# EOF\n"
+            )
+
+    def test_sample_before_type(self):
+        with pytest.raises(AssertionError, match="sample before TYPE"):
+            validate_openmetrics_text("ops_total 1\n# EOF\n")
+
+    def test_classic_checker_still_strict(self):
+        with pytest.raises(AssertionError, match="sample before TYPE"):
+            validate_prometheus_text("loose_metric 1\n")
+
+
+class TestExemplarAwareHistogramChecks:
+    def test_noncumulative_buckets_caught_despite_exemplar(self):
+        body = (
+            "# TYPE s histogram\n"
+            's_bucket{le="0.01"} 5 # {request="1"} 0.004\n'
+            's_bucket{le="+Inf"} 3\n'
+            "s_sum 0.5\n"
+            "s_count 3\n"
+            "# EOF\n"
+        )
+        with pytest.raises(AssertionError, match="not cumulative"):
+            validate_openmetrics_text(body)
+
+
+class TestMainCli:
+    def test_auto_detects_openmetrics(self, tmp_path, capsys):
+        path = tmp_path / "scrape.txt"
+        path.write_text(fleet_body())
+        assert main([str(path)]) == 0
+        assert "openmetrics" in capsys.readouterr().out
+
+    def test_forced_openmetrics_flag(self, tmp_path, capsys):
+        path = tmp_path / "scrape.txt"
+        path.write_text("# TYPE x gauge\nx 1\n")  # no EOF marker
+        assert main(["--openmetrics", str(path)]) == 1
+        assert "invalid openmetrics" in capsys.readouterr().err
+
+    def test_classic_body_detected_and_ok(self, tmp_path, capsys):
+        reg = MetricsRegistry()
+        reg.counter("ops_total").inc(2)
+        path = tmp_path / "scrape.txt"
+        path.write_text(reg.to_prometheus())
+        assert main([str(path)]) == 0
+        assert "prometheus" in capsys.readouterr().out

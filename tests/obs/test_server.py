@@ -367,3 +367,112 @@ class TestServeHardening:
             cli._serve_until_signal(args, cache, None, None, None, None)
         assert recorded.get("lock") is not None
         assert cache.lock is recorded["lock"]
+
+class TestFormatNegotiation:
+    def test_openmetrics_query_switches_format(self, served):
+        from repro.obs import validate_openmetrics_text
+
+        _, url = served
+        status, content_type, body = get(url + "/metrics?format=openmetrics")
+        assert status == 200
+        assert content_type.startswith("application/openmetrics-text")
+        assert body.endswith("# EOF\n")
+        validate_openmetrics_text(body)
+
+    def test_prometheus_is_the_default_and_explicit(self, served):
+        _, url = served
+        _, default_ct, default_body = get(url + "/metrics")
+        assert default_ct.startswith("text/plain")
+        status, _, explicit = get(url + "/metrics?format=prometheus")
+        assert status == 200
+        assert explicit == default_body
+
+    def test_unknown_format_is_400(self, served):
+        _, url = served
+        status, _, body = get(url + "/metrics?format=yaml")
+        assert status == 400
+        assert "format" in body
+
+    def test_registryless_server_serves_bare_eof(self):
+        server = ObsServer(registry=None)
+        port = server.start()
+        try:
+            url = f"http://127.0.0.1:{port}/metrics"
+            assert get(url)[2] == ""
+            assert get(url + "?format=openmetrics")[2] == "# EOF\n"
+        finally:
+            server.stop()
+
+
+class TestSweepServeCli:
+    """`sweep --serve` end to end: a real multi-worker sweep streaming
+    cells to the in-process collector, scraped over HTTP mid-run and
+    after completion, shut down by SIGTERM with exit code 0."""
+
+    def test_fleet_scrape_until_sigterm(self, tmp_path):
+        from repro.obs import validate_openmetrics_text
+
+        port_file = tmp_path / "port.txt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep", "--scale", "tiny",
+             "--workers", "2", "--repetitions", "2",
+             "--alpha", "0.5", "0.6", "0.1",
+             "--serve", "0", "--port-file", str(port_file)],
+            cwd=str(Path(__file__).resolve().parents[2]),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if port_file.exists() and port_file.read_text().strip():
+                    break
+                assert process.poll() is None, process.communicate()[1]
+                time.sleep(0.1)
+            else:
+                pytest.fail("port file never appeared")
+            url = f"http://127.0.0.1:{int(port_file.read_text())}"
+            # mid-run (or just-after) scrapes are always well-formed
+            validate_prometheus_text(get(url + "/metrics")[2])
+            while time.monotonic() < deadline:
+                payload = json.loads(get(url + "/statusz")[2])
+                if payload["telemetry"]["complete"]:
+                    break
+                time.sleep(0.2)
+            else:
+                pytest.fail("sweep never reported complete")
+            assert payload["sweep"]["done"] == payload["sweep"]["total"]
+            cells = payload["telemetry"]["cells"]
+            assert cells["folded"] == cells["expected"] == 4
+            body = get(url + "/metrics")[2]
+            validate_prometheus_text(body)
+            om = get(url + "/metrics?format=openmetrics")[2]
+            validate_openmetrics_text(om)
+            # aggregated total == sum over the per-worker series
+            lines = body.splitlines()
+            total = next(
+                float(l.rsplit(" ", 1)[1]) for l in lines
+                if l.startswith('landlord_requests_total{action="hit"}')
+            )
+            per_worker = sum(
+                float(l.rsplit(" ", 1)[1]) for l in lines
+                if l.startswith("landlord_requests_total{worker=")
+                and 'action="hit"' in l
+            )
+            assert total == per_worker > 0
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=15)
+            assert process.returncode == 0, stderr
+            assert "telemetry on http://127.0.0.1" in stdout
+            assert "sweep done; telemetry still on" in stdout
+            assert not port_file.exists()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()

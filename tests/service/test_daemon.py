@@ -377,3 +377,91 @@ class TestLifecycle:
         with daemon:
             assert daemon.port > 0
             assert daemon.url == f"http://127.0.0.1:{daemon.port}"
+
+class TestFleetTelemetryIngest:
+    def test_client_snapshot_appears_with_worker_label(self, tmp_path):
+        from repro.obs.telemetry import TelemetryPusher
+
+        registry = MetricsRegistry()
+        daemon = make_daemon(tmp_path, registry=registry)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            for spec in client_specs(1, n=2):
+                client.submit(spec)
+            edge = MetricsRegistry()
+            edge.counter("landlord_hits_total", "Hits.").inc(9)
+            pusher = TelemetryPusher(
+                f"http://127.0.0.1:{daemon.port}", worker="edge-1"
+            )
+            assert pusher.push(edge.snapshot(), final=True)
+            body = client.metrics()
+            validate_prometheus_text(body)
+            # daemon's own families keep their unlabelled shape
+            assert (
+                'service_submissions_total{outcome="accepted"} 2' in body
+            )
+            # pushed client series carry the worker label, and land in
+            # the aggregate too
+            assert 'landlord_hits_total{worker="edge-1"} 9' in body
+            assert "\nlandlord_hits_total 9\n" in f"\n{body}"
+            status = client.status()
+            assert status["telemetry"]["workers"]["edge-1"]["final"]
+
+    def test_no_pushes_means_no_telemetry_block(self, tmp_path):
+        registry = MetricsRegistry()
+        daemon = make_daemon(tmp_path, registry=registry)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            client.submit(client_specs(1, n=1)[0])
+            assert "telemetry" not in client.status()
+            assert 'worker="' not in client.metrics()
+
+    def test_openmetrics_scrape_with_fleet(self, tmp_path):
+        import urllib.request
+
+        from repro.obs import validate_openmetrics_text
+        from repro.obs.telemetry import TelemetryPusher
+
+        registry = MetricsRegistry()
+        daemon = make_daemon(tmp_path, registry=registry)
+        with daemon:
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            client.submit(client_specs(2, n=1)[0])
+            edge = MetricsRegistry()
+            edge.counter("landlord_hits_total").inc(1)
+            TelemetryPusher(
+                f"http://127.0.0.1:{daemon.port}", worker="edge-1"
+            ).push(edge.snapshot())
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{daemon.port}/metrics"
+                "?format=openmetrics",
+                timeout=5,
+            ) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "application/openmetrics-text"
+                )
+                body = response.read().decode()
+        validate_openmetrics_text(body)
+        assert 'landlord_hits_total{worker="edge-1"} 1' in body
+
+    def test_malformed_telemetry_post_is_400(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        daemon = make_daemon(tmp_path, registry=MetricsRegistry())
+        with daemon:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{daemon.port}/telemetry",
+                data=b'{"worker": "w", "mode": "bogus"}',
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                urllib.request.urlopen(request, timeout=5)
+                pytest.fail("malformed telemetry should 400")
+            except urllib.error.HTTPError as error:
+                assert error.code == 400
+            # the daemon still accepts submissions afterwards
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            reply = client.submit(client_specs(5, n=1)[0])
+            assert reply["action"] in {"hit", "merge", "insert"}
