@@ -7,7 +7,9 @@ Commands:
 - ``all`` — run every figure at the chosen scale;
 - ``sweep`` — a standalone α sweep with explicit grid and worker count;
 - ``bench`` — time a sweep serially vs in parallel and save the numbers;
-- ``trace`` — generate a workload trace file for external replay;
+- ``trace`` — two modes: generate a workload trace file for external
+  replay, or (with ``--url``) render a running daemon's distributed
+  request traces as per-stage ASCII waterfalls;
 - ``replay`` — run a saved trace through a configured cache;
 - ``submit`` — the paper's job-wrapper deployment: prepare one job's
   container against a persistent on-disk cache state (write-ahead
@@ -338,6 +340,11 @@ def _cmd_bench(argv: Sequence[str]) -> int:
 
 
 def _cmd_trace(argv: Sequence[str]) -> int:
+    # Dual-mode command: with --url it is the distributed-trace
+    # waterfall viewer against a running daemon; without, the original
+    # workload-trace generator (kept for scripts and tests).
+    if "--url" in argv:
+        return _cmd_trace_waterfall(argv)
     from repro.experiments.common import get_scale
     from repro.htc.simulator import SimulationConfig, make_workload
     from repro.htc.trace import save_trace
@@ -370,6 +377,109 @@ def _cmd_trace(argv: Sequence[str]) -> int:
     stream = build_stream(workload, rng, config.n_unique, config.repeats)
     count = save_trace(args.output, jobs_from_specs(stream))
     print(f"wrote {count} requests to {args.output}")
+    return 0
+
+
+def _cmd_trace_waterfall(argv: Sequence[str]) -> int:
+    """``repro-landlord trace --url <daemon>``: per-stage waterfalls.
+
+    Fetches recent distributed traces from a running daemon's
+    ``/traces?format=json`` endpoint and renders each as an ASCII
+    waterfall (admission / queue / fsync / apply / ack).  A positional
+    trace-id prefix filters to one trace (paste it from a
+    ``submit --remote`` reply, an ``explain`` narrative, or a
+    ``/metrics`` bucket exemplar); ``--slowest N`` surfaces the worst
+    offenders; ``--follow`` tails new traces until interrupted.
+    """
+    import time as _time
+
+    from repro.obs.spans import render_waterfall
+    from repro.service import LandlordClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro-landlord trace --url",
+        description="Render distributed request traces from a running "
+        "daemon as per-stage ASCII waterfalls.",
+    )
+    parser.add_argument("trace_id", nargs="?", default=None,
+                        help="trace-id prefix to show (default: all "
+                        "recent traces)")
+    parser.add_argument("--url", required=True,
+                        help="daemon endpoint (http://host:port or "
+                        "unix:/path)")
+    parser.add_argument("--last", type=int, default=10, metavar="N",
+                        help="fetch the newest N traces "
+                        "(default: %(default)s)")
+    parser.add_argument("--slowest", type=int, default=None, metavar="N",
+                        help="show only the N slowest fetched traces, "
+                        "worst first")
+    parser.add_argument("--follow", action="store_true",
+                        help="keep polling and print traces as they "
+                        "arrive (Ctrl-C to stop)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="--follow poll interval "
+                        "(default: %(default)s)")
+    parser.add_argument("--width", type=int, default=32, metavar="COLS",
+                        help="waterfall bar width (default: %(default)s)")
+    args = parser.parse_args(argv)
+    if args.last < 1:
+        parser.error("--last must be >= 1")
+
+    def fetch() -> list:
+        client = LandlordClient(args.url)
+        try:
+            payload = client.traces(args.last)
+        finally:
+            client.close()
+        traces = payload.get("traces", [])
+        if args.trace_id:
+            traces = [
+                t for t in traces
+                if t["trace_id"].startswith(args.trace_id)
+            ]
+        return traces
+
+    def show(traces: list) -> None:
+        if args.slowest is not None:
+            traces = sorted(
+                traces, key=lambda t: t["duration"], reverse=True
+            )[:max(0, args.slowest)]
+        for trace in traces:
+            print(render_waterfall(trace, width=args.width))
+            print()
+
+    try:
+        traces = fetch()
+    except (ServiceError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not args.follow:
+        if not traces:
+            what = (
+                f"trace {args.trace_id}..." if args.trace_id
+                else "traces"
+            )
+            print(f"no {what} held by {args.url} "
+                  "(the span ring is bounded — submit again and re-run)")
+            return 1
+        show(traces)
+        return 0
+    seen = {trace["trace_id"] for trace in traces}
+    show(traces)
+    try:
+        while True:
+            _time.sleep(max(0.05, args.interval))
+            try:
+                fresh = [
+                    t for t in fetch() if t["trace_id"] not in seen
+                ]
+            except ServiceError:
+                break  # daemon went away; a follow just ends
+            seen.update(t["trace_id"] for t in fresh)
+            show(fresh)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -918,6 +1028,11 @@ def _submit_remote(args: argparse.Namespace, repo) -> int:
     )
     if reply["evicted"]:
         print(f"evicted: {', '.join(reply['evicted'])}")
+    if reply.get("trace_id"):
+        print(
+            f"trace {reply['trace_id']} (waterfall: repro-landlord "
+            f"trace {reply['trace_id'][:8]} --url {args.remote})"
+        )
     return 0
 
 
@@ -981,6 +1096,10 @@ def _cmd_serve(argv: Sequence[str]) -> int:
     parser.add_argument("--max-batch", type=int, default=256, metavar="N",
                         help="largest request window applied as one "
                         "batched pass (default: %(default)s)")
+    parser.add_argument("--span-limit", type=int, default=4096, metavar="N",
+                        help="bounded ring of pipeline spans behind "
+                        "/traces and `repro-landlord trace` "
+                        "(default: %(default)s)")
     _obs_args(parser)
     parser.add_argument("--trace", action="store_true",
                         help="record decision traces to the sidecar so "
@@ -994,6 +1113,8 @@ def _cmd_serve(argv: Sequence[str]) -> int:
         parser.error("--max-queue must be >= 1")
     if args.max_batch < 1:
         parser.error("--max-batch must be >= 1")
+    if args.span_limit < 1:
+        parser.error("--span-limit must be >= 1")
 
     scale, repo = _site_repository(args.scale, args.seed, args.repo)
     repo_meta = (
@@ -1069,6 +1190,7 @@ def _cmd_serve(argv: Sequence[str]) -> int:
         tracer=tracer,
         trace_path=_trace_path(args) if args.trace else None,
         known_package=lambda p: p in repo,
+        span_limit=args.span_limit,
     )
 
     import signal

@@ -281,12 +281,19 @@ class _CacheInstruments:
         "merge_distance",
         "request_s", "request_s_batched", "subset_scan_s",
         "candidate_probe_s", "merge_rewrite_s", "eviction_s",
+        "clock", "trace_ids",
     )
 
     def __init__(self, registry, engine: str = "vectorized") -> None:
+        from repro.obs.clock import default_clock
         from repro.obs.metrics import DEFAULT_TIME_BUCKETS, DISTANCE_BUCKETS
 
         self.registry = registry
+        # Wall-clock source for exemplar timestamps; the request-index
+        # map is set per window by the service daemon so request
+        # exemplars additionally carry their distributed trace_id.
+        self.clock = default_clock()
+        self.trace_ids: Optional[Dict[int, str]] = None
         requests = registry.counter(
             "landlord_requests_total",
             "Requests served, by Algorithm 1 outcome.",
@@ -365,6 +372,19 @@ class _CacheInstruments:
         self.eviction_s = timing(
             "landlord_eviction_seconds",
             "Wall-clock seconds in the capacity-eviction loop (when it ran).")
+
+    def exemplar_for(self, request_index: int) -> tuple:
+        """The exemplar label set for one request's latency observation:
+        always the request index (the ``explain`` click-through), plus
+        the distributed ``trace_id`` when the service daemon mapped this
+        index to one (the waterfall click-through)."""
+        exemplar = (("request", str(request_index)),)
+        trace_ids = self.trace_ids
+        if trace_ids is not None:
+            trace_id = trace_ids.get(request_index)
+            if trace_id is not None:
+                exemplar += (("trace_id", trace_id),)
+        return exemplar
 
 
 class LandlordCache:
@@ -536,6 +556,19 @@ class LandlordCache:
     def enable_tracing(self, tracer) -> None:
         """Record per-request decision traces into ``tracer``."""
         self._tracer = tracer
+
+    def set_exemplar_traces(self, trace_ids) -> None:
+        """Map request indices to distributed trace ids for the next
+        window's latency exemplars.
+
+        The service daemon calls this before :meth:`submit_batch` with
+        ``{request_index: trace_id}`` so the slow-bucket exemplars on
+        ``landlord_request_seconds`` carry the trace id of the request
+        that landed there, and clears it (``None``) afterwards.  A no-op
+        when metrics are disabled.
+        """
+        if self._ins is not None:
+            self._ins.trace_ids = trace_ids
 
     @property
     def slo(self):
@@ -1138,7 +1171,8 @@ class LandlordCache:
                 ins.requested_bytes.inc(requested)
                 request_timer.observe(
                     perf_counter() - t_request,
-                    (("request", str(request_index)),),
+                    ins.exemplar_for(request_index),
+                    ins.clock.now(),
                 )
             if slo is not None:
                 slo.on_request(
@@ -1218,7 +1252,8 @@ class LandlordCache:
                     self._update_gauges()
                     request_timer.observe(
                         perf_counter() - t_request,
-                        (("request", str(request_index)),),
+                        ins.exemplar_for(request_index),
+                        ins.clock.now(),
                     )
                 if slo is not None:
                     written = (
@@ -1274,7 +1309,8 @@ class LandlordCache:
             self._update_gauges()
             request_timer.observe(
                 perf_counter() - t_request,
-                (("request", str(request_index)),),
+                ins.exemplar_for(request_index),
+                ins.clock.now(),
             )
         if slo is not None:
             slo.on_request(

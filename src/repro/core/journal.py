@@ -596,6 +596,7 @@ class JournaledState:
         metadata: Optional[dict],
         ops: Sequence[Tuple[str, dict]],
         on_result: Optional[Callable[[JournalEntry, object], None]] = None,
+        timings: Optional[dict] = None,
     ) -> List[object]:
         """Journal a whole batch with one group-commit fsync, then apply.
 
@@ -609,6 +610,12 @@ class JournaledState:
         crossed a ``snapshot_every`` boundary — the amortised equivalent
         of :meth:`apply`'s per-operation cadence.  Returns the per-op
         results in order.
+
+        ``timings``, when a dict, receives window-wide stage timings for
+        the caller's tracing spans: ``timings["fsync"]`` and
+        ``timings["apply"]`` are each ``(start, duration)`` pairs on the
+        ``perf_counter`` timebase (the hybrid clock's monotonic base).
+        In the journal-less configuration the fsync duration is zero.
         """
         ops = [(op, dict(data)) for op, data in ops]
         if not ops:
@@ -617,11 +624,20 @@ class JournaledState:
             entries = [
                 JournalEntry(0, op, data) for op, data in ops
             ]
+            t0 = perf_counter()
             results = apply_entries(cache, entries, on_result)
+            if timings is not None:
+                timings["fsync"] = (t0, 0.0)
+                timings["apply"] = (t0, perf_counter() - t0)
             save_state(self.state_path, cache, metadata, journal_seq=0)
             return results
+        t0 = perf_counter()
         entries = self.journal.append_many(ops)
+        t1 = perf_counter()
         results = apply_entries(cache, entries, on_result)
+        if timings is not None:
+            timings["fsync"] = (t0, t1 - t0)
+            timings["apply"] = (t1, perf_counter() - t1)
         first, last = entries[0].seq, entries[-1].seq
         if last // self.snapshot_every > (first - 1) // self.snapshot_every:
             self.flush(cache, metadata, journal_seq=last)

@@ -14,6 +14,12 @@ Modules:
   deterministic cross-process snapshot merging.
 - :mod:`repro.obs.timing` — nestable ``perf_counter`` spans recording
   into ``*_seconds`` histograms.
+- :mod:`repro.obs.clock` — the hybrid span clock: monotonic durations
+  anchored to a wall-clock epoch, injectable/frozen for tests.
+- :mod:`repro.obs.spans` — distributed request tracing: W3C
+  ``traceparent`` context propagation, a bounded span ring buffer
+  feeding ``service_stage_seconds{stage=...}`` histograms, and the
+  ASCII waterfall renderer behind ``repro-landlord trace``.
 - :mod:`repro.obs.trace` — per-request ``RequestTrace`` records and the
   ``explain`` renderer behind ``repro-landlord explain``.
 - :mod:`repro.obs.stream` — JSONL serialisation of the ``CacheEvent``
@@ -41,6 +47,23 @@ Import discipline (cycle avoidance): modules here import at most
 ``repro.core.cache`` may import ``repro.obs`` freely.
 """
 
+from .clock import (
+    FrozenClock,
+    HybridClock,
+    default_clock,
+    set_default_clock,
+)
+from .spans import (
+    SERVICE_STAGES,
+    ActiveSpan,
+    Span,
+    SpanRecorder,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    render_waterfall,
+)
 from .alerts import (
     AlertEngine,
     AlertRule,
@@ -101,6 +124,19 @@ __all__ = [
     "load_registry",
     "save_registry",
     "SpanClock",
+    "FrozenClock",
+    "HybridClock",
+    "default_clock",
+    "set_default_clock",
+    "SERVICE_STAGES",
+    "ActiveSpan",
+    "Span",
+    "SpanRecorder",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "render_waterfall",
     "DecisionTracer",
     "RequestTrace",
     "TracedCandidate",

@@ -83,6 +83,9 @@ def render_frame(
     sparse status.  A ``telemetry`` block (present when a fleet run is
     pushing worker snapshots — see :mod:`repro.obs.telemetry`) adds one
     row per reporting worker with its request mix and push progress.
+    A ``stages`` block (present when a daemon is recording pipeline
+    spans — see :mod:`repro.obs.spans`) adds a per-stage p95 row
+    (queue / fsync / apply wait).
     """
     lifetime = status.get("lifetime", {})
     window = status.get("window", {})
@@ -135,6 +138,17 @@ def render_frame(
         f"   p95 {_seconds(series.get('latency_p95'))}"
         f"   p99 {_seconds(series.get('latency_p99'))}"
     )
+    stages = status.get("stages") or {}
+    if stages:
+        def _stage_p95(stage: str) -> str:
+            entry = stages.get(stage) or {}
+            return _seconds(entry.get("p95"))
+
+        lines.append(
+            f"stages p95   queue {_stage_p95('queue')}"
+            f"   fsync {_stage_p95('fsync')}"
+            f"   apply {_stage_p95('apply')}"
+        )
     alerts = status.get("alerts")
     if alerts is not None:
         parts = []

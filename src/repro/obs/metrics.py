@@ -79,19 +79,25 @@ EXEMPLAR_MAX_RUNES = 128
 
 
 def _render_exemplar(exemplars, bucket_index: int) -> str:
-    """The `` # {labels} value`` suffix for one bucket, or ``""``."""
+    """The `` # {labels} value [timestamp]`` suffix for one bucket, or
+    ``""``.  The timestamp (wall-clock epoch seconds from the hybrid
+    clock, per the OpenMetrics spec's optional third exemplar field) is
+    emitted only when the observation carried one."""
     if exemplars is None:
         return ""
     cell = exemplars[bucket_index]
     if cell is None:
         return ""
-    labels, value = cell
+    labels, value = cell[0], cell[1]
     if sum(len(str(k)) + len(str(v)) for k, v in labels) > EXEMPLAR_MAX_RUNES:
         return ""
     body = ",".join(
         f'{k}="{_escape_label_value(str(v))}"' for k, v in labels
     )
-    return f" # {{{body}}} {_format_value(value)}"
+    suffix = f" # {{{body}}} {_format_value(value)}"
+    if len(cell) > 2 and cell[2] is not None:
+        suffix += f" {_format_value(float(cell[2]))}"
+    return suffix
 
 
 def _check_name(name: str) -> str:
@@ -177,12 +183,21 @@ class _BoundHistogram:
         self.count: int = 0
         self.exemplars: Optional[List[Optional[tuple]]] = None
 
-    def observe(self, value: float, exemplar: Optional[tuple] = None) -> None:
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[tuple] = None,
+        exemplar_ts: Optional[float] = None,
+    ) -> None:
         """Record one observation into its bucket.
 
         ``exemplar`` is a tuple of ``(label, value)`` string pairs; the
         newest exemplar per bucket wins (matching the "most recent
         sample" recommendation of the OpenMetrics spec).
+        ``exemplar_ts`` optionally stamps it with wall-clock epoch
+        seconds (rendered as the spec's third exemplar field); cells
+        without one stay 2-tuples, so timestamp-less callers are
+        untouched.
         """
         lo, hi = 0, len(self.uppers)
         while lo < hi:
@@ -197,7 +212,10 @@ class _BoundHistogram:
         if exemplar is not None:
             if self.exemplars is None:
                 self.exemplars = [None] * len(self.counts)
-            self.exemplars[lo] = (exemplar, value)
+            self.exemplars[lo] = (
+                (exemplar, value) if exemplar_ts is None
+                else (exemplar, value, exemplar_ts)
+            )
 
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile (0–1) from the bucket counts.
@@ -345,10 +363,11 @@ class Histogram(_Family):
         self,
         value: float,
         exemplar: Optional[tuple] = None,
+        exemplar_ts: Optional[float] = None,
         **labels: str,
     ) -> None:
         """Record one observation into one labelled series."""
-        self.labels(**labels).observe(value, exemplar)
+        self.labels(**labels).observe(value, exemplar, exemplar_ts)
 
 
 def _openmetrics_names(family: _Family) -> Tuple[str, str]:
@@ -536,10 +555,13 @@ class MetricsRegistry:
                         "count": child.count,
                     }
                     if child.exemplars is not None:
+                        # Preserve arity: timestamped cells serialise as
+                        # [labels, value, ts], bare ones as [labels, value].
                         item["exemplars"] = [
                             None
                             if cell is None
-                            else [[list(pair) for pair in cell[0]], cell[1]]
+                            else [[list(pair) for pair in cell[0]]]
+                            + list(cell[1:])
                             for cell in child.exemplars
                         ]
                     series_out.append(item)
@@ -582,7 +604,10 @@ class MetricsRegistry:
         Differences from :meth:`to_prometheus`: the ``# TYPE`` line of a
         counter names the family *without* its ``_total`` suffix while
         samples keep it; histogram bucket samples carry exemplars when
-        one was captured (``# {request="42"} 0.0031``); and the body
+        one was captured (``# {request="42"} 0.0031``), with an optional
+        trailing wall-clock timestamp when the observation was stamped
+        by a :class:`~repro.obs.clock.HybridClock`
+        (``# {trace_id="..."} 0.0031 1700000000.5``); and the body
         terminates with the mandatory ``# EOF`` marker.  Scrape it with
         ``Accept: application/openmetrics-text`` semantics — the content
         type is :data:`OPENMETRICS_CONTENT_TYPE`.
@@ -667,13 +692,16 @@ class MetricsRegistry:
                             child.exemplars = [None] * len(child.counts)
                         for i, cell in enumerate(incoming):
                             if cell is not None:
-                                labels_part, value = cell
-                                child.exemplars[i] = (
+                                labels_part, value = cell[0], cell[1]
+                                rebuilt = (
                                     tuple(
                                         tuple(pair) for pair in labels_part
                                     ),
                                     value,
                                 )
+                                if len(cell) > 2:
+                                    rebuilt += (cell[2],)
+                                child.exemplars[i] = rebuilt
 
     @classmethod
     def from_snapshot(cls, snap: dict) -> "MetricsRegistry":

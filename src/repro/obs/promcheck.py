@@ -13,13 +13,18 @@ histogram bucket counts are cumulative *per label child*, end at
 
 OpenMetrics adds: the body terminates with ``# EOF`` (and nothing
 follows it); counter samples use the ``_total`` / ``_created`` suffixes
-while the ``# TYPE`` name does not; exemplars (`` # {labels} value``)
-appear only on histogram ``_bucket`` or counter ``_total`` samples,
-parse, and keep their label set within the 128-rune spec limit.
+while the ``# TYPE`` name does not; exemplars
+(`` # {labels} value [timestamp]``) appear only on histogram
+``_bucket`` or counter ``_total`` samples, parse, keep their label set
+within the 128-rune spec limit, and carry their value — and optional
+wall-clock timestamp, strictly *after* the value — as finite float
+seconds.  A timestamp before the value, or two timestamps, cannot
+match the sample grammar and is rejected as unparseable.
 """
 
 from __future__ import annotations
 
+import math
 import re
 import sys
 
@@ -33,10 +38,14 @@ _SAMPLE_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$")
 
 # An OpenMetrics sample with an optional exemplar:
 #   name{labels} value [# {exemplar-labels} exemplar-value [timestamp]]
+# The grammar fixes the ordering (value first, at most one timestamp);
+# token *contents* are validated in code so a malformed float gets a
+# named assertion instead of a generic parse failure.
 _OM_SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})?"
     r" (?P<value>[^ ]+)"
-    r"(?P<exemplar> # \{(?P<exlabels>[^}]*)\} [^ ]+( [0-9.]+)?)?$"
+    r"(?P<exemplar> # \{(?P<exlabels>[^}]*)\} (?P<exvalue>[^ ]+)"
+    r"(?: (?P<exts>[^ ]+))?)?$"
 )
 
 _EXEMPLAR_LABEL_RE = re.compile(
@@ -150,6 +159,25 @@ def validate_openmetrics_text(text: str) -> None:
                 f"exemplar label set exceeds {EXEMPLAR_MAX_RUNES} runes "
                 f"({runes}): {line!r}"
             )
+            try:
+                exvalue = float(match.group("exvalue"))
+            except ValueError:
+                exvalue = float("nan")
+            assert math.isfinite(exvalue), (
+                f"exemplar value not a finite float: {line!r}"
+            )
+            ts = match.group("exts")
+            if ts is not None:
+                try:
+                    ts_value = float(ts)
+                except ValueError:
+                    ts_value = float("nan")
+                assert math.isfinite(ts_value), (
+                    f"exemplar timestamp not finite float seconds: {line!r}"
+                )
+                assert ts_value >= 0, (
+                    f"exemplar timestamp before the epoch: {line!r}"
+                )
     _check_histograms("\n".join(lines[:-1]), typed)
 
 

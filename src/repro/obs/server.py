@@ -18,7 +18,11 @@ blocks on a scraper:
   (built by :func:`build_status`);
 - ``GET /traces/<n>`` — the last *n* decision narratives (the
   ``explain`` renderer) from a bounded ring buffer — a
-  :class:`~repro.obs.trace.DecisionTracer` with a ``limit``.
+  :class:`~repro.obs.trace.DecisionTracer` with a ``limit``;
+  ``?format=json`` switches to the structured view: the decision
+  records as JSON plus, when a :class:`~repro.obs.spans.SpanRecorder`
+  is attached, the per-stage span waterfalls
+  (``repro-landlord trace`` consumes exactly this).
 
 The server only ever *reads* shared state.  Scrapes race the request
 loop benignly under the GIL for scalar reads; an optional ``lock`` can
@@ -109,7 +113,10 @@ class ObsServer:
         status_fn: zero-argument callable returning the ``/statusz``
             dict (typically ``lambda: build_status(cache, slo, alerts)``).
         tracer: bounded :class:`~repro.obs.trace.DecisionTracer` backing
-            ``/traces/<n>`` (``None`` → 404).
+            ``/traces/<n>`` (``None`` → 404 unless ``spans`` is given).
+        spans: optional :class:`~repro.obs.spans.SpanRecorder`; its
+            per-trace waterfalls join the ``/traces/<n>?format=json``
+            body under the ``"traces"`` key.
         host / port: bind address; port 0 binds an ephemeral port —
             read the outcome from :attr:`port` / :attr:`url`.
         on_scrape: called (under ``lock`` if given) before rendering
@@ -127,10 +134,12 @@ class ObsServer:
         port: int = 0,
         on_scrape: Optional[Callable[[], None]] = None,
         lock: Optional[threading.Lock] = None,
+        spans=None,
     ) -> None:
         self.registry = registry
         self.status_fn = status_fn
         self.tracer = tracer
+        self.spans = spans
         self.on_scrape = on_scrape
         self.lock = lock
         self._host = host
@@ -256,6 +265,19 @@ class ObsServer:
                 return 400, "text/plain", f"bad trace count {tail!r}\n"
             if n < 1:
                 return 400, "text/plain", "trace count must be >= 1\n"
+            params = parse_qs(query) if query else {}
+            fmt = params.get("format", ["text"])[-1]
+            if fmt == "json":
+                body = self._render_traces_json(n)
+                if body is None:
+                    return 404, "text/plain", "tracing not enabled\n"
+                return 200, "application/json", body
+            if fmt != "text":
+                return (
+                    400,
+                    "text/plain",
+                    f"unknown format {fmt!r}; use text or json\n",
+                )
             body = self._render_traces(n)
             if body is None:
                 return 404, "text/plain", "tracing not enabled\n"
@@ -299,6 +321,24 @@ class ObsServer:
         if not traces:
             return "no traces recorded\n"
         return "\n\n".join(t.explain() for t in traces) + "\n"
+
+    def _render_traces_json(self, n: int) -> Optional[str]:
+        """The structured ``/traces?format=json`` body: the last *n*
+        decision records (``"decisions"``) and span waterfalls
+        (``"traces"``); ``None`` when neither source is attached."""
+        if self.tracer is None and self.spans is None:
+            return None
+        payload = {
+            "decisions": (
+                [t.to_jsonable() for t in self.tracer.traces()[-n:]]
+                if self.tracer is not None
+                else []
+            ),
+            "traces": (
+                self.spans.traces(last=n) if self.spans is not None else []
+            ),
+        }
+        return json.dumps(payload, sort_keys=True) + "\n"
 
 
 def _make_handler(server: "ObsServer"):

@@ -111,6 +111,10 @@ class RequestTrace:
     bytes_added: int = 0
     candidates: Tuple[TracedCandidate, ...] = ()
     evictions: Tuple[TracedEviction, ...] = ()
+    #: The distributed trace this request was served under (set by the
+    #: service daemon via :meth:`DecisionTracer.link_trace`); resolves
+    #: to a pipeline waterfall through ``repro-landlord trace``.
+    trace_id: Optional[str] = None
 
     def explain(self) -> str:
         """Render a human-readable narrative of this decision."""
@@ -171,6 +175,12 @@ class RequestTrace:
                 f"  EVICTED image {ev.image_id} "
                 f"({format_bytes(ev.size)}): {why}."
             )
+        if self.trace_id is not None:
+            lines.append(
+                f"  trace {self.trace_id} "
+                "(pipeline waterfall: repro-landlord trace "
+                f"{self.trace_id[:8]} --url <daemon>)"
+            )
         return "\n".join(lines)
 
     def to_jsonable(self) -> dict:
@@ -188,6 +198,11 @@ class RequestTrace:
             "bytes_added": self.bytes_added,
             "candidates": [c.to_jsonable() for c in self.candidates],
             "evictions": [e.to_jsonable() for e in self.evictions],
+            **(
+                {"trace_id": self.trace_id}
+                if self.trace_id is not None
+                else {}
+            ),
         }
 
     @classmethod
@@ -212,6 +227,7 @@ class RequestTrace:
                 TracedEviction.from_jsonable(e)
                 for e in data.get("evictions", ())
             ),
+            trace_id=data.get("trace_id"),
         )
 
 
@@ -273,6 +289,15 @@ class DecisionTracer:
         object.__setattr__(
             trace, "evictions", trace.evictions + tuple(evictions)
         )
+
+    def link_trace(self, request_index: int, trace_id: str) -> None:
+        """Cross-link a request's decision record to its distributed
+        trace id (the service daemon calls this once the batcher knows
+        which request index a submission landed on, *before* the record
+        is drained to the sidecar)."""
+        trace = self._traces.get(request_index)
+        if trace is not None:
+            object.__setattr__(trace, "trace_id", trace_id)
 
     def trace(self, request_index: int) -> Optional[RequestTrace]:
         """The trace for one request index, or ``None`` if not held."""

@@ -85,6 +85,29 @@ _WORKER_SHM: List[object] = [None]
 # Per-worker-process telemetry pusher (see repro.obs.telemetry),
 # installed by the pool initializer when the pool was given an endpoint.
 _WORKER_PUSHER: List[object] = [None]
+# Per-worker-process span recorder (see repro.obs.spans): each sweep
+# cell runs under its own ``sweep_cell`` trace, so the same waterfall
+# model that explains daemon submits explains slow cells.
+_WORKER_SPANS: List[object] = [None]
+
+
+def worker_span_recorder():
+    """This process's sweep-span recorder (lazily created, bounded)."""
+    if _WORKER_SPANS[0] is None:
+        from repro.obs.spans import SpanRecorder
+
+        _WORKER_SPANS[0] = SpanRecorder(limit=1024)
+    return _WORKER_SPANS[0]
+
+
+def _traced_simulate(
+    config: SimulationConfig, repository, spans
+) -> SimulationResult:
+    """Run one cell under a ``sweep_cell`` span (one trace per cell)."""
+    with spans.start(
+        "sweep_cell", attrs=(("alpha", f"{config.alpha:g}"),)
+    ):
+        return simulate(config, repository=repository)
 
 
 def _push_task_metrics(index: int, result) -> None:
@@ -168,7 +191,7 @@ def _init_simulation_worker(
 def _simulate_task(config: SimulationConfig) -> SimulationResult:
     """Run one simulation against the worker's installed repository."""
     repository = _WORKER_REPOSITORY[1]
-    return simulate(config, repository=repository)
+    return _traced_simulate(config, repository, worker_span_recorder())
 
 
 class SimulationPool:
@@ -202,6 +225,9 @@ class SimulationPool:
         self.telemetry = telemetry
         self._local_repo: Optional[Repository] = None
         self._local_pusher = None
+        #: This process's span recorder — serial runs record into it
+        #: directly; worker processes each hold their own (same model).
+        self.spans = worker_span_recorder()
         self._executor = None
         self._shared_closures: Optional[SharedPackedMatrix] = None
         self._tasks_dispatched = 0
@@ -266,7 +292,7 @@ class SimulationPool:
             pusher = self._serial_pusher()
             results = []
             for i, config in enumerate(configs):
-                result = simulate(config, repository=repository)
+                result = _traced_simulate(config, repository, self.spans)
                 if pusher is not None:
                     snap = getattr(result, "metrics", None)
                     if snap is not None:

@@ -22,7 +22,14 @@ import http.client
 import json
 import socket
 import time
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.spans import (
+    TRACEPARENT_HEADER,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+)
 
 __all__ = ["LandlordClient", "ServiceError", "SubmitRejected"]
 
@@ -81,11 +88,17 @@ class LandlordClient:
         timeout: per-request socket timeout in seconds.  Submissions
             block server-side until their batch is journalled and
             applied, so this also bounds how long a submit may wait.
+        spans: optional :class:`~repro.obs.SpanRecorder` — when set,
+            every submit records a ``client_submit`` root span covering
+            the whole round trip, under the same trace id the daemon's
+            pipeline stages continue (the client always *sends* trace
+            context; the recorder only controls local recording).
     """
 
-    def __init__(self, endpoint: str, timeout: float = 30.0):
+    def __init__(self, endpoint: str, timeout: float = 30.0, spans=None):
         self.endpoint = endpoint
         self.timeout = timeout
+        self.spans = spans
         if endpoint.startswith("unix:"):
             self._socket_path: Optional[str] = endpoint[len("unix:"):]
             self._host = None
@@ -131,14 +144,22 @@ class LandlordClient:
         """Context-manager exit: close the connection."""
         self.close()
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ):
         conn = self._connection()
         try:
             payload = None if body is None else json.dumps(body)
-            headers = (
+            send_headers = (
                 {"Content-Type": "application/json"} if payload else {}
             )
-            conn.request(method, path, body=payload, headers=headers)
+            if headers:
+                send_headers.update(headers)
+            conn.request(method, path, body=payload, headers=send_headers)
             response = conn.getresponse()
             data = response.read()
             return response.status, response.getheader("Content-Type"), data
@@ -149,9 +170,13 @@ class LandlordClient:
             ) from exc
 
     def _request_json(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> "tuple[int, dict]":
-        status, _, data = self._request(method, path, body)
+        status, _, data = self._request(method, path, body, headers)
         try:
             return status, json.loads(data)
         except ValueError as exc:
@@ -176,16 +201,41 @@ class LandlordClient:
         (429) rejections, sleeping ``backoff * 2^attempt`` between
         tries; 503 (draining) and 400 (bad spec) raise immediately.
 
+        Every submit opens a distributed trace: a fresh trace id and
+        root span id are sent as the W3C ``traceparent`` header (held
+        constant across retries — one logical submission, one trace),
+        and the daemon's pipeline stages continue that trace.  The
+        reply echoes ``trace_id``; resolve it to a stage waterfall with
+        ``repro-landlord trace``.
+
         Raises:
             SubmitRejected: on 429 (after retries) or 503.
             ServiceError: on any other non-200 reply or transport error.
         """
+        trace_id = new_trace_id()
+        root_span_id = new_span_id()
+        headers = {
+            TRACEPARENT_HEADER: format_traceparent(trace_id, root_span_id)
+        }
         attempt = 0
+        start = time.perf_counter()
         while True:
             status, payload = self._request_json(
-                "POST", "/submit", {"packages": list(packages)}
+                "POST",
+                "/submit",
+                {"packages": list(packages)},
+                headers=headers,
             )
             if status == 200:
+                if self.spans is not None:
+                    self.spans.observe(
+                        "client_submit",
+                        start,
+                        time.perf_counter() - start,
+                        trace_id,
+                        request_index=payload.get("request_index"),
+                        span_id=root_span_id,
+                    )
                 return payload
             if status in (429, 503):
                 rejection = SubmitRejected(status, payload)
@@ -234,3 +284,22 @@ class LandlordClient:
         if status != 200:
             raise ServiceError(f"metrics failed ({status})", status=status)
         return data.decode("utf-8")
+
+    def traces(self, n: int = 10) -> dict:
+        """The daemon's ``/traces/<n>?format=json`` body: recent
+        distributed traces (``"traces"``, each with its per-stage
+        spans) plus recent decision records (``"decisions"``).
+
+        Raises :class:`ServiceError` when the daemon has tracing
+        disabled (404) or otherwise refuses.
+        """
+        status, payload = self._request_json(
+            "GET", f"/traces/{int(n)}?format=json"
+        )
+        if status != 200:
+            raise ServiceError(
+                f"traces failed ({status}): "
+                f"{payload.get('error', payload)}",
+                status=status,
+            )
+        return payload

@@ -57,6 +57,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from repro.obs import ObsServer, build_status, write_traces
+from repro.obs.clock import default_clock
+from repro.obs.spans import SpanRecorder, new_trace_id, parse_traceparent
 from repro.obs.telemetry import TelemetryAggregator
 
 __all__ = ["LandlordDaemon"]
@@ -69,7 +71,10 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 class _PendingSubmit:
     """One admitted submission waiting for the batcher."""
 
-    __slots__ = ("packages", "done", "decision", "request_index", "error")
+    __slots__ = (
+        "packages", "done", "decision", "request_index", "error",
+        "trace_id", "parent_id", "enqueued_mono", "applied_mono",
+    )
 
     def __init__(self, packages: Tuple[str, ...]):
         self.packages = packages
@@ -77,6 +82,10 @@ class _PendingSubmit:
         self.decision = None
         self.request_index: Optional[int] = None
         self.error: Optional[str] = None
+        self.trace_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.enqueued_mono: float = 0.0
+        self.applied_mono: Optional[float] = None
 
 
 class _ServiceInstruments:
@@ -169,6 +178,13 @@ class LandlordDaemon:
             submissions naming unknown packages are rejected with HTTP
             400 *before* anything is journalled, so the journal never
             holds an unreplayable entry.
+        span_limit: size of the bounded span ring buffer behind
+            ``/traces`` and ``repro-landlord trace`` (per-stage
+            histograms are unaffected — they are cumulative).
+        clock: optional :class:`~repro.obs.HybridClock` override for
+            the span timeline (tests inject a
+            :class:`~repro.obs.FrozenClock`); defaults to the process
+            default clock.
     """
 
     def __init__(
@@ -188,6 +204,8 @@ class LandlordDaemon:
         tracer=None,
         trace_path: Optional[str] = None,
         known_package: Optional[Callable[[str], bool]] = None,
+        span_limit: int = 4096,
+        clock=None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -222,6 +240,14 @@ class LandlordDaemon:
             _ServiceInstruments(registry) if registry is not None else None
         )
         self.registry = registry
+        self.clock = clock if clock is not None else default_clock()
+        # The span ring always records — the service pipeline is not the
+        # benchmarked hot path, and "why was that submit slow?" must be
+        # answerable without a restart.  Per-stage histograms land in
+        # ``registry`` (when attached) as service_stage_seconds.
+        self.spans = SpanRecorder(
+            limit=span_limit, clock=self.clock, registry=registry
+        )
         # Client processes (launchers, other caches) can push their own
         # registry snapshots to POST /telemetry; /metrics then exposes
         # the whole fleet — this daemon's service_*/landlord_* families
@@ -233,6 +259,7 @@ class LandlordDaemon:
             self.telemetry,
             status_fn=self._status,
             tracer=tracer,
+            spans=self.spans,
             on_scrape=self._on_scrape if registry is not None else None,
             lock=self.lock,
         )
@@ -360,7 +387,7 @@ class LandlordDaemon:
     # -- submission path ---------------------------------------------------
 
     def submit(
-        self, packages: Sequence[str]
+        self, packages: Sequence[str], traceparent: Optional[str] = None
     ) -> Tuple[int, dict]:
         """Admit one submission and wait for its decision (handler hook).
 
@@ -369,7 +396,24 @@ class LandlordDaemon:
         draining, 500 if the batcher failed.  Blocks the calling
         (handler) thread until the batcher has journalled *and* applied
         the request — the ack-after-fsync contract.
+
+        ``traceparent``, when a valid W3C header, continues the
+        client's distributed trace: every pipeline stage (admission,
+        queue, fsync, apply, ack) is recorded under the client's trace
+        id with the client's span as parent, and the 200 payload echoes
+        the ``trace_id``.  Absent or malformed context starts a fresh
+        trace — a request is never dropped from tracing.  Rejected
+        submissions record no spans (they never enter the pipeline).
         """
+        t_start = self.clock.monotonic()
+        context = (
+            parse_traceparent(traceparent) if traceparent is not None
+            else None
+        )
+        if context is not None:
+            trace_id, parent_id = context
+        else:
+            trace_id, parent_id = new_trace_id(), None
         if not packages:
             return 400, {"error": "empty package list"}
         if self.known_package is not None:
@@ -381,6 +425,8 @@ class LandlordDaemon:
                     self._ins.rejected_invalid.inc()
                 return 400, {"error": "unknown packages", "unknown": unknown}
         item = _PendingSubmit(tuple(packages))
+        item.trace_id = trace_id
+        item.parent_id = parent_id
         with self._cond:
             if self._draining:
                 self.rejected += 1
@@ -396,11 +442,19 @@ class LandlordDaemon:
                     "queue_depth": len(self._queue),
                     "retry": True,
                 }
+            item.enqueued_mono = self.clock.monotonic()
             self._queue.append(item)
             self.accepted += 1
             if self._ins is not None:
                 self._ins.accepted.inc()
             self._cond.notify_all()
+        self.spans.observe(
+            "admission",
+            t_start,
+            max(0.0, item.enqueued_mono - t_start),
+            trace_id,
+            parent_id=parent_id,
+        )
         while not item.done.wait(timeout=0.5):
             batcher = self._batcher_thread
             if batcher is None or not batcher.is_alive():
@@ -410,6 +464,18 @@ class LandlordDaemon:
         if item.error is not None:
             return 500, {"error": item.error}
         decision = item.decision
+        ack_start = (
+            item.applied_mono if item.applied_mono is not None
+            else self.clock.monotonic()
+        )
+        self.spans.observe(
+            "ack",
+            ack_start,
+            max(0.0, self.clock.monotonic() - ack_start),
+            trace_id,
+            parent_id=parent_id,
+            request_index=item.request_index,
+        )
         return 200, {
             "action": decision.action.value,
             "request_index": item.request_index,
@@ -420,6 +486,7 @@ class LandlordDaemon:
             "bytes_added": decision.bytes_added,
             "distance": decision.distance,
             "evicted": list(decision.evicted),
+            "trace_id": trace_id,
         }
 
     # -- the batcher -------------------------------------------------------
@@ -435,18 +502,27 @@ class LandlordDaemon:
                     self._queue.popleft()
                     for _ in range(min(len(self._queue), self.max_batch))
                 ]
-            self._apply_window(window)
+            self._apply_window(window, self.clock.monotonic())
 
-    def _apply_window(self, window: List[_PendingSubmit]) -> None:
+    def _apply_window(
+        self, window: List[_PendingSubmit], pop_mono: float
+    ) -> None:
         ops = [
             ("request", {"packages": sorted(set(item.packages))})
             for item in window
         ]
+        timings: dict = {}
         with self.lock:
             base = self.cache.stats.requests
+            trace_map = {
+                base + offset: item.trace_id
+                for offset, item in enumerate(window)
+                if item.trace_id is not None
+            }
+            self.cache.set_exemplar_traces(trace_map or None)
             try:
                 results = self.store.apply_batch(
-                    self.cache, self.metadata, ops
+                    self.cache, self.metadata, ops, timings=timings
                 )
             except Exception as exc:  # surface, don't hang the clients
                 message = f"{type(exc).__name__}: {exc}"
@@ -454,6 +530,17 @@ class LandlordDaemon:
                     item.error = message
                     item.done.set()
                 return
+            finally:
+                # Runs even on the except-branch return: exemplar trace
+                # ids never outlive the window they were built for.
+                self.cache.set_exemplar_traces(None)
+            if self.tracer is not None:
+                # Cross-link decision records to their distributed
+                # traces *before* draining to the sidecar, so the
+                # persisted JSONL carries trace_id too.
+                for offset, item in enumerate(window):
+                    if item.trace_id is not None:
+                        self.tracer.link_trace(base + offset, item.trace_id)
             if self.alerts is not None and self.slo is not None:
                 self.alerts.evaluate(
                     self.slo.values(), self.cache.stats.requests - 1
@@ -468,9 +555,38 @@ class LandlordDaemon:
             if self._ins is not None:
                 self._ins.batches.inc()
                 self._ins.batched_requests.inc(len(window))
+        fsync_start, fsync_s = timings.get("fsync", (pop_mono, 0.0))
+        apply_start, apply_s = timings.get("apply", (pop_mono, 0.0))
         for offset, (item, decision) in enumerate(zip(window, results)):
-            item.request_index = base + offset
+            index = base + offset
+            item.request_index = index
             item.decision = decision
+            if item.trace_id is not None:
+                self.spans.observe(
+                    "queue",
+                    item.enqueued_mono,
+                    max(0.0, pop_mono - item.enqueued_mono),
+                    item.trace_id,
+                    parent_id=item.parent_id,
+                    request_index=index,
+                )
+                self.spans.observe(
+                    "fsync",
+                    fsync_start,
+                    fsync_s,
+                    item.trace_id,
+                    parent_id=item.parent_id,
+                    request_index=index,
+                )
+                self.spans.observe(
+                    "apply",
+                    apply_start,
+                    apply_s,
+                    item.trace_id,
+                    parent_id=item.parent_id,
+                    request_index=index,
+                )
+            item.applied_mono = self.clock.monotonic()
             item.done.set()
 
     def _drain_traces(self) -> None:
@@ -506,6 +622,9 @@ class LandlordDaemon:
         telemetry_status = self.telemetry.status()
         if telemetry_status["workers"]:
             extra["telemetry"] = telemetry_status
+        stages = self.spans.stage_stats()
+        if stages:
+            extra["stages"] = stages
         return build_status(
             self.cache,
             slo=self.slo,
@@ -592,7 +711,10 @@ def _make_handler(daemon: "LandlordDaemon"):
                         {"error": 'body must be {"packages": [ids...]}'},
                     )
                     return
-                status, body = daemon.submit(packages)
+                status, body = daemon.submit(
+                    packages,
+                    traceparent=self.headers.get("traceparent"),
+                )
                 self._reply_json(status, body)
             except BrokenPipeError:  # client went away mid-reply
                 pass

@@ -249,6 +249,31 @@ class TestSimulationPool:
         pool.close()
         pool.close()
 
+    def test_serial_run_records_sweep_cell_spans(self):
+        config = tiny_config()
+        with SimulationPool(RepositorySpec.from_config(config), 1) as pool:
+            before = len(pool.spans)
+            results = pool.run([config, config.with_(alpha=0.9)])
+        assert len(results) == 2
+        fresh = pool.spans.spans()[before:]
+        cells = [s for s in fresh if s.name == "sweep_cell"]
+        assert len(cells) == 2
+        # one trace per cell, alpha attached for slow-cell triage
+        assert len({s.trace_id for s in cells}) == 2
+        assert [dict(s.attrs)["alpha"] for s in cells] == ["0.75", "0.9"]
+        assert all(s.duration >= 0.0 for s in cells)
+
+    def test_tracing_leaves_results_bit_identical(self):
+        # The span wrapper must not perturb the simulation itself.
+        config = tiny_config()
+        repo = RepositorySpec.from_config(config).build()
+        from repro.htc.simulator import simulate
+
+        bare = simulate(config, repository=repo)
+        with SimulationPool(RepositorySpec.from_config(config), 1) as pool:
+            (traced,) = pool.run([config])
+        assert traced.summary() == bare.summary()
+
     def test_shared_pool_matches_own_pool(self):
         config = tiny_config()
         spec = RepositorySpec.from_config(config)

@@ -88,6 +88,29 @@ class TestRenderFrame:
                               "cached_bytes": 3606})
         assert "[########################] 3606.0%" in frame
 
+    def test_stage_latency_row_from_span_stats(self):
+        frame = render_frame({
+            "stages": {
+                "queue": {"count": 9, "p50": 0.0001, "p95": 0.0005},
+                "fsync": {"count": 9, "p50": 0.001, "p95": 0.0042},
+                "apply": {"count": 9, "p50": 0.0002, "p95": 0.0008},
+            },
+        })
+        assert (
+            "stages p95   queue 500us   fsync 4.20ms   apply 800us"
+            in frame
+        )
+
+    def test_stage_row_absent_without_stages_block(self):
+        assert "stages p95" not in render_frame({})
+
+    def test_stage_row_dashes_for_missing_stage(self):
+        # A daemon that has only seen admission spans still renders.
+        frame = render_frame({
+            "stages": {"admission": {"count": 1, "p50": 0.1, "p95": 0.1}},
+        })
+        assert "stages p95   queue -   fsync -   apply -" in frame
+
     def test_history_band_needs_two_points(self):
         status = {"window": {"series": {}}}
         no_band = render_frame(status, history={"hit_rate": [0.5]})

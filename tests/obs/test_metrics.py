@@ -351,6 +351,62 @@ class TestOpenMetrics:
         assert 'request="old"' not in a.to_openmetrics()
 
 
+class TestExemplarTimestamps:
+    """The optional wall-clock timestamp on exemplar cells."""
+
+    def build(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("req_seconds", buckets=(0.01, 0.1))
+        h.observe(
+            0.004,
+            exemplar=(("trace_id", "abc123"),),
+            exemplar_ts=1700000042.5,
+        )
+        return reg
+
+    def test_timestamp_rendered_after_exemplar_value(self):
+        text = self.build().to_openmetrics()
+        assert (
+            'req_seconds_bucket{le="0.01"} 1 '
+            '# {trace_id="abc123"} 0.004 1700000042.5' in text
+        )
+        validate_openmetrics_text(text)
+
+    def test_timestamp_absent_from_classic_format(self):
+        text = self.build().to_prometheus()
+        assert "1700000042.5" not in text
+        validate_prometheus_text(text)
+
+    def test_bare_exemplar_cell_stays_a_pair(self):
+        # The ts-less cell shape is part of the public child API — a
+        # 2-tuple, not a 3-tuple with None (the arity IS the signal).
+        h = MetricsRegistry().histogram("s", buckets=(1.0,))
+        h.observe(0.5, exemplar=(("request", "1"),))
+        assert h.labels().exemplars[0] == ((("request", "1"),), 0.5)
+
+    def test_timestamped_cell_is_a_triple(self):
+        h = MetricsRegistry().histogram("s", buckets=(1.0,))
+        h.observe(0.5, exemplar=(("request", "1"),), exemplar_ts=7.0)
+        assert h.labels().exemplars[0] == ((("request", "1"),), 0.5, 7.0)
+
+    def test_timestamps_survive_snapshot_round_trip(self):
+        reg = self.build()
+        clone = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert clone.to_openmetrics() == reg.to_openmetrics()
+
+    def test_timestamps_survive_merge(self):
+        a = MetricsRegistry()
+        a.histogram("req_seconds", buckets=(0.01, 0.1))
+        a.merge_snapshot(self.build().snapshot())
+        assert "0.004 1700000042.5" in a.to_openmetrics()
+
+    def test_timestamp_kept_out_of_deterministic_snapshot(self):
+        # *_seconds families (the only ones carrying wall-clock
+        # exemplar timestamps) are excluded from deterministic merging.
+        reg = self.build()
+        assert "req_seconds" not in reg.deterministic_snapshot()
+
+
 class TestMergeGuards:
     def test_type_conflict_names_both_kinds(self):
         reg = MetricsRegistry()

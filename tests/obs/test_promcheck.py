@@ -124,6 +124,80 @@ class TestRejections:
             validate_prometheus_text("loose_metric 1\n")
 
 
+def _histogram_body(bucket_line: str) -> str:
+    return (
+        "# TYPE s histogram\n"
+        f"{bucket_line}\n"
+        's_bucket{le="+Inf"} 1\n'
+        "s_sum 0.5\n"
+        "s_count 1\n"
+        "# EOF\n"
+    )
+
+
+class TestExemplarTimestamps:
+    """The optional wall-clock timestamp token after the exemplar value."""
+
+    def test_timestamp_accepted_on_bucket(self):
+        validate_openmetrics_text(_histogram_body(
+            's_bucket{le="0.01"} 1 # {trace_id="abc"} 0.004 1700000042.5'
+        ))
+
+    def test_timestamp_accepted_on_counter_total(self):
+        validate_openmetrics_text(
+            "# TYPE ops counter\n"
+            'ops_total 2 # {trace_id="abc"} 1 1700000042.5\n'
+            "# EOF\n"
+        )
+
+    def test_registry_emitted_timestamps_accepted(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("request_seconds", buckets=(0.01, 0.1))
+        hist.observe(
+            0.004, exemplar=(("trace_id", "abc"),),
+            exemplar_ts=1700000042.5,
+        )
+        validate_openmetrics_text(reg.to_openmetrics())
+
+    def test_non_float_timestamp_rejected(self):
+        with pytest.raises(AssertionError, match="timestamp not finite"):
+            validate_openmetrics_text(_histogram_body(
+                's_bucket{le="0.01"} 1 # {trace_id="abc"} 0.004 yesterday'
+            ))
+
+    def test_nan_timestamp_rejected(self):
+        with pytest.raises(AssertionError, match="timestamp not finite"):
+            validate_openmetrics_text(_histogram_body(
+                's_bucket{le="0.01"} 1 # {trace_id="abc"} 0.004 NaN'
+            ))
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(AssertionError, match="before the epoch"):
+            validate_openmetrics_text(_histogram_body(
+                's_bucket{le="0.01"} 1 # {trace_id="abc"} 0.004 -5.0'
+            ))
+
+    def test_two_timestamps_fail_the_grammar(self):
+        with pytest.raises(AssertionError, match="unparseable"):
+            validate_openmetrics_text(_histogram_body(
+                's_bucket{le="0.01"} 1 # {trace_id="abc"} 0.004 1.0 2.0'
+            ))
+
+    def test_non_float_exemplar_value_rejected(self):
+        with pytest.raises(AssertionError, match="value not a finite"):
+            validate_openmetrics_text(_histogram_body(
+                's_bucket{le="0.01"} 1 # {trace_id="abc"} fast'
+            ))
+
+    def test_auto_detect_mode_checks_timestamps(self, tmp_path, capsys):
+        path = tmp_path / "scrape.txt"
+        path.write_text(_histogram_body(
+            's_bucket{le="0.01"} 1 # {trace_id="abc"} 0.004 bogus'
+        ))
+        assert main([str(path)]) == 1
+        assert "timestamp" in capsys.readouterr().err
+
+
 class TestExemplarAwareHistogramChecks:
     def test_noncumulative_buckets_caught_despite_exemplar(self):
         body = (

@@ -155,6 +155,55 @@ class TestTracesEndpoint:
             assert status == 200
             assert "no traces recorded" in body
 
+    def test_json_format_serves_decisions_and_spans(self):
+        from repro.obs import FrozenClock, SpanRecorder
+
+        tracer = DecisionTracer(limit=50)
+        cache = LandlordCache(500, 0.5, SIZE.__getitem__, tracer=tracer)
+        cache.request(frozenset({"p0", "p1"}))
+        spans = SpanRecorder(limit=8, clock=FrozenClock())
+        trace_id = spans.observe("apply", 0.0, 0.1, "ab" * 16).trace_id
+        with ObsServer(tracer=tracer, spans=spans) as server:
+            url = f"http://127.0.0.1:{server.port}"
+            status, content_type, body = get(url + "/traces/5?format=json")
+            assert status == 200
+            assert content_type.startswith("application/json")
+            payload = json.loads(body)
+            assert payload["decisions"][0]["request_index"] == 0
+            (trace,) = payload["traces"]
+            assert trace["trace_id"] == trace_id
+            assert trace["spans"][0]["name"] == "apply"
+
+    def test_json_format_without_any_tracing_is_404(self, served=None):
+        with ObsServer() as server:
+            status, _, body = get(
+                f"http://127.0.0.1:{server.port}/traces/5?format=json"
+            )
+            assert status == 404
+            assert "tracing not enabled" in body
+
+    def test_json_format_spans_only(self):
+        from repro.obs import FrozenClock, SpanRecorder
+
+        spans = SpanRecorder(limit=8, clock=FrozenClock())
+        spans.observe("queue", 0.0, 0.2, "cd" * 16)
+        with ObsServer(spans=spans) as server:
+            status, _, body = get(
+                f"http://127.0.0.1:{server.port}/traces/5?format=json"
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["decisions"] == []
+            assert payload["traces"][0]["trace_id"] == "cd" * 16
+
+    def test_unknown_traces_format_is_400(self):
+        with ObsServer(tracer=DecisionTracer()) as server:
+            status, _, body = get(
+                f"http://127.0.0.1:{server.port}/traces/5?format=xml"
+            )
+            assert status == 400
+            assert "use text or json" in body
+
 
 class TestLifecycle:
     def test_ephemeral_port_and_url(self):

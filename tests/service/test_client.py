@@ -54,7 +54,7 @@ class TestRetryLoop:
         client = LandlordClient("http://127.0.0.1:9")
         calls = []
 
-        def scripted(method, path, body=None):
+        def scripted(method, path, body=None, headers=None):
             calls.append((method, path, body))
             return replies.pop(0)
 
@@ -114,3 +114,62 @@ class TestContextManager:
         with LandlordClient("http://127.0.0.1:8080") as client:
             assert client._conn is None  # lazy: nothing dialled yet
         assert client._conn is None
+
+
+class TestTraceContextPropagation:
+    def _client_capturing_headers(self, monkeypatch, replies):
+        client = LandlordClient("http://127.0.0.1:9")
+        sent = []
+
+        def scripted(method, path, body=None, headers=None):
+            sent.append(headers or {})
+            return replies.pop(0)
+
+        monkeypatch.setattr(client, "_request_json", scripted)
+        client._sent = sent
+        return client
+
+    def test_submit_sends_valid_traceparent(self, monkeypatch):
+        from repro.obs import parse_traceparent
+
+        client = self._client_capturing_headers(monkeypatch, [
+            (200, {"request_index": 0, "trace_id": "x"}),
+        ])
+        client.submit(["p0"])
+        header = client._sent[0]["traceparent"]
+        assert parse_traceparent(header) is not None
+
+    def test_trace_context_constant_across_retries(self, monkeypatch):
+        client = self._client_capturing_headers(monkeypatch, [
+            (429, {"error": "queue full"}),
+            (200, {"request_index": 0}),
+        ])
+        client.submit(["p0"], retries=1, backoff=0.001)
+        assert client._sent[0]["traceparent"] == client._sent[1]["traceparent"]
+
+    def test_root_span_recorded_under_the_sent_trace(self, monkeypatch):
+        from repro.obs import SpanRecorder, parse_traceparent
+
+        spans = SpanRecorder(limit=8)
+        client = LandlordClient("http://127.0.0.1:9", spans=spans)
+        sent = []
+
+        def scripted(method, path, body=None, headers=None):
+            sent.append(headers)
+            return 200, {"request_index": 5}
+
+        monkeypatch.setattr(client, "_request_json", scripted)
+        client.submit(["p0"])
+        (span,) = spans.spans()
+        trace_id, span_id = parse_traceparent(sent[0]["traceparent"])
+        assert span.name == "client_submit"
+        assert span.trace_id == trace_id
+        assert span.span_id == span_id
+        assert span.request_index == 5
+
+    def test_no_span_recorded_without_recorder(self, monkeypatch):
+        client = self._client_capturing_headers(monkeypatch, [
+            (200, {"request_index": 0}),
+        ])
+        client.submit(["p0"])  # just must not blow up
+        assert client.spans is None

@@ -107,6 +107,22 @@ class TestServeDaemonCli:
             )
             assert submit.returncode == 0, submit.stderr
             assert "request #12" in submit.stdout
+            assert "trace " in submit.stdout  # waterfall pointer line
+
+            # resolve the printed trace id to a per-stage waterfall
+            # through the trace CLI's daemon mode
+            trace_id = submit.stdout.split("trace ")[1].split(" ")[0]
+            waterfall = subprocess.run(
+                [sys.executable, "-m", "repro", "trace", trace_id,
+                 "--url", f"http://127.0.0.1:{port}", "--last", "20"],
+                cwd=str(REPO_ROOT), env=_env(),
+                capture_output=True, text=True, timeout=60,
+            )
+            assert waterfall.returncode == 0, waterfall.stderr
+            assert f"trace {trace_id}" in waterfall.stdout
+            assert "request #12" in waterfall.stdout
+            for stage in ("admission", "queue", "fsync", "apply", "ack"):
+                assert stage in waterfall.stdout
 
             client = LandlordClient(f"http://127.0.0.1:{port}")
             body = client.metrics()
