@@ -72,10 +72,39 @@ def _delta(old: Scalar, new: Scalar) -> str:
     return "changed"
 
 
+def _adaptive_highlight(doc: object) -> Optional[str]:
+    """One-line adaptive-vs-fixed readout for BENCH_cache's ``adaptive``
+    scale, so the governor's win (or regression) reads without scanning
+    the full table."""
+    if not isinstance(doc, dict):
+        return None
+    payload = (doc.get("scales") or {}).get("adaptive")
+    if not isinstance(payload, dict):
+        return None
+    fixed = payload.get("fixed_requests_per_second")
+    auto = payload.get("adaptive_requests_per_second")
+    ratio = payload.get("adaptive_vs_fixed")
+    if fixed is None or auto is None:
+        return None
+    line = (
+        f"**Adaptive batching:** {auto} req/s (auto) vs {fixed} req/s "
+        f"(fixed-{payload.get('fixed_batch_size', '?')}) — "
+        f"{ratio}x, {payload.get('compactions', 0)} compaction(s) "
+        f"reclaiming {payload.get('rows_reclaimed', 0)} row(s)"
+    )
+    if payload.get("degraded_single_cpu"):
+        line += " _(single-CPU runner; gate informational)_"
+    return line
+
+
 def summarize(path: Path, ref: str) -> str:
-    current = flatten(json.loads(path.read_text()))
+    doc = json.loads(path.read_text())
+    current = flatten(doc)
     baseline_doc = baseline_of(path, ref)
     lines = [f"### {path.name}", ""]
+    highlight = _adaptive_highlight(doc)
+    if highlight:
+        lines += [highlight, ""]
     if baseline_doc is None:
         lines += ["| metric | value |", "|---|---|"]
         lines += [f"| {k} | {_fmt(v)} |" for k, v in sorted(current.items())]

@@ -509,21 +509,28 @@ def _cmd_replay(argv: Sequence[str]) -> int:
     parser.add_argument("--engine", choices=ENGINES, default="vectorized",
                         help="cache decision engine (bit-identical results; "
                         "default: %(default)s)")
-    parser.add_argument("--batch-size", type=int, default=0, metavar="N",
+    parser.add_argument("--batch-size", default="0", metavar="N|auto",
                         help="serve the trace in batched-submission windows "
                         "of N requests through LandlordCache.submit_batch "
                         "(bit-identical decisions, lower dispatch overhead; "
-                        "0 = sequential, incompatible with --alert-rules)")
+                        "0 = sequential, 'auto' = AIMD-governed window "
+                        "sizing from the engine's observed dirty rate, "
+                        "incompatible with --alert-rules)")
     parser.add_argument("--prefilter", default=True,
                         action=argparse.BooleanOptionalAction,
                         help="count-window prefilter for the vectorized "
                         "engine's merge scans (bit-identical results; "
                         "--no-prefilter forces full bit-matrix scans)")
+    parser.add_argument("--scratch-mb", type=float, default=None, metavar="MB",
+                        help="batched-kernel scratch budget in MiB for the "
+                        "vectorized engine (>= 1; bit-identical at any "
+                        "budget via chunking; default: REPRO_SCRATCH_MB "
+                        "or 32)")
     _alert_args(parser)
     args = parser.parse_args(argv)
-    if args.batch_size < 0:
-        parser.error("--batch-size must be >= 0")
-    if args.batch_size and args.alert_rules:
+    batch_size = _parse_batch_size(parser, "--batch-size", args.batch_size,
+                                   minimum=0)
+    if batch_size != 0 and args.alert_rules:
         parser.error("--batch-size is incompatible with --alert-rules "
                      "(alert rules are evaluated after every request)")
     scale = get_scale(args.scale)
@@ -532,10 +539,14 @@ def _cmd_replay(argv: Sequence[str]) -> int:
         "sft", seed=args.seed, n_packages=scale.n_packages,
         target_total_size=scale.repo_total_size,
     )
-    cache = LandlordCache(capacity, args.alpha, repo.size_of,
-                          record_events=bool(args.events_out),
-                          engine=args.engine,
-                          prefilter=args.prefilter)
+    try:
+        cache = LandlordCache(capacity, args.alpha, repo.size_of,
+                              record_events=bool(args.events_out),
+                              engine=args.engine,
+                              prefilter=args.prefilter,
+                              scratch_mb=args.scratch_mb)
+    except ValueError as exc:
+        parser.error(str(exc))
     registry = None
     if args.metrics_out:
         from repro.obs import MetricsRegistry
@@ -553,10 +564,18 @@ def _cmd_replay(argv: Sequence[str]) -> int:
     stream = [job.packages for job in iter_trace(args.trace)]
     result = simulate_stream(cache, stream, record_timeline=False,
                              metrics=registry, slo=slo, alerts=alerts,
-                             batch_size=args.batch_size)
+                             batch_size=batch_size)
     stats = result.stats
     print(f"requests={stats.requests} hits={stats.hits} merges={stats.merges} "
           f"inserts={stats.inserts} deletes={stats.deletes}")
+    if batch_size == "auto" and cache.last_batch_governor is not None:
+        gov = cache.last_batch_governor.status()
+        eng = getattr(cache._engine, "batch_stats", {})
+        print(f"adaptive batching: {eng.get('windows', 0)} windows, "
+              f"final size {gov['size']} "
+              f"(+{gov['increases']} grow / x{gov['decreases']} shrink / "
+              f"={gov['holds']} hold), "
+              f"last dirty rate {eng.get('last_dirty_rate', 0.0):.3f}")
     print(f"cache efficiency {100 * result.cache_efficiency:.1f}%  "
           f"container efficiency {100 * result.container_efficiency:.1f}%")
     print(f"requested {format_bytes(stats.requested_bytes)}  "
@@ -575,6 +594,33 @@ def _cmd_replay(argv: Sequence[str]) -> int:
     if alerts is not None:
         return _finish_alerts(alerts, args.alert_log)
     return 0
+
+
+def _parse_batch_size(parser: argparse.ArgumentParser, flag: str,
+                      value: str, minimum: int) -> "int | str":
+    """Parse an N-or-'auto' window-size flag value (shared by replay/serve)."""
+    if value == "auto":
+        return "auto"
+    try:
+        parsed = int(value)
+    except ValueError:
+        parser.error(f"{flag} must be an integer or 'auto', got {value!r}")
+    if parsed < minimum:
+        parser.error(f"{flag} must be >= {minimum} or 'auto'")
+    return parsed
+
+
+def _check_scratch_mb(parser: argparse.ArgumentParser,
+                      value: "float | None") -> None:
+    """Reject a bad --scratch-mb at argparse time, not deep in state load."""
+    if value is None:
+        return
+    from repro.core.cache import _resolve_scratch_mb
+
+    try:
+        _resolve_scratch_mb(value)
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 def _alert_args(parser: argparse.ArgumentParser) -> None:
@@ -785,6 +831,10 @@ def _cmd_submit(argv: Sequence[str]) -> int:
                         help="cache decision engine (bit-identical results, "
                         "so snapshots restore across engines; default: "
                         "%(default)s)")
+    parser.add_argument("--scratch-mb", type=float, default=None, metavar="MB",
+                        help="batched-kernel scratch budget in MiB for the "
+                        "vectorized engine (>= 1; bit-identical at any "
+                        "budget; default: REPRO_SCRATCH_MB or 32)")
     _obs_args(parser)
     parser.add_argument("--trace", action="store_true",
                         help="record a decision trace for this request "
@@ -816,6 +866,7 @@ def _cmd_submit(argv: Sequence[str]) -> int:
     if args.remote and args.serve is not None:
         parser.error("--remote submits to an existing daemon; "
                      "it cannot be combined with --serve")
+    _check_scratch_mb(parser, args.scratch_mb)
 
     scale, repo = _site_repository(args.scale, args.seed, args.repo)
     if args.remote:
@@ -832,7 +883,8 @@ def _cmd_submit(argv: Sequence[str]) -> int:
     )
     try:
         cache, metadata, replayed = store.load(
-            repo.size_of, migrate_v1=args.migrate_v1, engine=args.engine
+            repo.size_of, migrate_v1=args.migrate_v1, engine=args.engine,
+            scratch_mb=args.scratch_mb,
         )
         if replayed:
             print(f"replayed {len(replayed)} journalled operation(s) "
@@ -849,7 +901,8 @@ def _cmd_submit(argv: Sequence[str]) -> int:
             parse_bytes(args.capacity) if args.capacity else scale.capacity
         )
         cache = LandlordCache(capacity, args.alpha, repo.size_of,
-                              engine=args.engine)
+                              engine=args.engine,
+                              scratch_mb=args.scratch_mb)
         metadata = {"repository": repo_meta}
         store.initialise(cache, metadata)
         print(f"initialised new cache: capacity "
@@ -1093,9 +1146,19 @@ def _cmd_serve(argv: Sequence[str]) -> int:
     parser.add_argument("--max-queue", type=int, default=1024, metavar="N",
                         help="admission-queue bound; submissions beyond it "
                         "are rejected with HTTP 429 (default: %(default)s)")
-    parser.add_argument("--max-batch", type=int, default=256, metavar="N",
+    parser.add_argument("--max-batch", default="256", metavar="N|auto",
                         help="largest request window applied as one "
-                        "batched pass (default: %(default)s)")
+                        "batched pass; 'auto' lets an AIMD governor size "
+                        "the cap from queue depth and window latency vs "
+                        "--ack-budget (default: %(default)s)")
+    parser.add_argument("--ack-budget", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="target fsync+apply wall time per window for "
+                        "--max-batch auto (default: %(default)s)")
+    parser.add_argument("--scratch-mb", type=float, default=None, metavar="MB",
+                        help="batched-kernel scratch budget in MiB for the "
+                        "vectorized engine (>= 1; bit-identical at any "
+                        "budget; default: REPRO_SCRATCH_MB or 32)")
     parser.add_argument("--span-limit", type=int, default=4096, metavar="N",
                         help="bounded ring of pipeline spans behind "
                         "/traces and `repro-landlord trace` "
@@ -1111,10 +1174,13 @@ def _cmd_serve(argv: Sequence[str]) -> int:
         parser.error("--snapshot-every must be >= 1")
     if args.max_queue < 1:
         parser.error("--max-queue must be >= 1")
-    if args.max_batch < 1:
-        parser.error("--max-batch must be >= 1")
+    max_batch = _parse_batch_size(parser, "--max-batch", args.max_batch,
+                                  minimum=1)
+    if args.ack_budget <= 0:
+        parser.error("--ack-budget must be positive")
     if args.span_limit < 1:
         parser.error("--span-limit must be >= 1")
+    _check_scratch_mb(parser, args.scratch_mb)
 
     scale, repo = _site_repository(args.scale, args.seed, args.repo)
     repo_meta = (
@@ -1129,7 +1195,8 @@ def _cmd_serve(argv: Sequence[str]) -> int:
     )
     try:
         cache, metadata, replayed = store.load(
-            repo.size_of, migrate_v1=args.migrate_v1, engine=args.engine
+            repo.size_of, migrate_v1=args.migrate_v1, engine=args.engine,
+            scratch_mb=args.scratch_mb,
         )
         if replayed:
             print(f"replayed {len(replayed)} journalled operation(s) "
@@ -1146,7 +1213,8 @@ def _cmd_serve(argv: Sequence[str]) -> int:
             parse_bytes(args.capacity) if args.capacity else scale.capacity
         )
         cache = LandlordCache(capacity, args.alpha, repo.size_of,
-                              engine=args.engine)
+                              engine=args.engine,
+                              scratch_mb=args.scratch_mb)
         metadata = {"repository": repo_meta}
         store.initialise(cache, metadata)
         print(f"initialised new cache: capacity "
@@ -1183,7 +1251,8 @@ def _cmd_serve(argv: Sequence[str]) -> int:
         port=args.port,
         socket_path=args.socket,
         max_queue=args.max_queue,
-        max_batch=args.max_batch,
+        max_batch=max_batch,
+        ack_budget=args.ack_budget,
         registry=registry,
         slo=slo,
         alerts=alerts,
@@ -1415,6 +1484,19 @@ def _cmd_cache_status(argv: Sequence[str]) -> int:
     if stats.deletes:
         print(f"eviction breakdown: {stats.evictions_capacity} by "
               f"capacity, {stats.evictions_idle} by idling")
+    engine = getattr(cache, "_engine", None)
+    prefilter = dict(getattr(engine, "prefilter_stats", None) or {})
+    if prefilter.get("scans"):
+        print(f"prefilter: {prefilter['scans']} scans, "
+              f"{prefilter.get('candidates_pruned', 0)} candidates pruned "
+              f"({prefilter.get('bands', 0)} LSH bands)")
+    compaction = dict(getattr(engine, "compaction_stats", None) or {})
+    batch = dict(getattr(engine, "batch_stats", None) or {})
+    if compaction.get("compactions") or batch.get("windows"):
+        print(f"engine: {compaction.get('compactions', 0)} compaction(s) "
+              f"reclaiming {compaction.get('rows_reclaimed', 0)} row(s); "
+              f"{batch.get('windows', 0)} batch window(s), "
+              f"last dirty rate {batch.get('last_dirty_rate', 0.0):.2f}")
     rows = [
         [img.id, img.package_count, format_bytes(img.size),
          img.merge_count, img.last_used]

@@ -19,7 +19,14 @@ This subpackage implements the paper's contribution proper:
   inference, the cache, and image building together.
 """
 
-from repro.core.adaptive import AdaptationEvent, AlphaController
+from repro.core.adaptive import (
+    AdaptationEvent,
+    AimdController,
+    AimdEvent,
+    AlphaController,
+    batch_governor,
+    service_governor,
+)
 from repro.core.cache import CacheDecision, CacheStats, CachedImage, LandlordCache
 from repro.core.engine import ENGINES, NaiveEngine, VectorizedEngine, make_engine
 from repro.core.federation import FederatedLandlord, FederationStats
@@ -71,6 +78,10 @@ __all__ = [
     "TenantDecision",
     "AlphaController",
     "AdaptationEvent",
+    "AimdController",
+    "AimdEvent",
+    "batch_governor",
+    "service_governor",
     "FederatedLandlord",
     "FederationStats",
 ]

@@ -32,6 +32,8 @@ is recorded in ``BENCH_cache.json`` by ``benchmarks/test_cache_kernel.py``.
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import (
@@ -61,6 +63,35 @@ __all__ = [
 HIT_SELECTION = ("smallest", "mru", "first")
 CANDIDATE_ORDER = ("distance", "insertion", "random")
 EVICTION = ("lru", "fifo", "size")
+
+
+def _resolve_scratch_mb(scratch_mb) -> float:
+    """Validate the kernel scratch budget (MiB), honoring the environment.
+
+    ``None`` falls back to ``REPRO_SCRATCH_MB`` and then to the 32 MiB
+    default.  The budget only sizes batched-kernel temporaries — results
+    are bit-identical at any budget via chunking — but a sub-MiB budget
+    would shred every kernel into per-row slivers, so 1 MiB is the floor.
+    """
+    if scratch_mb is None:
+        env = os.environ.get("REPRO_SCRATCH_MB")
+        if env is None:
+            return 32.0
+        try:
+            scratch_mb = float(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SCRATCH_MB must be a number, got {env!r}"
+            ) from None
+    try:
+        scratch_mb = float(scratch_mb)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"scratch_mb must be a number, got {scratch_mb!r}"
+        ) from None
+    if not math.isfinite(scratch_mb) or scratch_mb < 1.0:
+        raise ValueError(f"scratch_mb must be >= 1 (MiB), got {scratch_mb}")
+    return scratch_mb
 
 
 class _Universe:
@@ -441,6 +472,11 @@ class LandlordCache:
             popcounting — another pure performance knob; decisions stay
             bit-identical with it on or off (the default is on).  The
             naive engine ignores it.
+        scratch_mb: budget in MiB for the vectorized engine's batched
+            kernel temporaries (``--scratch-mb`` on the CLI).  ``None``
+            reads ``REPRO_SCRATCH_MB`` and defaults to 32.  Kernels chunk
+            to the budget, so any value >= 1 yields bit-identical
+            results; smaller budgets just run more, smaller chunks.
     """
 
     def __init__(
@@ -464,6 +500,7 @@ class LandlordCache:
         slo=None,
         engine: str = "vectorized",
         prefilter: bool = True,
+        scratch_mb: Optional[float] = None,
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -504,6 +541,12 @@ class LandlordCache:
         # ``engine`` itself (decisions are bit-identical either way), so
         # not part of policy_snapshot().
         self.engine_prefilter = bool(prefilter)
+        # Batched-kernel temporary budget in MiB (also read at bind time;
+        # chunking keeps results bit-identical at any budget).
+        self.engine_scratch_mb = _resolve_scratch_mb(scratch_mb)
+        # The governor of the most recent submit_batch(batch_size="auto")
+        # call, for /statusz and the dashboard (None until one runs).
+        self.last_batch_governor = None
         self._in_batch = False
         self._universe = _Universe(package_size)
         self._images: Dict[str, CachedImage] = {}
@@ -1343,7 +1386,7 @@ class LandlordCache:
     def submit_batch(
         self,
         specs: Iterable["ImageSpec | AbstractSet[str]"],
-        batch_size: int = 1024,
+        batch_size: "int | str" = 1024,
     ) -> List[CacheDecision]:
         """Serve a vector of independent requests through batched kernels.
 
@@ -1357,24 +1400,57 @@ class LandlordCache:
         amortizing per-request numpy dispatch overhead.  The naive
         engine's window hooks are no-ops, so this is safe (just not
         faster) under ``engine="naive"``.
+
+        ``batch_size="auto"`` hands window sizing to an AIMD governor
+        (:func:`repro.core.adaptive.batch_governor`): the window grows
+        additively while the engine's observed per-window dirty rate
+        stays low and shrinks multiplicatively when dirty-set repair
+        dominates.  An explicit
+        :class:`~repro.core.adaptive.AimdController` instance is also
+        accepted for custom laws.  Window boundaries never affect
+        decisions — every window replays through ``request()`` against
+        live state — so adaptive sizing preserves bit-identity even
+        though the window sequence is engine-dependent.
         """
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        governor = self._batch_governor_for(batch_size)
         lock = self._lock
         if lock is None:
-            return self._submit_batch(specs, batch_size)
+            return self._submit_batch(specs, batch_size, governor)
         with lock:
-            return self._submit_batch(specs, batch_size)
+            return self._submit_batch(specs, batch_size, governor)
+
+    def _batch_governor_for(self, batch_size):
+        """Resolve/validate ``batch_size`` into an AIMD governor or None."""
+        # Imported here: repro.core.adaptive imports this module.
+        from repro.core.adaptive import AimdController, batch_governor
+
+        if isinstance(batch_size, AimdController):
+            return batch_size
+        if isinstance(batch_size, str):
+            if batch_size != "auto":
+                raise ValueError(
+                    f"batch_size must be a positive int, 'auto', or an "
+                    f"AimdController, got {batch_size!r}"
+                )
+            return batch_governor()
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return None
 
     def _submit_batch(
         self,
         specs: Iterable["ImageSpec | AbstractSet[str]"],
-        batch_size: int,
+        batch_size: "int | str",
+        governor=None,
     ) -> List[CacheDecision]:
         specs = list(specs)
         decisions: List[CacheDecision] = []
-        for start in range(0, len(specs), batch_size):
-            window = specs[start : start + batch_size]
+        if governor is not None:
+            self.last_batch_governor = governor
+        size = governor.size if governor is not None else batch_size
+        start = 0
+        while start < len(specs):
+            window = specs[start : start + size]
             keys = [
                 spec.packages if isinstance(spec, ImageSpec)
                 else frozenset(spec)
@@ -1390,6 +1466,11 @@ class LandlordCache:
             finally:
                 self._in_batch = False
                 self._engine.end_batch()
+            start += len(window)
+            if governor is not None:
+                stats = getattr(self._engine, "batch_stats", None)
+                signal = stats["last_dirty_rate"] if stats else 0.0
+                size = governor.observe(signal)
         return decisions
 
     def _find_hit(self, mask: int) -> Optional[CachedImage]:

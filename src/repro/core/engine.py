@@ -78,6 +78,39 @@ ENGINES = ("naive", "vectorized")
 _WORD = np.dtype("<u8")
 
 
+class _Arena:
+    """Named scratch buffers reused across kernel invocations.
+
+    Each name owns one flat array that only ever grows (geometrically);
+    :meth:`take` returns a reshaped view over its prefix.  Views are
+    only valid until the next ``take`` of the same name, which is fine:
+    every kernel fully consumes its scratch within the call.  Keeping
+    the buffers flat makes them shape-agnostic, so matrix widening and
+    row growth never invalidate the arena.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def take(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        n = 1
+        for dim in shape:
+            n *= int(dim)
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < n or buf.dtype != np.dtype(dtype):
+            capacity = max(64, n)
+            if buf is not None and buf.dtype == np.dtype(dtype):
+                capacity = max(capacity, 2 * buf.size)
+            buf = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:n].reshape(shape)
+
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
 class NaiveEngine:
     """The reference engine: Algorithm 1's scans as plain Python loops.
 
@@ -100,6 +133,19 @@ class NaiveEngine:
     def bind(self, cache: "LandlordCache") -> None:
         """Attach to the owning cache (called once, from its ctor)."""
         self._cache = cache
+        # Batch-window accounting mirrors the vectorized engine's so the
+        # adaptive batching governor can drive either engine.  The naive
+        # loops take no advantage of the window, so the dirty rate is
+        # identically zero — the governor simply grows to its cap.
+        self.batch_stats = {
+            "windows": 0,
+            "requests": 0,
+            "dirty": 0,
+            "repredictions": 0,
+            "last_dirty_rate": 0.0,
+        }
+        self.compaction_stats = {"compactions": 0, "rows_reclaimed": 0}
+        self._batch_n = 0
 
     # -- maintenance hooks (derived state: none) ---------------------------
 
@@ -190,9 +236,14 @@ class NaiveEngine:
 
     def begin_batch(self, masks: Sequence[int]) -> None:
         """Batched-submission hint; the naive loops take no advantage."""
+        self._batch_n = len(masks)
 
     def end_batch(self) -> None:
-        """End the batched-submission window (no-op)."""
+        """End the batched-submission window (accounting only)."""
+        self.batch_stats["windows"] += 1
+        self.batch_stats["requests"] += self._batch_n
+        self.batch_stats["last_dirty_rate"] = 0.0
+        self._batch_n = 0
 
     def eviction_victim(self, pinned_id: str) -> Optional["CachedImage"]:
         """The next eviction victim under the configured policy."""
@@ -225,6 +276,8 @@ class _HitBatch:
         "dirty",
         "selection",
         "track_touch",
+        "dirty_seen",
+        "repredictions",
     )
 
     def __init__(
@@ -239,6 +292,17 @@ class _HitBatch:
         self.dirty: set = set()
         self.selection = selection
         self.track_touch = selection == "mru"
+        # dirty_seen counts distinct dirtying events across the whole
+        # window — unlike ``dirty`` it survives the clear() on
+        # re-prediction, so ``dirty_seen / len(masks)`` is the window's
+        # dirty rate, the adaptive batching governor's signal.
+        self.dirty_seen = 0
+        self.repredictions = 0
+
+    def note_dirty(self, image_id: str) -> None:
+        if image_id not in self.dirty:
+            self.dirty.add(image_id)
+            self.dirty_seen += 1
 
 
 class VectorizedEngine:
@@ -313,7 +377,14 @@ class VectorizedEngine:
     _BATCH_MAX_DIRTY = 64
     # Element budget for batched-kernel temporaries (rows × batch lanes ×
     # words); 4M uint64 elements keeps the AND temporary near 32 MB.
+    # ``bind`` derives the live budget from the cache's ``scratch_mb``
+    # knob (``--scratch-mb`` / ``REPRO_SCRATCH_MB``); this is the
+    # default's worth of elements.
     _BATCH_CELL_BUDGET = 1 << 22
+    # Compact the matrix when more than this fraction of allocated rows
+    # is dead (and the matrix is big enough for the copy to pay off).
+    _COMPACT_MIN_TOP = 128
+    _COMPACT_DEAD_FRACTION = 0.5
 
     def bind(self, cache: "LandlordCache") -> None:
         """Attach to the owning cache and allocate the empty matrix."""
@@ -340,15 +411,30 @@ class VectorizedEngine:
             "lsh_conclusive": 0,
             "rows_scanned": 0,
         }
+        # Batch-window accounting: per-window dirty rate feeds the
+        # adaptive batching governor; cumulative counters feed /statusz.
+        self.batch_stats = {
+            "windows": 0,
+            "requests": 0,
+            "dirty": 0,
+            "repredictions": 0,
+            "last_dirty_rate": 0.0,
+        }
+        self.compaction_stats = {"compactions": 0, "rows_reclaimed": 0}
+        # Element budget for batched-kernel temporaries, from the cache's
+        # scratch knob (MiB of uint64 elements); chunking keeps results
+        # bit-identical at any budget.
+        scratch_mb = float(getattr(cache, "engine_scratch_mb", 32.0))
+        self._cell_budget = max(4096, int(scratch_mb * (1 << 20)) // 8)
         rows = self._INITIAL_ROWS
         self._rows = rows
         self._words = 1
         self._matrix = np.zeros((rows, 1), dtype=_WORD)
-        # Scratch buffers sized with the matrix: the kernels run every
-        # request, so the AND temporaries are written in place instead of
-        # allocated fresh (a measurable win at thousands of rows).
-        self._and_scratch = np.zeros((rows, 1), dtype=_WORD)
-        self._pop_scratch = np.zeros((rows, 1), dtype=np.uint8)
+        # Kernel temporaries live in a named-buffer arena: the kernels
+        # run every request, so AND/popcount scratch is written into
+        # reused flat buffers instead of allocated fresh per call (a
+        # measurable win at thousands of rows and large batch windows).
+        self._arena = _Arena()
         self._size = np.zeros(rows, dtype=np.int64)
         self._last_used = np.zeros(rows, dtype=np.int64)
         self._created = np.zeros(rows, dtype=np.int64)
@@ -379,8 +465,6 @@ class VectorizedEngine:
         grown[:, : self._words] = self._matrix
         self._matrix = grown
         self._words = new_words
-        self._and_scratch = np.zeros((self._rows, new_words), dtype=_WORD)
-        self._pop_scratch = np.zeros((self._rows, new_words), dtype=np.uint8)
 
     def _grow_rows(self) -> None:
         old = self._rows
@@ -388,8 +472,6 @@ class VectorizedEngine:
         grown = np.zeros((new, self._words), dtype=_WORD)
         grown[:old] = self._matrix
         self._matrix = grown
-        self._and_scratch = np.zeros((new, self._words), dtype=_WORD)
-        self._pop_scratch = np.zeros((new, self._words), dtype=np.uint8)
         for attr in ("_size", "_last_used", "_created", "_count", "_order"):
             arr = getattr(self, attr)
             wide = np.zeros(new, dtype=np.int64)
@@ -453,7 +535,7 @@ class VectorizedEngine:
                 image.id, self._signature_of_indices(image.indices)
             )
         if self._batch is not None:
-            self._batch.dirty.add(image.id)
+            self._batch.note_dirty(image.id)
 
     def on_remove(self, image: "CachedImage") -> None:
         """Free the image's row (heap entries die lazily)."""
@@ -465,7 +547,9 @@ class VectorizedEngine:
         if self._sig_lsh is not None:
             self._sig_lsh.remove(image.id)
         if self._batch is not None:
-            self._batch.dirty.add(image.id)
+            self._batch.note_dirty(image.id)
+        elif self._should_compact():
+            self.compact()
 
     def on_touch(self, image: "CachedImage") -> None:
         """Refresh ``last_used``; LRU gets a fresh heap entry."""
@@ -475,7 +559,7 @@ class VectorizedEngine:
             self._push(row, image.id)
         batch = self._batch
         if batch is not None and batch.track_touch:
-            batch.dirty.add(image.id)
+            batch.note_dirty(image.id)
 
     def on_update(self, image: "CachedImage") -> None:
         """Re-mirror a merged image (mask, size, count, last_used)."""
@@ -491,7 +575,62 @@ class VectorizedEngine:
                 image.id, self._signature_of_indices(image.indices)
             )
         if self._batch is not None:
-            self._batch.dirty.add(image.id)
+            self._batch.note_dirty(image.id)
+
+    # -- live-row compaction -------------------------------------------------
+
+    def _should_compact(self) -> bool:
+        top = self._top
+        return (
+            top >= self._COMPACT_MIN_TOP
+            and (top - self._n_live) > top * self._COMPACT_DEAD_FRACTION
+        )
+
+    def compact(self) -> int:
+        """Pack live rows into a contiguous prefix; return rows reclaimed.
+
+        Merges and evictions free rows onto ``_free``, but freed rows
+        stay inside ``[:top]`` and every popcount kernel still walks
+        them as garbage.  Compaction gathers the live rows (in ascending
+        physical order — a stable pack) to the front of the matrix and
+        every parallel array, remaps ``_row_of``/``_image_of_row``, and
+        drops ``_top`` to ``n_live``, so subsequent scans touch live
+        rows only.
+
+        Exactness: no selection rule ever consults a physical row index
+        — hits, merges, and evictions all tie-break on the ``_order``
+        sequence numbers, which move with their rows — and lazy-deletion
+        heap entries are keyed by ``image_id`` and revalidated through
+        ``_row_of`` at pop time, so relocation cannot resurrect or lose
+        an entry.  Deferred while a batch window is open (predictions
+        are repaired against image ids, but the snapshot argument is
+        simplest when rows are stable); ``end_batch`` re-checks.
+        """
+        top = self._top
+        n_dead = top - self._n_live
+        if n_dead <= 0:
+            return 0
+        live_rows = np.flatnonzero(self._live[:top])
+        n = int(live_rows.size)
+        self._matrix[:n] = self._matrix[live_rows]
+        for attr in ("_size", "_last_used", "_created", "_count", "_order"):
+            arr = getattr(self, attr)
+            arr[:n] = arr[live_rows]
+        self._live[:top] = False
+        self._live[:n] = True
+        image_of = self._image_of_row
+        packed: List[Optional["CachedImage"]] = [None] * self._rows
+        row_of = self._row_of
+        for new_row, old_row in enumerate(live_rows.tolist()):
+            image = image_of[old_row]
+            packed[new_row] = image
+            row_of[image.id] = new_row
+        self._image_of_row = packed
+        self._free = []
+        self._top = n
+        self.compaction_stats["compactions"] += 1
+        self.compaction_stats["rows_reclaimed"] += n_dead
+        return n_dead
 
     # -- internal MinHash/LSH index ------------------------------------------
 
@@ -798,13 +937,21 @@ class VectorizedEngine:
             qws = np.array([q[word] for _, q, _ in members], dtype=_WORD)
             col = self._matrix[:top, word]
             n_lanes = len(members)
-            chunk = max(1, self._BATCH_CELL_BUDGET // n_lanes)
+            chunk = max(1, self._cell_budget // n_lanes)
             cand_lists: List[List[np.ndarray]] = [[] for _ in members]
             for start in range(0, top, chunk):
                 stop = min(start + chunk, top)
-                covered = (
-                    col[start:stop, None] & qws[None, :]
-                ) == qws[None, :]
+                shape = (stop - start, n_lanes)
+                anded = np.bitwise_and(
+                    col[start:stop, None],
+                    qws[None, :],
+                    out=self._arena.take("hit_and", shape, _WORD),
+                )
+                covered = np.equal(
+                    anded,
+                    qws[None, :],
+                    out=self._arena.take("hit_eq", shape, np.bool_),
+                )
                 rows_idx, lane_idx = np.nonzero(covered)
                 if rows_idx.size == 0:
                     continue
@@ -856,7 +1003,7 @@ class VectorizedEngine:
         top = self._top
         words = self._words
         examined = self._n_live
-        stacked = np.zeros((n_queries, words), dtype=_WORD)
+        stacked = self._arena.take("stacked", (n_queries, words), _WORD)
         n_req = np.zeros(n_queries, dtype=np.int64)
         for i, (mask, n_request) in enumerate(queries):
             q, _overflow = self._query_words(mask)
@@ -866,11 +1013,17 @@ class VectorizedEngine:
         counts = self._count[:top]
         image_of = self._image_of_row
         results: List[Tuple[List[Tuple[float, "CachedImage"]], int]] = []
-        lane_budget = max(1, self._BATCH_CELL_BUDGET // max(1, top * words))
+        lane_budget = max(1, self._cell_budget // max(1, top * words))
         for start in range(0, n_queries, lane_budget):
             stop = min(start + lane_budget, n_queries)
+            shape = (stop - start, top, words)
+            anded = np.bitwise_and(
+                self._matrix[None, :top, :],
+                stacked[start:stop, None, :],
+                out=self._arena.take("batch_and", shape, _WORD),
+            )
             inter = np.bitwise_count(
-                self._matrix[None, :top, :] & stacked[start:stop, None, :]
+                anded, out=self._arena.take("batch_pop", shape, np.uint8)
             ).sum(axis=2, dtype=np.int64)
             union = n_req[start:stop, None] + counts[None, :] - inter
             dist = np.where(
@@ -894,8 +1047,21 @@ class VectorizedEngine:
         self._batch = _HitBatch(masks, predictions, self._cache.hit_selection)
 
     def end_batch(self) -> None:
-        """Close the batch window (predictions are discarded)."""
+        """Close the batch window, folding its dirty rate into the stats."""
+        batch = self._batch
         self._batch = None
+        if batch is not None:
+            stats = self.batch_stats
+            stats["windows"] += 1
+            stats["requests"] += len(batch.masks)
+            stats["dirty"] += batch.dirty_seen
+            stats["repredictions"] += batch.repredictions
+            stats["last_dirty_rate"] = batch.dirty_seen / max(
+                1, len(batch.masks)
+            )
+        # Compaction was deferred while the window was open.
+        if self._should_compact():
+            self.compact()
 
     def _hit_key(self, image: "CachedImage") -> Tuple[int, ...]:
         """The naive scan's strict-comparison order as a sortable key."""
@@ -941,6 +1107,7 @@ class VectorizedEngine:
             finally:
                 self._batch = batch
             batch.dirty.clear()
+            batch.repredictions += 1
         batch.cursor = cursor + 1
         pred = batch.predictions[cursor]
         row_of = self._row_of
@@ -974,16 +1141,19 @@ class VectorizedEngine:
         """Exact Jaccard distances of ``rows`` (garbage on dead rows).
 
         ``sub=None`` means "the first ``len(rows)`` matrix rows" and runs
-        through preallocated scratch buffers (the full-scan fast path);
-        an explicit ``sub`` (the LSH pool gather) allocates normally.
+        through arena scratch buffers (the full-scan fast path); an
+        explicit ``sub`` (the LSH pool gather) allocates normally.
         """
         q, _overflow = self._query_words(mask)
         if sub is None:
             top = len(rows)
+            shape = (top, self._words)
             anded = np.bitwise_and(
-                self._matrix[:top], q, out=self._and_scratch[:top]
+                self._matrix[:top], q, out=self._arena.take("and", shape, _WORD)
             )
-            pops = np.bitwise_count(anded, out=self._pop_scratch[:top])
+            pops = np.bitwise_count(
+                anded, out=self._arena.take("pop", shape, np.uint8)
+            )
         else:
             pops = np.bitwise_count(sub & q)
         inter = pops.sum(axis=1, dtype=np.int64)

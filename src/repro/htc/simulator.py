@@ -79,6 +79,11 @@ class SimulationConfig:
     # Let the vectorized engine prefilter full merge scans through the
     # exact count window (another bit-identical performance knob).
     prefilter: bool = True
+    # Drive the stream through submit_batch windows: 0 = sequential
+    # request() calls, N >= 1 = fixed windows, "auto" = AIMD-governed
+    # windows (repro.core.adaptive.batch_governor).  Decisions are
+    # bit-identical either way; batching requires record_timeline=False.
+    batch_size: "int | str" = 0
     record_timeline: bool = True
     # Observability: when True, the run builds a repro.obs.MetricsRegistry,
     # instruments the cache with it, and returns its snapshot in
@@ -164,9 +169,10 @@ def simulate_stream(
     baseline policies included) works, not just a LandlordCache — it needs
     ``request``/``stats``/``cached_bytes``/``unique_bytes``/``__len__``.
 
-    ``batch_size > 0`` drives the stream through the provider's
-    ``submit_batch`` (decisions are bit-identical to sequential
-    ``request`` calls; only dispatch overhead changes).  The batched
+    ``batch_size > 0`` (or ``"auto"``, AIMD-governed window sizing from
+    the engine's observed dirty rate) drives the stream through the
+    provider's ``submit_batch`` (decisions are bit-identical to
+    sequential ``request`` calls; only dispatch overhead changes).  The batched
     path records no per-request timeline and evaluates no alert rules —
     those are per-request observers — so it is incompatible with
     ``record_timeline=True`` and ``alerts``.
@@ -199,7 +205,14 @@ def simulate_stream(
             enable_slo(slo)
     if alerts is not None and slo is None:
         raise ValueError("alerts require an SloTracker (pass slo=)")
-    if batch_size > 0:
+    if isinstance(batch_size, str) and batch_size != "auto":
+        raise ValueError(
+            f"batch_size must be an int or 'auto', got {batch_size!r}"
+        )
+    batched = batch_size == "auto" or (
+        not isinstance(batch_size, str) and batch_size > 0
+    )
+    if batched:
         if record_timeline:
             raise ValueError(
                 "batch_size is incompatible with record_timeline "
@@ -337,4 +350,5 @@ def simulate(
     return simulate_stream(
         cache, stream, config=config,
         record_timeline=config.record_timeline, metrics=metrics, slo=slo,
+        batch_size=config.batch_size,
     )

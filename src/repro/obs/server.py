@@ -59,6 +59,11 @@ def build_status(cache, slo=None, alerts=None, extra: Optional[dict] = None) -> 
     the per-rule alert states when an
     :class:`~repro.obs.alerts.AlertEngine` is.  ``nan`` window values
     are dropped (JSON has no NaN).
+
+    When the cache's decision engine exposes kernel telemetry
+    (``prefilter_stats`` / ``compaction_stats`` / ``batch_stats``, as
+    the vectorized engine does), an ``"engine"`` block carries it, plus
+    the latest adaptive batching governor state when one has run.
     """
     import math
 
@@ -87,6 +92,26 @@ def build_status(cache, slo=None, alerts=None, extra: Optional[dict] = None) -> 
             "container_efficiency": stats.container_efficiency,
         },
     }
+    engine = getattr(cache, "_engine", None)
+    if engine is not None:
+        engine_status: Dict[str, object] = {}
+        prefilter = getattr(engine, "prefilter_stats", None)
+        if prefilter is not None:
+            engine_status["prefilter"] = dict(prefilter)
+        compaction = getattr(engine, "compaction_stats", None)
+        if compaction is not None:
+            engine_status["compaction"] = dict(compaction)
+        batch = getattr(engine, "batch_stats", None)
+        if batch is not None:
+            engine_status["batch"] = dict(batch)
+        governor = getattr(cache, "last_batch_governor", None)
+        if governor is not None:
+            engine_status["batch_governor"] = governor.status()
+        if engine_status:
+            engine_status["name"] = getattr(
+                engine, "name", type(engine).__name__
+            )
+            status["engine"] = engine_status
     if slo is not None:
         status["window"] = {
             "size": slo.window,

@@ -56,6 +56,7 @@ from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
+from repro.core.adaptive import service_governor
 from repro.obs import ObsServer, build_status, write_traces
 from repro.obs.clock import default_clock
 from repro.obs.spans import SpanRecorder, new_trace_id, parse_traceparent
@@ -93,7 +94,8 @@ class _ServiceInstruments:
 
     __slots__ = (
         "accepted", "rejected_full", "rejected_draining", "rejected_invalid",
-        "batches", "batched_requests", "queue_depth",
+        "batches", "batched_requests", "queue_depth", "batch_size",
+        "dirty_rate",
     )
 
     def __init__(self, registry) -> None:
@@ -119,6 +121,14 @@ class _ServiceInstruments:
         self.queue_depth = registry.gauge(
             "service_queue_depth",
             "Submissions waiting in the admission queue.",
+        ).labels()
+        self.batch_size = registry.gauge(
+            "service_batch_size",
+            "Current batcher window cap (adaptive under --max-batch auto).",
+        ).labels()
+        self.dirty_rate = registry.gauge(
+            "service_dirty_rate",
+            "Dirty rate of the engine's most recent batch window.",
         ).labels()
 
 
@@ -158,7 +168,15 @@ class LandlordDaemon:
             socket at this path (optional).
         max_queue: admission-queue bound; submissions beyond it are
             rejected with HTTP 429 (the backpressure contract).
-        max_batch: largest request window the batcher applies at once.
+        max_batch: largest request window the batcher applies at once,
+            or ``"auto"`` — an AIMD governor
+            (:func:`repro.core.adaptive.service_governor`) grows the cap
+            while windows clear well inside ``ack_budget`` with a
+            backlog waiting, and shrinks it multiplicatively when a
+            window's fsync+apply time approaches the budget.
+        ack_budget: target wall seconds for one window's fsync+apply —
+            the adaptive cap's latency reference (only read under
+            ``max_batch="auto"``).
         registry: optional :class:`~repro.obs.MetricsRegistry` — the
             daemon adds ``service_*`` instruments and serves it at
             ``/metrics``.
@@ -197,7 +215,8 @@ class LandlordDaemon:
         port: int = 0,
         socket_path: Optional[str] = None,
         max_queue: int = 1024,
-        max_batch: int = 256,
+        max_batch: "int | str" = 256,
+        ack_budget: float = 0.25,
         registry=None,
         slo=None,
         alerts=None,
@@ -209,8 +228,20 @@ class LandlordDaemon:
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
+        if isinstance(max_batch, str):
+            if max_batch != "auto":
+                raise ValueError(
+                    f"max_batch must be a positive int or 'auto', "
+                    f"got {max_batch!r}"
+                )
+            self._governor = service_governor()
+            max_batch = self._governor.size
+        else:
+            if max_batch < 1:
+                raise ValueError("max_batch must be >= 1")
+            self._governor = None
+        if not ack_budget > 0:
+            raise ValueError("ack_budget must be positive")
         if tracer is not None and trace_path is None:
             raise ValueError("trace_path is required when tracing")
         self.store = store
@@ -218,6 +249,7 @@ class LandlordDaemon:
         self.metadata = metadata
         self.max_queue = max_queue
         self.max_batch = max_batch
+        self.ack_budget = ack_budget
         self.slo = slo
         self.alerts = alerts
         self.tracer = tracer
@@ -239,6 +271,8 @@ class LandlordDaemon:
         self._ins = (
             _ServiceInstruments(registry) if registry is not None else None
         )
+        if self._ins is not None:
+            self._ins.batch_size.set(self.max_batch)
         self.registry = registry
         self.clock = clock if clock is not None else default_clock()
         # The span ring always records — the service pipeline is not the
@@ -588,6 +622,30 @@ class LandlordDaemon:
                 )
             item.applied_mono = self.clock.monotonic()
             item.done.set()
+        self._govern(fsync_s + apply_s)
+
+    def _govern(self, window_s: float) -> None:
+        """Fold one window's wall time into the adaptive batch cap.
+
+        Runs after the clients were woken (the step is cheap, but acks
+        come first).  The latency signal is window fsync+apply time over
+        the ack budget; a healthy window with *no* backlog holds rather
+        than grows — the cap wasn't binding, so growth is untested
+        guesswork — while a healthy window popped from a backlog grows
+        additively, and a window near/over budget shrinks the cap
+        multiplicatively regardless of backlog.
+        """
+        governor = self._governor
+        if governor is not None:
+            signal = min(1.0, window_s / self.ack_budget)
+            if signal < governor.high_watermark and self.queue_depth == 0:
+                signal = governor.hold_signal
+            self.max_batch = governor.observe(signal)
+        if self._ins is not None:
+            self._ins.batch_size.set(self.max_batch)
+            stats = getattr(self.cache._engine, "batch_stats", None)
+            if stats is not None:
+                self._ins.dirty_rate.set(stats["last_dirty_rate"])
 
     def _drain_traces(self) -> None:
         if self.tracer is None:
@@ -601,6 +659,10 @@ class LandlordDaemon:
     def _on_scrape(self) -> None:
         if self._ins is not None:
             self._ins.queue_depth.set(self.queue_depth)
+            self._ins.batch_size.set(self.max_batch)
+            stats = getattr(self.cache._engine, "batch_stats", None)
+            if stats is not None:
+                self._ins.dirty_rate.set(stats["last_dirty_rate"])
         if self.slo is not None:
             self.slo.set_extra("queue_depth", float(self.queue_depth))
             self.slo.set_extra("submissions_rejected", float(self.rejected))
@@ -619,6 +681,8 @@ class LandlordDaemon:
                 "draining": self._draining,
             }
         }
+        if self._governor is not None:
+            extra["service"]["batch_governor"] = self._governor.status()
         telemetry_status = self.telemetry.status()
         if telemetry_status["workers"]:
             extra["telemetry"] = telemetry_status

@@ -165,6 +165,7 @@ def run_differential(combo, n_requests=N_REQUESTS, lsh_min_live=None):
             naive.restore(snap_vec)
             vec.restore(snap_naive)
     assert_same_state(naive, vec)
+    return naive, vec
 
 
 @pytest.mark.parametrize("combo", GRID, ids=_combo_id)
@@ -187,16 +188,23 @@ def run_differential_batched(
 ):
     """Drive both engines through ``submit_batch`` windows, interleaving
     maintenance operations (adopt / evict_idle / split) and cross-engine
-    snapshot/restore round-trips *between* windows."""
+    snapshot/restore round-trips *between* windows.
+
+    ``batch_size="auto"`` gives each cache its own AIMD governor: the
+    naive engine reports a zero dirty rate (no predictions to repair)
+    while the vectorized engine reports the real one, so the two replay
+    the same stream with *different* window boundaries — the strongest
+    form of the windowing-never-affects-decisions invariant."""
     naive, vec = make_pair(combo, lsh_min_live=lsh_min_live)
     rng = Random("batched|" + "|".join(map(str, combo)) + f"|{batch_size}")
+    submission = 400 if batch_size == "auto" else 2 * batch_size
     submitted = 0
     window_no = 0
     while submitted < n_requests:
         window_no += 1
         window = [
             frozenset(rng.sample(PACKAGES, rng.randint(1, 6)))
-            for _ in range(rng.randint(1, 2 * batch_size))
+            for _ in range(rng.randint(1, submission))
         ]
         d_naive = naive.submit_batch(window, batch_size=batch_size)
         d_vec = vec.submit_batch(window, batch_size=batch_size)
@@ -235,6 +243,7 @@ def run_differential_batched(
             naive.restore(snap_vec)
             vec.restore(snap_naive)
     assert_same_state(naive, vec)
+    return naive, vec
 
 
 @pytest.mark.parametrize("combo", LSH_GRID, ids=_combo_id)
@@ -284,3 +293,127 @@ def test_batch_kernels_match_reference():
     for (cn, examined_n), (cv, examined_v) in zip(cands_naive, cands_vec):
         assert examined_n == examined_v
         assert [(d, img.id) for d, img in cn] == [(d, img.id) for d, img in cv]
+
+
+# -- Adaptive batching, forced compaction, and scratch-budget variants ------
+
+ADAPTIVE_GRID = GRID[::24]
+COMPACT_GRID = GRID[5::24]
+
+
+@pytest.mark.parametrize("combo", ADAPTIVE_GRID, ids=_combo_id)
+def test_engines_bit_identical_adaptive_batching(combo):
+    run_differential_batched(combo, batch_size="auto", n_requests=800)
+
+
+@pytest.mark.parametrize("combo", COMPACT_GRID, ids=_combo_id)
+def test_engines_bit_identical_forced_compaction(combo, monkeypatch):
+    """Compaction on effectively every eviction, mid-stream.
+
+    With the thresholds floored, any dead row triggers a live-row
+    repack, so the sequential differential (which interleaves
+    evict_idle, splits, and cross-engine snapshot/restore round-trips)
+    keeps crossing compaction boundaries — decisions, events, stats and
+    snapshots must stay bit-identical throughout."""
+    from repro.core.engine import VectorizedEngine
+
+    monkeypatch.setattr(VectorizedEngine, "_COMPACT_MIN_TOP", 1)
+    monkeypatch.setattr(VectorizedEngine, "_COMPACT_DEAD_FRACTION", 0.0)
+    naive, vec = run_differential(combo, n_requests=600)
+    # A final mass idle-eviction guarantees at least one compaction on
+    # the *current* pair (restore boundaries reset the counters).
+    assert naive.evict_idle(0) == vec.evict_idle(0)
+    assert vec._engine.compaction_stats["compactions"] >= 1
+    assert vec._engine._top == vec._engine._n_live
+    assert not vec._engine._free
+    assert_same_state(naive, vec)
+
+
+def test_snapshot_restore_across_compaction_boundary():
+    """Snapshots taken right after a compaction restore exactly, into
+    either engine, and both caches continue bit-identically."""
+    combo = ("smallest", "distance", "lru", "full", False, False)
+    naive, vec = make_pair(combo)
+    rng = Random("compaction-boundary")
+    for _ in range(400):
+        spec = frozenset(rng.sample(PACKAGES, rng.randint(1, 6)))
+        naive.request(spec)
+        vec.request(spec)
+    assert naive.evict_idle(1) == vec.evict_idle(1)
+
+    engine = vec._engine
+    # Force the repack regardless of the organic dead fraction.
+    engine.compact()
+    assert engine._top == engine._n_live
+    assert not engine._free
+    assert_same_state(naive, vec)
+
+    snap = vec.snapshot()
+    assert snap == naive.snapshot()
+    naive2, vec2 = make_pair(combo)
+    naive2.restore(snap)   # vectorized snapshot into the big-int path
+    vec2.restore(snap)
+    for _ in range(200):
+        spec = frozenset(rng.sample(PACKAGES, rng.randint(1, 6)))
+        d_naive = naive2.request(spec)
+        d_vec = vec2.request(spec)
+        assert decision_key(d_naive) == decision_key(d_vec)
+    assert_same_state(naive2, vec2)
+
+
+def test_adaptive_fixed_naive_agree():
+    """The same stream through naive-sequential, vectorized fixed
+    windows, and vectorized AIMD-governed windows lands on the same
+    snapshot: window sizing is pure dispatch, never policy."""
+    combo = ("mru", "insertion", "lru", "delta", False, False)
+    rng = Random("three-ways")
+    stream = [
+        frozenset(rng.sample(PACKAGES, rng.randint(1, 6)))
+        for _ in range(900)
+    ]
+    naive, _ = make_pair(combo)
+    _, fixed = make_pair(combo)
+    _, auto = make_pair(combo)
+    for spec in stream:
+        naive.request(spec)
+    fixed.submit_batch(stream, batch_size=64)
+    auto.submit_batch(stream, batch_size="auto")
+    governor = auto.last_batch_governor
+    assert governor is not None and governor.steps >= 1
+    assert naive.snapshot() == fixed.snapshot() == auto.snapshot()
+    assert naive.stats.__dict__ == auto.stats.__dict__
+
+
+def test_scratch_budget_chunking_bit_identical():
+    """A 1 MiB scratch budget forces the batched kernels through many
+    small chunks; decisions must not change relative to the 32 MiB
+    default or the naive reference."""
+    combo = ("smallest", "distance", "lru", "full", False, False)
+    hit, order, evict, mode, minhash, conflicts = combo
+    kwargs = dict(
+        hit_selection=hit, candidate_order=order, eviction=evict,
+        merge_write_mode=mode, use_minhash=minhash,
+        conflict_policy=NoConflicts(), record_events=True,
+    )
+    naive = LandlordCache(CAPACITY, ALPHA, _size_of, engine="naive", **kwargs)
+    wide = LandlordCache(
+        CAPACITY, ALPHA, _size_of, engine="vectorized", **kwargs
+    )
+    tight = LandlordCache(
+        CAPACITY, ALPHA, _size_of, engine="vectorized", scratch_mb=1.0,
+        **kwargs,
+    )
+    assert tight._engine._cell_budget < wide._engine._cell_budget
+
+    rng = Random("scratch")
+    submitted = 0
+    while submitted < 600:
+        window = [
+            frozenset(rng.sample(PACKAGES, rng.randint(1, 6)))
+            for _ in range(rng.randint(32, 128))
+        ]
+        for cache in (naive, wide, tight):
+            cache.submit_batch(window, batch_size=64)
+        submitted += len(window)
+    assert naive.snapshot() == wide.snapshot() == tight.snapshot()
+    assert naive.events == wide.events == tight.events

@@ -102,6 +102,39 @@ class TestSimulateStream:
         simulate_stream(cache, [frozenset({"base/1.0"})])
         assert len(cache) == 1
 
+    def test_batched_dispatch_matches_sequential(self, tiny_repo):
+        stream = [
+            frozenset({"base/1.0"}),
+            frozenset({"libA/1.0", "base/1.0"}),
+            frozenset({"libB/1.0"}),
+            frozenset({"base/1.0"}),
+        ] * 4
+        caches = {
+            mode: LandlordCache(1000, 0.8, tiny_repo.size_of)
+            for mode in (0, 2, "auto")
+        }
+        summaries = {}
+        for mode, cache in caches.items():
+            result = simulate_stream(
+                cache, stream, record_timeline=False, batch_size=mode
+            )
+            summaries[mode] = result.summary()
+        assert summaries[0] == summaries[2] == summaries["auto"]
+        assert caches[0].snapshot() == caches["auto"].snapshot()
+        assert caches["auto"].last_batch_governor is not None
+
+    def test_bad_batch_size_rejected(self, tiny_repo):
+        cache = LandlordCache(1000, 0.8, tiny_repo.size_of)
+        with pytest.raises(ValueError):
+            simulate_stream(cache, [frozenset({"base/1.0"})],
+                            batch_size="turbo")
+
+    def test_config_batch_size_auto(self):
+        result = simulate(tiny_config(batch_size="auto",
+                                      record_timeline=False))
+        sequential = simulate(tiny_config(record_timeline=False))
+        assert result.summary() == sequential.summary()
+
 
 class TestMakeWorkload:
     def test_scheme_dispatch(self, small_sft):

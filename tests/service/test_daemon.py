@@ -668,3 +668,98 @@ class TestFleetTelemetryIngest:
             client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
             reply = client.submit(client_specs(5, n=1)[0])
             assert reply["action"] in {"hit", "merge", "insert"}
+
+
+class TestAdaptiveMaxBatch:
+    def test_bad_arguments_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_daemon(tmp_path, max_batch="fast")
+        with pytest.raises(ValueError):
+            make_daemon(tmp_path, max_batch=0)
+        with pytest.raises(ValueError):
+            make_daemon(tmp_path, max_batch="auto", ack_budget=0.0)
+
+    def test_governor_follows_latency_and_backlog(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_batch="auto", ack_budget=1.0)
+        governor = daemon._governor
+        assert governor is not None
+        assert daemon.max_batch == governor.size == 256
+
+        # A fast window with an empty queue holds: the cap was not the
+        # binding constraint, so growing it would be guesswork.
+        daemon._govern(0.01)
+        assert daemon.max_batch == 256
+        assert governor.holds == 1
+
+        # The same fast window popped off a backlog grows additively.
+        with daemon._cond:
+            daemon._queue.append(_PendingSubmit(("p0",)))
+        daemon._govern(0.01)
+        assert daemon.max_batch == 256 + 32
+        assert governor.increases == 1
+
+        # Blowing the ack budget shrinks multiplicatively even with the
+        # queue drained — latency protection beats throughput probing.
+        with daemon._cond:
+            daemon._queue.clear()
+        daemon._govern(5.0)
+        assert daemon.max_batch == 144
+        assert governor.decreases == 1
+        assert governor.last_signal == 1.0
+
+    def test_fixed_max_batch_has_no_governor(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_batch=8)
+        assert daemon._governor is None
+        daemon._govern(5.0)  # no-op without a governor
+        assert daemon.max_batch == 8
+        assert "batch_governor" not in daemon._status()["service"]
+
+    def test_auto_daemon_matches_serial_replay(self, tmp_path):
+        daemon = make_daemon(
+            tmp_path, max_batch="auto", ack_budget=0.05,
+            registry=MetricsRegistry(),
+        )
+        replies = []
+        replies_lock = threading.Lock()
+        barrier = threading.Barrier(3)
+
+        def run_client(k):
+            client = LandlordClient(f"http://127.0.0.1:{daemon.port}")
+            barrier.wait()
+            for spec in client_specs(k):
+                reply = client.submit(spec)
+                with replies_lock:
+                    replies.append((reply["request_index"], spec, reply))
+            client.close()
+
+        with daemon:
+            threads = [
+                threading.Thread(target=run_client, args=(k,))
+                for k in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            live_snapshot = daemon.cache.snapshot()
+            status = daemon._status()
+
+        assert sorted(r[0] for r in replies) == list(range(24))
+        serial = LandlordCache(500, 0.8, SIZE.__getitem__)
+        for index, spec, reply in sorted(replies):
+            decision = serial.request(frozenset(spec))
+            assert decision.action.value == reply["action"]
+            assert decision.image.id == reply["image"]
+        assert serial.snapshot() == live_snapshot
+
+        # The governor stepped once per applied window and its state is
+        # published on /statusz; max_batch tracks the governed size.
+        governor = status["service"]["batch_governor"]
+        assert governor["steps"] == status["service"]["batches"]
+        assert status["service"]["max_batch"] == governor["size"]
+
+        # The scrape carries the governed batch size gauge.
+        text = daemon.registry.to_prometheus()
+        validate_prometheus_text(text)
+        assert "service_batch_size" in text
+        assert "service_dirty_rate" in text

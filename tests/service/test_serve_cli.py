@@ -229,3 +229,51 @@ class TestServeDaemonCli:
         )
         assert result.returncode == 2
         assert "--remote" in result.stderr
+
+
+class TestAdaptiveServeCli:
+    def _parse_error(self, *argv):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            cwd=str(REPO_ROOT), env=_env(),
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 2, result.stderr
+        return result.stderr
+
+    def test_bad_flags_rejected_at_parse_time(self, tmp_path):
+        err = self._parse_error("serve", "--scale", "tiny", "--max-batch",
+                                "fast", "--state", str(tmp_path / "s.json"))
+        assert "--max-batch" in err
+        err = self._parse_error("serve", "--scale", "tiny", "--scratch-mb",
+                                "0.5", "--state", str(tmp_path / "s.json"))
+        assert "scratch_mb" in err
+        err = self._parse_error("serve", "--scale", "tiny", "--ack-budget",
+                                "0", "--state", str(tmp_path / "s.json"))
+        assert "--ack-budget" in err
+
+    def test_auto_max_batch_daemon_serves_and_reports(self, tmp_path):
+        repo = _tiny_repo()
+        ids = list(repo.ids)
+        process, port = start_daemon(
+            tmp_path, "--max-batch", "auto", "--ack-budget", "0.1",
+            "--scratch-mb", "8",
+        )
+        try:
+            client = LandlordClient(f"http://127.0.0.1:{port}")
+            for i in range(4):
+                spec = sorted(repo.closure({ids[i % len(ids)]}))
+                reply = client.submit(spec, retries=3)
+                assert reply["action"] in {"hit", "merge", "insert"}
+            status = client.status()
+            client.close()
+            service = status["service"]
+            governor = service["batch_governor"]
+            assert governor["steps"] == service["batches"] >= 1
+            assert service["max_batch"] == governor["size"]
+            # the engine block carries the compaction/dirty counters
+            assert "compaction" in status["engine"]
+            assert "batch" in status["engine"]
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
